@@ -1,0 +1,78 @@
+"""E2 — Section 3.2 / Lemma 2: query vs language containment diverge.
+
+Rows reported: for the paper's pair and a generated family, whether
+query containment holds, whether language containment holds, and the
+fold witness.  The paper's claim: the first can hold while the second
+fails — and whenever language containment holds, so does query
+containment (folding subsumes the identity fold).
+"""
+
+import random
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import nfa_contains
+from repro.automata.regex import parse_regex, random_regex
+from repro.rpq.containment import two_rpq_contained
+from repro.rpq.rpq import TwoRPQ
+
+HAND_PICKED = [
+    ("p", "p p- p"),          # the paper's example
+    ("p p", "p p p- p"),
+    ("a b-", "a b- b b-"),
+    ("a", "a a- a a- a"),
+    ("a b", "a b"),
+]
+
+
+def test_e02_divergence_table(benchmark, report, once_benchmark):
+    def run():
+        rows = []
+        diverging = 0
+        for left, right in HAND_PICKED:
+            q1, q2 = TwoRPQ.parse(left), TwoRPQ.parse(right)
+            sigma_pm = Alphabet(
+                tuple(sorted(q1.base_symbols() | q2.base_symbols()))
+            ).two_way
+            query = two_rpq_contained(q1, q2).holds
+            language = nfa_contains(q1.nfa, q2.nfa, sigma_pm)
+            diverging += query and not language
+            rows.append([left, right, query, language, "YES" if query and not language else ""])
+        return rows, diverging
+
+    rows, diverging = once_benchmark(benchmark, run)
+    report(
+        "E2",
+        "query containment vs language containment (2RPQs)",
+        ["Q1", "Q2", "Q1 ⊑ Q2", "L1 ⊆ L2", "diverges"],
+        rows,
+        note="the paper's p ⊑ p·p-·p pair must diverge",
+    )
+    assert diverging >= 3
+
+
+def test_e02_language_containment_implies_query_containment(
+    benchmark, report, once_benchmark
+):
+    rng = random.Random(23)
+
+    def run():
+        implications = violations = 0
+        for _ in range(60):
+            q1 = TwoRPQ(random_regex(rng, ("a", "b"), 2, allow_inverse=True))
+            q2 = TwoRPQ(random_regex(rng, ("a", "b"), 2, allow_inverse=True))
+            sigma_pm = Alphabet(("a", "b")).two_way
+            if nfa_contains(q1.nfa, q2.nfa, sigma_pm):
+                implications += 1
+                if not two_rpq_contained(q1, q2).holds:
+                    violations += 1
+        return implications, violations
+
+    implications, violations = once_benchmark(benchmark, run)
+    report(
+        "E2",
+        "L1 ⊆ L2 ⟹ Q1 ⊑ Q2 over random 2RPQ pairs",
+        ["language containments", "query-containment violations"],
+        [[implications, violations]],
+        note="violations must be 0 (one direction of Lemma 2)",
+    )
+    assert violations == 0

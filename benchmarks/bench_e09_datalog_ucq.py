@@ -1,0 +1,101 @@
+"""E9 — Section 2.2/2.3: nonrecursive Datalog ≡ UCQ; the monadic boundary.
+
+Rows reported:
+- unfolding sizes and semantic-agreement of nonrecursive programs
+  against their UCQ unfoldings (must agree on every sampled instance),
+- the unfolding blow-up as IDB layering deepens (the "possible blow-up
+  in size" the paper notes for positive-existential normal forms), and
+- classification of the paper's programs along the Monadic/TC boundary.
+"""
+
+import time
+
+from repro.cq.evaluation import evaluate_ucq
+from repro.datalog.analysis import is_monadic, is_nonrecursive
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import reachability_program, transitive_closure_program
+from repro.datalog.unfolding import unfold_nonrecursive
+from repro.relational.generators import random_instance
+
+
+def _layered_program(depth: int, branch: int = 2):
+    """`depth` layers of IDB, each defined by `branch` rules over the next."""
+    lines = []
+    for level in range(depth):
+        below = f"l{level + 1}" if level + 1 < depth else "base"
+        for variant in range(branch):
+            mid = f"m{level}v{variant}"
+            lines.append(f"l{level}(x, y) :- {below}(x, {mid}), {below}({mid}, y).")
+    return parse_program("\n".join(lines), goal="l0")
+
+
+def test_e09_unfolding_equivalence(benchmark, report, once_benchmark):
+    def run():
+        rows = []
+        for depth in (1, 2, 3):
+            program = _layered_program(depth)
+            assert is_nonrecursive(program)
+            start = time.perf_counter()
+            ucq = unfold_nonrecursive(program)
+            unfold_ms = (time.perf_counter() - start) * 1000
+            agree = True
+            for seed in range(3):
+                db = random_instance({"base": 2}, 5, 7, seed=seed)
+                agree &= frozenset(evaluate(program, db)) == evaluate_ucq(ucq, db)
+            rows.append(
+                [depth, len(program.rules), len(ucq), f"{unfold_ms:.1f}", agree]
+            )
+        return rows
+
+    rows = once_benchmark(benchmark, run)
+    report(
+        "E9",
+        "nonrecursive Datalog -> UCQ: unfolding size and equivalence",
+        ["IDB depth", "rules", "UCQ disjuncts", "unfold ms", "semantics agree"],
+        rows,
+        note="disjuncts grow as branch^(2^depth - 1)-shaped products: the "
+        "paper's 'possible blow-up in size'",
+    )
+    assert all(row[4] for row in rows)
+    sizes = [row[2] for row in rows]
+    assert sizes == sorted(sizes) and sizes[-1] > sizes[0]
+
+
+def test_e09_monadic_boundary(benchmark, report, once_benchmark):
+    corpus = {
+        "reachability (paper §2.3)": reachability_program(),
+        "transitive closure E+": transitive_closure_program(),
+        "nonrecursive 2-hop": parse_program("p(x,z) :- e(x,y), e(y,z)."),
+        "monadic same-layer": parse_program(
+            """
+            odd(x) :- start(x).
+            odd(y) :- even(x), e(x, y).
+            even(y) :- odd(x), e(x, y).
+            """,
+            goal="even",
+        ),
+    }
+
+    def run():
+        return [
+            [
+                name,
+                is_nonrecursive(program),
+                is_monadic(program),
+            ]
+            for name, program in corpus.items()
+        ]
+
+    rows = once_benchmark(benchmark, run)
+    report(
+        "E9",
+        "the Monadic Datalog boundary (decidable but weak, §2.3)",
+        ["program", "nonrecursive", "monadic"],
+        rows,
+        note="E+ is the paper's witness that Monadic Datalog is too weak "
+        "for connectivity",
+    )
+    table = {row[0]: row for row in rows}
+    assert table["reachability (paper §2.3)"][2] is True
+    assert table["transitive closure E+"][2] is False

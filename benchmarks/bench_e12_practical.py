@@ -1,0 +1,106 @@
+"""E12 — Section 4.2: worst-case bounds vs real-world-shaped instances.
+
+The paper's closing argument: 2EXPSPACE-completeness need not doom
+practice — SAT and termination provers thrive despite terrible bounds.
+This experiment runs the full engine over a corpus of containment
+questions shaped like the paper's motivating applications (social
+navigation, networking policies, optimizer rewrites) and reports the
+fraction decided, verdict mix, and latency distribution.
+"""
+
+import statistics
+import time
+
+from repro.core.engine import check_containment
+from repro.cq.syntax import cq_from_strings
+from repro.crpq.syntax import C2RPQ
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import transitive_closure_program
+from repro.report import Verdict
+from repro.rpq.rpq import RPQ, TwoRPQ
+from repro.rq.syntax import TransitiveClosure, edge, triangle_plus, triangle_query
+
+
+def _corpus():
+    tc = transitive_closure_program("link", "route")
+    safe = parse_program(
+        """
+        safe(x, y) :- approved(x, y).
+        safe(x, z) :- safe(x, y), approved(y, z).
+        """,
+        goal="safe",
+    )
+    yield "nav: knows² ⊑ knows+", RPQ.parse("knows knows"), RPQ.parse("knows+")
+    yield "nav: knows+ ⊑ knows²", RPQ.parse("knows+"), RPQ.parse("knows knows")
+    yield "nav: colleague symmetry", TwoRPQ.parse("worksAt worksAt-"), TwoRPQ.parse(
+        "worksAt worksAt- worksAt worksAt-"
+    )
+    yield "xpath: parent-child roundtrip", TwoRPQ.parse("child"), TwoRPQ.parse(
+        "child child- child"
+    )
+    yield "optimizer: a·a* = a+", RPQ.parse("a a*"), RPQ.parse("a+")
+    yield "optimizer: view rewrite", RPQ.parse("a+ b"), RPQ.parse("a* a b")
+    yield "pattern: triangle ⊑ edge", triangle_query(), edge("r", "x", "y")
+    yield "pattern: triangle ⊑ triangle+", triangle_query(), triangle_plus()
+    yield "pattern: triangle+ ⊑ triangle", triangle_plus(), triangle_query()
+    yield "net: route ⊑ route", tc, tc
+    yield "net: route ⊑ safe", tc, safe
+    yield "join: 2 constraints ⊑ 1", C2RPQ.from_strings(
+        "x,y", [("knows+", "x", "y"), ("worksAt worksAt-", "x", "y")]
+    ), C2RPQ.from_strings("x,y", [("knows+", "x", "y")])
+    yield "join: 1 constraint ⊑ 2", C2RPQ.from_strings(
+        "x,y", [("knows+", "x", "y")]
+    ), C2RPQ.from_strings(
+        "x,y", [("knows+", "x", "y"), ("worksAt worksAt-", "x", "y")]
+    )
+    yield "cq: 3-path ⊑ 2-path", cq_from_strings(
+        "x,w", ["e(x,y)", "e(y,z)", "e(z,w)"]
+    ), cq_from_strings("x,w", ["e(x,y)", "e(z,w)"])
+    yield "cq: core rewrite", cq_from_strings(
+        "x", ["e(x,y)", "e(x,z)"]
+    ), cq_from_strings("x", ["e(x,y)"])
+
+
+def test_e12_corpus(benchmark, report, once_benchmark):
+    corpus = list(_corpus())
+
+    def run():
+        rows = []
+        latencies = []
+        verdicts = {verdict: 0 for verdict in Verdict}
+        for label, q1, q2 in corpus:
+            start = time.perf_counter()
+            result = check_containment(q1, q2, max_expansions=40)
+            elapsed = (time.perf_counter() - start) * 1000
+            latencies.append(elapsed)
+            verdicts[result.verdict] += 1
+            rows.append([label, result.verdict.value, result.method, f"{elapsed:.1f}"])
+        return rows, latencies, verdicts
+
+    rows, latencies, verdicts = once_benchmark(benchmark, run)
+    report(
+        "E12",
+        "application-shaped containment corpus",
+        ["instance", "verdict", "method", "ms"],
+        rows,
+    )
+    exact = verdicts[Verdict.HOLDS] + verdicts[Verdict.REFUTED]
+    report(
+        "E12",
+        "summary",
+        ["instances", "exact verdicts", "bounded verdicts", "median ms", "max ms"],
+        [
+            [
+                len(rows),
+                exact,
+                verdicts[Verdict.HOLDS_UP_TO_BOUND],
+                f"{statistics.median(latencies):.1f}",
+                f"{max(latencies):.1f}",
+            ]
+        ],
+        note="the Section 4.2 claim, instantiated: every instance in this "
+        "application-shaped corpus is answered interactively despite the "
+        "2EXPSPACE worst case",
+    )
+    assert exact >= len(rows) * 0.6
+    assert statistics.median(latencies) < 2_000

@@ -1,0 +1,91 @@
+"""Quickstart: the query tower and the containment engine in five minutes.
+
+Walks the paper's storyline end to end:
+
+1. build a graph database and run RPQ / 2RPQ / UC2RPQ / RQ queries,
+2. reproduce the paper's ``p ⊑ p p- p`` surprise,
+3. check containment across classes with one entry point, and
+4. replay a counterexample database.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import check_containment, classify, describe_tower, verify_counterexample
+from repro.crpq import C2RPQ
+from repro.graphdb import GraphDatabase
+from repro.rpq import RPQ, TwoRPQ, paper_divergence_example
+from repro.rq import TransitiveClosure, edge
+
+
+def main() -> None:
+    # -- 1. a tiny social graph -------------------------------------------------
+    db = GraphDatabase.from_edges(
+        [
+            ("ann", "knows", "bob"),
+            ("bob", "knows", "cal"),
+            ("cal", "knows", "dee"),
+            ("ann", "worksAt", "acme"),
+            ("cal", "worksAt", "acme"),
+        ]
+    )
+    print("database:", db)
+
+    friends_of_friends = RPQ.parse("knows knows")
+    print("knows·knows      ->", sorted(friends_of_friends.evaluate(db)))
+
+    reachable = RPQ.parse("knows+")
+    print("knows+           ->", sorted(reachable.evaluate(db)))
+
+    colleagues = TwoRPQ.parse("worksAt worksAt-")   # two-way: inverse letter
+    print("colleagues       ->", sorted(colleagues.evaluate(db)))
+
+    # A conjunctive 2RPQ: colleagues who are also connected by knows+.
+    close = C2RPQ.from_strings(
+        "x,y", [("worksAt worksAt-", "x", "y"), ("knows+", "x", "y")]
+    )
+    from repro.crpq import evaluate_c2rpq
+
+    print("close colleagues ->", sorted(evaluate_c2rpq(close, db)))
+
+    # A regular query (RQ): transitive closure *of a conjunction* - the
+    # operation UC2RPQ cannot express (Section 3.4 of the paper).
+    hop = edge("knows", "x", "y")
+    rq = TransitiveClosure(hop)
+    from repro.rq import evaluate_rq
+
+    print("RQ knows+        ->", sorted(evaluate_rq(rq, db)))
+
+    # -- 2. the paper's divergence example -------------------------------------
+    example = paper_divergence_example()
+    print(
+        "\nSection 3.2:  p ⊑ p·p-·p as queries:",
+        example.query_containment_holds,
+        "| as languages:",
+        example.language_containment_holds,
+    )
+
+    # -- 3. one containment entry point, any classes ---------------------------
+    print("\nclassify:", describe_tower(friends_of_friends), "/", describe_tower(rq))
+    result = check_containment(friends_of_friends, rq)
+    print("knows·knows ⊑ knows+ ?", result.describe())
+
+    result = check_containment(rq, friends_of_friends)
+    print("knows+ ⊑ knows·knows ?", result.describe())
+
+    # -- 4. refutations come with replayable databases --------------------------
+    assert result.counterexample is not None
+    witness_db = result.counterexample.database
+    print(
+        "counterexample database edges:",
+        sorted(witness_db.edges()),
+        "| output:",
+        result.counterexample.output,
+    )
+    print(
+        "independently verified:",
+        verify_counterexample(rq, friends_of_friends, result),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""regular-queries: query classes and containment from Vardi, PODS 2016.
+
+This package implements, from scratch, every query class surveyed in
+Moshe Y. Vardi's *A Theory of Regular Queries* (PODS 2016) together with
+its evaluation engine and its query-containment decision procedure:
+
+- relational classes: CQ, UCQ, Datalog (:mod:`repro.cq`, :mod:`repro.datalog`)
+- graph classes: RPQ, 2RPQ, C2RPQ/UC2RPQ, RQ (:mod:`repro.rpq`,
+  :mod:`repro.crpq`, :mod:`repro.rq`)
+- the Datalog fragment GRQ (:mod:`repro.grq`)
+
+The automata-theoretic machinery the paper builds on (NFAs, 2NFAs, the
+fold construction of Lemma 3, the single-exponential 2NFA complementation
+of Lemma 4, on-the-fly product emptiness) lives in :mod:`repro.automata`;
+the data substrates (edge-labeled graph databases, relational instances)
+live in :mod:`repro.graphdb` and :mod:`repro.relational`.
+
+The unified entry point is :func:`repro.core.engine.check_containment`.
+"""
+
+__version__ = "1.0.0"
+
+from .core.classify import classify, describe_tower
+from .core.engine import check_containment, check_equivalence
+from .core.witness import verify_counterexample
+from .report import ContainmentResult, Counterexample, Verdict
+
+__all__ = [
+    "classify",
+    "describe_tower",
+    "check_containment",
+    "check_equivalence",
+    "verify_counterexample",
+    "ContainmentResult",
+    "Counterexample",
+    "Verdict",
+    "automata",
+    "graphdb",
+    "relational",
+    "cq",
+    "datalog",
+    "rpq",
+    "crpq",
+    "rq",
+    "grq",
+    "core",
+]

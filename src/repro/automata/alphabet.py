@@ -1,0 +1,118 @@
+"""Alphabets with inverse letters (the paper's Sigma and Sigma±).
+
+A symbol is a plain string such as ``"knows"`` or ``"r"``.  The inverse
+of a *base* symbol ``r`` is written ``"r-"`` (the paper's ``r⁻``), and
+inversion is an involution: ``inverse("r-") == "r"``.
+
+The special end-marker objects used by two-way automata live here as
+well, so every module agrees on their identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+INVERSE_SUFFIX = "-"
+
+
+def is_inverse(symbol: str) -> bool:
+    """Return True if *symbol* is an inverse letter such as ``"r-"``."""
+    return symbol.endswith(INVERSE_SUFFIX)
+
+
+def inverse(symbol: str) -> str:
+    """Return the inverse of *symbol* (an involution).
+
+    >>> inverse("r")
+    'r-'
+    >>> inverse("r-")
+    'r'
+    """
+    if is_inverse(symbol):
+        return symbol[: -len(INVERSE_SUFFIX)]
+    return symbol + INVERSE_SUFFIX
+
+
+def base_symbol(symbol: str) -> str:
+    """Strip a possible inverse marker: the underlying database relation."""
+    return symbol[: -len(INVERSE_SUFFIX)] if is_inverse(symbol) else symbol
+
+
+def inverse_word(word: tuple[str, ...]) -> tuple[str, ...]:
+    """The inverse of a word over Sigma±: reverse it and invert each letter.
+
+    Traversing a semipath labeled ``w`` from x to y is the same as
+    traversing ``inverse_word(w)`` from y to x.
+    """
+    return tuple(inverse(symbol) for symbol in reversed(word))
+
+
+class _EndMarker:
+    """Singleton end-marker for two-way automata tapes (⊢ / ⊣)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __reduce__(self):
+        # Preserve singleton-ness under pickling.
+        return (_end_marker_by_name, (self._name,))
+
+
+LEFT_MARKER = _EndMarker("<|")
+RIGHT_MARKER = _EndMarker("|>")
+
+
+def _end_marker_by_name(name: str) -> _EndMarker:
+    return LEFT_MARKER if name == "<|" else RIGHT_MARKER
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """A finite edge alphabet Sigma, with access to Sigma± (two-way letters).
+
+    >>> sigma = Alphabet(("a", "b"))
+    >>> sigma.two_way
+    ('a', 'a-', 'b', 'b-')
+    """
+
+    symbols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for symbol in self.symbols:
+            if not symbol or is_inverse(symbol):
+                raise ValueError(
+                    f"alphabet symbols must be non-empty base symbols, got {symbol!r}"
+                )
+            if symbol in seen:
+                raise ValueError(f"duplicate alphabet symbol {symbol!r}")
+            seen.add(symbol)
+
+    @classmethod
+    def from_symbols(cls, symbols: Iterable[str]) -> "Alphabet":
+        """Build an alphabet from any iterable, base-stripping and sorting."""
+        return cls(tuple(sorted({base_symbol(s) for s in symbols})))
+
+    @property
+    def two_way(self) -> tuple[str, ...]:
+        """Sigma± = Sigma together with the inverse of each symbol."""
+        out: list[str] = []
+        for symbol in self.symbols:
+            out.append(symbol)
+            out.append(inverse(symbol))
+        return tuple(out)
+
+    def __contains__(self, symbol: str) -> bool:
+        return base_symbol(symbol) in self.symbols
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.symbols)
+
+    def __len__(self) -> int:
+        return len(self.symbols)

@@ -1,0 +1,72 @@
+"""Graphviz DOT export for automata and graph databases.
+
+Debugging and documentation aid: render NFAs, 2NFAs, and graph databases
+with ``dot -Tpng``.  Pure string generation — no Graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from .nfa import NFA
+from .two_nfa import TwoNFA
+
+
+def _quote(value: object) -> str:
+    text = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def nfa_to_dot(nfa: NFA, name: str = "nfa") -> str:
+    """DOT source for an NFA: double circles = final, arrow-in = initial."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for index, state in enumerate(sorted(nfa.initial, key=repr)):
+        lines.append(f"  __start{index} [shape=point];")
+        lines.append(f"  __start{index} -> {_quote(state)};")
+    for state in sorted(nfa.states, key=repr):
+        shape = "doublecircle" if state in nfa.final else "circle"
+        lines.append(f"  {_quote(state)} [shape={shape}];")
+    grouped: dict[tuple, list[str]] = {}
+    for source, symbol, target in nfa.edges():
+        grouped.setdefault((source, target), []).append(symbol)
+    for (source, target), symbols in sorted(grouped.items(), key=repr):
+        label = ",".join(sorted(symbols))
+        lines.append(f"  {_quote(source)} -> {_quote(target)} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def two_nfa_to_dot(two_nfa: TwoNFA, name: str = "two_nfa") -> str:
+    """DOT source for a 2NFA; edge labels carry ``symbol/direction``."""
+    arrows = {-1: "←", 0: "·", 1: "→"}
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for index, state in enumerate(sorted(two_nfa.initial, key=repr)):
+        lines.append(f"  __start{index} [shape=point];")
+        lines.append(f"  __start{index} -> {_quote(state)};")
+    for state in sorted(two_nfa.states, key=repr):
+        shape = "doublecircle" if state in two_nfa.final else "circle"
+        lines.append(f"  {_quote(state)} [shape={shape}];")
+    grouped: dict[tuple, list[str]] = {}
+    for (state, symbol), moves in two_nfa.transitions.items():
+        for successor, direction in moves:
+            grouped.setdefault((state, successor), []).append(
+                f"{symbol}/{arrows[direction]}"
+            )
+    for (source, target), labels in sorted(grouped.items(), key=repr):
+        lines.append(
+            f"  {_quote(source)} -> {_quote(target)} "
+            f"[label={_quote(','.join(sorted(labels)))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_to_dot(db, name: str = "db") -> str:
+    """DOT source for a graph database (edge labels shown)."""
+    lines = [f"digraph {name} {{"]
+    for node in sorted(db.nodes, key=repr):
+        lines.append(f"  {_quote(node)};")
+    for source, label, target in sorted(db.edges(), key=repr):
+        lines.append(
+            f"  {_quote(source)} -> {_quote(target)} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

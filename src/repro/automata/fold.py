@@ -1,0 +1,195 @@
+"""Lemma 3: a small 2NFA for ``fold(L(A))``.
+
+Folding (Section 3.2 of the paper): a word ``v`` over Sigma± *folds onto*
+``u`` (written ``v ; u``) if ``v`` can be read by walking over ``u``
+with a cursor ``i`` that starts at 0 and must end at ``|u|``, where each
+step either moves right consuming ``u[i+1]`` or moves left consuming the
+inverse of ``u[i]``.  ``fold(L) = { u : exists v in L with v ; u }``.
+
+Lemma 2 reduces 2RPQ containment to language containment into a folded
+language, and Lemma 3 shows ``fold(L(A))`` is recognized by a 2NFA of
+size ``n * (|Sigma±| + 1)`` for an ``n``-state NFA ``A``.  With the
+end-marker tape formalization of :mod:`repro.automata.two_nfa` the
+construction below needs only ``2n`` states — two modes per state of
+``A`` — which is within the paper's bound for every non-empty alphabet.
+
+Construction.  The 2NFA's head position tracks the fold cursor: in mode
+``N`` ("synchronized") at tape position ``p`` the cursor is ``i = p-1``.
+A forward fold step reads the letter under the head and advances both.
+A backward fold step takes two micro-steps: move left ignoring the
+letter (entering mode ``B``), then read the letter there and apply the
+*inverse* transition of ``A``, staying put and returning to mode ``N``.
+Acceptance — final state of ``A`` in mode ``N`` on the right marker —
+is exactly "``A`` accepted ``v`` and the cursor ended at ``|u|``".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .alphabet import LEFT_MARKER, RIGHT_MARKER, inverse
+from .nfa import NFA, Word
+from .two_nfa import LEFT, RIGHT, STAY, TwoNFA
+
+MODE_SYNC = "N"
+MODE_BACK = "B"
+
+
+def fold_two_nfa(nfa: NFA, two_way_alphabet: tuple[str, ...]) -> TwoNFA:
+    """The 2NFA of Lemma 3 recognizing ``fold(L(nfa))``.
+
+    Args:
+        nfa: an NFA over (a subset of) Sigma±.
+        two_way_alphabet: the full Sigma± of the containment problem;
+            ``fold(L)`` is a language over this alphabet, so the result
+            must be able to read letters that ``nfa`` itself never uses.
+
+    Returns:
+        A :class:`TwoNFA` with ``2 * nfa.num_states`` states.
+    """
+    states = [(state, mode) for state in nfa.states for mode in (MODE_SYNC, MODE_BACK)]
+    transitions: list[tuple[object, object, object, int]] = []
+
+    for state in nfa.states:
+        # Skip the left marker at the start of the tape (cursor stays 0).
+        transitions.append(((state, MODE_SYNC), LEFT_MARKER, (state, MODE_SYNC), RIGHT))
+        # Launch a backward fold step from anywhere: move left without
+        # consuming.  At tape position 1 this lands on the left marker in
+        # mode B, which has no moves - a harmless dead configuration that
+        # mirrors the side condition "cursor must stay >= 0".
+        for tape_symbol in tuple(two_way_alphabet) + (RIGHT_MARKER,):
+            transitions.append(((state, MODE_SYNC), tape_symbol, (state, MODE_BACK), LEFT))
+
+    for (state, symbol), targets in nfa.transitions.items():
+        for target in targets:
+            # Forward fold step: A reads `symbol`, which must be the
+            # letter under the head; cursor and head advance together.
+            transitions.append(((state, MODE_SYNC), symbol, (target, MODE_SYNC), RIGHT))
+            # Backward fold step, second micro-step: the letter under the
+            # head is c and A consumed c^-; equivalently, for A's
+            # transition on `symbol` the head letter is inverse(symbol).
+            transitions.append(
+                ((state, MODE_BACK), inverse(symbol), (target, MODE_SYNC), STAY)
+            )
+
+    return TwoNFA.build(
+        two_way_alphabet,
+        states,
+        [(state, MODE_SYNC) for state in nfa.initial],
+        [(state, MODE_SYNC) for state in nfa.final],
+        transitions,
+    )
+
+
+def lemma3_state_bound(nfa: NFA, two_way_alphabet: tuple[str, ...]) -> int:
+    """The paper's Lemma 3 size bound ``n * (|Sigma±| + 1)``."""
+    return nfa.num_states * (len(two_way_alphabet) + 1)
+
+
+# --- reference implementation of folding, used as a test oracle ---------------
+
+
+def folds_onto(v: Word, u: Word) -> bool:
+    """Decide ``v ; u`` directly from the definition (dynamic programming).
+
+    State space: (position j in v, cursor i over u); step forward or
+    backward per the definition; accept when j = |v| and i = |u|.
+    """
+    reachable = {0}
+    for letter in v:
+        nxt: set[int] = set()
+        for i in reachable:
+            if i < len(u) and letter == u[i]:
+                nxt.add(i + 1)
+            if i >= 1 and letter == inverse(u[i - 1]):
+                nxt.add(i - 1)
+        reachable = nxt
+        if not reachable:
+            return False
+    return len(u) in reachable
+
+
+@dataclass(frozen=True)
+class FoldWitness:
+    """A concrete fold of ``v`` onto ``u``: the cursor sequence i_0..i_m."""
+
+    v: Word
+    u: Word
+    cursors: tuple[int, ...]
+
+
+def fold_witness(v: Word, u: Word) -> FoldWitness | None:
+    """Return a cursor sequence demonstrating ``v ; u``, or None."""
+    # BFS over (j, i) recording parents.
+    start = (0, 0)
+    parents: dict[tuple[int, int], tuple[int, int] | None] = {start: None}
+    frontier = [start]
+    goal = (len(v), len(u))
+    while frontier:
+        nxt: list[tuple[int, int]] = []
+        for j, i in frontier:
+            if (j, i) == goal:
+                cursors: list[int] = []
+                cursor: tuple[int, int] | None = (j, i)
+                while cursor is not None:
+                    cursors.append(cursor[1])
+                    cursor = parents[cursor]
+                return FoldWitness(v, u, tuple(reversed(cursors)))
+            if j >= len(v):
+                continue
+            letter = v[j]
+            if i < len(u) and letter == u[i]:
+                move = (j + 1, i + 1)
+                if move not in parents:
+                    parents[move] = (j, i)
+                    nxt.append(move)
+            if i >= 1 and letter == inverse(u[i - 1]):
+                move = (j + 1, i - 1)
+                if move not in parents:
+                    parents[move] = (j, i)
+                    nxt.append(move)
+        frontier = nxt
+    if goal in parents:  # pragma: no cover - goal found exactly at frontier end
+        pass
+    return None
+
+
+def fold_language(nfa: NFA, two_way_alphabet: tuple[str, ...], max_length: int) -> Iterator[Word]:
+    """Brute-force enumeration of ``fold(L(nfa))`` up to *max_length*.
+
+    For each candidate u, search for a folding v accepted by `nfa` via a
+    product of the NFA with the fold cursor automaton — exact, because
+    the product of NFA states and cursor positions is finite.
+    """
+    import itertools
+
+    for length in range(max_length + 1):
+        for u in itertools.product(two_way_alphabet, repeat=length):
+            if _exists_fold_onto(nfa, u):
+                yield u
+
+
+def _exists_fold_onto(nfa: NFA, u: Word) -> bool:
+    """Is there v in L(nfa) with v ; u?  Product reachability search."""
+    from collections import deque
+
+    start = {(state, 0) for state in nfa.initial}
+    seen = set(start)
+    queue = deque(start)
+    while queue:
+        state, i = queue.popleft()
+        if i == len(u) and state in nfa.final:
+            return True
+        moves: list[tuple[object, int]] = []
+        if i < len(u):
+            for target in nfa.successors(state, u[i]):
+                moves.append((target, i + 1))
+        if i >= 1:
+            for target in nfa.successors(state, inverse(u[i - 1])):
+                moves.append((target, i - 1))
+        for config in moves:
+            if config not in seen:
+                seen.add(config)
+                queue.append(config)
+    return False

@@ -1,0 +1,365 @@
+"""Nondeterministic finite-state automata over symbol alphabets.
+
+An :class:`NFA` here is the paper's tuple ``A = (Sigma, S, S0, rho, F)``:
+states are arbitrary hashable objects, ``rho`` maps ``(state, symbol)``
+to a set of successor states, and words are tuples of symbols.
+
+The module provides the classical constructions the containment
+pipelines of Sections 3.2 and 3.4 rely on: product (step 4 of the
+paper's algorithm), union, concatenation, Kleene star, reversal,
+trimming, emptiness with shortest-witness extraction (step 5), and
+bounded word enumeration used by the brute-force oracles in the test
+suite and benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator, Mapping
+
+State = Hashable
+Word = tuple[str, ...]
+
+EPSILON = None  # transition label for epsilon moves in intermediate automata
+
+
+@dataclass(frozen=True)
+class NFA:
+    """A nondeterministic finite automaton without epsilon moves.
+
+    Attributes:
+        alphabet: the symbols the automaton may read.
+        states: all states (superset of those mentioned in transitions).
+        initial: the set S0 of initial states.
+        final: the set F of accepting states.
+        transitions: mapping ``(state, symbol) -> frozenset of states``.
+    """
+
+    alphabet: tuple[str, ...]
+    states: frozenset
+    initial: frozenset
+    final: frozenset
+    transitions: Mapping[tuple[State, str], frozenset]
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        alphabet: Iterable[str],
+        states: Iterable[State],
+        initial: Iterable[State],
+        final: Iterable[State],
+        transitions: Iterable[tuple[State, str, State]],
+    ) -> "NFA":
+        """Build an NFA from an edge list of ``(source, symbol, target)``."""
+        table: dict[tuple[State, str], set] = {}
+        for source, symbol, target in transitions:
+            table.setdefault((source, symbol), set()).add(target)
+        frozen = {key: frozenset(value) for key, value in table.items()}
+        state_set = frozenset(states)
+        init = frozenset(initial)
+        fin = frozenset(final)
+        alpha = tuple(dict.fromkeys(alphabet))
+        missing = (init | fin | {s for s, _ in frozen} | set().union(*frozen.values())
+                   if frozen else init | fin) - state_set
+        if missing:
+            raise ValueError(f"transitions mention unknown states: {missing!r}")
+        return cls(alpha, state_set, init, fin, frozen)
+
+    def successors(self, state: State, symbol: str) -> frozenset:
+        """rho(state, symbol): the set of possible successor states."""
+        return self.transitions.get((state, symbol), frozenset())
+
+    def edges(self) -> Iterator[tuple[State, str, State]]:
+        """Iterate over all transitions as ``(source, symbol, target)``."""
+        for (source, symbol), targets in self.transitions.items():
+            for target in targets:
+                yield source, symbol, target
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    # -- language operations -------------------------------------------------
+
+    def accepts(self, word: Word) -> bool:
+        """Decide whether *word* is in L(A) by forward subset simulation."""
+        current = set(self.initial)
+        for symbol in word:
+            nxt: set = set()
+            for state in current:
+                nxt |= self.successors(state, symbol)
+            current = nxt
+            if not current:
+                return False
+        return bool(current & self.final)
+
+    def product(self, other: "NFA") -> "NFA":
+        """Intersection automaton A x B (reachable part only).
+
+        This is step 4 of the paper's containment algorithm; the state
+        space is the reachable subset of pairs, so the quadratic blow-up
+        is an upper bound, not a certainty.
+        """
+        alphabet = tuple(sym for sym in self.alphabet if sym in set(other.alphabet))
+        initial = {
+            (p, q) for p in self.initial for q in other.initial
+        }
+        states: set = set(initial)
+        transitions: list[tuple[State, str, State]] = []
+        queue = deque(initial)
+        while queue:
+            p, q = queue.popleft()
+            for symbol in alphabet:
+                for p2 in self.successors(p, symbol):
+                    for q2 in other.successors(q, symbol):
+                        pair = (p2, q2)
+                        transitions.append(((p, q), symbol, pair))
+                        if pair not in states:
+                            states.add(pair)
+                            queue.append(pair)
+        final = {
+            (p, q) for (p, q) in states if p in self.final and q in other.final
+        }
+        return NFA.build(alphabet, states, initial, final, transitions)
+
+    def union(self, other: "NFA") -> "NFA":
+        """Disjoint union: L = L(self) | L(other)."""
+        alphabet = tuple(dict.fromkeys(self.alphabet + other.alphabet))
+        tag = lambda index, state: (index, state)  # noqa: E731 - local tagging
+        states = [tag(0, s) for s in self.states] + [tag(1, s) for s in other.states]
+        initial = [tag(0, s) for s in self.initial] + [tag(1, s) for s in other.initial]
+        final = [tag(0, s) for s in self.final] + [tag(1, s) for s in other.final]
+        transitions = [
+            (tag(0, a), sym, tag(0, b)) for a, sym, b in self.edges()
+        ] + [
+            (tag(1, a), sym, tag(1, b)) for a, sym, b in other.edges()
+        ]
+        return NFA.build(alphabet, states, initial, final, transitions)
+
+    def reverse(self) -> "NFA":
+        """Automaton for the reversed language (arrows flipped)."""
+        transitions = [(b, sym, a) for a, sym, b in self.edges()]
+        return NFA.build(self.alphabet, self.states, self.final, self.initial, transitions)
+
+    def trim(self) -> "NFA":
+        """Restrict to states both reachable and co-reachable."""
+        reachable = self._closure(self.initial, forward=True)
+        co_reachable = self._closure(self.final, forward=False)
+        live = reachable & co_reachable
+        transitions = [
+            (a, sym, b) for a, sym, b in self.edges() if a in live and b in live
+        ]
+        return NFA.build(
+            self.alphabet,
+            live,
+            self.initial & live,
+            self.final & live,
+            transitions,
+        )
+
+    def _closure(self, seeds: Iterable[State], forward: bool) -> set:
+        successors: dict[State, set] = {}
+        for a, _sym, b in self.edges():
+            if forward:
+                successors.setdefault(a, set()).add(b)
+            else:
+                successors.setdefault(b, set()).add(a)
+        seen = set(seeds)
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for nxt in successors.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+    def is_empty(self) -> bool:
+        """True iff L(A) is empty (no accepting state is reachable)."""
+        return self.shortest_word() is None
+
+    def shortest_word(self) -> Word | None:
+        """A shortest word in L(A), or None if the language is empty.
+
+        BFS from the initial states; this is step 5 of the paper's
+        containment algorithm and doubles as counterexample extraction.
+        """
+        parents: dict[State, tuple[State, str] | None] = {
+            s: None for s in self.initial
+        }
+        queue = deque(self.initial)
+        hit = next((s for s in self.initial if s in self.final), None)
+        while queue and hit is None:
+            state = queue.popleft()
+            for symbol in self.alphabet:
+                for nxt in self.successors(state, symbol):
+                    if nxt in parents:
+                        continue
+                    parents[nxt] = (state, symbol)
+                    if nxt in self.final:
+                        hit = nxt
+                        break
+                    queue.append(nxt)
+                if hit is not None:
+                    break
+        if hit is None:
+            return None
+        word: list[str] = []
+        cursor: State = hit
+        while parents[cursor] is not None:
+            cursor, symbol = parents[cursor]  # type: ignore[misc]
+            word.append(symbol)
+        return tuple(reversed(word))
+
+    def enumerate_words(self, max_length: int) -> Iterator[Word]:
+        """Yield every word of L(A) of length <= max_length, shortest first.
+
+        Used by brute-force oracles; exponential in *max_length*.
+        """
+        for length in range(max_length + 1):
+            for word in itertools.product(self.alphabet, repeat=length):
+                if self.accepts(word):
+                    yield word
+
+    def words_of_length(self, length: int) -> Iterator[Word]:
+        """All words of L(A) of exactly *length*, with dead-branch pruning.
+
+        A DFS over prefixes that tracks the reachable state set and
+        abandons a prefix as soon as the set dies; output cost is
+        proportional to the number of live prefixes rather than
+        ``|alphabet| ** length``.  Expansion-based containment uses this
+        to enumerate the words of 2RPQ atoms.
+        """
+        def recurse(prefix: list[str], states: set) -> Iterator[Word]:
+            if len(prefix) == length:
+                if states & self.final:
+                    yield tuple(prefix)
+                return
+            for symbol in self.alphabet:
+                nxt: set = set()
+                for state in states:
+                    nxt |= self.successors(state, symbol)
+                if nxt:
+                    prefix.append(symbol)
+                    yield from recurse(prefix, nxt)
+                    prefix.pop()
+
+        yield from recurse([], set(self.initial))
+
+    def language_is_finite(self) -> bool:
+        """True iff L(A) is finite (no cycle on a live path of the trim)."""
+        live = self.trim()
+        # DFS cycle detection over live states.
+        color: dict[State, int] = {}
+        order: dict[State, list[State]] = {}
+        for a, _sym, b in live.edges():
+            order.setdefault(a, []).append(b)
+
+        def has_cycle(state: State) -> bool:
+            color[state] = 1
+            for nxt in order.get(state, ()):
+                mark = color.get(nxt, 0)
+                if mark == 1:
+                    return True
+                if mark == 0 and has_cycle(nxt):
+                    return True
+            color[state] = 2
+            return False
+
+        return not any(
+            has_cycle(state) for state in live.states if color.get(state, 0) == 0
+        )
+
+    def longest_word_length(self) -> int | None:
+        """Length of the longest word when L(A) is finite, else None."""
+        if not self.language_is_finite():
+            return None
+        live = self.trim()
+        if live.is_empty():
+            return 0
+        # Longest path in a DAG of live states, from initial to final.
+        depth: dict[State, int] = {}
+
+        def longest(state: State) -> int:
+            if state in depth:
+                return depth[state]
+            best = 0 if state in live.final else -(10**9)
+            for symbol in live.alphabet:
+                for nxt in live.successors(state, symbol):
+                    best = max(best, 1 + longest(nxt))
+            depth[state] = best
+            return best
+
+        return max(longest(state) for state in live.initial)
+
+    def renumber(self) -> "NFA":
+        """Return an isomorphic NFA with states 0..n-1 (stable ordering)."""
+        order = {state: index for index, state in enumerate(sorted(self.states, key=repr))}
+        transitions = [(order[a], sym, order[b]) for a, sym, b in self.edges()]
+        return NFA.build(
+            self.alphabet,
+            range(len(order)),
+            [order[s] for s in self.initial],
+            [order[s] for s in self.final],
+            transitions,
+        )
+
+    def map_symbols(self, mapping: Callable[[str], str]) -> "NFA":
+        """Relabel every transition symbol through *mapping*."""
+        transitions = [(a, mapping(sym), b) for a, sym, b in self.edges()]
+        alphabet = tuple(dict.fromkeys(mapping(sym) for sym in self.alphabet))
+        return NFA.build(alphabet, self.states, self.initial, self.final, transitions)
+
+
+def from_epsilon_nfa(
+    alphabet: Iterable[str],
+    states: Iterable[State],
+    initial: Iterable[State],
+    final: Iterable[State],
+    transitions: Iterable[tuple[State, str | None, State]],
+) -> NFA:
+    """Eliminate epsilon transitions (labelled ``None``) and build an NFA.
+
+    Standard epsilon-closure elimination: a state is initial if reachable
+    from an initial state by epsilon moves is folded in by closing the
+    initial set, and each symbol transition is post-composed with the
+    epsilon closure of its target.
+    """
+    eps: dict[State, set] = {}
+    labelled: list[tuple[State, str, State]] = []
+    for source, symbol, target in transitions:
+        if symbol is EPSILON:
+            eps.setdefault(source, set()).add(target)
+        else:
+            labelled.append((source, symbol, target))
+
+    def closure(seed: State) -> set:
+        seen = {seed}
+        queue = deque([seed])
+        while queue:
+            state = queue.popleft()
+            for nxt in eps.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+    closures = {state: closure(state) for state in states}
+    final_set = frozenset(final)
+    new_final = {
+        state for state, close in closures.items() if close & final_set
+    }
+    new_initial = set(initial)
+    new_transitions = [
+        (source, symbol, reachable)
+        for source, symbol, target in labelled
+        for reachable in closures[target]
+    ]
+    # Fold epsilon-closure of initial states into the initial set.
+    for init in list(new_initial):
+        new_initial |= closures[init]
+    return NFA.build(alphabet, states, new_initial, new_final, new_transitions).trim()

@@ -1,0 +1,428 @@
+"""Regular expressions over edge alphabets, with inverse letters.
+
+This module supplies the surface syntax for RPQs and 2RPQs (Section 3.1
+of the paper): a regular expression over Sigma (or Sigma±, when inverse
+letters such as ``r-`` appear) together with a Thompson construction to
+:class:`repro.automata.nfa.NFA`.
+
+Grammar (whitespace is insignificant; ``.`` is an optional explicit
+concatenation operator)::
+
+    expr    := term ("|" term)*
+    term    := factor+                      # concatenation
+    factor  := atom ("*" | "+" | "?")*
+    atom    := SYMBOL | "(" expr ")" | "()"  # "()" denotes epsilon
+
+    SYMBOL  := [A-Za-z_][A-Za-z0-9_]* "-"?   # trailing "-" = inverse letter
+
+Examples: ``"p p- p"`` (the paper's Q2 = p·p⁻·p), ``"(a|b)* c"``,
+``"knows+ worksAt"``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re as _re
+from dataclasses import dataclass
+from typing import Iterator
+
+from .alphabet import inverse, is_inverse
+from .nfa import EPSILON, NFA, Word, from_epsilon_nfa
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when a regular-expression string cannot be parsed."""
+
+
+# --- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Base class for regular-expression AST nodes."""
+
+    def symbols(self) -> frozenset[str]:
+        """All letters (from Sigma±) occurring in the expression."""
+        raise NotImplementedError
+
+    def to_nfa(self) -> NFA:
+        """Compile to an epsilon-free NFA via the Thompson construction."""
+        builder = _ThompsonBuilder()
+        start, end = builder.compile(self)
+        alphabet = tuple(sorted(self.symbols()))
+        return from_epsilon_nfa(
+            alphabet, range(builder.counter), [start], [end], builder.transitions
+        )
+
+    def uses_inverse(self) -> bool:
+        """True iff some inverse letter occurs (i.e. this is 2-way syntax)."""
+        return any(is_inverse(symbol) for symbol in self.symbols())
+
+    def inverse(self) -> "Regex":
+        """The expression for the inverse language: reverse + invert letters."""
+        raise NotImplementedError
+
+    # Operator sugar so expressions compose naturally in user code.
+    def __or__(self, other: "Regex") -> "Regex":
+        return Union(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return Concat(self, other)
+
+    def star(self) -> "Regex":
+        return Star(self)
+
+    def plus(self) -> "Regex":
+        return Plus(self)
+
+    def optional(self) -> "Regex":
+        return Optional_(self)
+
+
+@dataclass(frozen=True)
+class EmptySet(Regex):
+    """The empty language."""
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def inverse(self) -> Regex:
+        return self
+
+    def __str__(self) -> str:
+        return "{}"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def inverse(self) -> Regex:
+        return self
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single letter of Sigma±."""
+
+    symbol: str
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset({self.symbol})
+
+    def inverse(self) -> Regex:
+        return Sym(inverse(self.symbol))
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+    def symbols(self) -> frozenset[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def inverse(self) -> Regex:
+        return Concat(self.right.inverse(), self.left.inverse())
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} {_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    left: Regex
+    right: Regex
+
+    def symbols(self) -> frozenset[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def inverse(self) -> Regex:
+        return Union(self.left.inverse(), self.right.inverse())
+
+    def __str__(self) -> str:
+        return f"{self.left}|{self.right}"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    body: Regex
+
+    def symbols(self) -> frozenset[str]:
+        return self.body.symbols()
+
+    def inverse(self) -> Regex:
+        return Star(self.body.inverse())
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.body)}*"
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    body: Regex
+
+    def symbols(self) -> frozenset[str]:
+        return self.body.symbols()
+
+    def inverse(self) -> Regex:
+        return Plus(self.body.inverse())
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.body)}+"
+
+
+@dataclass(frozen=True)
+class Optional_(Regex):
+    body: Regex
+
+    def symbols(self) -> frozenset[str]:
+        return self.body.symbols()
+
+    def inverse(self) -> Regex:
+        return Optional_(self.body.inverse())
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.body)}?"
+
+
+def _wrap(node: Regex) -> str:
+    if isinstance(node, (Union, Concat)):
+        return f"({node})"
+    return str(node)
+
+
+def word_regex(word: Word) -> Regex:
+    """The regex denoting exactly one word (epsilon for the empty word)."""
+    node: Regex = Epsilon()
+    for index, symbol in enumerate(word):
+        node = Sym(symbol) if index == 0 else Concat(node, Sym(symbol))
+    return node
+
+
+# --- Thompson construction ----------------------------------------------------
+
+
+class _ThompsonBuilder:
+    """Accumulates epsilon-NFA fragments for a regex AST."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+        self.transitions: list[tuple[int, str | None, int]] = []
+
+    def _fresh(self) -> int:
+        self.counter += 1
+        return self.counter - 1
+
+    def compile(self, node: Regex) -> tuple[int, int]:
+        start, end = self._fresh(), self._fresh()
+        if isinstance(node, EmptySet):
+            pass  # no path from start to end
+        elif isinstance(node, Epsilon):
+            self.transitions.append((start, EPSILON, end))
+        elif isinstance(node, Sym):
+            self.transitions.append((start, node.symbol, end))
+        elif isinstance(node, Concat):
+            s1, e1 = self.compile(node.left)
+            s2, e2 = self.compile(node.right)
+            self.transitions += [(start, EPSILON, s1), (e1, EPSILON, s2), (e2, EPSILON, end)]
+        elif isinstance(node, Union):
+            s1, e1 = self.compile(node.left)
+            s2, e2 = self.compile(node.right)
+            self.transitions += [
+                (start, EPSILON, s1),
+                (start, EPSILON, s2),
+                (e1, EPSILON, end),
+                (e2, EPSILON, end),
+            ]
+        elif isinstance(node, Star):
+            s1, e1 = self.compile(node.body)
+            self.transitions += [
+                (start, EPSILON, s1),
+                (e1, EPSILON, s1),
+                (e1, EPSILON, end),
+                (start, EPSILON, end),
+            ]
+        elif isinstance(node, Plus):
+            s1, e1 = self.compile(node.body)
+            self.transitions += [
+                (start, EPSILON, s1),
+                (e1, EPSILON, s1),
+                (e1, EPSILON, end),
+            ]
+        elif isinstance(node, Optional_):
+            s1, e1 = self.compile(node.body)
+            self.transitions += [
+                (start, EPSILON, s1),
+                (e1, EPSILON, end),
+                (start, EPSILON, end),
+            ]
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown regex node {node!r}")
+        return start, end
+
+
+# --- parser -------------------------------------------------------------------
+
+_TOKEN = _re.compile(
+    r"\s*(?:(?P<symbol>[A-Za-z_][A-Za-z0-9_]*-?)"
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\))"
+    r"|(?P<bar>\|)"
+    r"|(?P<star>\*)"
+    r"|(?P<plus>\+)"
+    r"|(?P<opt>\?)"
+    r"|(?P<dot>\.))"
+)
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise RegexSyntaxError(f"cannot tokenize {remainder!r} in {text!r}")
+        position = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        yield kind, match.group(kind)
+    yield "end", ""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+        self.text = text
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple[str, str]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def parse(self) -> Regex:
+        node = self.parse_union()
+        kind, value = self.peek()
+        if kind != "end":
+            raise RegexSyntaxError(f"unexpected {value!r} in {self.text!r}")
+        return node
+
+    def parse_union(self) -> Regex:
+        node = self.parse_concat()
+        while self.peek()[0] == "bar":
+            self.advance()
+            node = Union(node, self.parse_concat())
+        return node
+
+    def parse_concat(self) -> Regex:
+        parts = [self.parse_postfix()]
+        while True:
+            kind, _value = self.peek()
+            if kind == "dot":
+                self.advance()
+                continue
+            if kind in ("symbol", "lparen"):
+                parts.append(self.parse_postfix())
+                continue
+            break
+        node = parts[0]
+        for part in parts[1:]:
+            node = Concat(node, part)
+        return node
+
+    def parse_postfix(self) -> Regex:
+        node = self.parse_atom()
+        while True:
+            kind, _value = self.peek()
+            if kind == "star":
+                self.advance()
+                node = Star(node)
+            elif kind == "plus":
+                self.advance()
+                node = Plus(node)
+            elif kind == "opt":
+                self.advance()
+                node = Optional_(node)
+            else:
+                return node
+
+    def parse_atom(self) -> Regex:
+        kind, value = self.advance()
+        if kind == "symbol":
+            return Sym(value)
+        if kind == "lparen":
+            if self.peek()[0] == "rparen":
+                self.advance()
+                return Epsilon()
+            node = self.parse_union()
+            kind, value = self.advance()
+            if kind != "rparen":
+                raise RegexSyntaxError(f"expected ')' but got {value!r} in {self.text!r}")
+            return node
+        raise RegexSyntaxError(f"unexpected {value or kind!r} in {self.text!r}")
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the textual regex syntax documented in the module docstring."""
+    return _Parser(text).parse()
+
+
+def random_regex(rng, alphabet: tuple[str, ...], depth: int, allow_inverse: bool = False) -> Regex:
+    """Sample a random regex of the given structural depth (for fuzzing).
+
+    Args:
+        rng: a :class:`random.Random` instance (determinism is the
+            caller's responsibility).
+        alphabet: base symbols to draw letters from.
+        depth: maximum AST depth.
+        allow_inverse: also draw inverse letters (2RPQ syntax).
+    """
+    letters = list(alphabet)
+    if allow_inverse:
+        letters += [inverse(symbol) for symbol in alphabet]
+    if depth <= 0 or rng.random() < 0.3:
+        roll = rng.random()
+        if roll < 0.05:
+            return Epsilon()
+        return Sym(rng.choice(letters))
+    kind = rng.choice(["concat", "union", "star", "plus", "opt"])
+    if kind == "concat":
+        return Concat(
+            random_regex(rng, alphabet, depth - 1, allow_inverse),
+            random_regex(rng, alphabet, depth - 1, allow_inverse),
+        )
+    if kind == "union":
+        return Union(
+            random_regex(rng, alphabet, depth - 1, allow_inverse),
+            random_regex(rng, alphabet, depth - 1, allow_inverse),
+        )
+    body = random_regex(rng, alphabet, depth - 1, allow_inverse)
+    if kind == "star":
+        return Star(body)
+    if kind == "plus":
+        return Plus(body)
+    return Optional_(body)
+
+
+def enumerate_language(regex: Regex, alphabet: tuple[str, ...], max_length: int) -> Iterator[Word]:
+    """Every word of L(regex) over *alphabet* up to *max_length* (oracle)."""
+    nfa = regex.to_nfa()
+    for length in range(max_length + 1):
+        for word in itertools.product(alphabet, repeat=length):
+            if nfa.accepts(word):
+                yield word

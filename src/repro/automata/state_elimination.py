@@ -1,0 +1,99 @@
+"""NFA -> regular expression via state elimination (Kleene's theorem).
+
+The paper's Section 1 leans on the "robust definability" of regular
+languages — expressions and automata define the same class.  The
+Thompson construction (:mod:`repro.automata.regex`) gives one direction;
+this module gives the other, so RPQs extracted from automata-producing
+pipelines (products, complements) can be displayed and re-parsed.
+
+Classical GNFA algorithm: add a fresh initial and final state, label
+every edge with a regex, then eliminate interior states one at a time,
+rerouting each path ``p -> s -> q`` as ``R(p,s) . R(s,s)* . R(s,q)``.
+Elimination order is by (in-degree x out-degree), the standard heuristic
+for keeping the output small.
+"""
+
+from __future__ import annotations
+
+from .nfa import NFA
+from .regex import Concat, EmptySet, Epsilon, Regex, Star, Sym, Union
+
+
+def _union(left: Regex | None, right: Regex | None) -> Regex | None:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left == right:
+        return left
+    return Union(left, right)
+
+
+def _concat(*parts: Regex | None) -> Regex | None:
+    out: Regex | None = None
+    for part in parts:
+        if part is None:
+            return None
+        if isinstance(part, Epsilon):
+            continue
+        out = part if out is None else Concat(out, part)
+    return out if out is not None else Epsilon()
+
+
+def _star(body: Regex | None) -> Regex:
+    if body is None or isinstance(body, Epsilon):
+        return Epsilon()
+    return Star(body)
+
+
+def nfa_to_regex(nfa: NFA) -> Regex:
+    """A regular expression with ``L(result) = L(nfa)``.
+
+    Output size can be exponential in the automaton in the worst case
+    (that is intrinsic); the elimination-order heuristic keeps common
+    cases reasonable.
+    """
+    trimmed = nfa.trim()
+    if trimmed.is_empty():
+        return EmptySet()
+    START, END = ("__gnfa_start",), ("__gnfa_end",)
+    labels: dict[tuple, Regex | None] = {}
+
+    def get(p, q) -> Regex | None:
+        return labels.get((p, q))
+
+    def put(p, q, regex: Regex | None) -> None:
+        if regex is None:
+            labels.pop((p, q), None)
+        else:
+            labels[(p, q)] = regex
+
+    for state in trimmed.initial:
+        put(START, state, _union(get(START, state), Epsilon()))
+    for state in trimmed.final:
+        put(state, END, _union(get(state, END), Epsilon()))
+    for source, symbol, target in trimmed.edges():
+        put(source, target, _union(get(source, target), Sym(symbol)))
+
+    interior = set(trimmed.states)
+
+    def degree(state) -> int:
+        into = sum(1 for (p, q) in labels if q == state and p != state)
+        out = sum(1 for (p, q) in labels if p == state and q != state)
+        return into * out
+
+    while interior:
+        state = min(sorted(interior, key=repr), key=degree)
+        interior.discard(state)
+        loop = _star(get(state, state))
+        predecessors = [p for (p, q) in list(labels) if q == state and p != state]
+        successors = [q for (p, q) in list(labels) if p == state and q != state]
+        for p in predecessors:
+            for q in successors:
+                detour = _concat(get(p, state), loop, get(state, q))
+                put(p, q, _union(get(p, q), detour))
+        for key in [key for key in labels if state in key]:
+            labels.pop(key, None)
+
+    result = get(START, END)
+    return result if result is not None else EmptySet()

@@ -1,0 +1,152 @@
+"""Two-way nondeterministic finite automata (2NFAs) with end-markers.
+
+The paper (Section 3.2) defines a 2NFA as an NFA whose transition
+function returns successor states *and* head directions in {-1, 0, +1}.
+We use the standard end-marker formalization: the input word
+``w = a1 ... an`` is presented on a tape ``⊢ a1 ... an ⊣`` with
+positions ``0 .. n+1``, the head starts on ``⊢`` (position 0), and the
+automaton accepts iff it reaches a final state while on ``⊣``
+(position ``n+1``).  End-markers are a cosmetic convenience — they never
+change the class of languages — and they make both Lemma 3's fold
+construction and Lemma 4's complementation uniform at the tape ends.
+
+Acceptance is decided by reachability over the finite configuration
+graph ``S x {0..n+1}``, which is exact (no run-length bound needed).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from .alphabet import LEFT_MARKER, RIGHT_MARKER
+from .nfa import Word
+
+State = Hashable
+Direction = int  # -1, 0, or +1
+
+LEFT = -1
+STAY = 0
+RIGHT = 1
+
+
+@dataclass(frozen=True)
+class TwoNFA:
+    """A 2NFA ``(Sigma, S, S0, rho, F)`` with end-marker tape semantics.
+
+    Attributes:
+        alphabet: the input symbols (end-markers are implicit and must
+            not appear here).
+        states: all states.
+        initial: the set S0; the head starts on the left marker.
+        final: the set F; accepting means final state on the right marker.
+        transitions: mapping ``(state, tape_symbol) -> frozenset`` of
+            ``(successor, direction)`` pairs, where ``tape_symbol`` is an
+            alphabet symbol or one of the markers.
+    """
+
+    alphabet: tuple[str, ...]
+    states: frozenset
+    initial: frozenset
+    final: frozenset
+    transitions: Mapping[tuple[State, object], frozenset]
+
+    @classmethod
+    def build(
+        cls,
+        alphabet: Iterable[str],
+        states: Iterable[State],
+        initial: Iterable[State],
+        final: Iterable[State],
+        transitions: Iterable[tuple[State, object, State, Direction]],
+    ) -> "TwoNFA":
+        """Build from an edge list ``(state, tape_symbol, successor, dir)``."""
+        table: dict[tuple[State, object], set] = {}
+        for state, symbol, successor, direction in transitions:
+            if direction not in (LEFT, STAY, RIGHT):
+                raise ValueError(f"invalid direction {direction!r}")
+            table.setdefault((state, symbol), set()).add((successor, direction))
+        frozen = {key: frozenset(value) for key, value in table.items()}
+        return cls(
+            tuple(dict.fromkeys(alphabet)),
+            frozenset(states),
+            frozenset(initial),
+            frozenset(final),
+            frozen,
+        )
+
+    def moves(self, state: State, tape_symbol: object) -> frozenset:
+        """rho(state, symbol): set of ``(successor, direction)`` pairs."""
+        return self.transitions.get((state, tape_symbol), frozenset())
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def tape(self, word: Word) -> tuple:
+        """The marked tape ``⊢ w ⊣`` as a tuple indexed by head position."""
+        return (LEFT_MARKER,) + tuple(word) + (RIGHT_MARKER,)
+
+    def accepts(self, word: Word) -> bool:
+        """Exact acceptance via BFS over the configuration graph."""
+        tape = self.tape(word)
+        last = len(tape) - 1
+        start = {(state, 0) for state in self.initial}
+        seen = set(start)
+        queue = deque(start)
+        while queue:
+            state, position = queue.popleft()
+            if position == last and state in self.final:
+                return True
+            for successor, direction in self.moves(state, tape[position]):
+                target = position + direction
+                if 0 <= target <= last:
+                    config = (successor, target)
+                    if config not in seen:
+                        seen.add(config)
+                        queue.append(config)
+        return False
+
+    def enumerate_words(self, max_length: int) -> Iterator[Word]:
+        """Every accepted word up to *max_length* (brute-force oracle)."""
+        import itertools
+
+        for length in range(max_length + 1):
+            for word in itertools.product(self.alphabet, repeat=length):
+                if self.accepts(word):
+                    yield word
+
+    def renumber(self) -> "TwoNFA":
+        """Isomorphic copy with integer states 0..n-1."""
+        order = {state: index for index, state in enumerate(sorted(self.states, key=repr))}
+        transitions = [
+            (order[state], symbol, order[successor], direction)
+            for (state, symbol), moves in self.transitions.items()
+            for successor, direction in moves
+        ]
+        return TwoNFA.build(
+            self.alphabet,
+            range(len(order)),
+            [order[s] for s in self.initial],
+            [order[s] for s in self.final],
+            transitions,
+        )
+
+
+def one_way_as_two_way(nfa) -> TwoNFA:
+    """Embed an ordinary NFA as a 2NFA (every move goes right).
+
+    The embedding adds no states: initial states skip the left marker by
+    a right move, and acceptance transfers because a one-way run ending
+    in a final state corresponds to the head parking on ``⊣``.
+    """
+    transitions: list[tuple[State, object, State, Direction]] = [
+        (state, LEFT_MARKER, state, RIGHT) for state in nfa.states
+    ]
+    for (state, symbol), targets in nfa.transitions.items():
+        for target in targets:
+            transitions.append((state, symbol, target, RIGHT))
+    return TwoNFA.build(
+        nfa.alphabet, nfa.states, nfa.initial, nfa.final, transitions
+    )

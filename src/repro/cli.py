@@ -1,0 +1,205 @@
+"""Command-line interface: evaluate, classify, and check containment.
+
+Queries are given as ``kind:spec`` where *kind* is one of ``rpq``
+(regex text), ``rq`` (rule syntax of :mod:`repro.rq.parser`), or
+``datalog`` (program text); a spec starting with ``@`` is read from the
+named file.  Databases load via :mod:`repro.graphdb.io` /
+:mod:`repro.relational.io` by extension.
+
+Examples::
+
+    python -m repro classify "rpq:knows+ worksAt"
+    python -m repro evaluate "rpq:knows+" --database graph.edges
+    python -m repro contain "rpq:knows knows" "rpq:knows+"
+    python -m repro contain "datalog:@router.dl" "datalog:@policy.dl"
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Any
+
+from .core.classify import classify, describe_tower
+from .core.engine import check_containment
+from .core.witness import holds_on
+from .datalog.parser import parse_program
+from .graphdb import io as graph_io
+from .graphdb.database import GraphDatabase
+from .relational import io as relational_io
+from .rpq.rpq import RPQ, TwoRPQ
+from .rq.parser import parse_rq
+
+
+def _read_spec(spec: str) -> str:
+    if spec.startswith("@"):
+        return pathlib.Path(spec[1:]).read_text()
+    return spec
+
+
+def parse_query(argument: str) -> Any:
+    """Parse a ``kind:spec`` query argument."""
+    kind, _, spec = argument.partition(":")
+    if not spec:
+        raise SystemExit(
+            f"query {argument!r} must look like kind:spec "
+            "(kinds: rpq, rq, datalog)"
+        )
+    text = _read_spec(spec)
+    if kind == "rpq":
+        query = TwoRPQ.parse(text)
+        return RPQ(query.regex) if query.is_one_way() else query
+    if kind == "rq":
+        return parse_rq(text)
+    if kind == "datalog":
+        return parse_program(text)
+    raise SystemExit(f"unknown query kind {kind!r} (use rpq, rq, or datalog)")
+
+
+def load_database(path: str):
+    """Load a graph or relational database by extension.
+
+    ``.facts``/``.dl`` load as relational instances; everything else
+    (``.edges``, ``.json``, ...) loads as a graph database, falling back
+    to relational when binary-edge parsing fails.
+    """
+    suffix = pathlib.Path(path).suffix
+    if suffix in (".facts", ".dl"):
+        return relational_io.load(path)
+    return graph_io.load(path)
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    print(f"{classify(query).value}: {describe_tower(query)}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    database = load_database(args.database)
+    from .core.witness import as_graph, as_instance
+    from .datalog.evaluation import evaluate as datalog_evaluate
+    from .datalog.syntax import Program
+    from .rq.evaluation import evaluate_rq
+    from .rq.syntax import RQ
+
+    if isinstance(query, TwoRPQ):
+        answers = query.evaluate(as_graph(database))
+    elif isinstance(query, RQ):
+        answers = evaluate_rq(query, as_graph(database))
+    elif isinstance(query, Program):
+        answers = datalog_evaluate(query, as_instance(database))
+    else:  # pragma: no cover - parse_query only returns the above
+        raise SystemExit(f"cannot evaluate {query!r}")
+    for row in sorted(answers, key=repr):
+        print("\t".join(str(value) for value in row))
+    print(f"# {len(answers)} answers", file=sys.stderr)
+    return 0
+
+
+def _cmd_contain(args: argparse.Namespace) -> int:
+    q1 = parse_query(args.left)
+    q2 = parse_query(args.right)
+    options: dict[str, Any] = {}
+    if args.max_expansions is not None:
+        options["max_expansions"] = args.max_expansions
+    result = check_containment(q1, q2, **options)
+    print(result.describe())
+    if result.counterexample is not None and args.show_witness:
+        print("counterexample database:")
+        database = result.counterexample.database
+        if isinstance(database, GraphDatabase):
+            print(graph_io.to_edge_list(database), end="")
+        else:
+            print(relational_io.to_fact_text(database), end="")
+        print(f"distinguishing output: {result.counterexample.output}")
+    return 0 if result.holds else 1
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    from .rpq.views import answer_using_views, rewrite, view_graph
+
+    query = parse_query(args.query)
+    if not isinstance(query, RPQ):
+        raise SystemExit("rewrite requires a one-way RPQ query (kind rpq:)")
+    views: dict[str, RPQ] = {}
+    for spec in args.view:
+        name, _, regex = spec.partition("=")
+        if not regex:
+            raise SystemExit(f"view {spec!r} must look like name=regex")
+        view = TwoRPQ.parse(regex)
+        if not view.is_one_way():
+            raise SystemExit(f"view {name!r} must be a one-way RPQ")
+        views[name] = RPQ(view.regex)
+    rewriting = rewrite(query, views)
+    if rewriting.is_empty:
+        print("no contained rewriting exists over these views")
+        return 1
+    kind = "exact" if rewriting.is_exact() else "maximally contained (partial)"
+    print(f"rewriting ({kind}): {rewriting.to_regex()}")
+    if args.database:
+        materialized = view_graph(views, load_database(args.database))
+        answers = answer_using_views(rewriting, materialized)
+        for row in sorted(answers, key=repr):
+            print("\t".join(str(value) for value in row))
+        print(f"# {len(answers)} certain answers", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="regular-queries: evaluation and containment for the "
+        "query classes of Vardi, PODS 2016",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    classify_p = sub.add_parser("classify", help="place a query in the towers")
+    classify_p.add_argument("query", help="kind:spec (rpq / rq / datalog)")
+    classify_p.set_defaults(func=_cmd_classify)
+
+    evaluate_p = sub.add_parser("evaluate", help="run a query on a database")
+    evaluate_p.add_argument("query", help="kind:spec")
+    evaluate_p.add_argument("--database", required=True, help="database file")
+    evaluate_p.set_defaults(func=_cmd_evaluate)
+
+    contain_p = sub.add_parser(
+        "contain", help="decide Q1 ⊆ Q2 (exit 0 = not refuted)"
+    )
+    contain_p.add_argument("left", help="kind:spec for Q1")
+    contain_p.add_argument("right", help="kind:spec for Q2")
+    contain_p.add_argument(
+        "--max-expansions", type=int, default=None,
+        help="budget for expansion-based procedures",
+    )
+    contain_p.add_argument(
+        "--show-witness", action="store_true",
+        help="print the counterexample database on refutation",
+    )
+    contain_p.set_defaults(func=_cmd_contain)
+
+    rewrite_p = sub.add_parser(
+        "rewrite", help="rewrite an RPQ over views (maximally contained)"
+    )
+    rewrite_p.add_argument("query", help="rpq:spec")
+    rewrite_p.add_argument(
+        "--view", action="append", default=[], metavar="NAME=REGEX",
+        help="a view definition (repeatable)",
+    )
+    rewrite_p.add_argument(
+        "--database", default=None,
+        help="optionally evaluate the rewriting over this database's views",
+    )
+    rewrite_p.set_defaults(func=_cmd_rewrite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

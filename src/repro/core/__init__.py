@@ -1,0 +1,38 @@
+"""The paper's contribution, unified: classification of queries into the
+RPQ ⊂ 2RPQ ⊂ UC2RPQ ⊂ RQ and CQ ⊂ UCQ ⊂ GRQ ⊂ Datalog towers, a single
+containment entry point dispatching to the strongest procedure, and
+counterexample replay."""
+
+from .classify import (
+    GRAPH_TOWER,
+    QueryClass,
+    RELATIONAL_TOWER,
+    classify,
+    describe_tower,
+    least_common_class,
+    promote,
+)
+from .engine import check_containment, check_equivalence
+from ..report import ContainmentResult, Counterexample, Verdict
+from .shrink import shrink_counterexample
+from .witness import as_graph, as_instance, holds_on, verify_counterexample
+
+__all__ = [
+    "shrink_counterexample",
+    "GRAPH_TOWER",
+    "QueryClass",
+    "RELATIONAL_TOWER",
+    "classify",
+    "describe_tower",
+    "least_common_class",
+    "promote",
+    "check_containment",
+    "check_equivalence",
+    "ContainmentResult",
+    "Counterexample",
+    "Verdict",
+    "as_graph",
+    "as_instance",
+    "holds_on",
+    "verify_counterexample",
+]

@@ -1,0 +1,120 @@
+"""Classification of queries into the paper's two towers.
+
+Graph tower:      RPQ ⊂ 2RPQ ⊂ UC2RPQ ⊂ RQ
+Relational tower: CQ ⊂ UCQ ⊂ (GRQ ⊂ Datalog)
+
+:func:`classify` names the smallest class a query object belongs to;
+:func:`promote` lifts a query to a target class (when an embedding
+exists), which the engine uses to find the least common class of a
+containment pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..cq.syntax import CQ, UCQ
+from ..crpq.syntax import C2RPQ, UC2RPQ, two_rpq_as_uc2rpq
+from ..datalog.analysis import is_nonrecursive
+from ..datalog.syntax import Program
+from ..grq.membership import is_grq
+from ..rpq.rpq import RPQ, TwoRPQ
+from ..rq.embeddings import two_rpq_to_rq, uc2rpq_to_rq
+from ..rq.syntax import RQ
+from ..rq.to_datalog import rq_to_datalog
+
+
+class QueryClass(enum.Enum):
+    """The query classes the paper discusses, ordered within each tower."""
+
+    RPQ = "RPQ"
+    TWO_RPQ = "2RPQ"
+    UC2RPQ = "UC2RPQ"
+    RQ = "RQ"
+    CQ = "CQ"
+    UCQ = "UCQ"
+    GRQ = "GRQ"
+    DATALOG = "Datalog"
+
+
+GRAPH_TOWER = (QueryClass.RPQ, QueryClass.TWO_RPQ, QueryClass.UC2RPQ, QueryClass.RQ)
+RELATIONAL_TOWER = (QueryClass.CQ, QueryClass.UCQ, QueryClass.GRQ, QueryClass.DATALOG)
+
+
+def classify(query: Any) -> QueryClass:
+    """The smallest class of *query* (by type, refined by inspection)."""
+    if isinstance(query, RPQ):
+        return QueryClass.RPQ
+    if isinstance(query, TwoRPQ):
+        return QueryClass.RPQ if query.is_one_way() else QueryClass.TWO_RPQ
+    if isinstance(query, (C2RPQ, UC2RPQ)):
+        return QueryClass.UC2RPQ
+    if isinstance(query, RQ):
+        return QueryClass.RQ
+    if isinstance(query, CQ):
+        return QueryClass.CQ
+    if isinstance(query, UCQ):
+        return QueryClass.UCQ
+    if isinstance(query, Program):
+        if is_nonrecursive(query):
+            return QueryClass.UCQ  # nonrecursive Datalog ≡ UCQ (Section 2.2)
+        if is_grq(query):
+            return QueryClass.GRQ
+        return QueryClass.DATALOG
+    raise TypeError(f"not a query object: {query!r}")
+
+
+def tower_of(cls: QueryClass) -> tuple[QueryClass, ...]:
+    return GRAPH_TOWER if cls in GRAPH_TOWER else RELATIONAL_TOWER
+
+
+def least_common_class(a: QueryClass, b: QueryClass) -> QueryClass | None:
+    """The smaller class containing both, or None across towers."""
+    tower = tower_of(a)
+    if b not in tower:
+        return None
+    return tower[max(tower.index(a), tower.index(b))]
+
+
+def promote(query: Any, target: QueryClass) -> Any:
+    """Lift *query* to an equivalent object of class *target*.
+
+    Supported embeddings are the tower inclusions: RPQ/2RPQ -> UC2RPQ
+    -> RQ on the graph side; CQ -> UCQ on the relational side; RQ -> GRQ
+    (the Section 4.1 translation) crossing from the graph tower into
+    Datalog.  Raises on unsupported lifts.
+    """
+    current = classify(query)
+    if current == target:
+        return query
+    if target is QueryClass.TWO_RPQ and isinstance(query, TwoRPQ):
+        return TwoRPQ(query.regex)
+    if target is QueryClass.UC2RPQ:
+        if isinstance(query, TwoRPQ):
+            return two_rpq_as_uc2rpq(query)
+        if isinstance(query, C2RPQ):
+            return UC2RPQ((query,))
+    if target is QueryClass.RQ:
+        if isinstance(query, TwoRPQ):
+            return two_rpq_to_rq(query)
+        if isinstance(query, (C2RPQ, UC2RPQ)):
+            return uc2rpq_to_rq(query)
+    if target is QueryClass.UCQ and isinstance(query, CQ):
+        return UCQ((query,))
+    if target in (QueryClass.GRQ, QueryClass.DATALOG):
+        if isinstance(query, RQ):
+            return rq_to_datalog(query)
+        if isinstance(query, Program):
+            return query
+    raise TypeError(f"cannot promote {current.value} to {target.value}")
+
+
+def describe_tower(query: Any) -> str:
+    """Human-readable placement, e.g. ``"2RPQ (⊂ UC2RPQ ⊂ RQ)"``."""
+    cls = classify(query)
+    tower = tower_of(cls)
+    above = tower[tower.index(cls) + 1 :]
+    if not above:
+        return cls.value
+    return f"{cls.value} (⊂ " + " ⊂ ".join(c.value for c in above) + ")"

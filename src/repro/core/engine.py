@@ -1,0 +1,133 @@
+"""The unified containment engine — the package's front door.
+
+:func:`check_containment` accepts any two query objects from the paper's
+towers, promotes them to their least common class, and dispatches to the
+strongest decision procedure available for that class:
+
+====================  =========================================  ========
+common class          procedure                                  verdicts
+====================  =========================================  ========
+RPQ                   Lemma 1 language containment               exact
+2RPQ                  Theorem 5 fold pipeline                    exact
+UC2RPQ                Theorem 6 expansion check                  exact when atom languages are finite, else bounded
+RQ                    Theorem 7 expansion check                  exact when the left side is TC-free, else bounded
+CQ / UCQ              Chandra-Merlin / Sagiv-Yannakakis          exact
+UCQ vs Datalog        canonical-database evaluation              exact
+GRQ                   Theorem 8 expansion check                  exact for nonrecursive left, else bounded
+Datalog               expansion semi-decision                    refutation-sound (containment undecidable [52])
+====================  =========================================  ========
+
+Graph queries may also be checked against Datalog programs whose EDB is
+binary: the graph query is translated through the Section 4.1 embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..cq.containment import ucq_contained
+from ..cq.syntax import CQ, UCQ
+from ..crpq.containment import uc2rpq_contained
+from ..datalog.containment import datalog_in_datalog, datalog_in_ucq, ucq_in_datalog
+from ..datalog.syntax import Program
+from ..grq.containment import grq_contained
+from ..grq.membership import is_grq
+from ..rpq.rpq import RPQ, TwoRPQ
+from ..rpq.containment import rpq_contained, two_rpq_contained
+from ..rq.containment import rq_contained
+from ..rq.syntax import RQ
+from .classify import QueryClass, classify, least_common_class, promote
+from .report import ContainmentResult, Counterexample, Verdict
+
+
+def check_containment(q1: Any, q2: Any, **options: Any) -> ContainmentResult:
+    """Decide ``Q1 ⊆ Q2`` with the strongest applicable procedure.
+
+    Args:
+        q1, q2: query objects (TwoRPQ/RPQ, C2RPQ/UC2RPQ, RQ, CQ, UCQ, or
+            Datalog ``Program``).  Cross-tower pairs are supported when
+            an embedding exists (graph queries vs binary-EDB Datalog).
+        **options: forwarded to the underlying procedure (e.g.
+            ``method=`` for 2RPQs, ``max_expansions=`` for the
+            expansion-based checks).
+
+    Returns:
+        A :class:`repro.core.report.ContainmentResult`; see its module
+        for the exactness contract.
+    """
+    class1, class2 = classify(q1), classify(q2)
+    common = least_common_class(class1, class2)
+    if common is None:
+        # Cross-tower: route graph queries through the Datalog embedding.
+        graph_side = class1 in (QueryClass.RPQ, QueryClass.TWO_RPQ, QueryClass.UC2RPQ, QueryClass.RQ)
+        q1 = promote(promote(q1, QueryClass.RQ), QueryClass.DATALOG) if graph_side else q1
+        q2 = q2 if graph_side else q2
+        if not graph_side:
+            q2 = promote(promote(q2, QueryClass.RQ), QueryClass.DATALOG)
+        return check_containment(q1, q2, **options)
+
+    if common is QueryClass.RPQ:
+        return rpq_contained(RPQ(q1.regex), RPQ(q2.regex))
+    if common is QueryClass.TWO_RPQ:
+        picked = _pick(options, "method", "max_configs", "stats")
+        return two_rpq_contained(promote(q1, common), promote(q2, common), **picked)
+    if common is QueryClass.UC2RPQ:
+        picked = _pick(options, "max_total_length", "max_expansions")
+        return uc2rpq_contained(promote(q1, common), promote(q2, common), **picked)
+    if common is QueryClass.RQ:
+        picked = _pick(options, "max_applications", "max_expansions")
+        return rq_contained(promote(q1, common), promote(q2, common), **picked)
+    if common is QueryClass.CQ or common is QueryClass.UCQ:
+        if isinstance(q1, Program) or isinstance(q2, Program):
+            return _nonrecursive_datalog_case(q1, q2, **options)
+        result = ucq_contained(q1, q2)
+        if result.holds:
+            return ContainmentResult(Verdict.HOLDS, "ucq-homomorphism")
+        instance, head = result.counterexample  # type: ignore[misc]
+        return ContainmentResult(
+            Verdict.REFUTED, "ucq-homomorphism", Counterexample(instance, head)
+        )
+    if common in (QueryClass.GRQ, QueryClass.DATALOG):
+        # A (U)CQ against a recursive program: the canonical-database /
+        # expansion procedures are stronger than promoting the (U)CQ to
+        # a one-rule-per-disjunct program (ucq_in_datalog is exact).
+        if isinstance(q1, (CQ, UCQ)):
+            return ucq_in_datalog(q1, promote(q2, QueryClass.DATALOG))
+        if isinstance(q2, (CQ, UCQ)):
+            picked = _pick(options, "max_applications", "max_expansions")
+            return datalog_in_ucq(promote(q1, QueryClass.DATALOG), q2, **picked)
+        left = promote(q1, QueryClass.DATALOG)
+        right = promote(q2, QueryClass.DATALOG)
+        picked = _pick(options, "max_applications", "max_expansions")
+        if common is QueryClass.GRQ or (is_grq(left) and is_grq(right)):
+            return grq_contained(left, right, **picked)
+        return datalog_in_datalog(left, right, **picked)
+    raise AssertionError(f"unhandled class {common}")  # pragma: no cover
+
+
+def _pick(options: dict, *allowed: str) -> dict:
+    """Keep only the options the chosen procedure understands.
+
+    The engine's **options surface is a union across procedures; a
+    bound meant for an expansion check must not crash the automata path
+    it did not end up taking.
+    """
+    return {key: options[key] for key in allowed if key in options}
+
+
+def _nonrecursive_datalog_case(q1: Any, q2: Any, **options: Any) -> ContainmentResult:
+    """UCQ-level checks where one side is a (nonrecursive) program."""
+    picked = _pick(options, "max_applications", "max_expansions")
+    if isinstance(q1, Program) and isinstance(q2, Program):
+        return datalog_in_datalog(q1, q2, **picked)
+    if isinstance(q1, Program):
+        return datalog_in_ucq(q1, q2, **picked)
+    return ucq_in_datalog(q1, q2)
+
+
+def check_equivalence(q1: Any, q2: Any, **options: Any) -> bool:
+    """Truthy equivalence: both directions non-refuted (see Verdict)."""
+    return (
+        check_containment(q1, q2, **options).holds
+        and check_containment(q2, q1, **options).holds
+    )

@@ -1,0 +1,10 @@
+"""Compatibility shim: the result types live in :mod:`repro.report`.
+
+(They sit above the per-class containment modules in the import graph,
+so keeping them inside ``repro.core`` — whose ``__init__`` pulls in the
+engine and thus every query class — would create an import cycle.)
+"""
+
+from ..report import ContainmentResult, Counterexample, Verdict
+
+__all__ = ["ContainmentResult", "Counterexample", "Verdict"]

@@ -1,0 +1,65 @@
+"""Exact containment for CQ and UCQ (Sections 2.1 and 2.3).
+
+- CQ containment is the Chandra-Merlin test [18]: ``Q1 ⊆ Q2`` iff
+  ``Q2``'s body maps homomorphically into ``Q1``'s canonical database
+  hitting the head — NP-complete, exact.
+- UCQ containment is the Sagiv-Yannakakis characterization [50]:
+  ``U1 ⊆ U2`` iff every disjunct of ``U1`` is contained in ``U2``, and a
+  CQ is contained in a UCQ iff *some* disjunct maps in.  (The
+  per-disjunct check must be done against the whole union: evaluating
+  ``U2`` over the canonical database of the disjunct.)
+
+Refutations come with a counterexample database on which the answers
+differ, so every negative verdict is independently replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.instance import Instance
+from .evaluation import satisfies_ucq, satisfies
+from .syntax import CQ, UCQ, Term
+
+
+@dataclass(frozen=True)
+class CQContainmentResult:
+    """Outcome of a (U)CQ containment test.
+
+    Attributes:
+        holds: the verdict (always exact for this class).
+        counterexample: for negative verdicts, an instance plus head
+            tuple in ``Q1(D) - Q2(D)``.
+    """
+
+    holds: bool
+    counterexample: tuple[Instance, tuple[Term, ...]] | None = None
+
+
+def cq_contained(q1: CQ, q2: CQ) -> bool:
+    """Chandra-Merlin: Q1 ⊆ Q2 via homomorphism Q2 -> canonical(Q1)."""
+    instance, head = q1.canonical_instance()
+    return satisfies(q2, instance, head)
+
+
+def cq_equivalent(q1: CQ, q2: CQ) -> bool:
+    return cq_contained(q1, q2) and cq_contained(q2, q1)
+
+
+def ucq_contained(u1: UCQ | CQ, u2: UCQ | CQ) -> CQContainmentResult:
+    """Sagiv-Yannakakis UCQ containment with counterexample extraction."""
+    left = u1 if isinstance(u1, UCQ) else UCQ((u1,))
+    right = u2 if isinstance(u2, UCQ) else UCQ((u2,))
+    if left.arity != right.arity:
+        raise ValueError(
+            f"containment between arities {left.arity} and {right.arity} is ill-typed"
+        )
+    for disjunct in left:
+        instance, head = disjunct.canonical_instance()
+        if not satisfies_ucq(right, instance, head):
+            return CQContainmentResult(False, (instance, head))
+    return CQContainmentResult(True)
+
+
+def ucq_equivalent(u1: UCQ | CQ, u2: UCQ | CQ) -> bool:
+    return ucq_contained(u1, u2).holds and ucq_contained(u2, u1).holds

@@ -1,0 +1,161 @@
+"""Evaluation of CQs and UCQs over relational instances.
+
+The engine is a backtracking join with a greedy atom ordering: at each
+step it picks the atom with the most already-bound variables, breaking
+ties toward the smallest relation.  That is the textbook strategy the
+paper's Select-Project-Join reading of CQs suggests, and it keeps the
+exponential worst case confined to genuinely hard (cyclic, high-arity)
+queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..relational.instance import Instance
+from .syntax import CQ, UCQ, Atom, Term, Var, is_var
+
+
+def _match_atom(
+    atom: Atom, instance: Instance, binding: dict[Var, Term]
+) -> Iterator[dict[Var, Term]]:
+    """Extensions of *binding* that satisfy *atom* in *instance*."""
+    rows = instance.tuples(atom.predicate)
+    pattern = [
+        binding.get(arg, arg) if is_var(arg) and arg in binding else arg
+        for arg in atom.args
+    ]
+    for row in rows:
+        extension: dict[Var, Term] = {}
+        ok = True
+        for arg, want, got in zip(atom.args, pattern, row):
+            if is_var(want):  # unbound variable
+                already = extension.get(want)
+                if already is None:
+                    extension[want] = got  # type: ignore[index]
+                elif already != got:
+                    ok = False
+                    break
+            elif want != got:
+                ok = False
+                break
+        if ok:
+            merged = dict(binding)
+            merged.update(extension)
+            yield merged
+
+
+def _order_atoms(cq: CQ, instance: Instance) -> list[Atom]:
+    """Greedy join order: most-bound-variables first, then smallest relation."""
+    remaining = list(cq.body)
+    ordered: list[Atom] = []
+    bound: set[Var] = set()
+    while remaining:
+
+        def score(atom: Atom) -> tuple[int, int]:
+            bound_count = sum(1 for var in atom.variables() if var in bound)
+            constants = sum(1 for arg in atom.args if not is_var(arg))
+            size = len(instance.tuples(atom.predicate))
+            return (-(bound_count + constants), size)
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+def bindings(cq: CQ, instance: Instance) -> Iterator[dict[Var, Term]]:
+    """All satisfying assignments of the CQ's variables (may repeat heads)."""
+    ordered = _order_atoms(cq, instance)
+
+    def recurse(index: int, binding: dict[Var, Term]) -> Iterator[dict[Var, Term]]:
+        if index == len(ordered):
+            yield binding
+            return
+        for extended in _match_atom(ordered[index], instance, binding):
+            yield from recurse(index + 1, extended)
+
+    yield from recurse(0, {})
+
+
+def evaluate_cq(cq: CQ, instance: Instance) -> frozenset[tuple[Term, ...]]:
+    """The answer relation ``Q(D)``: head-variable images of all bindings.
+
+    Enumeration prunes subtrees whose head projection is already an
+    answer: once every head variable is bound, any completion yields the
+    same output tuple, so queries with redundant atoms (the minimization
+    example's bread and butter) do not pay a combinatorial price for
+    them beyond the first witness.
+    """
+    ordered = _order_atoms(cq, instance)
+    head_vars = set(cq.head_vars)
+    answers: set[tuple[Term, ...]] = set()
+
+    def recurse(index: int, binding: dict[Var, Term]) -> None:
+        if head_vars <= binding.keys():
+            head = tuple(binding[var] for var in cq.head_vars)
+            if head in answers:
+                return
+            if index == len(ordered):
+                answers.add(head)
+                return
+            # Look ahead: if the rest is satisfiable, record and prune.
+            if _satisfiable(index, binding):
+                answers.add(head)
+            return
+        if index == len(ordered):
+            answers.add(tuple(binding[var] for var in cq.head_vars))
+            return
+        for extended in _match_atom(ordered[index], instance, binding):
+            recurse(index + 1, extended)
+
+    def _satisfiable(index: int, binding: dict[Var, Term]) -> bool:
+        if index == len(ordered):
+            return True
+        return any(
+            _satisfiable(index + 1, extended)
+            for extended in _match_atom(ordered[index], instance, binding)
+        )
+
+    recurse(0, {})
+    return frozenset(answers)
+
+
+def evaluate_ucq(ucq: UCQ, instance: Instance) -> frozenset[tuple[Term, ...]]:
+    """Union of the disjuncts' answers."""
+    answers: set[tuple[Term, ...]] = set()
+    for cq in ucq:
+        answers |= evaluate_cq(cq, instance)
+    return frozenset(answers)
+
+
+def satisfies(cq: CQ, instance: Instance, head: tuple[Term, ...]) -> bool:
+    """Does ``head in Q(D)``?  (Early-exit variant of evaluation.)
+
+    This is the hot path of Chandra-Merlin containment: bind the head
+    variables to the candidate tuple up front, then search for any one
+    satisfying assignment of the existential variables.
+    """
+    if len(head) != cq.arity:
+        return False
+    binding: dict[Var, Term] = {}
+    for var, value in zip(cq.head_vars, head):
+        if var in binding and binding[var] != value:
+            return False
+        binding[var] = value
+    ordered = _order_atoms(cq, instance)
+
+    def recurse(index: int, current: dict[Var, Term]) -> bool:
+        if index == len(ordered):
+            return True
+        return any(
+            recurse(index + 1, extended)
+            for extended in _match_atom(ordered[index], instance, current)
+        )
+
+    return recurse(0, binding)
+
+
+def satisfies_ucq(ucq: UCQ, instance: Instance, head: tuple[Term, ...]) -> bool:
+    return any(satisfies(cq, instance, head) for cq in ucq)

@@ -1,0 +1,83 @@
+"""Homomorphisms between conjunctive queries and into instances.
+
+The Chandra-Merlin theorem (the paper's [18]): ``Q1 ⊆ Q2`` for CQs iff
+there is a homomorphism from ``Q2`` to ``Q1`` that is the identity on
+distinguished variables — equivalently, iff the head of ``Q1`` is in
+``Q2`` evaluated over ``Q1``'s canonical database.  We implement the
+search by exactly that reduction, reusing the evaluation engine, and
+also expose the mapping itself for the minimization code.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..relational.instance import Instance
+from .evaluation import bindings, satisfies
+from .syntax import CQ, Atom, Term, Var, is_var
+
+
+def homomorphism_to_instance(
+    cq: CQ, instance: Instance, head_image: tuple[Term, ...]
+) -> dict[Var, Term] | None:
+    """A homomorphism from *cq*'s body into *instance* hitting *head_image*.
+
+    Returns a full variable mapping, or None.  ``satisfies`` is the
+    boolean fast path; this variant materializes one witness mapping.
+    """
+    if len(head_image) != cq.arity:
+        return None
+    seed: dict[Var, Term] = {}
+    for var, value in zip(cq.head_vars, head_image):
+        if var in seed and seed[var] != value:
+            return None
+        seed[var] = value
+    constrained = cq.substitute({})  # defensive copy not needed; bindings rebinds
+    for binding in bindings(constrained, instance):
+        if all(binding[var] == seed[var] for var in seed):
+            return binding
+    return None
+
+
+def cq_homomorphism(source: CQ, target: CQ) -> dict[Var, Term] | None:
+    """A homomorphism from *source* onto *target*'s canonical database.
+
+    The mapping sends source variables to frozen constants of the
+    target; it witnesses ``target ⊆ source`` (note the contravariance:
+    homomorphisms go opposite to containment).
+    """
+    instance, head = target.canonical_instance()
+    return homomorphism_to_instance(source, instance, head)
+
+
+def has_homomorphism(source: CQ, target: CQ) -> bool:
+    """Boolean version of :func:`cq_homomorphism` (early exit)."""
+    instance, head = target.canonical_instance()
+    return satisfies(source, instance, head)
+
+
+def endomorphism_image(cq: CQ, mapping: Mapping[Var, Term]) -> CQ:
+    """Apply an endomorphism given as variable -> frozen-constant map.
+
+    Frozen constants ``("_frozen", name)`` are translated back to the
+    variables they froze, yielding the image query (used by core
+    computation).
+    """
+    unfreeze: dict[Term, Var] = {
+        ("_frozen", var.name): var for var in cq.variables()
+    }
+    substitution: dict[Var, Term] = {}
+    for var, value in mapping.items():
+        substitution[var] = unfreeze.get(value, value)
+    atoms = tuple(atom.substitute(substitution) for atom in cq.body)
+    new_head = tuple(substitution.get(var, var) for var in cq.head_vars)
+    if not all(is_var(term) for term in new_head):
+        raise ValueError("endomorphism must keep head variables as variables")
+    # Deduplicate atoms while keeping order stable.
+    seen: set[Atom] = set()
+    unique: list[Atom] = []
+    for atom in atoms:
+        if atom not in seen:
+            seen.add(atom)
+            unique.append(atom)
+    return CQ(new_head, tuple(unique))  # type: ignore[arg-type]

@@ -1,0 +1,73 @@
+"""CQ minimization: computing cores.
+
+A CQ is *minimal* (a core) when no proper subquery is equivalent to it.
+By Chandra-Merlin theory the core is unique up to isomorphism and can be
+found by repeatedly dropping atoms whose removal preserves equivalence:
+removal can only enlarge the answer set, so it suffices to check that
+the smaller query is still contained in the original (one homomorphism
+test per candidate atom).
+
+Minimization is the classical payoff of containment for optimization
+(the paper's Section 4.2 theme): fewer atoms means fewer joins.
+"""
+
+from __future__ import annotations
+
+from .containment import cq_contained
+from .syntax import CQ
+
+
+def minimize_cq(cq: CQ) -> CQ:
+    """The core of *cq*: an equivalent subquery with no removable atom.
+
+    >>> from repro.cq.syntax import cq_from_strings
+    >>> redundant = cq_from_strings("x", ["E(x,y)", "E(x,z)"])
+    >>> len(minimize_cq(redundant).body)
+    1
+    """
+    current = cq
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.body)):
+            candidate_body = current.body[:index] + current.body[index + 1 :]
+            head_vars = set(current.head_vars)
+            remaining_vars = {
+                var for atom in candidate_body for var in atom.variables()
+            }
+            if not head_vars <= remaining_vars:
+                continue  # dropping this atom would unsafely lose a head variable
+            candidate = CQ(current.head_vars, candidate_body)
+            # Removal only enlarges answers, so equivalence needs just
+            # candidate ⊆ current.
+            if cq_contained(candidate, current):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def is_minimal(cq: CQ) -> bool:
+    """True iff *cq* equals its own core (atom-count-wise)."""
+    return len(minimize_cq(cq).body) == len(cq.body)
+
+
+def minimize_ucq(ucq: "UCQ") -> "UCQ":
+    """Minimize each disjunct, then drop disjuncts subsumed by the rest.
+
+    Pruning re-tests against the *shrinking* union, so exactly one
+    member of every equivalence class of disjuncts survives (dropping
+    both of two equivalent disjuncts would change the query).
+    """
+    from .containment import ucq_contained
+    from .syntax import UCQ
+
+    disjuncts = [minimize_cq(disjunct) for disjunct in ucq]
+    index = 0
+    while index < len(disjuncts) and len(disjuncts) > 1:
+        rest = disjuncts[:index] + disjuncts[index + 1 :]
+        if ucq_contained(disjuncts[index], UCQ(tuple(rest))).holds:
+            disjuncts = rest
+        else:
+            index += 1
+    return UCQ(tuple(disjuncts))

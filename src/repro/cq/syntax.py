@@ -1,0 +1,200 @@
+"""Syntax of conjunctive queries and unions thereof (Section 2.1).
+
+A conjunctive query (CQ) is a positive existential conjunctive formula
+``theta(x1..xk) = exists y1..ym . a1 & ... & an`` with free
+(*distinguished*) variables ``x1..xk``.  We represent terms as either
+:class:`Var` objects or arbitrary hashable constants, atoms as predicate
+name plus term tuple, and a CQ as head variables plus atom tuple.
+A UCQ is a tuple of CQs of equal arity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from ..relational.instance import Instance
+
+Term = Hashable  # a Var or a constant
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+def is_var(term: Term) -> bool:
+    return isinstance(term, Var)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``predicate(t1, ..., tk)`` over variables and constants."""
+
+    predicate: str
+    args: tuple[Term, ...]
+
+    def variables(self) -> tuple[Var, ...]:
+        return tuple(arg for arg in self.args if is_var(arg))
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Atom":
+        return Atom(
+            self.predicate,
+            tuple(mapping.get(arg, arg) if is_var(arg) else arg for arg in self.args),
+        )
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) if is_var(a) else repr(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class CQ:
+    """A conjunctive query: ``head_vars`` free, body variables existential.
+
+    >>> x, y, z = Var("x"), Var("y"), Var("z")
+    >>> path2 = CQ((x, z), (Atom("E", (x, y)), Atom("E", (y, z))))
+    """
+
+    head_vars: tuple[Var, ...]
+    body: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        body_vars = {var for atom in self.body for var in atom.variables()}
+        missing = [var for var in self.head_vars if var not in body_vars]
+        if missing:
+            raise ValueError(
+                f"head variables {missing} do not occur in the body (unsafe query)"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.head_vars)
+
+    def variables(self) -> frozenset[Var]:
+        return frozenset(var for atom in self.body for var in atom.variables())
+
+    def existential_variables(self) -> frozenset[Var]:
+        return self.variables() - set(self.head_vars)
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(atom.predicate for atom in self.body)
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "CQ":
+        """Apply a variable substitution; head variables must stay variables."""
+        new_head = tuple(mapping.get(var, var) for var in self.head_vars)
+        if not all(is_var(term) for term in new_head):
+            raise ValueError("substitution must keep head variables as variables")
+        return CQ(new_head, tuple(atom.substitute(mapping) for atom in self.body))
+
+    def rename_apart(self, taken: Iterable[Var]) -> "CQ":
+        """Rename body variables away from *taken* (head kept fixed)."""
+        taken_names = {var.name for var in taken}
+        mapping: dict[Var, Var] = {}
+        counter = itertools.count()
+        for var in sorted(self.existential_variables()):
+            if var.name in taken_names:
+                while True:
+                    candidate = Var(f"{var.name}_{next(counter)}")
+                    if candidate.name not in taken_names and candidate not in mapping.values():
+                        break
+                mapping[var] = candidate
+        return self.substitute(mapping) if mapping else self
+
+    def canonical_instance(self) -> tuple[Instance, tuple[Term, ...]]:
+        """The canonical (frozen) database of the query.
+
+        Each variable becomes a fresh constant; constants stay
+        themselves.  Returns the instance together with the head tuple's
+        image.  Chandra-Merlin containment tests evaluate the candidate
+        container over this instance.
+        """
+        freeze = {var: ("_frozen", var.name) for var in self.variables()}
+        instance = Instance()
+        for atom in self.body:
+            instance.add(
+                atom.predicate,
+                tuple(freeze[arg] if is_var(arg) else arg for arg in atom.args),
+            )
+        head = tuple(freeze[var] for var in self.head_vars)
+        return instance, head
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(v) for v in self.head_vars)
+        body = " & ".join(repr(a) for a in self.body)
+        return f"CQ({head} :- {body})"
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """A union of conjunctive queries of equal arity (Section 2.1)."""
+
+    disjuncts: tuple[CQ, ...]
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        arities = {cq.arity for cq in self.disjuncts}
+        if len(arities) != 1:
+            raise ValueError(f"disjuncts disagree on arity: {sorted(arities)}")
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset().union(*(cq.predicates() for cq in self.disjuncts))
+
+    def __iter__(self) -> Iterator[CQ]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(cq) for cq in self.disjuncts)
+
+
+def cq_from_strings(head: str, body: Iterable[str]) -> CQ:
+    """Terse CQ syntax: ``cq_from_strings("x,z", ["E(x,y)", "E(y,z)"])``.
+
+    Tokens starting with a lowercase letter are variables; tokens
+    starting with a digit or quote are constants (ints or strings).
+    """
+    atoms = tuple(_parse_atom(text) for text in body)
+    head_vars = tuple(
+        _parse_term(token.strip()) for token in head.split(",") if token.strip()
+    )
+    for term in head_vars:
+        if not is_var(term):
+            raise ValueError(f"head terms must be variables, got {term!r}")
+    return CQ(head_vars, atoms)  # type: ignore[arg-type]
+
+
+def _parse_atom(text: str) -> Atom:
+    text = text.strip()
+    open_paren = text.index("(")
+    if not text.endswith(")"):
+        raise ValueError(f"malformed atom {text!r}")
+    predicate = text[:open_paren].strip()
+    inner = text[open_paren + 1 : -1]
+    args = tuple(_parse_term(token.strip()) for token in inner.split(",") if token.strip())
+    return Atom(predicate, args)
+
+
+def _parse_term(token: str) -> Term:
+    if token.startswith(("'", '"')) and token.endswith(("'", '"')) and len(token) >= 2:
+        return token[1:-1]
+    if token.lstrip("-").isdigit():
+        return int(token)
+    return Var(token)

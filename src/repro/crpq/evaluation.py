@@ -1,0 +1,60 @@
+"""UC2RPQ evaluation (Section 3.3).
+
+Exactly the paper's recipe: "to evaluate a C2RPQ Q over a graph database
+D we first evaluate all the 2RPQs appearing in Q, instantiating each as
+a binary relation over the elements of D, and then evaluate Q as a
+conjunctive query over this collection of relations."
+"""
+
+from __future__ import annotations
+
+from ..cq.evaluation import evaluate_cq, satisfies
+from ..cq.syntax import CQ, Atom
+from ..graphdb.database import GraphDatabase, Node
+from ..relational.instance import Instance
+from .syntax import C2RPQ, UC2RPQ
+
+
+def _instantiate(query: C2RPQ, db: GraphDatabase) -> tuple[CQ, Instance]:
+    """Materialize each regular atom as a relation; return the join CQ."""
+    instance = Instance()
+    atoms = []
+    for index, atom in enumerate(query.atoms):
+        relation = f"__atom{index}"
+        pairs = atom.query.evaluate(db)
+        for pair in pairs:
+            instance.add(relation, pair)
+        if not pairs:
+            # Keep the predicate known (empty): the join is then empty.
+            instance.declare(relation, 2)
+        atoms.append(Atom(relation, (atom.source, atom.target)))
+    return CQ(query.head_vars, tuple(atoms)), instance
+
+
+def evaluate_c2rpq(query: C2RPQ, db: GraphDatabase) -> frozenset[tuple[Node, ...]]:
+    """The answer relation Q(D)."""
+    cq, instance = _instantiate(query, db)
+    return evaluate_cq(cq, instance)
+
+
+def evaluate_uc2rpq(query: UC2RPQ | C2RPQ, db: GraphDatabase) -> frozenset[tuple[Node, ...]]:
+    union = query if isinstance(query, UC2RPQ) else UC2RPQ((query,))
+    answers: set[tuple[Node, ...]] = set()
+    for disjunct in union:
+        answers |= evaluate_c2rpq(disjunct, db)
+    return frozenset(answers)
+
+
+def satisfies_c2rpq(query: C2RPQ, db: GraphDatabase, head: tuple[Node, ...]) -> bool:
+    """Early-exit membership test ``head in Q(D)``.
+
+    Used in the hot loop of expansion-based containment, where *db* is a
+    small canonical database and only one tuple matters.
+    """
+    cq, instance = _instantiate(query, db)
+    return satisfies(cq, instance, head)
+
+
+def satisfies_uc2rpq(query: UC2RPQ | C2RPQ, db: GraphDatabase, head: tuple[Node, ...]) -> bool:
+    union = query if isinstance(query, UC2RPQ) else UC2RPQ((query,))
+    return any(satisfies_c2rpq(disjunct, db, head) for disjunct in union)

@@ -1,0 +1,164 @@
+"""Expansions of C2RPQs: canonical databases, one per word choice.
+
+A C2RPQ ``Q(x1..xk) :- kappa_1(u1,v1) & ... & kappa_m(um,vm)`` is
+equivalent to the (generally infinite) union over *expansions*: pick a
+word ``w_i in L(kappa_i)`` per atom and replace the atom by a fresh
+semipath spelling ``w_i``.  Each expansion is a concrete graph database
+(its canonical database) plus the head nodes; the query's answer over
+any D is the union over expansions of homomorphic images.
+
+Containment ``Q1 ⊑ Q2`` therefore reduces to: every expansion of Q1,
+viewed as a canonical database, must satisfy Q2 at the head — the
+database-theoretic half of the paper's "automata + homomorphisms"
+recipe for Theorem 6.  This module enumerates expansions breadth-first
+by total word length, with exhaustion detection when every atom language
+is finite.
+
+An empty word chosen for an atom *identifies* its endpoints, so
+expansion construction runs a union-find over the query variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..automata.alphabet import base_symbol, is_inverse
+from ..automata.nfa import Word
+from ..cq.syntax import Var
+from ..graphdb.database import GraphDatabase, Node
+from .syntax import C2RPQ
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """One expansion of a C2RPQ: canonical database + head nodes + words."""
+
+    database: GraphDatabase
+    head: tuple[Node, ...]
+    words: tuple[Word, ...]
+
+    @property
+    def total_length(self) -> int:
+        return sum(len(word) for word in self.words)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict = {}
+
+    def find(self, item):
+        self.parent.setdefault(item, item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def build_expansion(query: C2RPQ, words: Sequence[Word]) -> Expansion:
+    """The canonical database for one word choice per atom.
+
+    Variables whose connecting word is empty are identified (union-find);
+    non-empty words become fresh semipaths between the variables' class
+    representatives, with inverse letters producing backward edges.
+    """
+    if len(words) != len(query.atoms):
+        raise ValueError("need exactly one word per atom")
+    classes = _UnionFind()
+    for variable in query.variables():
+        classes.find(variable)
+    for atom, word in zip(query.atoms, words):
+        if not word:
+            classes.union(atom.source, atom.target)
+
+    def node_of(variable: Var) -> Node:
+        return ("v", classes.find(variable).name)
+
+    db = GraphDatabase()
+    for variable in query.variables():
+        db.add_node(node_of(variable))
+    for index, (atom, word) in enumerate(zip(query.atoms, words)):
+        if not word:
+            continue
+        nodes: list[Node] = [node_of(atom.source)]
+        nodes += [("p", index, j) for j in range(1, len(word))]
+        nodes.append(node_of(atom.target))
+        for j, letter in enumerate(word):
+            here, there = nodes[j], nodes[j + 1]
+            if is_inverse(letter):
+                db.add_edge(there, base_symbol(letter), here)
+            else:
+                db.add_edge(here, letter, there)
+    head = tuple(node_of(variable) for variable in query.head_vars)
+    return Expansion(db, head, tuple(tuple(word) for word in words))
+
+
+def _words_by_length(query: C2RPQ, max_length: int) -> list[list[list[Word]]]:
+    """Per atom, per length, the list of words of L(kappa) of that length."""
+    table: list[list[list[Word]]] = []
+    for atom in query.atoms:
+        nfa = atom.query.nfa
+        per_length = [list(nfa.words_of_length(length)) for length in range(max_length + 1)]
+        table.append(per_length)
+    return table
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All ways to split *total* into *parts* non-negative summands."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def enumerate_expansions(
+    query: C2RPQ,
+    max_total_length: int,
+    max_expansions: int | None = None,
+) -> Iterator[Expansion]:
+    """Expansions in order of increasing total word length.
+
+    Args:
+        query: the C2RPQ to expand.
+        max_total_length: bound on the sum of chosen word lengths.
+        max_expansions: overall cap (None = no cap).
+    """
+    table = _words_by_length(query, max_total_length)
+    yielded = 0
+    arity = len(query.atoms)
+    for total in range(max_total_length + 1):
+        for split in _compositions(total, arity):
+            pools = [table[i][length] for i, length in enumerate(split)]
+            if any(not pool for pool in pools):
+                continue
+            for choice in itertools.product(*pools):
+                yield build_expansion(query, choice)
+                yielded += 1
+                if max_expansions is not None and yielded >= max_expansions:
+                    return
+
+
+def expansion_space_is_finite(query: C2RPQ) -> bool:
+    """True iff every atom's language is finite (exhaustible expansions)."""
+    return all(atom.query.nfa.language_is_finite() for atom in query.atoms)
+
+
+def exhaustive_length_bound(query: C2RPQ) -> int | None:
+    """Total length needed to exhaust a finite expansion space, else None."""
+    total = 0
+    for atom in query.atoms:
+        longest = atom.query.nfa.longest_word_length()
+        if longest is None:
+            return None
+        total += longest
+    return total

@@ -1,0 +1,136 @@
+"""C2RPQs and UC2RPQs (Section 3.3).
+
+A C2RPQ is a conjunctive query whose atoms are 2RPQs: instead of
+``r(x, y)`` one writes ``kappa(x, y)`` with ``kappa`` a regular
+expression over Sigma±.  A UC2RPQ is a union of C2RPQs of equal arity —
+the graph-database analogue of UCQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..automata.alphabet import base_symbol
+from ..cq.syntax import Var
+from ..rpq.rpq import TwoRPQ
+
+
+@dataclass(frozen=True)
+class RegularAtom:
+    """An atom ``kappa(x, y)``: a 2RPQ constraining two variables."""
+
+    query: TwoRPQ
+    source: Var
+    target: Var
+
+    def variables(self) -> tuple[Var, ...]:
+        return (self.source, self.target)
+
+    def __repr__(self) -> str:
+        return f"({self.query})({self.source!r}, {self.target!r})"
+
+
+@dataclass(frozen=True)
+class C2RPQ:
+    """A conjunctive 2RPQ query.
+
+    The paper's Example 1 (the "triangle query")::
+
+        >>> q = C2RPQ.from_strings("x,y", [("r", "x", "y"),
+        ...                                ("r", "x", "z"),
+        ...                                ("r", "y", "z")])
+    """
+
+    head_vars: tuple[Var, ...]
+    atoms: tuple[RegularAtom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("a C2RPQ needs at least one atom")
+        body_vars = self.variables()
+        missing = [var for var in self.head_vars if var not in body_vars]
+        if missing:
+            raise ValueError(f"head variables {missing} do not occur in the body")
+
+    @classmethod
+    def from_strings(
+        cls, head: str, atoms: Iterable[tuple[str, str, str]]
+    ) -> "C2RPQ":
+        """Terse constructor: regex text plus variable-name pairs."""
+        parsed = tuple(
+            RegularAtom(TwoRPQ.parse(regex), Var(source), Var(target))
+            for regex, source, target in atoms
+        )
+        head_vars = tuple(Var(name.strip()) for name in head.split(",") if name.strip())
+        return cls(head_vars, parsed)
+
+    @property
+    def arity(self) -> int:
+        return len(self.head_vars)
+
+    def variables(self) -> frozenset[Var]:
+        return frozenset(var for atom in self.atoms for var in atom.variables())
+
+    def base_symbols(self) -> frozenset[str]:
+        out: set[str] = set()
+        for atom in self.atoms:
+            out |= atom.query.base_symbols()
+        return frozenset(out)
+
+    def is_one_way(self) -> bool:
+        return all(atom.query.is_one_way() for atom in self.atoms)
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(v) for v in self.head_vars)
+        return f"C2RPQ({head} :- " + " & ".join(repr(a) for a in self.atoms) + ")"
+
+
+@dataclass(frozen=True)
+class UC2RPQ:
+    """A union of C2RPQs of equal arity (Section 3.3)."""
+
+    disjuncts: tuple[C2RPQ, ...]
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ValueError("a UC2RPQ needs at least one disjunct")
+        arities = {q.arity for q in self.disjuncts}
+        if len(arities) != 1:
+            raise ValueError(f"disjuncts disagree on arity: {sorted(arities)}")
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    def base_symbols(self) -> frozenset[str]:
+        out: set[str] = set()
+        for disjunct in self.disjuncts:
+            out |= disjunct.base_symbols()
+        return frozenset(out)
+
+    def __iter__(self) -> Iterator[C2RPQ]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(q) for q in self.disjuncts)
+
+
+def two_rpq_as_uc2rpq(query: TwoRPQ) -> UC2RPQ:
+    """Embed a 2RPQ as the single-atom UC2RPQ ``Q(x, y) :- kappa(x, y)``."""
+    x, y = Var("x"), Var("y")
+    return UC2RPQ((C2RPQ((x, y), (RegularAtom(query, x, y),)),))
+
+
+def paper_example_1() -> tuple[C2RPQ, UC2RPQ]:
+    """The paper's Example 1: the triangle C2RPQ and its two-rule UC2RPQ."""
+    first = C2RPQ.from_strings(
+        "x,y", [("r", "x", "y"), ("r", "x", "z"), ("r", "y", "z")]
+    )
+    second = C2RPQ.from_strings(
+        "x,y", [("r", "x", "y"), ("r", "y", "z"), ("r", "z", "x")]
+    )
+    return first, UC2RPQ((first, second))

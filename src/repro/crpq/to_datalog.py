@@ -1,0 +1,116 @@
+"""UC2RPQ -> Datalog: the paper's "can all be expressed in Datalog" claim.
+
+Section 3.4 observes that RPQ, 2RPQ, UC2RPQ and RQ are all fragments of
+graph-database Datalog.  For UC2RPQ the translation is the classical
+product construction, rule by rule:
+
+- ``adom(x)`` collects the active domain (endpoints of any edge);
+- each regular atom ``kappa(x, y)`` compiles its NFA into *run
+  predicates* ``run_q(x, y)`` — "starting at ``x``, some semipath read
+  so far put the automaton in state ``q`` at node ``y``" — with one rule
+  per transition (forward letters follow edges, inverse letters follow
+  them backwards) and base rules ``run_q0(x, x) :- adom(x)``;
+- a C2RPQ body conjoins the atoms' final-state predicates, and a UC2RPQ
+  contributes one goal rule per disjunct.
+
+The recursion this produces is *not* transitive-closure-shaped in
+general (run predicates for different states are mutually recursive),
+so the image typically sits in full Datalog, outside GRQ — precisely
+the gap the paper's Section 4 closes from the other side.
+
+Caveat (shared with every atoms-only formalism here): ``adom`` ranges
+over edge-incident nodes, so epsilon self-pairs at isolated nodes are
+not derived; see :mod:`repro.rq.embeddings`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..automata.alphabet import base_symbol, is_inverse
+from ..cq.syntax import Atom, Var
+from ..datalog.syntax import Program, Rule
+from .syntax import C2RPQ, UC2RPQ
+
+
+class _Builder:
+    def __init__(self, goal: str) -> None:
+        self.rules: list[Rule] = []
+        self.counter = itertools.count()
+        self.goal = goal
+        self._adom_done: set[str] = set()
+
+    def ensure_adom(self, labels: frozenset[str]) -> None:
+        x, y = Var("x"), Var("y")
+        for label in sorted(labels - self._adom_done):
+            self.rules.append(Rule(Atom("adom", (x,)), (Atom(label, (x, y)),)))
+            self.rules.append(Rule(Atom("adom", (x,)), (Atom(label, (y, x)),)))
+            self._adom_done.add(label)
+
+    def add_regular_atom(self, atom) -> str:
+        """Emit run predicates for one regular atom; return the answer
+        predicate (binary, holding the atom's semantics)."""
+        nfa = atom.query.nfa
+        tag = next(self.counter)
+        x, y, z = Var("x"), Var("y"), Var("z")
+
+        def run(state) -> str:
+            return f"run{tag}_s{_state_name(state)}"
+
+        answer = f"atom{tag}"
+        self.ensure_adom(atom.query.base_symbols())
+        for state in nfa.initial:
+            self.rules.append(
+                Rule(Atom(run(state), (x, x)), (Atom("adom", (x,)),))
+            )
+        for source, symbol, target in nfa.edges():
+            if is_inverse(symbol):
+                edge_atom = Atom(base_symbol(symbol), (z, y))
+            else:
+                edge_atom = Atom(symbol, (y, z))
+            self.rules.append(
+                Rule(
+                    Atom(run(target), (x, z)),
+                    (Atom(run(source), (x, y)), edge_atom),
+                )
+            )
+        for state in nfa.final:
+            self.rules.append(
+                Rule(Atom(answer, (x, y)), (Atom(run(state), (x, y)),))
+            )
+        if not nfa.final or not nfa.initial:
+            # Empty language: emit an unsatisfiable definition so the
+            # predicate exists (a body atom that can never hold).
+            self.rules.append(
+                Rule(
+                    Atom(answer, (x, y)),
+                    (Atom("__never", (x, y)),),
+                )
+            )
+        return answer
+
+
+def _state_name(state) -> str:
+    return str(state).replace(" ", "").replace(",", "_").replace("(", "").replace(")", "")
+
+
+def uc2rpq_to_datalog(query: UC2RPQ | C2RPQ, goal: str = "ans") -> Program:
+    """Translate a UC2RPQ into an equivalent Datalog program.
+
+    The program's EDB is the query's base symbols; its IDB contains
+    ``adom``, per-atom run predicates, and *goal* with one rule per
+    disjunct.
+    """
+    union = query if isinstance(query, UC2RPQ) else UC2RPQ((query,))
+    builder = _Builder(goal)
+    goal_rules: list[Rule] = []
+    for disjunct in union:
+        body: list[Atom] = []
+        for atom in disjunct.atoms:
+            answer = builder.add_regular_atom(atom)
+            body.append(Atom(answer, (atom.source, atom.target)))
+        goal_rules.append(Rule(Atom(goal, disjunct.head_vars), tuple(body)))
+    # Align disjunct head variables: Program rules may use different
+    # variable names per rule, which Datalog handles naturally.
+    builder.rules.extend(goal_rules)
+    return Program(tuple(builder.rules), goal)

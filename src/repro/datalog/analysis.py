@@ -1,0 +1,176 @@
+"""Structural analysis of Datalog programs (Sections 2.2-2.3, 4.1).
+
+Implements the paper's dependence graph — an edge from predicate Q to
+predicate P when Q occurs in the body of a rule with head P ("P depends
+on Q") — and the derived classifications the paper's narrative walks
+through: recursive predicates, nonrecursive programs (≡ UCQ), Monadic
+Datalog (decidable but cannot express E+), linear recursion, and the
+strongly-connected-component machinery the GRQ membership test builds
+on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from .syntax import Program, Rule
+
+
+@dataclass(frozen=True)
+class DependenceGraph:
+    """The paper's dependence graph over the program's predicates."""
+
+    nodes: frozenset[str]
+    edges: frozenset[tuple[str, str]]  # (body predicate, head predicate)
+
+    def successors(self, predicate: str) -> frozenset[str]:
+        return frozenset(head for body, head in self.edges if body == predicate)
+
+    def strongly_connected_components(self) -> list[frozenset[str]]:
+        """Tarjan SCCs, successors-first (an SCC appears after none of
+        the SCCs it has edges into)."""
+        adjacency: dict[str, list[str]] = defaultdict(list)
+        for body, head in self.edges:
+            adjacency[body].append(head)
+        index_counter = 0
+        stack: list[str] = []
+        lowlink: dict[str, int] = {}
+        index: dict[str, int] = {}
+        on_stack: set[str] = set()
+        result: list[frozenset[str]] = []
+
+        def strongconnect(node: str) -> None:
+            nonlocal index_counter
+            index[node] = lowlink[node] = index_counter
+            index_counter += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in adjacency[node]:
+                if succ not in index:
+                    strongconnect(succ)
+                    lowlink[node] = min(lowlink[node], lowlink[succ])
+                elif succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(frozenset(component))
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * len(self.nodes) + 100))
+        try:
+            for node in sorted(self.nodes):
+                if node not in index:
+                    strongconnect(node)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return result
+
+    def has_self_loop(self, predicate: str) -> bool:
+        return (predicate, predicate) in self.edges
+
+
+def dependence_graph(program: Program) -> DependenceGraph:
+    """Build the dependence graph of *program*."""
+    nodes: set[str] = set()
+    edges: set[tuple[str, str]] = set()
+    for rule in program.rules:
+        nodes.add(rule.head.predicate)
+        for atom in rule.body:
+            nodes.add(atom.predicate)
+            edges.add((atom.predicate, rule.head.predicate))
+    return DependenceGraph(frozenset(nodes), frozenset(edges))
+
+
+def recursive_predicates(program: Program) -> frozenset[str]:
+    """Predicates with a dependence-graph cycle through themselves."""
+    graph = dependence_graph(program)
+    recursive: set[str] = set()
+    for component in graph.strongly_connected_components():
+        if len(component) > 1:
+            recursive |= component
+        else:
+            (only,) = component
+            if graph.has_self_loop(only):
+                recursive.add(only)
+    return frozenset(recursive)
+
+
+def is_nonrecursive(program: Program) -> bool:
+    """True iff no predicate depends recursively on itself (≡ UCQ)."""
+    return not recursive_predicates(program)
+
+
+def is_monadic(program: Program) -> bool:
+    """Monadic Datalog: every *recursive* predicate is one-place.
+
+    (The paper notes the goal may be non-monadic; only recursion is
+    restricted.)  Monadic programs have decidable containment [25] but
+    cannot express E+ — that separation is experiment E9's subject.
+    """
+    return all(
+        program.arity_of(predicate) == 1 for predicate in recursive_predicates(program)
+    )
+
+
+def is_linear(program: Program) -> bool:
+    """Linear recursion: each rule body has at most one recursive atom."""
+    recursive = recursive_predicates(program)
+    for rule in program.rules:
+        count = sum(1 for atom in rule.body if atom.predicate in recursive)
+        if count > 1:
+            return False
+    return True
+
+
+def recursive_components(program: Program) -> list[frozenset[str]]:
+    """The recursive SCCs, dependencies first.
+
+    Since dependence edges point from body predicates to heads, Tarjan
+    emits the *depending* (downstream) components first; reversing gives
+    bottom-up order — a component appears after everything it uses.
+    """
+    graph = dependence_graph(program)
+    out: list[frozenset[str]] = []
+    for component in reversed(graph.strongly_connected_components()):
+        if len(component) > 1 or graph.has_self_loop(next(iter(component))):
+            out.append(component & program.idb_predicates)
+    return [component for component in out if component]
+
+
+def predicate_depth(program: Program) -> dict[str, int]:
+    """Longest IDB-dependency chain below each predicate (nonrecursive only).
+
+    Used to bound unfolding; raises on recursive programs.
+    """
+    if not is_nonrecursive(program):
+        raise ValueError("predicate_depth is only defined for nonrecursive programs")
+    graph = dependence_graph(program)
+    idb = program.idb_predicates
+    depth: dict[str, int] = {}
+
+    def compute(predicate: str) -> int:
+        if predicate not in idb:
+            return 0
+        if predicate in depth:
+            return depth[predicate]
+        below = [
+            compute(body)
+            for body, head in graph.edges
+            if head == predicate
+        ]
+        depth[predicate] = 1 + max(below, default=0)
+        return depth[predicate]
+
+    for predicate in idb:
+        compute(predicate)
+    return depth

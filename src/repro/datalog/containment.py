@@ -1,0 +1,161 @@
+"""Containment involving Datalog programs (Sections 2.3 and 4).
+
+Exactly decidable directions implemented exactly:
+
+- ``UCQ ⊆ Datalog`` (:func:`ucq_in_datalog`): evaluate the program over
+  the canonical database of each disjunct — decidable because Datalog
+  evaluation terminates; the classical reduction from [20].
+- ``nonrecursive Datalog ⊆/⊇ anything UCQ-like``: via
+  :func:`repro.datalog.unfolding.unfold_nonrecursive`.
+
+The undecidable/expensive directions use the expansion characterization
+(a Datalog query equals the union of its expansions), giving a sound
+refutation procedure that is exact whenever the expansion space is
+exhausted and reports ``HOLDS_UP_TO_BOUND`` otherwise — the contract
+DESIGN.md section 2 spells out.  Full Datalog containment is undecidable
+(the paper's [52]), so *some* bound is intrinsic, not an implementation
+shortcut.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cq.containment import ucq_contained
+from ..cq.evaluation import satisfies_ucq
+from ..cq.syntax import CQ, UCQ
+from ..report import ContainmentResult, Counterexample, Verdict
+from ..relational.instance import Instance
+from .analysis import is_nonrecursive
+from .evaluation import evaluate
+from .syntax import Program
+from .unfolding import enumerate_expansions, unfold_nonrecursive
+
+DEFAULT_EXPANSION_BUDGET = 2000
+
+
+def cq_in_datalog(cq: CQ, program: Program) -> ContainmentResult:
+    """Exact: ``cq ⊆ program`` iff the program derives the frozen head
+    over the canonical database of *cq* (one terminating evaluation)."""
+    if cq.arity != program.goal_arity:
+        raise ValueError("arity mismatch between CQ and program goal")
+    instance, head = cq.canonical_instance()
+    answers = evaluate(program, instance)
+    if head in answers:
+        return ContainmentResult(Verdict.HOLDS, "canonical-db-evaluation")
+    return ContainmentResult(
+        Verdict.REFUTED,
+        "canonical-db-evaluation",
+        Counterexample(instance, head),
+    )
+
+
+def ucq_in_datalog(ucq: UCQ | CQ, program: Program) -> ContainmentResult:
+    """Exact: every disjunct must map into the program's answers."""
+    union = ucq if isinstance(ucq, UCQ) else UCQ((ucq,))
+    for disjunct in union:
+        result = cq_in_datalog(disjunct, program)
+        if result.verdict is Verdict.REFUTED:
+            return result
+    return ContainmentResult(Verdict.HOLDS, "canonical-db-evaluation")
+
+
+def datalog_in_ucq(
+    program: Program,
+    ucq: UCQ | CQ,
+    max_applications: int | None = None,
+    max_expansions: int = DEFAULT_EXPANSION_BUDGET,
+) -> ContainmentResult:
+    """``program ⊆ ucq`` via expansion enumeration.
+
+    Exact (HOLDS/REFUTED) for nonrecursive programs; for recursive
+    programs a REFUTED verdict is exact and a positive verdict is
+    ``HOLDS_UP_TO_BOUND`` over the explored expansions.
+    """
+    union = ucq if isinstance(ucq, UCQ) else UCQ((ucq,))
+    if is_nonrecursive(program):
+        unfolded = unfold_nonrecursive(program)
+        result = ucq_contained(unfolded, union)
+        if result.holds:
+            return ContainmentResult(Verdict.HOLDS, "unfold-to-ucq")
+        instance, head = result.counterexample  # type: ignore[misc]
+        return ContainmentResult(
+            Verdict.REFUTED, "unfold-to-ucq", Counterexample(instance, head)
+        )
+    explored = 0
+    for expansion in enumerate_expansions(
+        program, max_applications=max_applications, max_expansions=max_expansions
+    ):
+        explored += 1
+        instance, head = expansion.canonical_instance()
+        if not satisfies_ucq(union, instance, head):
+            return ContainmentResult(
+                Verdict.REFUTED,
+                "expansion",
+                Counterexample(instance, head),
+                details={"expansions_checked": explored},
+            )
+    return ContainmentResult(
+        Verdict.HOLDS_UP_TO_BOUND,
+        "expansion",
+        bound=max_expansions,
+        details={"expansions_checked": explored},
+    )
+
+
+def datalog_in_datalog(
+    left: Program,
+    right: Program,
+    max_applications: int | None = None,
+    max_expansions: int = DEFAULT_EXPANSION_BUDGET,
+) -> ContainmentResult:
+    """``left ⊆ right`` for two Datalog programs.
+
+    For each expansion of *left*, check (exactly) whether its canonical
+    database makes *right* derive the head — the [20]-style combination
+    of expansions with terminating evaluation.  Undecidable in general
+    [52], hence the bounded verdict; REFUTED is always exact, and a
+    nonrecursive *left* exhausts its finite expansion space, upgrading
+    the positive verdict to HOLDS.
+    """
+    if left.goal_arity != right.goal_arity:
+        raise ValueError("arity mismatch between program goals")
+    explored = 0
+    exhausted = is_nonrecursive(left)
+    iterator = enumerate_expansions(
+        left,
+        max_applications=None if exhausted else max_applications,
+        max_expansions=None if exhausted else max_expansions,
+    )
+    for expansion in iterator:
+        explored += 1
+        instance, head = expansion.canonical_instance()
+        if head not in evaluate(right, instance):
+            return ContainmentResult(
+                Verdict.REFUTED,
+                "expansion-vs-evaluation",
+                Counterexample(instance, head),
+                details={"expansions_checked": explored},
+            )
+    if exhausted:
+        return ContainmentResult(
+            Verdict.HOLDS,
+            "expansion-vs-evaluation",
+            details={"expansions_checked": explored},
+        )
+    return ContainmentResult(
+        Verdict.HOLDS_UP_TO_BOUND,
+        "expansion-vs-evaluation",
+        bound=max_expansions,
+        details={"expansions_checked": explored},
+    )
+
+
+def datalog_equivalent_bounded(
+    left: Program, right: Program, max_expansions: int = DEFAULT_EXPANSION_BUDGET
+) -> bool:
+    """Bounded equivalence check (truthy on both directions non-refuted)."""
+    return (
+        datalog_in_datalog(left, right, max_expansions=max_expansions).holds
+        and datalog_in_datalog(right, left, max_expansions=max_expansions).holds
+    )

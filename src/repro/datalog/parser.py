@@ -1,0 +1,97 @@
+"""A small text parser for Datalog programs.
+
+Syntax::
+
+    % comments run to end of line (# also works)
+    tc(x, y) :- edge(x, y).
+    tc(x, z) :- tc(x, y), edge(y, z).
+
+Terms starting with a letter are variables; integers and quoted strings
+are constants.  The trailing period per rule is required.  The goal
+predicate defaults to the head of the first rule.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..cq.syntax import Atom, Term, Var
+from .syntax import Program, Rule
+
+
+class DatalogSyntaxError(ValueError):
+    """Raised when a program text cannot be parsed."""
+
+
+_ATOM = re.compile(
+    r"\s*(?P<pred>[A-Za-z_][A-Za-z0-9_+\-]*)\s*\(\s*(?P<args>[^()]*)\)\s*"
+)
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        for marker in ("%", "#"):
+            index = line.find(marker)
+            if index >= 0:
+                line = line[:index]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _parse_term(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise DatalogSyntaxError("empty term")
+    if token.startswith(("'", '"')) and token.endswith(("'", '"')) and len(token) >= 2:
+        return token[1:-1]
+    if token.lstrip("-").isdigit():
+        return int(token)
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+        return Var(token)
+    raise DatalogSyntaxError(f"cannot parse term {token!r}")
+
+
+def _parse_atom(text: str) -> tuple[Atom, str]:
+    match = _ATOM.match(text)
+    if match is None:
+        raise DatalogSyntaxError(f"expected an atom at {text[:40]!r}")
+    args_text = match.group("args").strip()
+    args = (
+        tuple(_parse_term(token) for token in args_text.split(","))
+        if args_text
+        else ()
+    )
+    return Atom(match.group("pred"), args), text[match.end():]
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (without the trailing period)."""
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+    else:
+        head_text, body_text = text, ""
+    head, rest = _parse_atom(head_text)
+    if rest.strip():
+        raise DatalogSyntaxError(f"junk after head atom: {rest!r}")
+    body: list[Atom] = []
+    remaining = body_text.strip()
+    while remaining:
+        atom, remaining = _parse_atom(remaining)
+        body.append(atom)
+        remaining = remaining.strip()
+        if remaining.startswith(","):
+            remaining = remaining[1:]
+        elif remaining:
+            raise DatalogSyntaxError(f"expected ',' between atoms at {remaining!r}")
+    return Rule(head, tuple(body))
+
+
+def parse_program(text: str, goal: str | None = None) -> Program:
+    """Parse a full program; *goal* defaults to the first rule's head."""
+    cleaned = _strip_comments(text)
+    chunks = [chunk.strip() for chunk in cleaned.split(".") if chunk.strip()]
+    if not chunks:
+        raise DatalogSyntaxError("empty program")
+    rules = tuple(parse_rule(chunk) for chunk in chunks)
+    return Program(rules, goal if goal is not None else rules[0].head.predicate)

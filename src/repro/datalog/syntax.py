@@ -1,0 +1,191 @@
+"""Datalog programs: Horn rules with a designated goal (Section 2.2).
+
+A rule ``P(x, z) :- E(x, y), Q(y, z)`` has a single head atom and a
+conjunction of body atoms; body-only variables are implicitly
+existential, so every rule *is* a conjunctive query (as the paper
+notes).  Predicates occurring in some head are intensional (IDB); the
+rest are extensional (EDB).  A query is a program plus a goal IDB
+predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..cq.syntax import Atom, Term, Var, is_var
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn rule ``head :- body`` (body empty = fact rule)."""
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        body_vars = {var for atom in self.body for var in atom.variables()}
+        unsafe = [var for var in self.head.variables() if var not in body_vars]
+        if self.body and unsafe:
+            raise ValueError(f"unsafe rule: head variables {unsafe} not in body")
+        if not self.body and self.head.variables():
+            raise ValueError("fact rules must be ground")
+
+    def variables(self) -> frozenset[Var]:
+        out = set(self.head.variables())
+        for atom in self.body:
+            out.update(atom.variables())
+        return frozenset(out)
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Rule":
+        return Rule(
+            self.head.substitute(mapping),
+            tuple(atom.substitute(mapping) for atom in self.body),
+        )
+
+    def rename_with_suffix(self, suffix: str) -> "Rule":
+        """Freshen every variable by appending *suffix* to its name."""
+        mapping = {var: Var(f"{var.name}{suffix}") for var in self.variables()}
+        return self.substitute(mapping)
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- " + ", ".join(repr(a) for a in self.body) + "."
+
+
+@dataclass(frozen=True)
+class Program:
+    """A Datalog query: a rule set plus a goal predicate.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> tc = parse_program('''
+    ...     tc(x, y) :- edge(x, y).
+    ...     tc(x, z) :- tc(x, y), edge(y, z).
+    ... ''', goal="tc")
+    """
+
+    rules: tuple[Rule, ...]
+    goal: str
+
+    def __post_init__(self) -> None:
+        if self.goal not in self.idb_predicates:
+            raise ValueError(
+                f"goal {self.goal!r} is not an IDB predicate of the program"
+            )
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                existing = arities.setdefault(atom.predicate, atom.arity)
+                if existing != atom.arity:
+                    raise ValueError(
+                        f"{atom.predicate} used with arities {existing} and {atom.arity}"
+                    )
+
+    @property
+    def idb_predicates(self) -> frozenset[str]:
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    @property
+    def edb_predicates(self) -> frozenset[str]:
+        mentioned = {
+            atom.predicate for rule in self.rules for atom in rule.body
+        }
+        return frozenset(mentioned - self.idb_predicates)
+
+    @property
+    def goal_arity(self) -> int:
+        for rule in self.rules:
+            if rule.head.predicate == self.goal:
+                return rule.head.arity
+        raise AssertionError("goal validated in __post_init__")  # pragma: no cover
+
+    def rules_for(self, predicate: str) -> tuple[Rule, ...]:
+        return tuple(rule for rule in self.rules if rule.head.predicate == predicate)
+
+    def arity_of(self, predicate: str) -> int | None:
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                if atom.predicate == predicate:
+                    return atom.arity
+        return None
+
+    def rename_predicates(self, mapping: Mapping[str, str]) -> "Program":
+        """Rename predicates (used to avoid IDB clashes when combining)."""
+        def rename_atom(atom: Atom) -> Atom:
+            return Atom(mapping.get(atom.predicate, atom.predicate), atom.args)
+
+        rules = tuple(
+            Rule(rename_atom(rule.head), tuple(rename_atom(a) for a in rule.body))
+            for rule in self.rules
+        )
+        return Program(rules, mapping.get(self.goal, self.goal))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __repr__(self) -> str:
+        lines = [repr(rule) for rule in self.rules]
+        return f"Program(goal={self.goal}):\n  " + "\n  ".join(lines)
+
+
+def program_to_text(program: Program) -> str:
+    """Serialize a program in the :mod:`repro.datalog.parser` syntax.
+
+    ``parse_program(program_to_text(p), goal=p.goal)`` round-trips any
+    constant-free or int/str-constant program.
+    """
+
+    def term_text(term: Term) -> str:
+        if isinstance(term, Var):
+            return term.name
+        if isinstance(term, str):
+            return f"'{term}'"
+        return str(term)
+
+    def atom_text(atom: Atom) -> str:
+        inner = ", ".join(term_text(t) for t in atom.args)
+        return f"{atom.predicate}({inner})"
+
+    lines = []
+    for rule in program.rules:
+        if rule.body:
+            body = ", ".join(atom_text(a) for a in rule.body)
+            lines.append(f"{atom_text(rule.head)} :- {body}.")
+        else:
+            lines.append(f"{atom_text(rule.head)}.")
+    lines.append(f"% goal: {program.goal}")
+    return "\n".join(lines) + "\n"
+
+
+def transitive_closure_program(
+    edge: str = "edge", goal: str = "tc", left_linear: bool = True
+) -> Program:
+    """The paper's flagship recursive program: the transitive closure E+.
+
+    ``E+(x,y) :- E(x,y).  E+(x,z) :- E+(x,y), E(y,z).``  (Section 2.3.)
+    """
+    x, y, z = Var("x"), Var("y"), Var("z")
+    base = Rule(Atom(goal, (x, y)), (Atom(edge, (x, y)),))
+    if left_linear:
+        step = Rule(Atom(goal, (x, z)), (Atom(goal, (x, y)), Atom(edge, (y, z))))
+    else:
+        step = Rule(Atom(goal, (x, z)), (Atom(edge, (x, y)), Atom(goal, (y, z))))
+    return Program((base, step), goal)
+
+
+def reachability_program(
+    edge: str = "E", source_set: str = "P", goal: str = "Q"
+) -> Program:
+    """The paper's Monadic Datalog example (Section 2.3).
+
+    ``Q(X) :- E(X,Y), P(Y).   Q(X) :- E(X,Y), Q(Y).``
+    """
+    x, y = Var("X"), Var("Y")
+    return Program(
+        (
+            Rule(Atom(goal, (x,)), (Atom(edge, (x, y)), Atom(source_set, (y,)))),
+            Rule(Atom(goal, (x,)), (Atom(edge, (x, y)), Atom(goal, (y,)))),
+        ),
+        goal,
+    )

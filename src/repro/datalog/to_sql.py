@@ -1,0 +1,184 @@
+"""Datalog -> SQL recursive CTEs (the paper's SQL:1999 connection).
+
+Section 1 of the paper traces recursion in SQL to common table
+expressions [29]; this module makes the connection executable by
+compiling a (non-mutually-recursive) Datalog program into a
+``WITH RECURSIVE`` query.  SQLite — in the standard library — then
+serves as an *independent engine* whose answers the test suite compares
+against the semi-naive fixpoint, a third implementation of the paper's
+§2.2 semantics.
+
+Supported programs: every GRQ program and, more generally, any program
+whose dependence-graph SCCs are singletons (no mutual recursion — a SQL
+CTE can only reference itself).  Constants may be ints or strings.
+
+Layout: one CTE per IDB predicate in dependency order; each rule
+becomes a SELECT with joins on shared variables, unioned per predicate.
+EDB relations are tables named after the predicate with columns
+``c0..c{k-1}``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable
+
+from ..cq.syntax import Atom, Var, is_var
+from ..relational.instance import Instance
+from .analysis import dependence_graph, recursive_predicates
+from .syntax import Program, Rule
+
+
+class SQLTranslationError(ValueError):
+    """Raised for programs outside the translatable fragment."""
+
+
+def _check_translatable(program: Program) -> None:
+    graph = dependence_graph(program)
+    for component in graph.strongly_connected_components():
+        members = component & program.idb_predicates
+        if len(members) > 1:
+            raise SQLTranslationError(
+                f"mutually recursive predicates {sorted(members)}: SQL CTEs "
+                "cannot express mutual recursion"
+            )
+    recursive = recursive_predicates(program)
+    for rule in program.rules:
+        for atom in (rule.head, *rule.body):
+            for term in atom.args:
+                if is_var(term):
+                    continue
+                if not isinstance(term, (int, str)):
+                    raise SQLTranslationError(
+                        f"constant {term!r} is not representable in SQL"
+                    )
+        if rule.head.predicate in recursive:
+            self_references = sum(
+                1 for atom in rule.body if atom.predicate == rule.head.predicate
+            )
+            if self_references > 1:
+                raise SQLTranslationError(
+                    f"rule {rule!r} references its own predicate "
+                    f"{self_references} times; SQLite recursive CTEs allow "
+                    "exactly one self-reference (linear recursion only)"
+                )
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _literal(value) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def _rule_select(rule: Rule) -> str:
+    """One rule as a SELECT over its body atoms."""
+    if not rule.body:
+        values = ", ".join(_literal(term) for term in rule.head.args) or "1"
+        return f"SELECT {values}"
+    aliases = [f"t{i}" for i in range(len(rule.body))]
+    first_binding: dict[Var, str] = {}
+    conditions: list[str] = []
+    for alias, atom in zip(aliases, rule.body):
+        for position, term in enumerate(atom.args):
+            column = f"{alias}.c{position}"
+            if is_var(term):
+                if term in first_binding:
+                    conditions.append(f"{column} = {first_binding[term]}")
+                else:
+                    first_binding[term] = column
+            else:
+                conditions.append(f"{column} = {_literal(term)}")
+    select_parts = []
+    for term in rule.head.args:
+        if is_var(term):
+            select_parts.append(first_binding[term])
+        else:
+            select_parts.append(_literal(term))
+    if not select_parts:
+        select_parts = ["1"]  # zero-arity head: presence marker column
+    from_clause = ", ".join(
+        f"{_quote(atom.predicate)} AS {alias}"
+        for alias, atom in zip(aliases, rule.body)
+    )
+    where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+    return f"SELECT {', '.join(select_parts)} FROM {from_clause}{where}"
+
+
+def program_to_sql(program: Program) -> str:
+    """The complete ``WITH RECURSIVE`` query selecting the goal relation."""
+    _check_translatable(program)
+    recursive = recursive_predicates(program)
+    graph = dependence_graph(program)
+    ordered = [
+        predicate
+        for component in reversed(graph.strongly_connected_components())
+        for predicate in sorted(component)
+        if predicate in program.idb_predicates
+    ]
+    ctes = []
+    for predicate in ordered:
+        arity = program.arity_of(predicate)
+        assert arity is not None
+        # Zero-arity predicates get a single presence-marker column.
+        columns = ", ".join(f"c{i}" for i in range(max(arity, 1)))
+        # SQLite requires the non-recursive branch(es) of a recursive
+        # CTE to come first in the UNION.
+        rules = sorted(
+            program.rules_for(predicate),
+            key=lambda rule: any(
+                atom.predicate == predicate for atom in rule.body
+            ),
+        )
+        selects = [_rule_select(rule) for rule in rules]
+        body = "\n    UNION\n    ".join(selects)
+        ctes.append(f"{_quote(predicate)}({columns}) AS (\n    {body}\n)")
+    goal_arity = program.goal_arity
+    goal_columns = ", ".join(f"c{i}" for i in range(goal_arity)) or "1"
+    keyword = "WITH RECURSIVE" if recursive else "WITH"
+    if goal_arity == 0:
+        # Boolean goal: emit a 1-column presence marker.
+        return (
+            f"{keyword} " + ",\n".join(ctes) +
+            f"\nSELECT DISTINCT 1 FROM {_quote(program.goal)}"
+        )
+    return (
+        f"{keyword} " + ",\n".join(ctes) +
+        f"\nSELECT DISTINCT {goal_columns} FROM {_quote(program.goal)}"
+    )
+
+
+def _load_edb(connection: sqlite3.Connection, program: Program, edb: Instance) -> None:
+    for predicate in sorted(program.edb_predicates):
+        arity = program.arity_of(predicate)
+        rows = edb.tuples(predicate)
+        if arity is None:
+            arity = edb.arity(predicate) or 0
+        width = max(arity, 1)
+        columns = ", ".join(f"c{i}" for i in range(width))
+        connection.execute(f"CREATE TABLE {_quote(predicate)} ({columns})")
+        if rows:
+            placeholders = ", ".join("?" for _ in range(width))
+            connection.executemany(
+                f"INSERT INTO {_quote(predicate)} VALUES ({placeholders})",
+                [tuple(row) if row else (1,) for row in rows],
+            )
+
+
+def evaluate_via_sql(program: Program, edb: Instance) -> frozenset[tuple]:
+    """Run the translated query on an in-memory SQLite database.
+
+    Returns the goal relation, matching
+    :func:`repro.datalog.evaluation.evaluate` on every supported
+    program (the test suite enforces this).
+    """
+    sql = program_to_sql(program)
+    with sqlite3.connect(":memory:") as connection:
+        _load_edb(connection, program, edb)
+        rows = connection.execute(sql).fetchall()
+    if program.goal_arity == 0:
+        return frozenset({()} if rows else set())
+    return frozenset(tuple(row) for row in rows)

@@ -1,0 +1,200 @@
+"""Unfolding and expansions: Datalog as (possibly infinite) unions of CQs.
+
+Section 2.2 of the paper recalls two classical facts this module makes
+executable:
+
+- a *nonrecursive* program is equivalent to a finite UCQ
+  (:func:`unfold_nonrecursive`), and
+- a general program defines a possibly infinite union of conjunctive
+  queries — its *expansions*, one per proof tree
+  (:func:`enumerate_expansions`), which the expansion-based containment
+  procedures of :mod:`repro.datalog.containment`, :mod:`repro.crpq` and
+  :mod:`repro.rq` quantify over.
+
+Rules may repeat variables in their heads (e.g. the image of RQ
+selection under the Section 4.1 translation); unifying such a head with
+a call site *identifies* call-site terms, and the identification is
+applied to the entire partial expansion, including the goal tuple.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..cq.syntax import CQ, UCQ, Atom, Term, Var, is_var
+from .analysis import is_nonrecursive
+from .syntax import Program, Rule
+
+
+@dataclass(frozen=True)
+class PartialExpansion:
+    """A partially unfolded goal: atoms over EDB and pending IDB atoms.
+
+    ``head`` tracks the goal tuple through the variable identifications
+    that repeated-head-variable rules force.
+    """
+
+    atoms: tuple[Atom, ...]
+    head: tuple[Term, ...]
+    applications: int  # how many rule substitutions produced this
+
+    def first_idb_index(self, idb: frozenset[str]) -> int | None:
+        for index, atom in enumerate(self.atoms):
+            if atom.predicate in idb:
+                return index
+        return None
+
+
+def _fresh_rule(rule: Rule, stamp: int) -> Rule:
+    """Rename rule variables apart with a per-substitution stamp."""
+    return rule.rename_with_suffix(f"~{stamp}")
+
+
+def _unify_with_head(
+    rule: Rule, atom: Atom, stamp: int
+) -> tuple[tuple[Atom, ...], dict[Term, Term]] | None:
+    """Substitute *atom* by the (freshened) body of *rule*.
+
+    Head variables bind to the call-site terms; repeated head variables
+    force identifications among call-site terms, returned as a rewrite
+    map the caller must apply to the rest of the expansion.  Returns
+    None when head constants clash with the call site.
+    """
+    fresh = _fresh_rule(rule, stamp)
+    binding: dict[Var, Term] = {}
+    forced: list[tuple[Term, Term]] = []
+    for head_term, call_term in zip(fresh.head.args, atom.args):
+        if is_var(head_term):
+            if head_term in binding:
+                forced.append((binding[head_term], call_term))
+            else:
+                binding[head_term] = call_term
+        elif head_term != call_term:
+            return None
+    rewrite: dict[Term, Term] = {}
+    for a, b in forced:
+        a = rewrite.get(a, a)
+        b = rewrite.get(b, b)
+        if a == b:
+            continue
+        if not is_var(a) and not is_var(b):
+            return None  # two distinct constants forced equal
+        keep, drop = (a, b) if is_var(b) else (b, a)
+        rewrite[drop] = keep
+        rewrite = {key: (keep if value == drop else value) for key, value in rewrite.items()}
+
+    def rw(term: Term) -> Term:
+        return rewrite.get(term, term)
+
+    body = tuple(
+        Atom(a.predicate, tuple(rw(t) for t in a.args))
+        for a in (atom_.substitute(binding) for atom_ in fresh.body)
+    )
+    return body, rewrite
+
+
+def _apply_rewrite(atoms: tuple[Atom, ...], rewrite: dict[Term, Term]) -> tuple[Atom, ...]:
+    if not rewrite:
+        return atoms
+    return tuple(
+        Atom(a.predicate, tuple(rewrite.get(t, t) for t in a.args)) for a in atoms
+    )
+
+
+def enumerate_expansions(
+    program: Program,
+    max_applications: int | None = None,
+    max_atoms: int | None = None,
+    max_expansions: int | None = None,
+) -> Iterator[CQ]:
+    """Enumerate the program's expansions breadth-first by proof size.
+
+    Each yielded CQ's head is the goal tuple (variables ``g0..g{k-1}``,
+    possibly identified by repeated-head-variable rules) and its body
+    contains only EDB atoms.  Enumeration is by number of rule
+    applications, so bounded containment checks meet the smallest
+    counterexamples first.
+
+    Args:
+        program: the Datalog query.
+        max_applications: stop exploring partial expansions beyond this
+            many rule substitutions (None = unbounded; the iterator is
+            then infinite for recursive programs).
+        max_atoms: prune partial expansions whose atom count exceeds this.
+        max_expansions: overall cap on yielded expansions.
+    """
+    idb = program.idb_predicates
+    goal_arity = program.goal_arity
+    head_vars: tuple[Term, ...] = tuple(Var(f"g{i}") for i in range(goal_arity))
+    seed = PartialExpansion((Atom(program.goal, head_vars),), head_vars, 0)
+    queue: deque[PartialExpansion] = deque([seed])
+    stamp = itertools.count()
+    yielded = 0
+    seen: set[tuple] = set()
+    while queue:
+        partial = queue.popleft()
+        index = partial.first_idb_index(idb)
+        if index is None:
+            key = (partial.atoms, partial.head)
+            if key in seen:
+                continue
+            seen.add(key)
+            cq = _to_cq(partial)
+            if cq is None:
+                continue
+            yield cq
+            yielded += 1
+            if max_expansions is not None and yielded >= max_expansions:
+                return
+            continue
+        if max_applications is not None and partial.applications >= max_applications:
+            continue
+        atom = partial.atoms[index]
+        for rule in program.rules_for(atom.predicate):
+            unified = _unify_with_head(rule, atom, next(stamp))
+            if unified is None:
+                continue
+            body, rewrite = unified
+            before = _apply_rewrite(partial.atoms[:index], rewrite)
+            after = _apply_rewrite(partial.atoms[index + 1 :], rewrite)
+            new_atoms = before + body + after
+            new_head = tuple(rewrite.get(t, t) for t in partial.head)
+            if max_atoms is not None and len(new_atoms) > max_atoms:
+                continue
+            queue.append(
+                PartialExpansion(new_atoms, new_head, partial.applications + 1)
+            )
+
+
+def _to_cq(partial: PartialExpansion) -> CQ | None:
+    """Finalize a fully unfolded expansion as a CQ, or None if impossible.
+
+    Expansions whose goal tuple contains a constant, or whose goal
+    variable no longer occurs in the body (possible with constant-headed
+    rules), are not expressible as plain CQs and are skipped; none of
+    the translations in this package produce such programs.
+    """
+    if not all(is_var(term) for term in partial.head):
+        return None
+    body_vars = {v for a in partial.atoms for v in a.variables()}
+    if not set(partial.head) <= body_vars:
+        return None
+    return CQ(tuple(partial.head), partial.atoms)  # type: ignore[arg-type]
+
+
+def unfold_nonrecursive(program: Program) -> UCQ:
+    """The finite UCQ equivalent to a nonrecursive program (Section 2.2).
+
+    Raises ValueError on recursive programs.
+    """
+    if not is_nonrecursive(program):
+        raise ValueError("only nonrecursive programs unfold to a finite UCQ")
+    disjuncts = tuple(enumerate_expansions(program))
+    if not disjuncts:
+        raise ValueError(
+            "program has no expansions (goal underivable for every database)"
+        )
+    return UCQ(disjuncts)

@@ -1,0 +1,29 @@
+"""Graph-database substrate (Section 3.1): storage, semipaths, workloads, IO."""
+
+from . import io
+
+from .database import GraphDatabase, canonical_database_of_word
+from .generators import (
+    cycle_graph,
+    grid_graph,
+    labeled_word_path,
+    layered_dag,
+    path_graph,
+    random_graph,
+    skewed_random_graph,
+    social_network,
+)
+
+__all__ = [
+    "io",
+    "GraphDatabase",
+    "canonical_database_of_word",
+    "cycle_graph",
+    "grid_graph",
+    "labeled_word_path",
+    "layered_dag",
+    "path_graph",
+    "random_graph",
+    "skewed_random_graph",
+    "social_network",
+]

@@ -1,0 +1,165 @@
+"""Synthetic graph-database workloads.
+
+The paper motivates graph databases with web, social-network, and
+biological data (Section 1) but, being an overview, evaluates nothing.
+These generators produce the synthetic equivalents used throughout the
+experiment suite: simple shapes with known query answers (paths, cycles,
+grids) for ground-truth tests, and label-skewed random and
+social-network-like graphs for the performance experiments.
+
+All generators take a :class:`random.Random` (or a seed) so every
+experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .database import GraphDatabase
+
+
+def _rng(seed_or_rng: int | random.Random | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def path_graph(length: int, label: str = "e") -> GraphDatabase:
+    """A directed path ``0 -label-> 1 -label-> ... -label-> length``."""
+    return GraphDatabase.from_edges(
+        [(i, label, i + 1) for i in range(length)], nodes=[0]
+    )
+
+
+def cycle_graph(length: int, label: str = "e") -> GraphDatabase:
+    """A directed cycle on ``length`` nodes."""
+    if length <= 0:
+        raise ValueError("cycle length must be positive")
+    return GraphDatabase.from_edges(
+        [(i, label, (i + 1) % length) for i in range(length)]
+    )
+
+
+def grid_graph(rows: int, cols: int, right: str = "r", down: str = "d") -> GraphDatabase:
+    """A rows x cols grid with 'right' and 'down' labeled edges."""
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                edges.append(((i, j), right, (i, j + 1)))
+            if i + 1 < rows:
+                edges.append(((i, j), down, (i + 1, j)))
+    return GraphDatabase.from_edges(edges)
+
+
+def labeled_word_path(word: Sequence[str]) -> GraphDatabase:
+    """A path spelling *word* forward: node i -word[i]-> node i+1."""
+    return GraphDatabase.from_edges(
+        [(i, label, i + 1) for i, label in enumerate(word)], nodes=[0]
+    )
+
+
+def random_graph(
+    num_nodes: int,
+    num_edges: int,
+    labels: Sequence[str],
+    seed: int | random.Random | None = 0,
+) -> GraphDatabase:
+    """Uniformly random edges with uniformly random labels."""
+    rng = _rng(seed)
+    db = GraphDatabase()
+    for node in range(num_nodes):
+        db.add_node(node)
+    for _ in range(num_edges):
+        db.add_edge(
+            rng.randrange(num_nodes), rng.choice(list(labels)), rng.randrange(num_nodes)
+        )
+    return db
+
+
+def skewed_random_graph(
+    num_nodes: int,
+    num_edges: int,
+    labels: Sequence[str],
+    skew: float = 2.0,
+    seed: int | random.Random | None = 0,
+) -> GraphDatabase:
+    """Random graph with Zipf-like label frequencies (realistic skew)."""
+    rng = _rng(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(labels))]
+    db = GraphDatabase()
+    for node in range(num_nodes):
+        db.add_node(node)
+    for _ in range(num_edges):
+        db.add_edge(
+            rng.randrange(num_nodes),
+            rng.choices(list(labels), weights=weights, k=1)[0],
+            rng.randrange(num_nodes),
+        )
+    return db
+
+
+def social_network(
+    num_people: int,
+    avg_friends: float = 4.0,
+    seed: int | random.Random | None = 0,
+) -> GraphDatabase:
+    """A social-network-like database over labels used by the examples.
+
+    Schema: ``knows`` (preferential attachment, so a few hubs emerge),
+    ``worksAt`` and ``livesIn`` (people -> organizations / cities),
+    ``partOf`` (city -> country chains for transitive queries).
+    """
+    rng = _rng(seed)
+    db = GraphDatabase()
+    people = [f"p{i}" for i in range(num_people)]
+    orgs = [f"org{i}" for i in range(max(2, num_people // 10))]
+    cities = [f"city{i}" for i in range(max(2, num_people // 20))]
+    countries = [f"country{i}" for i in range(max(2, len(cities) // 3))]
+
+    degree = {person: 1 for person in people}
+    target_edges = int(num_people * avg_friends)
+    for _ in range(target_edges):
+        source = rng.choice(people)
+        # Preferential attachment on current in-degree.
+        population = list(degree)
+        weights = [degree[p] for p in population]
+        target = rng.choices(population, weights=weights, k=1)[0]
+        if source != target:
+            db.add_edge(source, "knows", target)
+            degree[target] += 1
+    for person in people:
+        db.add_edge(person, "worksAt", rng.choice(orgs))
+        db.add_edge(person, "livesIn", rng.choice(cities))
+    for city in cities:
+        db.add_edge(city, "partOf", rng.choice(countries))
+    # Country containment chains (so partOf+ is interesting).
+    for index in range(len(countries) - 1):
+        db.add_edge(countries[index], "partOf", countries[index + 1])
+    return db
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    labels: Sequence[str] = ("e",),
+    density: float = 0.5,
+    seed: int | random.Random | None = 0,
+) -> GraphDatabase:
+    """A layered DAG: edges only go from layer i to layer i+1.
+
+    Useful for Datalog same-generation and reachability workloads where
+    the fixpoint depth equals the number of layers.
+    """
+    rng = _rng(seed)
+    db = GraphDatabase()
+    for layer in range(layers):
+        for slot in range(width):
+            db.add_node((layer, slot))
+    for layer in range(layers - 1):
+        for a in range(width):
+            for b in range(width):
+                if rng.random() < density:
+                    db.add_edge((layer, a), rng.choice(list(labels)), (layer + 1, b))
+    return db

@@ -1,0 +1,89 @@
+"""Loading and saving graph databases.
+
+Two interchange formats:
+
+- **edge-list text** — one ``source label target`` triple per line
+  (whitespace-separated; ``#`` comments; isolated nodes as single-token
+  lines).  The format most graph tools can produce.
+- **JSON** — ``{"nodes": [...], "edges": [[source, label, target], ...]}``,
+  round-tripping arbitrary JSON-representable node names.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO
+
+from .database import GraphDatabase
+
+
+def to_edge_list(db: GraphDatabase) -> str:
+    """Serialize to the edge-list text format (sorted, deterministic)."""
+    lines = [
+        f"{source} {label} {target}"
+        for source, label, target in sorted(db.edges(), key=repr)
+    ]
+    touched = {n for edge in db.edges() for n in (edge[0], edge[2])}
+    lines += [str(node) for node in sorted(db.nodes - touched, key=repr)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_edge_list(text: str) -> GraphDatabase:
+    """Parse the edge-list text format (node names become strings)."""
+    db = GraphDatabase()
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            db.add_node(parts[0])
+        elif len(parts) == 3:
+            source, label, target = parts
+            db.add_edge(source, label, target)
+        else:
+            raise ValueError(
+                f"expected 'source label target' or a lone node, got {raw!r}"
+            )
+    return db
+
+
+def to_json(db: GraphDatabase) -> str:
+    """Serialize to the JSON format (sorted, deterministic)."""
+    return json.dumps(
+        {
+            "nodes": sorted(db.nodes, key=repr),
+            "edges": sorted(([s, l, t] for s, l, t in db.edges()), key=repr),
+        },
+        default=list,
+    )
+
+
+def from_json(text: str) -> GraphDatabase:
+    """Parse the JSON format (lists become tuples so nodes stay hashable)."""
+    data = json.loads(text)
+
+    def freeze(node):
+        return tuple(freeze(part) for part in node) if isinstance(node, list) else node
+
+    db = GraphDatabase()
+    for node in data.get("nodes", []):
+        db.add_node(freeze(node))
+    for source, label, target in data.get("edges", []):
+        db.add_edge(freeze(source), label, freeze(target))
+    return db
+
+
+def save(db: GraphDatabase, path: str | pathlib.Path) -> None:
+    """Save by extension: ``.json`` -> JSON, anything else -> edge list."""
+    path = pathlib.Path(path)
+    text = to_json(db) if path.suffix == ".json" else to_edge_list(db)
+    path.write_text(text)
+
+
+def load(path: str | pathlib.Path) -> GraphDatabase:
+    """Load by extension: ``.json`` -> JSON, anything else -> edge list."""
+    path = pathlib.Path(path)
+    text = path.read_text()
+    return from_json(text) if path.suffix == ".json" else from_edge_list(text)

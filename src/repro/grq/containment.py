@@ -1,0 +1,87 @@
+"""GRQ containment (Theorem 8 class).
+
+GRQ is the sweet spot the paper's whole narrative aims at: a fragment of
+Datalog expressive enough for connectivity (unlike Monadic Datalog) with
+a decidable — indeed elementary, 2EXPSPACE-complete — containment
+problem (unlike full Datalog).
+
+The procedure mirrors :mod:`repro.rq.containment`: the left program's
+expansions (which unroll each TC component into explicit chains) are
+each decided exactly by evaluating the right program over the
+expansion's canonical database.  Both sides are first *verified* to be
+GRQ — the decidability claim is specific to the fragment, and the
+checker refuses programs outside it rather than silently running the
+(sound-but-possibly-non-terminating) general Datalog procedure.
+"""
+
+from __future__ import annotations
+
+from ..report import ContainmentResult, Counterexample, Verdict
+from ..datalog.analysis import is_nonrecursive
+from ..datalog.evaluation import evaluate
+from ..datalog.syntax import Program
+from ..datalog.unfolding import enumerate_expansions
+from .membership import check_grq
+
+DEFAULT_EXPANSION_BUDGET = 3000
+DEFAULT_APPLICATION_BOUND = 20
+
+
+class NotGRQError(ValueError):
+    """Raised when a program offered to the GRQ checker is not in GRQ."""
+
+    def __init__(self, which: str, violations: tuple[str, ...]) -> None:
+        detail = "; ".join(violations)
+        super().__init__(f"{which} program is not in GRQ: {detail}")
+        self.violations = violations
+
+
+def grq_contained(
+    left: Program,
+    right: Program,
+    max_applications: int | None = DEFAULT_APPLICATION_BOUND,
+    max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
+) -> ContainmentResult:
+    """Containment between two GRQ programs.
+
+    Raises :class:`NotGRQError` if either side fails the membership
+    check of :mod:`repro.grq.membership`.
+    """
+    for which, program in (("left", left), ("right", right)):
+        report = check_grq(program)
+        if not report.is_grq:
+            raise NotGRQError(which, report.violations)
+    if left.goal_arity != right.goal_arity:
+        raise ValueError("arity mismatch between program goals")
+    exhaustive = is_nonrecursive(left)
+    iterator = enumerate_expansions(
+        left,
+        max_applications=None if exhaustive else max_applications,
+        max_expansions=None if exhaustive else max_expansions,
+    )
+    checked = 0
+    for expansion in iterator:
+        checked += 1
+        instance, head = expansion.canonical_instance()
+        if head not in evaluate(right, instance):
+            return ContainmentResult(
+                Verdict.REFUTED,
+                "grq-expansion",
+                Counterexample(instance, head),
+                details={"expansions_checked": checked},
+            )
+    if exhaustive:
+        return ContainmentResult(
+            Verdict.HOLDS, "grq-expansion", details={"expansions_checked": checked}
+        )
+    return ContainmentResult(
+        Verdict.HOLDS_UP_TO_BOUND,
+        "grq-expansion",
+        bound=max_expansions if max_expansions is not None else -1,
+        details={"expansions_checked": checked, "max_applications": max_applications},
+    )
+
+
+def grq_equivalent(left: Program, right: Program) -> bool:
+    """Truthy equivalence (both directions non-refuted)."""
+    return grq_contained(left, right).holds and grq_contained(right, left).holds

@@ -1,0 +1,149 @@
+"""GRQ membership: is recursion used only for transitive closure?
+
+Section 4.1 defines GRQ as Datalog in which "recursion can be used only
+to define transitive closure of binary relations".  Operationally (and
+matching exactly the shapes the RQ -> Datalog translation emits), a
+program is GRQ iff every recursive predicate ``P``:
+
+- is binary,
+- forms a singleton strongly connected component (no mutual recursion),
+- has every recursive rule of one of the two linear TC-step shapes
+
+  ``P(x, z) :- P(x, y), B(y, z)``    (left-linear)
+  ``P(x, z) :- B(x, y), P(y, z)``    (right-linear)
+
+  with ``x, y, z`` pairwise distinct variables and ``B`` a binary
+  predicate that does not depend on ``P``, and
+- has at least one non-recursive (base) rule, each of whose bodies
+  avoids ``P`` entirely.
+
+The checker reports *why* a program fails, which the examples use to
+explain the GRQ boundary to users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cq.syntax import Atom, is_var
+from ..datalog.analysis import dependence_graph, recursive_predicates
+from ..datalog.syntax import Program, Rule
+
+
+@dataclass(frozen=True)
+class GRQReport:
+    """Outcome of a GRQ membership check."""
+
+    is_grq: bool
+    violations: tuple[str, ...] = ()
+    recursive_predicates: frozenset[str] = frozenset()
+
+
+def _is_tc_step(rule: Rule, predicate: str) -> bool:
+    """Does *rule* match one of the two linear TC-step shapes for P?"""
+    head = rule.head
+    if head.predicate != predicate or head.arity != 2:
+        return False
+    if len(rule.body) != 2:
+        return False
+    x, z = head.args
+    if not (is_var(x) and is_var(z)) or x == z:
+        return False
+    first, second = rule.body
+    for recursive_atom, other_atom, left_linear in (
+        (first, second, True),
+        (second, first, False),
+    ):
+        if recursive_atom.predicate != predicate:
+            continue
+        if other_atom.predicate == predicate:
+            continue  # two recursive atoms: nonlinear, not TC
+        if recursive_atom.arity != 2 or other_atom.arity != 2:
+            continue
+        if left_linear:
+            # P(x, z) :- P(x, y), B(y, z)
+            px, py = recursive_atom.args
+            by, bz = other_atom.args
+            if (
+                px == x
+                and is_var(py)
+                and py not in (x, z)
+                and by == py
+                and bz == z
+            ):
+                return True
+        else:
+            # P(x, z) :- B(x, y), P(y, z)
+            bx, by = other_atom.args
+            py, pz = recursive_atom.args
+            if (
+                bx == x
+                and is_var(by)
+                and by not in (x, z)
+                and py == by
+                and pz == z
+            ):
+                return True
+    return False
+
+
+def check_grq(program: Program) -> GRQReport:
+    """Classify *program*; see the module docstring for the criterion."""
+    recursive = recursive_predicates(program) & program.idb_predicates
+    graph = dependence_graph(program)
+    violations: list[str] = []
+
+    components = graph.strongly_connected_components()
+    for component in components:
+        members = component & recursive
+        if len(members) > 1:
+            violations.append(
+                f"mutually recursive predicates {sorted(members)} "
+                "(recursion beyond transitive closure)"
+            )
+
+    for predicate in sorted(recursive):
+        arity = program.arity_of(predicate)
+        if arity != 2:
+            violations.append(
+                f"recursive predicate {predicate} has arity {arity}, "
+                "but GRQ recursion must define binary relations"
+            )
+            continue
+        base_rules = []
+        for rule in program.rules_for(predicate):
+            body_predicates = {atom.predicate for atom in rule.body}
+            if predicate in body_predicates:
+                if not _is_tc_step(rule, predicate):
+                    violations.append(
+                        f"recursive rule {rule!r} is not a linear "
+                        "transitive-closure step"
+                    )
+            else:
+                if recursive & body_predicates:
+                    # A base rule may use other (lower) recursive
+                    # predicates - those are separate TC components.
+                    pass
+                base_rules.append(rule)
+        if not base_rules:
+            violations.append(
+                f"recursive predicate {predicate} has no base rule"
+            )
+
+    return GRQReport(not violations, tuple(violations), frozenset(recursive))
+
+
+def is_grq(program: Program) -> bool:
+    """Boolean convenience wrapper around :func:`check_grq`."""
+    return check_grq(program).is_grq
+
+
+def is_graph_grq(program: Program) -> bool:
+    """Is this moreover an *RQ-style* program (all EDB predicates binary)?
+
+    The paper's RQ sits inside GRQ by restricting atoms to binary
+    relations; GRQ proper allows arbitrary-arity EDB atoms.
+    """
+    if not is_grq(program):
+        return False
+    return all(program.arity_of(pred) == 2 for pred in program.edb_predicates)

@@ -1,0 +1,233 @@
+"""GRQ -> RQ: the reduction behind Theorem 8, for graph-schema programs.
+
+The paper reduces GRQ containment to RQ containment.  For programs over
+a *binary* EDB (the graph-database schema; higher arities go through
+:mod:`repro.grq.encoding` first) the reduction is constructive and
+implemented here: every IDB predicate of a GRQ program is translated,
+bottom-up along the dependence order, into an RQ algebra term.
+
+- A **non-recursive** predicate is the disjunction over its rules of the
+  conjunction of its body atoms (EDB atoms become edge atoms, IDB atoms
+  instantiate the already-translated term), projected to the head.
+- A **recursive** predicate ``P`` passes the GRQ membership check, so
+  its rules are base rules (no ``P`` in the body) plus linear TC steps
+  ``P(x,z) :- P(x,y), B(y,z)`` and/or ``P(x,z) :- C(x,y), P(y,z)``.
+  The least fixpoint of ``X = base ∪ X;B ∪ C;X`` is ``C* ; base ; B*``
+  (left and right appends commute through the middle), which is an RQ:
+  compositions are join+project and ``X* = id ∨ X+``.
+
+Caveats, shared with :mod:`repro.rq.embeddings`: constants in rules are
+not supported (RQ atoms are variable-only), and the identity relation
+used by ``X*`` ranges over edge-incident nodes — harmless here because
+every value a GRQ program derives is an edge endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..cq.syntax import Atom, Var, is_var
+from ..datalog.analysis import dependence_graph, recursive_predicates
+from ..datalog.syntax import Program, Rule
+from ..rq.embeddings import identity_query
+from ..rq.syntax import (
+    And,
+    EdgeAtom,
+    Or,
+    Project,
+    RQ,
+    RQError,
+    Select,
+    TransitiveClosure,
+    rename,
+)
+from .membership import check_grq
+from .containment import NotGRQError
+
+
+class _Translator:
+    def __init__(self, program: Program) -> None:
+        report = check_grq(program)
+        if not report.is_grq:
+            raise NotGRQError("input", report.violations)
+        for predicate in program.edb_predicates:
+            if program.arity_of(predicate) != 2:
+                raise RQError(
+                    f"grq_to_rq needs a binary (graph) EDB; {predicate} has "
+                    f"arity {program.arity_of(predicate)} — encode it first "
+                    "(repro.grq.encoding)"
+                )
+        self.program = program
+        self.recursive = recursive_predicates(program)
+        self.alphabet = tuple(sorted(program.edb_predicates))
+        self.definitions: dict[str, RQ] = {}
+        self.counter = itertools.count()
+
+    # -- variable hygiene -------------------------------------------------------
+
+    def _freshen(self, term: RQ, head_targets: tuple[Var, ...]) -> RQ:
+        """Rename *term* so its head becomes *head_targets* and every other
+        variable lands in a fresh namespace (no capture at call sites)."""
+        stamp = next(self.counter)
+        mapping = {
+            old.name: new.name for old, new in zip(term.head_vars, head_targets)
+        }
+        for node in term.walk():
+            if isinstance(node, EdgeAtom):
+                for var in (node.source, node.target):
+                    mapping.setdefault(var.name, f"{var.name}~{stamp}")
+        return rename(term, mapping)
+
+    def _fresh_var(self) -> Var:
+        return Var(f"__g{next(self.counter)}")
+
+    # -- rule translation ---------------------------------------------------------
+
+    def _atom_term(self, atom: Atom) -> RQ:
+        """An RQ term whose head lists the atom's *distinct* variables in
+        order of first occurrence, constrained exactly like the atom."""
+        if not all(is_var(term) for term in atom.args):
+            raise RQError(
+                f"constants are outside the RQ algebra: {atom!r}"
+            )
+        args: tuple[Var, ...] = atom.args  # type: ignore[assignment]
+        if atom.predicate in self.program.idb_predicates:
+            base = self.definitions[atom.predicate]
+            # Instantiate with temporaries, then identify repeats.
+            temporaries = tuple(self._fresh_var() for _ in args)
+            term = self._freshen(base, temporaries)
+        else:
+            temporaries = tuple(self._fresh_var() for _ in args)
+            term = EdgeAtom(atom.predicate, temporaries[0], temporaries[1])
+        # Identify repeated call variables via selection, then rename the
+        # surviving temporaries to the call variables and project.
+        seen: dict[Var, Var] = {}
+        keep: list[Var] = []
+        mapping: dict[str, str] = {}
+        for temporary, call in zip(temporaries, args):
+            if call in seen:
+                term = Select(term, seen[call], temporary)
+            else:
+                seen[call] = temporary
+                keep.append(temporary)
+                mapping[temporary.name] = call.name
+        term = Project(term, tuple(keep)) if tuple(keep) != term.head_vars else term
+        return rename(term, mapping)
+
+    def _body_term(self, body: tuple[Atom, ...]) -> RQ:
+        terms = [self._atom_term(atom) for atom in body]
+        node = terms[0]
+        for term in terms[1:]:
+            node = And(node, term)
+        return node
+
+    def _rule_term(self, rule: Rule, head_targets: tuple[Var, ...]) -> RQ:
+        """Translate one rule; result's head is exactly *head_targets*."""
+        if not rule.body:
+            raise RQError(f"ground fact rules are outside RQ: {rule!r}")
+        if not all(is_var(term) for term in rule.head.args):
+            raise RQError(f"constant head terms are outside RQ: {rule!r}")
+        body = self._body_term(rule.body)
+        head_args: tuple[Var, ...] = rule.head.args  # type: ignore[assignment]
+        # Repeated head variables duplicate a column via the identity
+        # relation (sound: all derived values are edge-incident).
+        columns: list[Var] = []
+        used: set[Var] = set()
+        augmented = body
+        for position, var in enumerate(head_args):
+            if var in used:
+                duplicate = self._fresh_var()
+                augmented = Select(
+                    And(augmented, identity_query(self.alphabet, var, duplicate)),
+                    var,
+                    duplicate,
+                )
+                columns.append(duplicate)
+            else:
+                used.add(var)
+                columns.append(var)
+        projected = Project(augmented, tuple(columns))
+        mapping = {col.name: target.name for col, target in zip(columns, head_targets)}
+        return rename(projected, mapping)
+
+    # -- predicate translation ------------------------------------------------------
+
+    def translate_predicate(self, predicate: str) -> RQ:
+        arity = self.program.arity_of(predicate)
+        assert arity is not None
+        head_targets = tuple(Var(f"__h{i}") for i in range(arity))
+        rules = self.program.rules_for(predicate)
+        if predicate not in self.recursive:
+            pieces = [self._rule_term(rule, head_targets) for rule in rules]
+            node = pieces[0]
+            for piece in pieces[1:]:
+                node = Or(node, piece)
+            return node
+        # Recursive: split into base rules and linear steps (shapes are
+        # guaranteed by the GRQ membership check).
+        x, y = head_targets
+        base_pieces: list[RQ] = []
+        left_steps: list[RQ] = []   # P ; B
+        right_steps: list[RQ] = []  # C ; P
+        for rule in rules:
+            body_predicates = [atom.predicate for atom in rule.body]
+            if predicate not in body_predicates:
+                base_pieces.append(self._rule_term(rule, head_targets))
+                continue
+            first, second = rule.body
+            if first.predicate == predicate:
+                left_steps.append(self._atom_term_renamed(second, x, y))
+            else:
+                right_steps.append(self._atom_term_renamed(first, x, y))
+        base = base_pieces[0]
+        for piece in base_pieces[1:]:
+            base = Or(base, piece)
+        result = base
+        if right_steps:
+            result = self._compose(self._star(self._or_all(right_steps)), result)
+        if left_steps:
+            result = self._compose(result, self._star(self._or_all(left_steps)))
+        return self._freshen(result, head_targets)
+
+    def _atom_term_renamed(self, atom: Atom, x: Var, y: Var) -> RQ:
+        term = self._atom_term(atom)
+        if term.arity != 2:
+            raise RQError(f"TC step relation {atom!r} is not binary")
+        return self._freshen(term, (x, y))
+
+    def _or_all(self, terms: list[RQ]) -> RQ:
+        head = (self._fresh_var(), self._fresh_var())
+        node = self._freshen(terms[0], head)
+        for term in terms[1:]:
+            node = Or(node, self._freshen(term, head))
+        return node
+
+    def _star(self, term: RQ) -> RQ:
+        a, b = self._fresh_var(), self._fresh_var()
+        aligned = self._freshen(term, (a, b))
+        return Or(identity_query(self.alphabet, a, b), TransitiveClosure(aligned))
+
+    def _compose(self, left: RQ, right: RQ) -> RQ:
+        a, m, b = self._fresh_var(), self._fresh_var(), self._fresh_var()
+        return Project(
+            And(self._freshen(left, (a, m)), self._freshen(right, (m, b))),
+            (a, b),
+        )
+
+    def run(self) -> RQ:
+        graph = dependence_graph(self.program)
+        for component in reversed(graph.strongly_connected_components()):
+            for predicate in sorted(component):
+                if predicate in self.program.idb_predicates:
+                    self.definitions[predicate] = self.translate_predicate(predicate)
+        return self.definitions[self.program.goal]
+
+
+def grq_to_rq(program: Program) -> RQ:
+    """Translate a (binary-EDB, constant-free) GRQ program to an RQ term.
+
+    Raises :class:`repro.grq.containment.NotGRQError` when the program
+    is outside GRQ and :class:`repro.rq.syntax.RQError` when it uses
+    features RQ cannot express (constants, non-binary EDB).
+    """
+    return _Translator(program).run()

@@ -1,0 +1,22 @@
+"""Relational substrate (Section 2): instances, facts, generators, IO."""
+
+from . import io
+
+from .generators import (
+    bipartite_instance,
+    chain_instance,
+    random_instance,
+    tree_instance,
+)
+from .instance import Instance, graph_to_instance, instance_to_graph
+
+__all__ = [
+    "io",
+    "Instance",
+    "graph_to_instance",
+    "instance_to_graph",
+    "bipartite_instance",
+    "chain_instance",
+    "random_instance",
+    "tree_instance",
+]

@@ -1,0 +1,77 @@
+"""Synthetic relational instances for the Datalog/CQ experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from .instance import Instance
+
+
+def _rng(seed_or_rng: int | random.Random | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def random_instance(
+    schema: Mapping[str, int],
+    domain_size: int,
+    facts_per_relation: int,
+    seed: int | random.Random | None = 0,
+) -> Instance:
+    """Uniform random facts for each relation of the given arity schema.
+
+    Args:
+        schema: predicate name -> arity.
+        domain_size: constants are ``0 .. domain_size - 1``.
+        facts_per_relation: how many facts to draw per predicate
+            (duplicates collapse, so relations may end up smaller).
+        seed: RNG seed or instance for reproducibility.
+    """
+    rng = _rng(seed)
+    instance = Instance()
+    for predicate, arity in schema.items():
+        for _ in range(facts_per_relation):
+            instance.add(
+                predicate,
+                tuple(rng.randrange(domain_size) for _ in range(arity)),
+            )
+    return instance
+
+
+def chain_instance(length: int, predicate: str = "edge") -> Instance:
+    """The path instance ``predicate(0,1), ..., predicate(n-1,n)``."""
+    instance = Instance()
+    for index in range(length):
+        instance.add(predicate, (index, index + 1))
+    return instance
+
+
+def tree_instance(depth: int, fanout: int, predicate: str = "edge") -> Instance:
+    """A complete tree of the given depth and fanout, edges parent->child."""
+    instance = Instance()
+    frontier = [(0,)]
+    for _ in range(depth):
+        nxt = []
+        for node in frontier:
+            for child in range(fanout):
+                child_node = node + (child,)
+                instance.add(predicate, (node, child_node))
+                nxt.append(child_node)
+        frontier = nxt
+    return instance
+
+
+def bipartite_instance(
+    left: int, right: int, density: float, predicate: str = "rel",
+    seed: int | random.Random | None = 0,
+) -> Instance:
+    """A random bipartite relation between ``l0..`` and ``r0..`` constants."""
+    rng = _rng(seed)
+    instance = Instance()
+    for a in range(left):
+        for b in range(right):
+            if rng.random() < density:
+                instance.add(predicate, (f"l{a}", f"r{b}"))
+    return instance

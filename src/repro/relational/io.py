@@ -1,0 +1,88 @@
+"""Loading and saving relational instances.
+
+Formats:
+
+- **fact text** — Datalog-style ground facts, one per period:
+  ``edge(1, 2). edge(2, 3). approved(1, 2).``
+- **JSON** — ``{"relation": [[...], ...], ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from .instance import Instance
+
+_FACT = re.compile(
+    r"\s*(?P<pred>[A-Za-z_][A-Za-z0-9_+\-]*)\s*\(\s*(?P<args>[^()]*)\)\s*"
+)
+
+
+def _parse_constant(token: str):
+    token = token.strip()
+    if token.startswith(("'", '"')) and token.endswith(("'", '"')) and len(token) >= 2:
+        return token[1:-1]
+    if token.lstrip("-").isdigit():
+        return int(token)
+    return token
+
+
+def to_fact_text(instance: Instance) -> str:
+    """Serialize as ground Datalog facts (sorted, deterministic)."""
+    lines = []
+    for predicate, row in sorted(instance.facts(), key=repr):
+        inner = ", ".join(repr(v) if isinstance(v, str) else str(v) for v in row)
+        lines.append(f"{predicate}({inner}).")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_fact_text(text: str) -> Instance:
+    """Parse ground facts; strings may be quoted, bare tokens stay strings."""
+    instance = Instance()
+    cleaned = "\n".join(line.split("%", 1)[0] for line in text.splitlines())
+    for chunk in cleaned.split("."):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        match = _FACT.fullmatch(chunk)
+        if match is None:
+            raise ValueError(f"expected a ground fact, got {chunk!r}")
+        args = match.group("args").strip()
+        row = tuple(_parse_constant(t) for t in args.split(",")) if args else ()
+        instance.add(match.group("pred"), row)
+    return instance
+
+
+def to_json(instance: Instance) -> str:
+    """Serialize to JSON (sorted, deterministic)."""
+    return json.dumps(
+        {
+            predicate: sorted((list(row) for row in instance.tuples(predicate)), key=repr)
+            for predicate in sorted(instance.predicates)
+        }
+    )
+
+
+def from_json(text: str) -> Instance:
+    data = json.loads(text)
+    instance = Instance()
+    for predicate, rows in data.items():
+        for row in rows:
+            instance.add(predicate, tuple(row))
+    return instance
+
+
+def save(instance: Instance, path: str | pathlib.Path) -> None:
+    """Save by extension: ``.json`` -> JSON, anything else -> fact text."""
+    path = pathlib.Path(path)
+    text = to_json(instance) if path.suffix == ".json" else to_fact_text(instance)
+    path.write_text(text)
+
+
+def load(path: str | pathlib.Path) -> Instance:
+    """Load by extension: ``.json`` -> JSON, anything else -> fact text."""
+    path = pathlib.Path(path)
+    text = path.read_text()
+    return from_json(text) if path.suffix == ".json" else from_fact_text(text)

@@ -1,0 +1,110 @@
+"""Shared result types for every containment procedure in the package.
+
+The calibration contract from DESIGN.md, encoded in types:
+
+- :attr:`Verdict.REFUTED` is always exact — it carries a concrete
+  counterexample database on which the two queries' answers differ, so
+  any negative verdict can be replayed independently of the decision
+  procedure that produced it.
+- :attr:`Verdict.HOLDS` is an exact positive verdict (automata- or
+  homomorphism-based procedures, or exhausted finite expansion spaces).
+- :attr:`Verdict.HOLDS_UP_TO_BOUND` is the bounded-exact outcome of the
+  expansion procedures for UC2RPQ/RQ/GRQ/Datalog: no counterexample
+  exists among expansions within the reported bound.  The exact
+  algorithms for these classes are (2)EXPSPACE-complete (Theorems 6-8),
+  so unbounded exactness is intrinsically out of reach at scale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class Verdict(enum.Enum):
+    """Outcome of a containment check; see module docstring for contract."""
+
+    HOLDS = "holds"
+    REFUTED = "refuted"
+    HOLDS_UP_TO_BOUND = "holds_up_to_bound"
+
+    def __bool__(self) -> bool:
+        """Truthiness: did the check fail to find a counterexample?
+
+        ``HOLDS_UP_TO_BOUND`` is truthy; callers needing unconditional
+        guarantees must inspect the verdict explicitly.
+        """
+        return self is not Verdict.REFUTED
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A database and output tuple witnessing non-containment.
+
+    Attributes:
+        database: a :class:`repro.graphdb.GraphDatabase` or
+            :class:`repro.relational.Instance` (whichever the query
+            class evaluates over).
+        output: the tuple in ``Q1(D) - Q2(D)``.
+    """
+
+    database: Any
+    output: tuple
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """The uniform result of ``Q1 ⊆ Q2`` checks across all query classes.
+
+    Attributes:
+        verdict: see :class:`Verdict`.
+        method: short name of the decision procedure used, e.g.
+            ``"rpq-language"``, ``"2rpq-fold-shepherdson"``,
+            ``"ucq-homomorphism"``, ``"expansion"``.
+        counterexample: present iff ``verdict is REFUTED``.
+        bound: the exploration bound, present iff
+            ``verdict is HOLDS_UP_TO_BOUND`` (interpretation is
+            procedure-specific and recorded in ``details``).
+        details: free-form instrumentation (expansion counts, automaton
+            sizes, search statistics) surfaced to the benchmarks.
+    """
+
+    verdict: Verdict
+    method: str
+    counterexample: Counterexample | None = None
+    bound: int | None = None
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.verdict is Verdict.REFUTED) != (self.counterexample is not None):
+            raise ValueError("REFUTED verdicts (exactly) must carry a counterexample")
+        if self.verdict is Verdict.HOLDS_UP_TO_BOUND and self.bound is None:
+            raise ValueError("HOLDS_UP_TO_BOUND verdicts must report their bound")
+
+    @property
+    def holds(self) -> bool:
+        """Truthy summary (see :meth:`Verdict.__bool__`)."""
+        return bool(self.verdict)
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (used by EXPERIMENTS.md tooling)."""
+        return {
+            "verdict": self.verdict.value,
+            "method": self.method,
+            "bound": self.bound,
+            "has_counterexample": self.counterexample is not None,
+            "details": dict(self.details),
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.verdict is Verdict.REFUTED:
+            assert self.counterexample is not None
+            return (
+                f"REFUTED by {self.method}: output {self.counterexample.output!r} "
+                f"distinguishes the queries on {self.counterexample.database!r}"
+            )
+        if self.verdict is Verdict.HOLDS_UP_TO_BOUND:
+            return f"holds up to bound {self.bound} ({self.method})"
+        return f"HOLDS ({self.method})"

@@ -1,0 +1,149 @@
+"""Containment for RPQs and 2RPQs (Lemmas 1-2, Theorem 5).
+
+RPQs: Lemma 1 reduces query containment to language containment, solved
+by the paper's five-step automata pipeline (PSPACE).
+
+2RPQs: Lemma 1 *fails* (the paper's ``p ⊑ p p- p`` example); Lemma 2
+repairs it via folding: ``Q1 ⊑ Q2 iff L(Q1) ⊆ fold(L(Q2))``.  The
+pipeline is then Theorem 5's: build the fold 2NFA (Lemma 3), complement
+it (Lemma 4 or the Shepherdson baseline), intersect with Q1's NFA on the
+fly, and search for an accepted word.
+
+Every refutation is converted into a concrete counterexample *database*:
+the canonical semipath database of the witness word ``u``, on which
+``Q1`` answers the endpoints but ``Q2`` does not — semipaths in a path
+database spell exactly the words that fold onto ``u``, which is the
+content of Lemma 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..automata.alphabet import Alphabet, base_symbol
+from ..automata.complement import LazyComplement, complement_two_nfa
+from ..automata.dfa import containment_counterexample
+from ..automata.fold import fold_two_nfa
+from ..automata.nfa import NFA, Word
+from ..automata.onthefly import ExplicitNFA, SearchStats, find_accepted_word
+from ..automata.shepherdson import LazyShepherdsonComplement
+from ..report import ContainmentResult, Counterexample, Verdict
+from ..graphdb.database import canonical_database_of_word
+from .rpq import RPQ, TwoRPQ
+
+TwoRPQMethod = Literal["shepherdson", "lemma4-onthefly", "lemma4-materialized"]
+
+
+def _combined_alphabet(q1: TwoRPQ, q2: TwoRPQ) -> Alphabet:
+    return Alphabet(tuple(sorted(q1.base_symbols() | q2.base_symbols())))
+
+
+def word_counterexample(word: Word) -> Counterexample:
+    """The canonical semipath database refuting containment via *word*."""
+    db, source, target = canonical_database_of_word(word)
+    return Counterexample(db, (source, target))
+
+
+def rpq_contained(q1: RPQ, q2: RPQ) -> ContainmentResult:
+    """Lemma 1 pipeline: exact, via language containment over Sigma.
+
+    The witness word (if any) is materialized as a path database on
+    which ``(0, n) in Q1(D) - Q2(D)``.
+    """
+    for query in (q1, q2):
+        if not query.is_one_way():
+            raise ValueError("rpq_contained expects one-way queries; use two_rpq_contained")
+    alphabet = _combined_alphabet(q1, q2).symbols
+    witness = containment_counterexample(q1.nfa, q2.nfa, alphabet)
+    if witness is None:
+        return ContainmentResult(Verdict.HOLDS, "rpq-language")
+    return ContainmentResult(
+        Verdict.REFUTED, "rpq-language", word_counterexample(witness)
+    )
+
+
+def two_rpq_contained(
+    q1: TwoRPQ,
+    q2: TwoRPQ,
+    method: TwoRPQMethod = "shepherdson",
+    max_configs: int | None = None,
+    stats: SearchStats | None = None,
+) -> ContainmentResult:
+    """Theorem 5 pipeline: exact 2RPQ containment via folding.
+
+    Args:
+        q1, q2: the queries (one-way queries are fine too).
+        method: which complementation to use for ``fold(L(Q2))``:
+
+            - ``"shepherdson"`` (default): deterministic table
+              construction; complement is free, product exploration is
+              one successor per step.  The production path.
+            - ``"lemma4-onthefly"``: the paper-faithful Lemma 4
+              complement explored lazily inside the product search.
+            - ``"lemma4-materialized"``: Lemma 4 complement fully built,
+              then an explicit product; only viable for tiny queries,
+              used by benchmark E4/E5 as the measured upper bound.
+        max_configs: optional budget for the product search
+            (:class:`repro.automata.onthefly.SearchBudgetExceeded`).
+        stats: optional search instrumentation.
+    """
+    sigma_pm = _combined_alphabet(q1, q2).two_way
+    folded = fold_two_nfa(q2.nfa, sigma_pm)
+    left = q1.nfa
+    if method == "shepherdson":
+        witness = find_accepted_word(
+            [ExplicitNFA(left), LazyShepherdsonComplement(folded)],
+            sigma_pm,
+            max_configs=max_configs,
+            stats=stats,
+        )
+    elif method == "lemma4-onthefly":
+        witness = find_accepted_word(
+            [ExplicitNFA(left), LazyComplement(folded)],
+            sigma_pm,
+            max_configs=max_configs,
+            stats=stats,
+        )
+    elif method == "lemma4-materialized":
+        complement = complement_two_nfa(folded, max_states=max_configs)
+        witness = left.product(complement).shortest_word()
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    if witness is None:
+        return ContainmentResult(Verdict.HOLDS, f"2rpq-fold-{method}")
+    return ContainmentResult(
+        Verdict.REFUTED, f"2rpq-fold-{method}", word_counterexample(witness)
+    )
+
+
+def two_rpq_equivalent(q1: TwoRPQ, q2: TwoRPQ, method: TwoRPQMethod = "shepherdson") -> bool:
+    return (
+        two_rpq_contained(q1, q2, method).holds
+        and two_rpq_contained(q2, q1, method).holds
+    )
+
+
+@dataclass(frozen=True)
+class DivergenceExample:
+    """A pair witnessing that Lemma 1 fails for 2RPQs (Section 3.2).
+
+    ``query_containment_holds`` with ``language_containment_fails`` is
+    the paper's point: the theories of regular expressions over words
+    and over graphs diverge once inverses appear.
+    """
+
+    q1: TwoRPQ
+    q2: TwoRPQ
+    query_containment_holds: bool
+    language_containment_holds: bool
+
+
+def paper_divergence_example() -> DivergenceExample:
+    """The paper's own example: Q1 = p, Q2 = p p- p."""
+    q1 = TwoRPQ.parse("p")
+    q2 = TwoRPQ.parse("p p- p")
+    query = two_rpq_contained(q1, q2).holds
+    sigma_pm = _combined_alphabet(q1, q2).two_way
+    language = containment_counterexample(q1.nfa, q2.nfa, sigma_pm) is None
+    return DivergenceExample(q1, q2, query, language)

@@ -1,0 +1,181 @@
+"""Regular path queries and their two-way extension (Section 3.1).
+
+An RPQ is a regular expression over the edge alphabet Sigma; its answer
+over a graph database D is the set of node pairs connected by a directed
+path spelling a word of the language.  A 2RPQ additionally uses inverse
+letters ``r-`` and is evaluated over *semipaths* — navigations that may
+traverse edges backwards.
+
+Evaluation is the classical product construction: BFS over
+``(node, automaton state)`` configurations, one search per source node.
+This is polynomial in ``|D| * |A|`` (the combined complexity of RPQ
+evaluation), and it is shared by both classes because the graph
+database's ``successors`` method already interprets inverse letters.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..automata.alphabet import base_symbol, is_inverse
+from ..automata.dfa import reduce_nfa
+from ..automata.nfa import NFA, Word
+from ..automata.regex import Regex, parse_regex
+from ..graphdb.database import GraphDatabase, Node
+
+
+@functools.lru_cache(maxsize=512)
+def _compiled(regex: Regex) -> NFA:
+    """Reduced NFA for a regex (cached; regexes are frozen dataclasses)."""
+    return reduce_nfa(regex.to_nfa())
+
+
+def evaluate_nfa_on_graph(nfa: NFA, db: GraphDatabase) -> frozenset[tuple[Node, Node]]:
+    """All pairs (x, y) connected by a semipath spelling a word of L(nfa)."""
+    answers: set[tuple[Node, Node]] = set()
+    for source in db.nodes:
+        for target in targets_from(nfa, db, source):
+            answers.add((source, target))
+    return frozenset(answers)
+
+
+def targets_from(nfa: NFA, db: GraphDatabase, source: Node) -> frozenset[Node]:
+    """Nodes reachable from *source* along words of L(nfa) (product BFS)."""
+    if source not in db.nodes:
+        return frozenset()
+    start = {(source, state) for state in nfa.initial}
+    seen = set(start)
+    queue = deque(start)
+    found: set[Node] = set()
+    while queue:
+        node, state = queue.popleft()
+        if state in nfa.final:
+            found.add(node)
+        for symbol in nfa.alphabet:
+            next_states = nfa.successors(state, symbol)
+            if not next_states:
+                continue
+            for neighbor in db.successors(node, symbol):
+                for next_state in next_states:
+                    config = (neighbor, next_state)
+                    if config not in seen:
+                        seen.add(config)
+                        queue.append(config)
+    return frozenset(found)
+
+
+@dataclass(frozen=True)
+class TwoRPQ:
+    """A two-way regular path query: a regex over Sigma±.
+
+    >>> q = TwoRPQ.parse("worksAt worksAt-")   # colleagues
+    """
+
+    regex: Regex
+
+    @classmethod
+    def parse(cls, text: str) -> "TwoRPQ":
+        return cls(parse_regex(text))
+
+    @property
+    def nfa(self) -> NFA:
+        return _compiled(self.regex)
+
+    def base_symbols(self) -> frozenset[str]:
+        """The underlying database relations the query mentions."""
+        return frozenset(base_symbol(symbol) for symbol in self.regex.symbols())
+
+    def evaluate(self, db: GraphDatabase) -> frozenset[tuple[Node, Node]]:
+        """The answer set Q(D) (pairs connected by a conforming semipath)."""
+        return evaluate_nfa_on_graph(self.nfa, db)
+
+    def matches(self, db: GraphDatabase, source: Node, target: Node) -> bool:
+        return target in self.targets(db, source)
+
+    def targets(self, db: GraphDatabase, source: Node) -> frozenset[Node]:
+        return targets_from(self.nfa, db, source)
+
+    def witness_semipath(
+        self, db: GraphDatabase, source: Node, target: Node
+    ) -> tuple | None:
+        """A concrete semipath ``(y0, p1, y1, ..., pn, yn)`` or None.
+
+        The returned alternating node/label sequence conforms to the
+        query (its label word is in L(Q)) and is shortest among
+        conforming semipaths — the explanation facility for query
+        answers ("why is this pair in the result?").
+        """
+        if source not in db.nodes:
+            return None
+        nfa = self.nfa
+        start = [(source, state) for state in nfa.initial]
+        parents: dict[tuple, tuple | None] = {config: None for config in start}
+        queue = deque(start)
+        hit = next(
+            (config for config in start if config[1] in nfa.final and config[0] == target),
+            None,
+        )
+        while queue and hit is None:
+            node, state = queue.popleft()
+            for symbol in nfa.alphabet:
+                next_states = nfa.successors(state, symbol)
+                if not next_states:
+                    continue
+                for neighbor in db.successors(node, symbol):
+                    for next_state in next_states:
+                        config = (neighbor, next_state)
+                        if config in parents:
+                            continue
+                        parents[config] = ((node, state), symbol)
+                        if neighbor == target and next_state in nfa.final:
+                            hit = config
+                            break
+                        queue.append(config)
+                    if hit is not None:
+                        break
+                if hit is not None:
+                    break
+        if hit is None:
+            return None
+        steps: list = []
+        cursor: tuple = hit
+        while parents[cursor] is not None:
+            previous, symbol = parents[cursor]  # type: ignore[misc]
+            steps.append((symbol, cursor[0]))
+            cursor = previous
+        path: list = [cursor[0]]
+        for symbol, node in reversed(steps):
+            path.append(symbol)
+            path.append(node)
+        return tuple(path)
+
+    def is_one_way(self) -> bool:
+        return not self.regex.uses_inverse()
+
+    def accepts_word(self, word: Word) -> bool:
+        """Membership in the *language* (not the query): w in L(Q)."""
+        return self.nfa.accepts(word)
+
+    def __str__(self) -> str:
+        return str(self.regex)
+
+
+@dataclass(frozen=True)
+class RPQ(TwoRPQ):
+    """A (one-way) regular path query: inverse letters are rejected.
+
+    >>> q = RPQ.parse("knows+")
+    """
+
+    def __post_init__(self) -> None:
+        if self.regex.uses_inverse():
+            raise ValueError(
+                f"RPQ may not use inverse letters; got {self.regex}. "
+                "Use TwoRPQ for two-way navigation."
+            )
+
+    def as_two_way(self) -> TwoRPQ:
+        return TwoRPQ(self.regex)

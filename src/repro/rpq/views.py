@@ -1,0 +1,205 @@
+"""Answering RPQs using views — the paper's query-reuse motivation.
+
+Section 1 lists query reuse and data integration among the uses of
+query containment, citing the authors' own "query processing using
+views for regular path queries" [12].  This module implements the
+classical construction for one-way RPQs:
+
+Given a query ``Q`` and materialized views ``V1..Vk`` (all RPQs over
+Sigma), the **maximally contained rewriting** (MCR) is the largest
+language over the *view alphabet* {v1..vk} whose expansions stay inside
+``L(Q)``:
+
+    MCR(Q, V) = { v_{i1} .. v_{im} : L(V_{i1}) ... L(V_{im}) ⊆ L(Q) }
+
+Construction (the [12] automaton, built from parts this package already
+has): let ``A`` be a complete DFA for the *complement* of ``L(Q)``.  A
+view word is *bad* iff some choice of witness words drives ``A`` from
+its start into an accepting (complement) state.  Summarize each view
+``V`` by the relation ``R_V = {(s, t) : exists w in L(V), A: s -w-> t}``
+(computable from the product of ``A`` with ``V``'s NFA); the bad words
+are then a regular language over the view alphabet, and
+
+    MCR = complement(bad words)  —  regular, hence itself an RPQ.
+
+``rewrite`` returns the MCR as an automaton/regex over view names;
+``answer_using_views`` evaluates it over the *view graph* (one edge per
+materialized view tuple), which by construction yields only certain
+answers: every answer it returns is an answer of ``Q`` on any database
+consistent with the views (sound); and it is the best such rewriting
+(complete among rewritings that only compose whole views).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..automata.dfa import DFA, determinize, nfa_contains, reduce_nfa
+from ..automata.nfa import NFA
+from ..automata.regex import Regex
+from ..automata.state_elimination import nfa_to_regex
+from ..graphdb.database import GraphDatabase, Node
+from .rpq import RPQ, evaluate_nfa_on_graph
+
+
+@dataclass(frozen=True)
+class Rewriting:
+    """The maximally contained rewriting of a query over view names.
+
+    Attributes:
+        automaton: NFA over the view alphabet accepting the MCR.
+        query: the original query.
+        views: the view definitions, keyed by view name.
+    """
+
+    automaton: NFA
+    query: RPQ
+    views: Mapping[str, RPQ]
+
+    @property
+    def is_empty(self) -> bool:
+        """No composition of whole views is contained in the query."""
+        return self.automaton.is_empty()
+
+    def is_exact(self) -> bool:
+        """Does the rewriting's expansion cover all of L(Q)?
+
+        True iff substituting each view name by its language yields
+        exactly L(Q) (then view answers reproduce the query answers on
+        the view graph of any database).
+        """
+        expansion = _expand(self.automaton, self.views)
+        return nfa_contains(self.query.nfa, expansion, self.query.nfa.alphabet)
+
+    def to_regex(self) -> Regex:
+        """The rewriting as a regular expression over view names."""
+        return nfa_to_regex(self.automaton)
+
+
+def _transition_relation(view: RPQ, complement: DFA) -> frozenset[tuple]:
+    """``R_V``: DFA state pairs connected by some word of the view.
+
+    One product BFS per DFA origin state; the DFA here is the complement
+    of a reduced query automaton, so this stays small.
+    """
+    pairs: set[tuple] = set()
+    for origin in complement.states:
+        frontier = {(origin, nfa_state) for nfa_state in view.nfa.initial}
+        visited = set(frontier)
+        queue = deque(frontier)
+        while queue:
+            dfa_state, nfa_state = queue.popleft()
+            if nfa_state in view.nfa.final:
+                pairs.add((origin, dfa_state))
+            for symbol in view.nfa.alphabet:
+                if (dfa_state, symbol) not in complement.transitions:
+                    continue
+                next_dfa = complement.step(dfa_state, symbol)
+                for next_nfa in view.nfa.successors(nfa_state, symbol):
+                    config = (next_dfa, next_nfa)
+                    if config not in visited:
+                        visited.add(config)
+                        queue.append(config)
+    return frozenset(pairs)
+
+
+def rewrite(query: RPQ, views: Mapping[str, RPQ]) -> Rewriting:
+    """Compute the maximally contained rewriting of *query* over *views*.
+
+    All queries must be one-way RPQs; view names form the rewriting's
+    alphabet and must not clash with each other.
+    """
+    if not query.is_one_way():
+        raise ValueError("view-based rewriting is implemented for one-way RPQs")
+    for name, view in views.items():
+        if not view.is_one_way():
+            raise ValueError(f"view {name!r} is not a one-way RPQ")
+    alphabet = tuple(
+        sorted(
+            set(query.nfa.alphabet)
+            | {s for view in views.values() for s in view.nfa.alphabet}
+        )
+    )
+    complement = determinize(query.nfa, alphabet).complement()
+    relations = {
+        name: _transition_relation(view, complement) for name, view in views.items()
+    }
+    # Bad-word NFA over view names: runs of the complement DFA summarized
+    # per view; accepting = some expansion escapes L(Q).
+    transitions = [
+        (source, name, target)
+        for name, pairs in relations.items()
+        for source, target in pairs
+    ]
+    bad = NFA.build(
+        tuple(sorted(views)),
+        complement.states,
+        [complement.initial],
+        complement.final,
+        transitions,
+    )
+    from ..automata.dfa import complement_nfa
+
+    mcr = reduce_nfa(complement_nfa(bad, tuple(sorted(views))))
+    return Rewriting(mcr, query, dict(views))
+
+
+def _expand(automaton: NFA, views: Mapping[str, RPQ]) -> NFA:
+    """Substitute each view name in *automaton* by the view's NFA.
+
+    Each view-labeled host edge is replaced by a fresh copy of the
+    view's automaton, spliced in with epsilon transitions (eliminated at
+    the end), so ``L(result) = union over host words of the
+    concatenation of the views' languages``.
+    """
+    from ..automata.nfa import EPSILON, from_epsilon_nfa
+
+    eps_transitions: list[tuple] = []
+    states: set = set(automaton.states)
+    alphabet: set[str] = set()
+    for index, (source, name, target) in enumerate(
+        sorted(automaton.edges(), key=repr)
+    ):
+        view_nfa = views[name].nfa
+        alphabet.update(view_nfa.alphabet)
+        tagged = {state: ("exp", index, state) for state in view_nfa.states}
+        states.update(tagged.values())
+        for a, symbol, b in view_nfa.edges():
+            eps_transitions.append((tagged[a], symbol, tagged[b]))
+        for initial in view_nfa.initial:
+            eps_transitions.append((source, EPSILON, tagged[initial]))
+        for final in view_nfa.final:
+            eps_transitions.append((tagged[final], EPSILON, target))
+    return from_epsilon_nfa(
+        tuple(sorted(alphabet)),
+        states,
+        automaton.initial,
+        automaton.final,
+        eps_transitions,
+    )
+
+
+def view_graph(
+    views: Mapping[str, RPQ], db: GraphDatabase
+) -> GraphDatabase:
+    """Materialize the views: one ``name``-labeled edge per view answer."""
+    out = GraphDatabase()
+    for node in db.nodes:
+        out.add_node(node)
+    for name, view in views.items():
+        for source, target in view.evaluate(db):
+            out.add_edge(source, name, target)
+    return out
+
+
+def answer_using_views(
+    rewriting: Rewriting, materialized: GraphDatabase
+) -> frozenset[tuple[Node, Node]]:
+    """Evaluate the rewriting over a materialized view graph.
+
+    Sound: every returned pair is an answer of the original query on any
+    database whose views contain the materialized tuples.
+    """
+    return evaluate_nfa_on_graph(rewriting.automaton, materialized)

@@ -1,0 +1,87 @@
+"""RQ containment (Theorem 7 class) via expansions of the Datalog image.
+
+``Q1 ⊑ Q2`` for regular queries is checked by the same two-ingredient
+recipe the paper attributes to [11, 13, 20, 48]: quantify over the
+canonical databases of ``Q1`` (here: expansions of its Section 4.1
+Datalog translation, which unfold transitive closures into explicit
+chains) and decide each instance *exactly* by evaluating ``Q2`` over it.
+
+Contract (DESIGN.md §2): refutations are exact counterexample databases;
+positive verdicts are exact (HOLDS) when ``Q1`` uses no transitive
+closure — its Datalog image is then nonrecursive, so the expansion space
+is finite and exhausted — and HOLDS_UP_TO_BOUND otherwise.  The exact
+algorithm is 2EXPSPACE-complete (Theorem 7), which no implementation can
+run beyond toy sizes; the bound is the calibrated substitute.
+"""
+
+from __future__ import annotations
+
+from ..report import ContainmentResult, Counterexample, Verdict
+from ..datalog.analysis import is_nonrecursive
+from ..datalog.unfolding import enumerate_expansions
+from ..relational.instance import instance_to_graph
+from .evaluation import satisfies_rq
+from .syntax import RQ
+from .to_datalog import rq_to_datalog
+
+DEFAULT_EXPANSION_BUDGET = 3000
+DEFAULT_APPLICATION_BOUND = 20
+
+
+def rq_contained(
+    q1: RQ,
+    q2: RQ,
+    max_applications: int | None = DEFAULT_APPLICATION_BOUND,
+    max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
+) -> ContainmentResult:
+    """Expansion-based containment check for regular queries.
+
+    Args:
+        q1, q2: RQ algebra terms of equal arity.
+        max_applications: bound on rule applications per expansion of
+            ``q1``'s Datalog image (each transitive-closure unrolling
+            step costs one application).  Ignored when ``q1`` is
+            TC-free, whose expansion space is finite.
+        max_expansions: overall cap on expansions examined.
+    """
+    if q1.arity != q2.arity:
+        raise ValueError(
+            f"containment between arities {q1.arity} and {q2.arity} is ill-typed"
+        )
+    program = rq_to_datalog(q1)
+    exhaustive = is_nonrecursive(program)
+    iterator = enumerate_expansions(
+        program,
+        max_applications=None if exhaustive else max_applications,
+        max_expansions=None if exhaustive else max_expansions,
+    )
+    checked = 0
+    for expansion in iterator:
+        checked += 1
+        instance, frozen_head = expansion.canonical_instance()
+        graph = instance_to_graph(instance)
+        if not satisfies_rq(q2, graph, frozen_head):
+            return ContainmentResult(
+                Verdict.REFUTED,
+                "rq-expansion",
+                Counterexample(graph, frozen_head),
+                details={"expansions_checked": checked},
+            )
+    if exhaustive:
+        return ContainmentResult(
+            Verdict.HOLDS, "rq-expansion", details={"expansions_checked": checked}
+        )
+    return ContainmentResult(
+        Verdict.HOLDS_UP_TO_BOUND,
+        "rq-expansion",
+        bound=max_expansions if max_expansions is not None else -1,
+        details={
+            "expansions_checked": checked,
+            "max_applications": max_applications,
+        },
+    )
+
+
+def rq_equivalent(q1: RQ, q2: RQ) -> bool:
+    """Truthy equivalence (both directions non-refuted)."""
+    return rq_contained(q1, q2).holds and rq_contained(q2, q1).holds

@@ -1,0 +1,179 @@
+"""Embeddings up the query tower: RPQ ⊂ 2RPQ ⊂ UC2RPQ ⊂ RQ (Section 3.4).
+
+Each lower class translates into the RQ algebra:
+
+- a regex letter is an edge atom (inverse letters flip the atom),
+- concatenation is composition (join on a fresh middle variable, then
+  projection),
+- union is disjunction,
+- ``e+`` is transitive closure, and ``e*`` / ``e?`` decompose as
+  ``id ∨ e+`` / ``id ∨ e`` where ``id`` is the identity relation on the
+  *incident* domain — nodes touching at least one edge.
+
+Caveat, faithfully inherited from the paper's definitions: RQ is the
+closure of edge atoms, so it cannot speak about isolated nodes.  A 2RPQ
+``a*`` answers ``(n, n)`` for an isolated node ``n`` while its RQ
+embedding cannot; the two agree on databases without isolated nodes
+(and containment over edge-induced databases is unaffected, since
+canonical databases of expansions never contain isolated nodes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..automata.alphabet import inverse, is_inverse
+from ..automata.regex import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Optional_,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union as RUnion,
+)
+from ..cq.syntax import Var
+from ..crpq.syntax import C2RPQ, UC2RPQ
+from ..rpq.rpq import TwoRPQ
+from .syntax import (
+    And,
+    EdgeAtom,
+    Or,
+    Project,
+    RQ,
+    RQError,
+    Select,
+    TransitiveClosure,
+)
+
+
+class _Fresh:
+    def __init__(self, prefix: str = "__v") -> None:
+        self.counter = itertools.count()
+        self.prefix = prefix
+
+    def __call__(self) -> Var:
+        return Var(f"{self.prefix}{next(self.counter)}")
+
+
+def identity_query(alphabet: Sequence[str], x: Var, y: Var) -> RQ:
+    """``id(x, y)``: pairs ``(a, a)`` with ``a`` incident to some edge.
+
+    Built as ``sigma[x = y](U(x) & U(y))`` where ``U`` collects sources
+    and targets of every label — the RQ idiom for the (edge-incident)
+    identity relation.
+    """
+    if not alphabet:
+        raise RQError("identity over an empty alphabet is the empty query")
+
+    def incident(var: Var) -> RQ:
+        other = Var(f"__id_{var.name}")
+        parts: list[RQ] = []
+        for label in alphabet:
+            parts.append(Project(EdgeAtom(label, var, other), (var,)))
+            parts.append(Project(EdgeAtom(label, other, var), (var,)))
+        node: RQ = parts[0]
+        for part in parts[1:]:
+            node = Or(node, part)
+        return node
+
+    return Select(And(incident(x), incident(y)), x, y)
+
+
+def regex_to_rq(
+    regex: Regex,
+    x: Var,
+    y: Var,
+    alphabet: Sequence[str],
+    fresh: _Fresh | None = None,
+) -> RQ:
+    """An RQ with head ``(x, y)`` answering exactly the 2RPQ of *regex*.
+
+    *alphabet* (base symbols) is needed for the identity relation that
+    ``e*``, ``e?`` and epsilon translate to.
+    """
+    fresh = fresh or _Fresh()
+    if isinstance(regex, EmptySet):
+        raise RQError("the empty query has no RQ representation (no atoms)")
+    if isinstance(regex, Epsilon):
+        return identity_query(alphabet, x, y)
+    if isinstance(regex, Sym):
+        # EdgeAtom interprets inverse labels itself (r-(x, y) = r(y, x)).
+        return _binary_atom(regex.symbol, x, y)
+    if isinstance(regex, Concat):
+        middle = fresh()
+        left = regex_to_rq(regex.left, x, middle, alphabet, fresh)
+        right = regex_to_rq(regex.right, middle, y, alphabet, fresh)
+        return Project(And(left, right), (x, y))
+    if isinstance(regex, RUnion):
+        return Or(
+            regex_to_rq(regex.left, x, y, alphabet, fresh),
+            regex_to_rq(regex.right, x, y, alphabet, fresh),
+        )
+    if isinstance(regex, Plus):
+        return TransitiveClosure(regex_to_rq(regex.body, x, y, alphabet, fresh))
+    if isinstance(regex, Star):
+        plus = TransitiveClosure(regex_to_rq(regex.body, x, y, alphabet, fresh))
+        return Or(identity_query(alphabet, x, y), plus)
+    if isinstance(regex, Optional_):
+        return Or(
+            identity_query(alphabet, x, y),
+            regex_to_rq(regex.body, x, y, alphabet, fresh),
+        )
+    raise RQError(f"unknown regex node {regex!r}")  # pragma: no cover
+
+
+def _binary_atom(label: str, x: Var, y: Var) -> RQ:
+    atom = EdgeAtom(label, x, y)
+    if x == y:
+        # r(x, x): unary head; widen back to the caller's expectation.
+        raise RQError("regex endpoints must be distinct variables")
+    return atom
+
+
+def two_rpq_to_rq(query: TwoRPQ, alphabet: Sequence[str] | None = None) -> RQ:
+    """Embed a 2RPQ as an RQ with head ``(x, y)``."""
+    alpha = tuple(alphabet) if alphabet is not None else tuple(sorted(query.base_symbols()))
+    return regex_to_rq(query.regex, Var("x"), Var("y"), alpha)
+
+
+def c2rpq_to_rq(query: C2RPQ, alphabet: Sequence[str] | None = None) -> RQ:
+    """Embed a C2RPQ: conjoin the atom embeddings, project the head."""
+    alpha = tuple(alphabet) if alphabet is not None else tuple(sorted(query.base_symbols()))
+    fresh = _Fresh()
+    node: RQ | None = None
+    for atom in query.atoms:
+        piece = regex_to_rq(atom.query.regex, atom.source, atom.target, alpha, fresh)
+        node = piece if node is None else And(node, piece)
+    assert node is not None  # C2RPQ guarantees at least one atom
+    return Project(node, query.head_vars)
+
+
+def uc2rpq_to_rq(query: UC2RPQ | C2RPQ, alphabet: Sequence[str] | None = None) -> RQ:
+    """Embed a UC2RPQ: Or of disjunct embeddings over a canonical head."""
+    union = query if isinstance(query, UC2RPQ) else UC2RPQ((query,))
+    alpha = tuple(alphabet) if alphabet is not None else tuple(sorted(union.base_symbols()))
+    canonical = tuple(Var(f"__h{i}") for i in range(union.arity))
+    pieces: list[RQ] = []
+    for index, disjunct in enumerate(union):
+        from .syntax import rename
+
+        embedded = c2rpq_to_rq(disjunct, alpha)
+        # Rename *every* variable into a per-disjunct namespace, mapping
+        # head variables to the canonical names, so user-chosen variable
+        # names can never collide with the canonical head.
+        mapping = {
+            old.name: new.name for old, new in zip(embedded.head_vars, canonical)
+        }
+        for node in embedded.walk():
+            if isinstance(node, EdgeAtom):
+                for var in (node.source, node.target):
+                    mapping.setdefault(var.name, f"__d{index}_{var.name}")
+        pieces.append(rename(embedded, mapping))
+    node: RQ = pieces[0]
+    for piece in pieces[1:]:
+        node = Or(node, piece)
+    return node

@@ -1,0 +1,94 @@
+"""Random RQ terms, for fuzz tests and benchmarks.
+
+The generator produces *well-formed* terms by construction (Or branches
+share heads, TC children are binary) with a bias toward binary heads so
+transitive closure stays applicable at every level.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Sequence
+
+from ..cq.syntax import Var
+from .syntax import And, EdgeAtom, Or, Project, RQ, Select, TransitiveClosure
+
+
+def random_rq(
+    rng: random.Random,
+    labels: Sequence[str],
+    depth: int,
+    variable_pool: int = 4,
+) -> RQ:
+    """Sample a random RQ term of at most the given AST depth.
+
+    Args:
+        rng: the random source (determinism is the caller's business).
+        labels: edge labels to draw atoms from.
+        depth: maximum operator nesting.
+        variable_pool: how many distinct variable names atoms draw from
+            (smaller pools join more).
+    """
+    names = [f"v{i}" for i in range(variable_pool)]
+
+    def atom() -> RQ:
+        x, y = rng.sample(names, 2)
+        return EdgeAtom(rng.choice(list(labels)), Var(x), Var(y))
+
+    def build(remaining: int) -> RQ:
+        if remaining <= 0 or rng.random() < 0.3:
+            return atom()
+        choice = rng.random()
+        if choice < 0.25:
+            return And(build(remaining - 1), build(remaining - 1))
+        if choice < 0.45:
+            left = build(remaining - 1)
+            # Align the right branch's head with the left's.
+            right = build(remaining - 1)
+            right = _align(right, left.head_vars, rng)
+            if right is None:
+                return left
+            return Or(left, right)
+        if choice < 0.65:
+            child = build(remaining - 1)
+            if child.arity == 2:
+                return TransitiveClosure(child)
+            return child
+        if choice < 0.85:
+            child = build(remaining - 1)
+            if child.arity >= 2:
+                keep = tuple(
+                    rng.sample(child.head_vars, rng.randint(1, child.arity))
+                )
+                return Project(child, keep)
+            return child
+        child = build(remaining - 1)
+        if child.arity >= 2:
+            left, right = rng.sample(child.head_vars, 2)
+            return Select(child, left, right)
+        return child
+
+    return build(depth)
+
+
+def _align(term: RQ, target_head, rng: random.Random) -> RQ | None:
+    """Rename/project *term* so its head equals *target_head*, or None."""
+    from .syntax import rename
+
+    if term.arity < len(target_head):
+        return None
+    if term.arity > len(target_head):
+        term = Project(term, tuple(term.head_vars[: len(target_head)]))
+    mapping = {old.name: new.name for old, new in zip(term.head_vars, target_head)}
+    # Avoid accidental identification: if two old heads map to one name,
+    # the result would change arity semantics; bail out instead.
+    if len(set(mapping.values())) != len(mapping):
+        return None
+    # Namespace every other variable away from the target names.
+    stamp = rng.randrange(10**6)
+    for node in term.walk():
+        if isinstance(node, EdgeAtom):
+            for var in (node.source, node.target):
+                mapping.setdefault(var.name, f"{var.name}_{stamp}")
+    return rename(term, mapping)

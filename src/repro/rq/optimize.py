@@ -1,0 +1,92 @@
+"""Algebraic simplification of RQ terms.
+
+The structural query-optimization the paper's Section 4.2 muses about,
+instantiated for the RQ algebra: a terminating bottom-up rewriter whose
+rules are all semantics-preserving identities:
+
+- ``pi_B(pi_A(t))      -> pi_B(t)``          (projection fusion)
+- ``pi_{head}(t)       -> t``                (identity projection)
+- ``sigma[v=v](t)      -> t``                (trivial selection)
+- ``(t+)+              -> t+``               (TC idempotence)
+- ``t | t              -> t``  and Or-leaf deduplication
+- ``t & t              -> t``                (idempotent join, same head)
+
+``simplify`` returns an equivalent term that is never larger; the test
+suite fuzzes equivalence over random graphs.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    And,
+    EdgeAtom,
+    Or,
+    Project,
+    RQ,
+    Select,
+    TransitiveClosure,
+)
+
+
+def simplify(query: RQ) -> RQ:
+    """Apply the identity rewrites bottom-up until a fixpoint."""
+    current = query
+    while True:
+        rewritten = _simplify_once(current)
+        if rewritten == current:
+            return current
+        current = rewritten
+
+
+def _simplify_once(node: RQ) -> RQ:
+    if isinstance(node, EdgeAtom):
+        return node
+    if isinstance(node, Select):
+        child = _simplify_once(node.child)
+        if node.left == node.right:
+            return child
+        return Select(child, node.left, node.right)
+    if isinstance(node, Project):
+        child = _simplify_once(node.child)
+        # Projection fusion: the outer keep-list is all that matters.
+        while isinstance(child, Project):
+            child = child.child
+        if node.keep == child.head_vars:
+            return child
+        return Project(child, node.keep)
+    if isinstance(node, TransitiveClosure):
+        child = _simplify_once(node.child)
+        if isinstance(child, TransitiveClosure):
+            return child
+        return TransitiveClosure(child)
+    if isinstance(node, And):
+        left = _simplify_once(node.left)
+        right = _simplify_once(node.right)
+        if left == right:
+            return left
+        return And(left, right)
+    if isinstance(node, Or):
+        leaves = _or_leaves(node)
+        simplified = []
+        seen = set()
+        for leaf in leaves:
+            clean = _simplify_once(leaf)
+            if clean not in seen:
+                seen.add(clean)
+                simplified.append(clean)
+        out = simplified[0]
+        for leaf in simplified[1:]:
+            out = Or(out, leaf)
+        return out
+    raise TypeError(f"unknown node {node!r}")  # pragma: no cover
+
+
+def _or_leaves(node: RQ) -> list[RQ]:
+    if isinstance(node, Or):
+        return _or_leaves(node.left) + _or_leaves(node.right)
+    return [node]
+
+
+def size_reduction(before: RQ, after: RQ) -> float:
+    """Fractional node-count reduction (benchmark metric)."""
+    return 1.0 - after.size() / before.size()

@@ -1,0 +1,114 @@
+"""The RQ -> Datalog embedding of Section 4.1, rule for rule.
+
+Every RQ operator maps to nonrecursive Datalog rules except transitive
+closure, which maps to the two TC rules — making the image exactly a
+GRQ program (recursion used only for transitive closure).  This is the
+observation on which the paper's Section 4 rests, and
+:func:`repro.grq.membership.is_grq` recognizes precisely the shapes this
+translation emits.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..cq.syntax import Atom, Var
+from ..automata.alphabet import base_symbol, is_inverse
+from ..datalog.syntax import Program, Rule
+from .syntax import (
+    And,
+    EdgeAtom,
+    Or,
+    Project,
+    RQ,
+    RQError,
+    Select,
+    TransitiveClosure,
+)
+
+
+class _Translator:
+    def __init__(self, prefix: str = "q") -> None:
+        self.counter = itertools.count()
+        self.prefix = prefix
+        self.rules: list[Rule] = []
+
+    def fresh(self) -> str:
+        return f"{self.prefix}{next(self.counter)}"
+
+    def translate(self, node: RQ) -> str:
+        """Emit rules defining *node*; return its IDB predicate name.
+
+        The predicate's argument order is the node's ``head_vars``.
+        """
+        name = self.fresh()
+        head = Atom(name, node.head_vars)
+        if isinstance(node, EdgeAtom):
+            # Atoms: Q(x, y) :- r(x, y); an inverse label flips the body.
+            if is_inverse(node.label):
+                body = Atom(base_symbol(node.label), (node.target, node.source))
+            else:
+                body = Atom(node.label, (node.source, node.target))
+            self.rules.append(Rule(head, (body,)))
+        elif isinstance(node, Select):
+            # Selection: Q'(~x[y/z twice]) :- Q(~x[y/z]).
+            child = self.translate(node.child)
+            child_head = node.child.head_vars
+            substituted = tuple(
+                node.left if var == node.right else var for var in child_head
+            )
+            self.rules.append(
+                Rule(Atom(name, substituted), (Atom(child, substituted),))
+            )
+        elif isinstance(node, Project):
+            # Projection: Q'(~x - y) :- Q(~x).
+            child = self.translate(node.child)
+            self.rules.append(
+                Rule(Atom(name, node.keep), (Atom(child, node.child.head_vars),))
+            )
+        elif isinstance(node, Or):
+            # Union: one rule per disjunct.
+            left = self.translate(node.left)
+            right = self.translate(node.right)
+            self.rules.append(Rule(head, (Atom(left, node.left.head_vars),)))
+            self.rules.append(Rule(head, (Atom(right, node.right.head_vars),)))
+        elif isinstance(node, And):
+            # Conjunction: Q(~x ∪ ~y) :- Q1(~x), Q2(~y).
+            left = self.translate(node.left)
+            right = self.translate(node.right)
+            self.rules.append(
+                Rule(
+                    head,
+                    (
+                        Atom(left, node.left.head_vars),
+                        Atom(right, node.right.head_vars),
+                    ),
+                )
+            )
+        elif isinstance(node, TransitiveClosure):
+            # Transitive closure: the only recursion the image contains.
+            #   Q+(x, y) :- Q(x, y).
+            #   Q+(x, z) :- Q+(x, y), Q(y, z).
+            child = self.translate(node.child)
+            x, y = node.child.head_vars
+            z = Var(f"__tc_{name}")
+            self.rules.append(Rule(Atom(name, (x, y)), (Atom(child, (x, y)),)))
+            self.rules.append(
+                Rule(
+                    Atom(name, (x, z)),
+                    (Atom(name, (x, y)), Atom(child, (y, z))),
+                )
+            )
+        else:  # pragma: no cover - defensive
+            raise RQError(f"unknown node {node!r}")
+        return name
+
+
+def rq_to_datalog(query: RQ, prefix: str = "q") -> Program:
+    """Translate an RQ term to an equivalent Datalog (in fact GRQ) program.
+
+    The goal predicate's argument order matches ``query.head_vars``.
+    """
+    translator = _Translator(prefix)
+    goal = translator.translate(query)
+    return Program(tuple(translator.rules), goal)

@@ -1,0 +1,84 @@
+"""Unit tests for Sigma / Sigma± symbol handling."""
+
+import pickle
+
+import pytest
+
+from repro.automata.alphabet import (
+    Alphabet,
+    LEFT_MARKER,
+    RIGHT_MARKER,
+    base_symbol,
+    inverse,
+    inverse_word,
+    is_inverse,
+)
+
+
+class TestInverse:
+    def test_inverse_of_base(self):
+        assert inverse("r") == "r-"
+
+    def test_inverse_is_involution(self):
+        assert inverse(inverse("knows")) == "knows"
+
+    def test_is_inverse(self):
+        assert is_inverse("r-")
+        assert not is_inverse("r")
+
+    def test_base_symbol(self):
+        assert base_symbol("r-") == "r"
+        assert base_symbol("r") == "r"
+
+    def test_inverse_word_reverses_and_inverts(self):
+        assert inverse_word(("a", "b-", "c")) == ("c-", "b", "a-")
+
+    def test_inverse_word_is_involution(self):
+        word = ("a", "b-", "c", "c-")
+        assert inverse_word(inverse_word(word)) == word
+
+    def test_inverse_word_empty(self):
+        assert inverse_word(()) == ()
+
+
+class TestAlphabet:
+    def test_two_way_interleaves_inverses(self):
+        assert Alphabet(("a", "b")).two_way == ("a", "a-", "b", "b-")
+
+    def test_rejects_inverse_symbols(self):
+        with pytest.raises(ValueError):
+            Alphabet(("a-",))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Alphabet(("a", "a"))
+
+    def test_rejects_empty_symbol(self):
+        with pytest.raises(ValueError):
+            Alphabet(("",))
+
+    def test_from_symbols_strips_and_sorts(self):
+        alpha = Alphabet.from_symbols(["b-", "a", "b"])
+        assert alpha.symbols == ("a", "b")
+
+    def test_contains_checks_base(self):
+        alpha = Alphabet(("a",))
+        assert "a" in alpha and "a-" in alpha and "b" not in alpha
+
+    def test_iteration_and_len(self):
+        alpha = Alphabet(("x", "y"))
+        assert list(alpha) == ["x", "y"]
+        assert len(alpha) == 2
+
+
+class TestEndMarkers:
+    def test_markers_are_distinct(self):
+        assert LEFT_MARKER is not RIGHT_MARKER
+
+    def test_markers_survive_pickling_as_singletons(self):
+        assert pickle.loads(pickle.dumps(LEFT_MARKER)) is LEFT_MARKER
+        assert pickle.loads(pickle.dumps(RIGHT_MARKER)) is RIGHT_MARKER
+
+    def test_marker_repr(self):
+        assert repr(LEFT_MARKER) == "<|"
+        assert repr(RIGHT_MARKER) == "|>"

@@ -1,0 +1,141 @@
+"""Unit tests for determinization, complement, minimization, containment."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.automata.dfa import (
+    complement_nfa,
+    containment_counterexample,
+    determinize,
+    nfa_contains,
+    nfa_equivalent,
+    reduce_nfa,
+)
+from repro.automata.regex import parse_regex, random_regex
+
+
+def nfa_of(text: str):
+    return parse_regex(text).to_nfa()
+
+
+class TestDeterminize:
+    def test_language_preserved(self):
+        nfa = nfa_of("(a|b)* a (a|b)")
+        dfa = determinize(nfa)
+        for length in range(5):
+            for word in itertools.product(("a", "b"), repeat=length):
+                assert dfa.accepts(word) == nfa.accepts(word), word
+
+    def test_result_is_complete(self):
+        dfa = determinize(nfa_of("a"))
+        for state in dfa.states:
+            for symbol in dfa.alphabet:
+                assert dfa.step(state, symbol) in dfa.states
+
+    def test_explicit_alphabet_extends(self):
+        dfa = determinize(nfa_of("a"), alphabet=("a", "b"))
+        assert "b" in dfa.alphabet
+        assert not dfa.accepts(("b",))
+
+
+class TestComplement:
+    def test_complement_flips_membership(self):
+        nfa = nfa_of("a (a|b)*")
+        complement = complement_nfa(nfa, ("a", "b"))
+        for length in range(4):
+            for word in itertools.product(("a", "b"), repeat=length):
+                assert complement.accepts(word) == (not nfa.accepts(word)), word
+
+    def test_complement_relative_to_larger_alphabet(self):
+        complement = complement_nfa(nfa_of("a"), ("a", "b"))
+        assert complement.accepts(("b",))
+
+
+class TestMinimize:
+    def test_minimal_size_of_known_language(self):
+        # (a|b)* a (a|b): minimal DFA has exactly 4 states.
+        dfa = determinize(nfa_of("(a|b)* a (a|b)")).minimize()
+        assert dfa.num_states == 4
+
+    def test_language_preserved(self):
+        dfa = determinize(nfa_of("(a b)* | a"))
+        minimal = dfa.minimize()
+        for length in range(6):
+            for word in itertools.product(("a", "b"), repeat=length):
+                assert dfa.accepts(word) == minimal.accepts(word), word
+
+    def test_minimize_is_idempotent_in_size(self):
+        dfa = determinize(nfa_of("a* b a*")).minimize()
+        assert dfa.minimize().num_states == dfa.num_states
+
+    def test_empty_language(self):
+        dfa = determinize(nfa_of("a").product(nfa_of("b")), alphabet=("a", "b"))
+        minimal = dfa.minimize()
+        assert minimal.num_states == 1
+        assert not minimal.accepts(()) and not minimal.accepts(("a",))
+
+
+class TestContainment:
+    @pytest.mark.parametrize(
+        "small,big",
+        [("a a", "a*"), ("a|b", "(a|b)+"), ("a b a", "a (a|b)* a"), ("()", "a*")],
+    )
+    def test_positive(self, small, big):
+        assert nfa_contains(nfa_of(small), nfa_of(big))
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [("a*", "a a"), ("(a|b)+", "a+"), ("a?", "a")],
+    )
+    def test_negative_with_witness(self, left, right):
+        l, r = nfa_of(left), nfa_of(right)
+        assert not nfa_contains(l, r)
+        witness = containment_counterexample(l, r)
+        assert witness is not None
+        assert l.accepts(witness) and not r.accepts(witness)
+
+    def test_witness_is_shortest(self):
+        witness = containment_counterexample(nfa_of("a a a | b"), nfa_of("a a a"))
+        assert witness == ("b",)
+
+    def test_equivalence(self):
+        assert nfa_equivalent(nfa_of("a a*"), nfa_of("a+"))
+        assert not nfa_equivalent(nfa_of("a*"), nfa_of("a+"))
+
+    def test_random_cross_validation_against_brute_force(self):
+        """nfa_contains agrees with finite enumeration on random regexes."""
+        rng = random.Random(42)
+        alphabet = ("a", "b")
+        for _ in range(40):
+            e1 = random_regex(rng, alphabet, 3)
+            e2 = random_regex(rng, alphabet, 3)
+            n1, n2 = e1.to_nfa(), e2.to_nfa()
+            contained = nfa_contains(n1, n2, alphabet)
+            for length in range(4):
+                for word in itertools.product(alphabet, repeat=length):
+                    if n1.accepts(word) and not n2.accepts(word):
+                        assert not contained, (e1, e2, word)
+                        break
+                else:
+                    continue
+                break
+            else:
+                assert contained, (e1, e2)
+
+
+class TestReduceNFA:
+    def test_preserves_language(self):
+        nfa = nfa_of("(a|b)* (a b)+")
+        reduced = reduce_nfa(nfa)
+        for length in range(5):
+            for word in itertools.product(("a", "b"), repeat=length):
+                assert nfa.accepts(word) == reduced.accepts(word), word
+
+    def test_shrinks_thompson_output(self):
+        nfa = nfa_of("p p- p")
+        assert reduce_nfa(nfa).num_states < nfa.num_states
+
+    def test_empty_language(self):
+        assert reduce_nfa(nfa_of("a").product(nfa_of("b"))).num_states == 0

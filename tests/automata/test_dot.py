@@ -1,0 +1,44 @@
+"""Tests for DOT export."""
+
+from repro.automata.dot import graph_to_dot, nfa_to_dot, two_nfa_to_dot
+from repro.automata.fold import fold_two_nfa
+from repro.automata.regex import parse_regex
+from repro.graphdb.database import GraphDatabase
+
+
+class TestNFADot:
+    def test_structure(self):
+        dot = nfa_to_dot(parse_regex("a b|c").to_nfa())
+        assert dot.startswith("digraph nfa {")
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot        # a final state
+        assert "__start" in dot             # an initial marker
+        assert '[label="a"]' in dot or '[label="a,' in dot
+
+    def test_parallel_edges_grouped(self):
+        dot = nfa_to_dot(parse_regex("a|b").to_nfa())
+        # After epsilon elimination a|b shares endpoints: labels grouped.
+        assert '"a,b"' in dot or ('"a"' in dot and '"b"' in dot)
+
+    def test_quoting(self):
+        from repro.automata.nfa import NFA
+
+        nfa = NFA.build(("a",), ['st"0', 1], ['st"0'], [1], [('st"0', "a", 1)])
+        dot = nfa_to_dot(nfa)
+        assert '\\"' in dot
+
+
+class TestTwoNFADot:
+    def test_directions_rendered(self):
+        two = fold_two_nfa(parse_regex("p").to_nfa(), ("p", "p-"))
+        dot = two_nfa_to_dot(two)
+        assert "digraph" in dot
+        assert "→" in dot and "←" in dot  # forward + backward moves
+
+
+class TestGraphDot:
+    def test_edges_and_nodes(self):
+        db = GraphDatabase.from_edges([("a", "knows", "b")], nodes=["c"])
+        dot = graph_to_dot(db)
+        assert '"a" -> "b" [label="knows"]' in dot
+        assert '"c";' in dot

@@ -1,0 +1,100 @@
+"""Tests for Lemma 3: the fold relation and the fold 2NFA."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import reduce_nfa
+from repro.automata.fold import (
+    fold_language,
+    fold_two_nfa,
+    fold_witness,
+    folds_onto,
+    lemma3_state_bound,
+)
+from repro.automata.regex import parse_regex
+
+
+def reduced(text: str):
+    return reduce_nfa(parse_regex(text).to_nfa())
+
+
+SIGMA_P = Alphabet(("p",)).two_way
+SIGMA_AB = Alphabet(("a", "b")).two_way
+
+
+class TestFoldsOnto:
+    def test_paper_example(self):
+        """The paper's worked fold: abb-bc ; abc with cursors 0,1,2,1,2,3."""
+        assert folds_onto(("a", "b", "b-", "b", "c"), ("a", "b", "c"))
+        witness = fold_witness(("a", "b", "b-", "b", "c"), ("a", "b", "c"))
+        assert witness is not None
+        assert witness.cursors == (0, 1, 2, 1, 2, 3)
+
+    def test_every_word_folds_onto_itself(self):
+        for word in [(), ("a",), ("a", "b-"), ("a", "b", "a-")]:
+            assert folds_onto(word, word)
+
+    def test_pp_inverse_p_folds_onto_p(self):
+        """The crux of the paper's Q1 = p ⊑ Q2 = p p- p example."""
+        assert folds_onto(("p", "p-", "p"), ("p",))
+
+    def test_cannot_fold_onto_longer_word(self):
+        assert not folds_onto(("p",), ("p", "p"))
+
+    def test_cannot_fold_mismatched_letters(self):
+        assert not folds_onto(("a",), ("b",))
+
+    def test_fold_must_end_at_the_end(self):
+        # ab folds partway onto abc but never reaches cursor 3.
+        assert not folds_onto(("a", "b"), ("a", "b", "c"))
+
+    def test_inverse_letters_in_u(self):
+        # u itself may contain inverse letters: v = a- folds onto u = a-.
+        assert folds_onto(("a-",), ("a-",))
+        # Walking backward over an inverse letter of u consumes its inverse.
+        assert folds_onto(("a-", "a", "a-"), ("a-",))
+
+    def test_empty_onto_empty(self):
+        assert folds_onto((), ())
+        assert not folds_onto(("a",), ())
+
+
+class TestFoldTwoNFA:
+    def test_accepts_fold_of_paper_q2(self):
+        two = fold_two_nfa(reduced("p p- p"), SIGMA_P)
+        assert two.accepts(("p",))          # p in fold(L(Q2)): Q1 ⊑ Q2
+        assert two.accepts(("p", "p-", "p"))
+        assert not two.accepts(("p", "p"))
+        assert not two.accepts(())
+
+    def test_agrees_with_brute_force_fold(self):
+        for text, alphabet in [
+            ("p p- p", SIGMA_P),
+            ("a b", SIGMA_AB),
+            ("a (b|a-)*", SIGMA_AB),
+            ("a- b a", SIGMA_AB),
+        ]:
+            nfa = reduced(text)
+            two = fold_two_nfa(nfa, alphabet)
+            expected = set(fold_language(nfa, alphabet, 3))
+            actual = set(two.enumerate_words(3))
+            assert actual == expected, text
+
+    def test_state_count_is_2n_within_lemma3_bound(self):
+        nfa = reduced("a b a")
+        two = fold_two_nfa(nfa, SIGMA_AB)
+        assert two.num_states == 2 * nfa.num_states
+        assert two.num_states <= lemma3_state_bound(nfa, SIGMA_AB)
+
+    def test_empty_word_in_fold_iff_epsilon_in_language(self):
+        star = fold_two_nfa(reduced("a*"), SIGMA_AB)
+        single = fold_two_nfa(reduced("a"), SIGMA_AB)
+        assert star.accepts(())
+        assert not single.accepts(())
+
+    def test_fold_includes_language_itself(self):
+        """L(A) ⊆ fold(L(A)) always (fold by walking straight forward)."""
+        nfa = reduced("a (b|a)* b-")
+        two = fold_two_nfa(nfa, SIGMA_AB)
+        for word in nfa.enumerate_words(3):
+            assert two.accepts(word), word

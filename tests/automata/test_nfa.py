@@ -1,0 +1,167 @@
+"""Unit tests for the NFA operations used by the containment pipelines."""
+
+import pytest
+
+from repro.automata.nfa import NFA, from_epsilon_nfa
+from repro.automata.regex import parse_regex
+
+
+def nfa_of(text: str) -> NFA:
+    return parse_regex(text).to_nfa()
+
+
+class TestBuild:
+    def test_rejects_unknown_states(self):
+        with pytest.raises(ValueError):
+            NFA.build(("a",), [0], [0], [0], [(0, "a", 1)])
+
+    def test_successors_default_empty(self):
+        nfa = NFA.build(("a",), [0, 1], [0], [1], [(0, "a", 1)])
+        assert nfa.successors(1, "a") == frozenset()
+
+    def test_edges_roundtrip(self):
+        edges = {(0, "a", 1), (0, "b", 0), (1, "a", 1)}
+        nfa = NFA.build(("a", "b"), [0, 1], [0], [1], edges)
+        assert set(nfa.edges()) == edges
+
+
+class TestAccepts:
+    def test_empty_word_needs_initial_final_overlap(self):
+        accepting = NFA.build(("a",), [0], [0], [0], [])
+        rejecting = NFA.build(("a",), [0, 1], [0], [1], [(0, "a", 1)])
+        assert accepting.accepts(())
+        assert not rejecting.accepts(())
+
+    def test_nondeterministic_branching(self):
+        # Two a-successors; only one leads to acceptance.
+        nfa = NFA.build(
+            ("a", "b"), [0, 1, 2, 3], [0], [3],
+            [(0, "a", 1), (0, "a", 2), (1, "b", 3)],
+        )
+        assert nfa.accepts(("a", "b"))
+        assert not nfa.accepts(("a", "a"))
+
+
+class TestProduct:
+    def test_product_is_intersection(self):
+        left = nfa_of("(a|b)* a")      # ends with a
+        right = nfa_of("a (a|b)*")     # starts with a
+        product = left.product(right)
+        for word in [("a",), ("a", "b", "a"), ("a", "a")]:
+            assert product.accepts(word)
+        for word in [(), ("b", "a"), ("a", "b")]:
+            assert not product.accepts(word)
+
+    def test_product_with_disjoint_languages_is_empty(self):
+        assert nfa_of("a a").product(nfa_of("b")).is_empty()
+
+
+class TestUnionReverseTrim:
+    def test_union(self):
+        union = nfa_of("a a").union(nfa_of("b"))
+        assert union.accepts(("a", "a")) and union.accepts(("b",))
+        assert not union.accepts(("a",))
+
+    def test_reverse(self):
+        reverse = nfa_of("a b").reverse()
+        assert reverse.accepts(("b", "a"))
+        assert not reverse.accepts(("a", "b"))
+
+    def test_trim_removes_dead_states(self):
+        nfa = NFA.build(
+            ("a",), [0, 1, 2], [0], [1], [(0, "a", 1), (0, "a", 2)]
+        )
+        trimmed = nfa.trim()
+        assert 2 not in trimmed.states
+        assert trimmed.accepts(("a",))
+
+
+class TestEmptinessAndWitnesses:
+    def test_shortest_word_is_shortest(self):
+        nfa = nfa_of("a a a|b")
+        assert nfa.shortest_word() == ("b",)
+
+    def test_shortest_word_empty_language(self):
+        assert nfa_of("a").product(nfa_of("b")).shortest_word() is None
+
+    def test_shortest_word_epsilon(self):
+        assert nfa_of("a*").shortest_word() == ()
+
+    def test_is_empty(self):
+        assert not nfa_of("a").is_empty()
+
+
+class TestWordEnumeration:
+    def test_enumerate_words(self):
+        words = set(nfa_of("a b*").enumerate_words(3))
+        assert words == {("a",), ("a", "b"), ("a", "b", "b")}
+
+    def test_words_of_length_matches_brute_force(self):
+        nfa = nfa_of("(a|b) a* b?")
+        for length in range(5):
+            fast = set(nfa.words_of_length(length))
+            slow = {w for w in nfa.enumerate_words(length) if len(w) == length}
+            assert fast == slow, length
+
+    def test_words_of_length_prunes_dead_prefixes(self):
+        # Language = {ab}; length-2 enumeration must not yield b-prefixed words.
+        assert set(nfa_of("a b").words_of_length(2)) == {("a", "b")}
+
+
+class TestFiniteness:
+    @pytest.mark.parametrize(
+        "text,finite,longest",
+        [
+            ("a b|c", True, 2),
+            ("a* b", False, None),
+            ("(a|b)(a|b)(a|b)", True, 3),
+            ("a+", False, None),
+            ("a?", True, 1),
+            ("()", True, 0),
+        ],
+    )
+    def test_language_is_finite_and_longest(self, text, finite, longest):
+        nfa = nfa_of(text)
+        assert nfa.language_is_finite() == finite
+        assert nfa.longest_word_length() == longest
+
+    def test_unreachable_cycle_does_not_matter(self):
+        nfa = NFA.build(
+            ("a",), [0, 1, 2], [0], [1],
+            [(0, "a", 1), (2, "a", 2)],  # the 2-cycle is dead
+        )
+        assert nfa.language_is_finite()
+
+
+class TestRenumberAndMap:
+    def test_renumber_preserves_language(self):
+        nfa = nfa_of("(a|b)* a")
+        renumbered = nfa.renumber()
+        assert renumbered.states == frozenset(range(nfa.num_states))
+        for word in [("a",), ("b", "a"), ("b",), ()]:
+            assert nfa.accepts(word) == renumbered.accepts(word)
+
+    def test_map_symbols(self):
+        mapped = nfa_of("a b").map_symbols(lambda s: s.upper())
+        assert mapped.accepts(("A", "B"))
+
+
+class TestEpsilonElimination:
+    def test_chain_of_epsilons(self):
+        nfa = from_epsilon_nfa(
+            ("a",), [0, 1, 2, 3], [0], [3],
+            [(0, None, 1), (1, "a", 2), (2, None, 3)],
+        )
+        assert nfa.accepts(("a",))
+        assert not nfa.accepts(())
+
+    def test_epsilon_to_final_makes_empty_word_accepted(self):
+        nfa = from_epsilon_nfa(("a",), [0, 1], [0], [1], [(0, None, 1)])
+        assert nfa.accepts(())
+
+    def test_epsilon_cycle_terminates(self):
+        nfa = from_epsilon_nfa(
+            ("a",), [0, 1], [0], [1],
+            [(0, None, 1), (1, None, 0), (0, "a", 1)],
+        )
+        assert nfa.accepts(()) and nfa.accepts(("a",))

@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the automata substrate.
+
+These check the algebraic laws the containment pipelines silently rely
+on: De-Morgan-style relationships between product/complement, fold
+soundness, involution of inversion, and agreement of the independent
+2NFA pipelines (Lemma 4 vs Shepherdson).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.alphabet import Alphabet, inverse_word
+from repro.automata.dfa import (
+    complement_nfa,
+    determinize,
+    nfa_contains,
+    reduce_nfa,
+)
+from repro.automata.fold import fold_two_nfa, folds_onto
+from repro.automata.regex import Regex, parse_regex, random_regex
+from repro.automata.shepherdson import two_nfa_to_dfa
+
+ALPHABET = ("a", "b")
+SIGMA_PM = Alphabet(ALPHABET).two_way
+
+
+@st.composite
+def regexes(draw, allow_inverse: bool = False, depth: int = 3) -> Regex:
+    seed = draw(st.integers(min_value=0, max_value=10**9))
+    return random_regex(random.Random(seed), ALPHABET, depth, allow_inverse)
+
+
+@st.composite
+def words(draw, alphabet=ALPHABET, max_len: int = 4):
+    return tuple(
+        draw(st.lists(st.sampled_from(alphabet), max_size=max_len))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), words())
+def test_determinization_preserves_acceptance(regex, word):
+    nfa = regex.to_nfa()
+    assert determinize(nfa, ALPHABET).accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), words())
+def test_complement_is_exact(regex, word):
+    nfa = regex.to_nfa()
+    assert complement_nfa(nfa, ALPHABET).accepts(word) != nfa.accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), words())
+def test_reduce_preserves_acceptance(regex, word):
+    nfa = regex.to_nfa()
+    assert reduce_nfa(nfa).accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(), regexes(), words())
+def test_product_is_conjunction_of_acceptance(r1, r2, word):
+    n1, n2 = r1.to_nfa(), r2.to_nfa()
+    assert n1.product(n2).accepts(word) == (n1.accepts(word) and n2.accepts(word))
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_containment_is_reflexive(regex):
+    nfa = regex.to_nfa()
+    assert nfa_contains(nfa, nfa, ALPHABET)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(), regexes())
+def test_containment_in_union_always_holds(r1, r2):
+    n1 = r1.to_nfa()
+    assert nfa_contains(n1, n1.union(r2.to_nfa()), ALPHABET)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words(SIGMA_PM))
+def test_fold_is_reflexive(word):
+    assert folds_onto(word, word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words(SIGMA_PM, max_len=4), st.integers(min_value=0, max_value=3))
+def test_fold_with_stutter_preserves(word, position):
+    """Stuttering over a letter of u preserves folding.
+
+    A fold cursor may cross u[i] forward, step back over it, and cross
+    again: v = u[:i] + (u[i], u[i]-, u[i]) + u[i+1:] folds onto u.
+    (Detours can only retrace letters of u itself — walking off the word
+    is impossible, which an earlier draft of this property got wrong.)
+    """
+    if not word:
+        assert folds_onto((), ())
+        return
+    i = position % len(word)
+    letter = word[i]
+    stuttered = word[:i] + (letter, inverse_word((letter,))[0], letter) + word[i + 1 :]
+    assert folds_onto(stuttered, word)
+
+
+@settings(max_examples=25, deadline=None)
+@given(regexes(allow_inverse=True, depth=2), words(SIGMA_PM, max_len=3))
+def test_fold_two_nfa_membership_matches_definition(regex, word):
+    """The Lemma 3 automaton accepts u iff some v in L folds onto u.
+
+    The right-hand side is decided by the independent Shepherdson
+    determinization, making this a cross-pipeline consistency check.
+    """
+    nfa = reduce_nfa(regex.to_nfa())
+    two = fold_two_nfa(nfa, SIGMA_PM)
+    direct = two.accepts(word)
+    via_dfa = two_nfa_to_dfa(two).accepts(word)
+    assert direct == via_dfa
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(depth=3))
+def test_state_elimination_roundtrip(regex):
+    """Kleene's theorem, executable: regex -> NFA -> regex is equivalent."""
+    from repro.automata.state_elimination import nfa_to_regex
+    from repro.automata.dfa import nfa_equivalent
+
+    recovered = nfa_to_regex(regex.to_nfa())
+    assert nfa_equivalent(regex.to_nfa(), recovered.to_nfa(), ALPHABET)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(allow_inverse=True, depth=3), words(SIGMA_PM))
+def test_minimized_dfa_is_canonical_acceptor(regex, word):
+    """Two routes to a minimal DFA accept the same words."""
+    nfa = regex.to_nfa()
+    direct = determinize(nfa, SIGMA_PM).minimize()
+    via_reduction = determinize(reduce_nfa(nfa), SIGMA_PM).minimize()
+    assert direct.accepts(word) == via_reduction.accepts(word)
+    assert direct.num_states == via_reduction.num_states
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(allow_inverse=True, depth=2))
+def test_language_contained_in_its_fold(regex):
+    """L(A) ⊆ fold(L(A)): folding straight ahead is always possible."""
+    nfa = reduce_nfa(regex.to_nfa())
+    two = fold_two_nfa(nfa, SIGMA_PM)
+    for word in nfa.enumerate_words(3):
+        assert two.accepts(word)

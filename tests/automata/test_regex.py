@@ -1,0 +1,141 @@
+"""Unit tests for the regex AST, parser, and Thompson construction."""
+
+import random
+
+import pytest
+
+from repro.automata.regex import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Optional_,
+    Plus,
+    RegexSyntaxError,
+    Star,
+    Sym,
+    Union,
+    enumerate_language,
+    parse_regex,
+    random_regex,
+    word_regex,
+)
+
+
+class TestParser:
+    def test_single_symbol(self):
+        assert parse_regex("a") == Sym("a")
+
+    def test_inverse_symbol(self):
+        assert parse_regex("a-") == Sym("a-")
+
+    def test_multi_char_symbol(self):
+        assert parse_regex("worksAt") == Sym("worksAt")
+
+    def test_concat_by_juxtaposition(self):
+        assert parse_regex("a b") == Concat(Sym("a"), Sym("b"))
+
+    def test_concat_by_dot(self):
+        assert parse_regex("a.b") == Concat(Sym("a"), Sym("b"))
+
+    def test_union_binds_looser_than_concat(self):
+        assert parse_regex("a b|c") == Union(Concat(Sym("a"), Sym("b")), Sym("c"))
+
+    def test_postfix_operators(self):
+        assert parse_regex("a*") == Star(Sym("a"))
+        assert parse_regex("a+") == Plus(Sym("a"))
+        assert parse_regex("a?") == Optional_(Sym("a"))
+
+    def test_postfix_binds_tightest(self):
+        assert parse_regex("a b*") == Concat(Sym("a"), Star(Sym("b")))
+
+    def test_parentheses(self):
+        assert parse_regex("(a|b) c") == Concat(Union(Sym("a"), Sym("b")), Sym("c"))
+
+    def test_epsilon_literal(self):
+        assert parse_regex("()") == Epsilon()
+
+    def test_paper_example_q2(self):
+        """The paper's Q2 = p p- p parses as a two-way expression."""
+        regex = parse_regex("p p- p")
+        assert regex.uses_inverse()
+        assert regex.symbols() == {"p", "p-"}
+
+    @pytest.mark.parametrize("bad", ["", "a |", "(a", "a)", "*", "|a", "a @ b"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+    def test_roundtrip_via_str(self):
+        for text in ["a b|c", "(a|b)* c", "p p- p", "a+ b? c*"]:
+            regex = parse_regex(text)
+            assert parse_regex(str(regex)) == regex
+
+
+class TestThompson:
+    @pytest.mark.parametrize(
+        "text,accepted,rejected",
+        [
+            ("a", [("a",)], [(), ("b",), ("a", "a")]),
+            ("a b", [("a", "b")], [("a",), ("b", "a")]),
+            ("a|b", [("a",), ("b",)], [(), ("a", "b")]),
+            ("a*", [(), ("a",), ("a", "a", "a")], [("b",)]),
+            ("a+", [("a",), ("a", "a")], [()]),
+            ("a?", [(), ("a",)], [("a", "a")]),
+            ("(a b)+", [("a", "b"), ("a", "b", "a", "b")], [("a",), ("a", "b", "a")]),
+            ("()", [()], [("a",)]),
+        ],
+    )
+    def test_acceptance(self, text, accepted, rejected):
+        nfa = parse_regex(text).to_nfa()
+        for word in accepted:
+            assert nfa.accepts(word), word
+        for word in rejected:
+            assert not nfa.accepts(word), word
+
+    def test_empty_set(self):
+        nfa = EmptySet().to_nfa()
+        assert nfa.is_empty()
+
+    def test_word_regex(self):
+        nfa = word_regex(("a", "b", "a")).to_nfa()
+        assert nfa.accepts(("a", "b", "a"))
+        assert not nfa.accepts(("a", "b"))
+        assert word_regex(()).to_nfa().accepts(())
+
+
+class TestInversion:
+    def test_symbol_inverse(self):
+        assert Sym("a").inverse() == Sym("a-")
+
+    def test_concat_inverse_reverses(self):
+        regex = parse_regex("a b")
+        assert regex.inverse() == Concat(Sym("b-"), Sym("a-"))
+
+    def test_inverse_language_matches(self):
+        """L(e.inverse()) = { inverse_word(w) : w in L(e) }."""
+        from repro.automata.alphabet import inverse_word
+
+        regex = parse_regex("a (b|c-)* a-")
+        alphabet = ("a", "a-", "b", "b-", "c", "c-")
+        forward = set(enumerate_language(regex, alphabet, 3))
+        backward = set(enumerate_language(regex.inverse(), alphabet, 3))
+        assert backward == {inverse_word(word) for word in forward}
+
+
+class TestRandomRegex:
+    def test_is_deterministic_given_seed(self):
+        a = random_regex(random.Random(5), ("a", "b"), 3)
+        b = random_regex(random.Random(5), ("a", "b"), 3)
+        assert a == b
+
+    def test_respects_inverse_flag(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            regex = random_regex(rng, ("a",), 3, allow_inverse=False)
+            assert not regex.uses_inverse()
+
+    def test_compiles(self):
+        rng = random.Random(2)
+        for _ in range(25):
+            regex = random_regex(rng, ("a", "b"), 4, allow_inverse=True)
+            regex.to_nfa()  # must not raise

@@ -1,0 +1,72 @@
+"""Tests for NFA -> regex state elimination (Kleene's theorem)."""
+
+import random
+
+import pytest
+
+from repro.automata.dfa import nfa_equivalent, reduce_nfa
+from repro.automata.nfa import NFA
+from repro.automata.regex import EmptySet, parse_regex, random_regex
+from repro.automata.state_elimination import nfa_to_regex
+
+
+class TestRoundTrips:
+    CASES = [
+        "a",
+        "a b",
+        "a|b",
+        "a*",
+        "a+",
+        "(a|b)* a",
+        "a (b a)* b?",
+        "()",
+        "(a a)*|b",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_regex_nfa_regex(self, text):
+        original = parse_regex(text)
+        recovered = nfa_to_regex(original.to_nfa())
+        assert nfa_equivalent(
+            original.to_nfa(), recovered.to_nfa(), ("a", "b")
+        ), f"{text} -> {recovered}"
+
+    def test_random_roundtrips(self):
+        rng = random.Random(31)
+        for _ in range(25):
+            regex = random_regex(rng, ("a", "b"), 3)
+            recovered = nfa_to_regex(regex.to_nfa())
+            assert nfa_equivalent(
+                regex.to_nfa(), recovered.to_nfa(), ("a", "b")
+            ), (regex, recovered)
+
+    def test_two_way_letters_pass_through(self):
+        regex = parse_regex("p p- p")
+        recovered = nfa_to_regex(regex.to_nfa())
+        assert nfa_equivalent(
+            regex.to_nfa(), recovered.to_nfa(), ("p", "p-")
+        )
+
+
+class TestEdgeCases:
+    def test_empty_language(self):
+        nfa = parse_regex("a").to_nfa().product(parse_regex("b").to_nfa())
+        assert nfa_to_regex(nfa) == EmptySet()
+
+    def test_epsilon_only(self):
+        recovered = nfa_to_regex(parse_regex("()").to_nfa())
+        assert recovered.to_nfa().accepts(())
+        assert not recovered.to_nfa().accepts(("a",))
+
+    def test_from_product_automaton(self):
+        """Regexes recovered from products re-parse and stay equivalent."""
+        product = reduce_nfa(
+            parse_regex("(a|b)* a").to_nfa().product(parse_regex("a (a|b)*").to_nfa())
+        )
+        recovered = nfa_to_regex(product)
+        assert nfa_equivalent(recovered.to_nfa(), product, ("a", "b"))
+
+    def test_output_reparses(self):
+        for text in ("a (b|a)*", "(a b)+"):
+            recovered = nfa_to_regex(parse_regex(text).to_nfa())
+            assert parse_regex(str(recovered)) == recovered

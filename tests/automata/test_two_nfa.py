@@ -1,0 +1,85 @@
+"""Unit tests for two-way automata with end-marker semantics."""
+
+import pytest
+
+from repro.automata.alphabet import LEFT_MARKER, RIGHT_MARKER
+from repro.automata.regex import parse_regex
+from repro.automata.two_nfa import LEFT, RIGHT, STAY, TwoNFA, one_way_as_two_way
+
+
+class TestBuild:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            TwoNFA.build(("a",), [0], [0], [0], [(0, "a", 0, 2)])
+
+    def test_moves_default_empty(self):
+        two = TwoNFA.build(("a",), [0], [0], [0], [])
+        assert two.moves(0, "a") == frozenset()
+
+
+class TestAcceptance:
+    def test_one_way_embedding_agrees(self):
+        nfa = parse_regex("(a|b)* a").to_nfa()
+        two = one_way_as_two_way(nfa)
+        for word in [(), ("a",), ("b",), ("b", "a"), ("a", "b"), ("a", "a", "a")]:
+            assert two.accepts(word) == nfa.accepts(word), word
+
+    def test_empty_word_via_markers(self):
+        nfa = parse_regex("a*").to_nfa()
+        assert one_way_as_two_way(nfa).accepts(())
+
+    def test_genuinely_two_way_language(self):
+        """A 2NFA that zig-zags: accepts words whose first and last letters match.
+
+        It walks to the right marker, then returns to re-read the first
+        letter — impossible without two-way moves at this state budget.
+        """
+        # States: 0 = scan right remembering first letter is 'a' (else die),
+        # 1 = at right marker, walking left to the left marker, 2 = verify.
+        transitions = [
+            (0, "a", 0, RIGHT),
+            (0, "b", 0, RIGHT),
+            (0, LEFT_MARKER, 0, RIGHT),
+            (0, RIGHT_MARKER, 1, LEFT),
+            (1, "a", 1, LEFT),
+            (1, "b", 1, LEFT),
+            (1, LEFT_MARKER, 2, RIGHT),
+            (2, "a", 3, RIGHT),       # first letter must be 'a'
+            (3, "a", 3, RIGHT),
+            (3, "b", 3, RIGHT),
+            (3, RIGHT_MARKER, 3, STAY),
+        ]
+        two = TwoNFA.build(("a", "b"), [0, 1, 2, 3], [0], [3], transitions)
+        assert two.accepts(("a",))
+        assert two.accepts(("a", "b", "b"))
+        assert not two.accepts(("b", "a"))
+        assert not two.accepts(())
+
+    def test_stay_moves_do_not_loop_forever(self):
+        two = TwoNFA.build(
+            ("a",), [0], [0], [], [(0, "a", 0, STAY), (0, LEFT_MARKER, 0, RIGHT)]
+        )
+        assert not two.accepts(("a",))  # terminates despite the stay loop
+
+    def test_cannot_fall_off_tape(self):
+        # A left move at the left marker is simply not taken.
+        two = TwoNFA.build(
+            ("a",), [0, 1], [0], [1],
+            [(0, LEFT_MARKER, 1, LEFT), (0, LEFT_MARKER, 1, RIGHT)],
+        )
+        assert two.accepts(())  # via the RIGHT move only
+
+
+class TestEnumeration:
+    def test_enumerate_words(self):
+        nfa = parse_regex("a b").to_nfa()
+        two = one_way_as_two_way(nfa)
+        assert set(two.enumerate_words(3)) == {("a", "b")}
+
+
+class TestRenumber:
+    def test_renumber_preserves_language(self, rng, random_two_nfa):
+        two = random_two_nfa(rng, 4, ("a", "b"))
+        renumbered = two.renumber()
+        for word in [(), ("a",), ("b", "a"), ("a", "a", "b")]:
+            assert two.accepts(word) == renumbered.accepts(word), word

@@ -1,0 +1,116 @@
+"""Tests for query classification and tower promotion."""
+
+import pytest
+
+from repro.core.classify import (
+    QueryClass,
+    classify,
+    describe_tower,
+    least_common_class,
+    promote,
+)
+from repro.cq.syntax import UCQ, cq_from_strings
+from repro.crpq.syntax import C2RPQ, UC2RPQ, paper_example_1
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import transitive_closure_program
+from repro.rpq.rpq import RPQ, TwoRPQ
+from repro.rq.syntax import triangle_plus
+
+
+class TestClassify:
+    def test_rpq(self):
+        assert classify(RPQ.parse("a+")) is QueryClass.RPQ
+
+    def test_one_way_two_rpq_downgrades_to_rpq(self):
+        assert classify(TwoRPQ.parse("a b")) is QueryClass.RPQ
+
+    def test_two_rpq(self):
+        assert classify(TwoRPQ.parse("a-")) is QueryClass.TWO_RPQ
+
+    def test_c2rpq_and_uc2rpq(self):
+        triangle, union = paper_example_1()
+        assert classify(triangle) is QueryClass.UC2RPQ
+        assert classify(union) is QueryClass.UC2RPQ
+
+    def test_rq(self):
+        assert classify(triangle_plus()) is QueryClass.RQ
+
+    def test_cq_and_ucq(self):
+        cq = cq_from_strings("x", ["e(x,y)"])
+        assert classify(cq) is QueryClass.CQ
+        assert classify(UCQ((cq,))) is QueryClass.UCQ
+
+    def test_nonrecursive_program_is_ucq(self):
+        program = parse_program("p(x, z) :- e(x, y), e(y, z).")
+        assert classify(program) is QueryClass.UCQ
+
+    def test_tc_program_is_grq(self):
+        assert classify(transitive_closure_program()) is QueryClass.GRQ
+
+    def test_general_datalog(self):
+        program = parse_program(
+            """
+            t(x, y) :- e(x, y).
+            t(x, z) :- t(x, y), t(y, z).
+            """
+        )
+        assert classify(program) is QueryClass.DATALOG
+
+    def test_non_query_rejected(self):
+        with pytest.raises(TypeError):
+            classify("not a query")
+
+
+class TestLeastCommonClass:
+    def test_within_graph_tower(self):
+        assert (
+            least_common_class(QueryClass.RPQ, QueryClass.RQ) is QueryClass.RQ
+        )
+        assert (
+            least_common_class(QueryClass.UC2RPQ, QueryClass.TWO_RPQ)
+            is QueryClass.UC2RPQ
+        )
+
+    def test_within_relational_tower(self):
+        assert (
+            least_common_class(QueryClass.CQ, QueryClass.GRQ) is QueryClass.GRQ
+        )
+
+    def test_across_towers_is_none(self):
+        assert least_common_class(QueryClass.RPQ, QueryClass.CQ) is None
+
+
+class TestPromote:
+    def test_identity(self):
+        query = TwoRPQ.parse("a-")
+        assert promote(query, QueryClass.TWO_RPQ) is query
+
+    def test_two_rpq_to_uc2rpq(self):
+        promoted = promote(TwoRPQ.parse("a+"), QueryClass.UC2RPQ)
+        assert isinstance(promoted, UC2RPQ)
+
+    def test_c2rpq_to_rq_semantics(self):
+        from repro.crpq.evaluation import evaluate_c2rpq
+        from repro.graphdb.generators import random_graph
+        from repro.rq.evaluation import evaluate_rq
+
+        triangle, _ = paper_example_1()
+        promoted = promote(triangle, QueryClass.RQ)
+        db = random_graph(5, 10, ("r",), seed=0)
+        assert evaluate_rq(promoted, db) == evaluate_c2rpq(triangle, db)
+
+    def test_rq_to_datalog(self):
+        from repro.datalog.syntax import Program
+
+        promoted = promote(triangle_plus(), QueryClass.DATALOG)
+        assert isinstance(promoted, Program)
+
+    def test_unsupported_lift(self):
+        with pytest.raises(TypeError):
+            promote(cq_from_strings("x", ["e(x,y)"]), QueryClass.RQ)
+
+
+class TestDescribe:
+    def test_tower_string(self):
+        assert describe_tower(RPQ.parse("a")) == "RPQ (⊂ 2RPQ ⊂ UC2RPQ ⊂ RQ)"
+        assert describe_tower(triangle_plus()) == "RQ"

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_database, main, parse_query
+from repro.datalog.syntax import Program
+from repro.rpq.rpq import RPQ, TwoRPQ
+from repro.rq.syntax import RQ
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.edges"
+    path.write_text("a knows b\nb knows c\n")
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "d.facts"
+    path.write_text("edge(1, 2). edge(2, 3).")
+    return str(path)
+
+
+class TestParseQuery:
+    def test_rpq(self):
+        assert isinstance(parse_query("rpq:a+"), RPQ)
+
+    def test_two_way_rpq(self):
+        query = parse_query("rpq:a-")
+        assert isinstance(query, TwoRPQ) and not isinstance(query, RPQ)
+
+    def test_rq(self):
+        assert isinstance(parse_query("rq:ans(x, y) :- [a+](x, y)."), RQ)
+
+    def test_datalog(self):
+        query = parse_query("datalog:t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z).")
+        assert isinstance(query, Program)
+
+    def test_file_spec(self, tmp_path):
+        path = tmp_path / "q.txt"
+        path.write_text("a b+")
+        assert isinstance(parse_query(f"rpq:@{path}"), RPQ)
+
+    def test_bad_kind(self):
+        with pytest.raises(SystemExit):
+            parse_query("sql:select")
+
+    def test_missing_colon(self):
+        with pytest.raises(SystemExit):
+            parse_query("rpq")
+
+
+class TestCommands:
+    def test_classify(self, capsys):
+        assert main(["classify", "rpq:a+"]) == 0
+        assert "RPQ" in capsys.readouterr().out
+
+    def test_evaluate_graph(self, graph_file, capsys):
+        assert main(["evaluate", "rpq:knows+", "--database", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "a\tc" in out
+
+    def test_evaluate_datalog(self, facts_file, capsys):
+        program = "datalog:t(x,y) :- edge(x,y). t(x,z) :- t(x,y), edge(y,z)."
+        assert main(["evaluate", program, "--database", facts_file]) == 0
+        assert "1\t3" in capsys.readouterr().out
+
+    def test_evaluate_rq_on_graph(self, graph_file, capsys):
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "rq:ans(x, y) :- [knows knows](x, y).",
+                    "--database",
+                    graph_file,
+                ]
+            )
+            == 0
+        )
+        assert "a\tc" in capsys.readouterr().out
+
+    def test_contain_holds_exit_zero(self, capsys):
+        assert main(["contain", "rpq:a a", "rpq:a+"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_contain_refuted_exit_one(self, capsys):
+        assert main(["contain", "rpq:a+", "rpq:a a"]) == 1
+        assert "REFUTED" in capsys.readouterr().out
+
+    def test_contain_show_witness(self, capsys):
+        main(["contain", "rpq:a+", "rpq:a a", "--show-witness"])
+        out = capsys.readouterr().out
+        assert "counterexample database" in out
+        assert "0 a 1" in out
+
+    def test_contain_budget_flag(self, capsys):
+        program = "datalog:t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z)."
+        code = main(["contain", program, program, "--max-expansions", "5"])
+        assert code == 0
+        assert "bound" in capsys.readouterr().out
+
+
+class TestRewriteCommand:
+    def test_exact_rewriting(self, capsys, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 a 1\n1 b 2\n2 a 3\n3 b 4\n")
+        code = main(
+            ["rewrite", "rpq:(a b)+", "--view", "v=a b", "--database", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+        assert "0\t4" in out
+
+    def test_no_rewriting_exits_one(self, capsys):
+        assert main(["rewrite", "rpq:a", "--view", "v=a a"]) == 1
+        assert "no contained rewriting" in capsys.readouterr().out
+
+    def test_rewriting_without_database(self, capsys):
+        assert main(["rewrite", "rpq:a+", "--view", "v=a"]) == 0
+        assert "rewriting" in capsys.readouterr().out
+
+    def test_bad_view_spec(self):
+        with pytest.raises(SystemExit):
+            main(["rewrite", "rpq:a", "--view", "nonsense"])
+
+    def test_two_way_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["rewrite", "rpq:a-", "--view", "v=a"])
+
+
+class TestLoadDatabase:
+    def test_facts_extension(self, facts_file):
+        from repro.relational.instance import Instance
+
+        assert isinstance(load_database(facts_file), Instance)
+
+    def test_edges_extension(self, graph_file):
+        from repro.graphdb.database import GraphDatabase
+
+        assert isinstance(load_database(graph_file), GraphDatabase)

@@ -1,0 +1,116 @@
+"""Tests for the unified containment engine."""
+
+import pytest
+
+from repro.core.engine import check_containment, check_equivalence
+from repro.core.witness import verify_counterexample
+from repro.cq.syntax import UCQ, cq_from_strings
+from repro.crpq.syntax import C2RPQ, paper_example_1
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import transitive_closure_program
+from repro.report import Verdict
+from repro.rpq.rpq import RPQ, TwoRPQ
+from repro.rq.syntax import TransitiveClosure, edge, triangle_plus
+
+
+class TestSameClassDispatch:
+    def test_rpq_pair(self):
+        result = check_containment(RPQ.parse("a a"), RPQ.parse("a+"))
+        assert result.method == "rpq-language" and result.holds
+
+    def test_two_rpq_pair(self):
+        result = check_containment(TwoRPQ.parse("p"), TwoRPQ.parse("p p- p"))
+        assert result.method.startswith("2rpq-fold") and result.holds
+
+    def test_one_way_pair_of_two_rpqs_uses_lemma1(self):
+        result = check_containment(TwoRPQ.parse("a"), TwoRPQ.parse("a|b"))
+        assert result.method == "rpq-language"
+
+    def test_uc2rpq_pair(self):
+        triangle, union = paper_example_1()
+        assert check_containment(triangle, union).holds
+        assert not check_containment(union, triangle).holds
+
+    def test_rq_pair(self):
+        result = check_containment(edge("e", "x", "y"), TransitiveClosure(edge("e", "x", "y")))
+        assert result.verdict is Verdict.HOLDS
+
+    def test_cq_pair(self):
+        small = cq_from_strings("x", ["e(x,y)", "e(y,z)"])
+        big = cq_from_strings("x", ["e(x,y)"])
+        assert check_containment(small, big).method == "ucq-homomorphism"
+        assert not check_containment(big, small).holds
+
+    def test_grq_pair(self):
+        left = transitive_closure_program("edge", "tc")
+        right = transitive_closure_program("edge", "tc", left_linear=False)
+        result = check_containment(left, right, max_expansions=25)
+        assert result.method == "grq-expansion" and result.holds
+
+    def test_general_datalog_pair(self):
+        nonlinear = parse_program(
+            """
+            t(x, y) :- e(x, y).
+            t(x, z) :- t(x, y), t(y, z).
+            """
+        )
+        linear = parse_program(
+            """
+            t(x, y) :- e(x, y).
+            t(x, z) :- t(x, y), e(y, z).
+            """
+        )
+        result = check_containment(nonlinear, linear, max_expansions=25)
+        assert result.method == "expansion-vs-evaluation" and result.holds
+
+
+class TestMixedClassDispatch:
+    def test_rpq_vs_rq(self):
+        result = check_containment(TwoRPQ.parse("r r"), triangle_plus())
+        assert result.verdict is Verdict.REFUTED
+        assert verify_counterexample(TwoRPQ.parse("r r"), triangle_plus(), result)
+
+    def test_two_rpq_vs_uc2rpq(self):
+        triangle, _ = paper_example_1()
+        single = TwoRPQ.parse("r")
+        # triangle ⊑ r (an r-edge from x to y is part of the pattern).
+        assert check_containment(triangle, single).holds
+
+    def test_graph_query_vs_datalog(self):
+        tc = transitive_closure_program("e", "tc")
+        assert check_containment(TwoRPQ.parse("e e"), tc).holds
+        result = check_containment(tc, TwoRPQ.parse("e e"), max_expansions=15)
+        assert result.verdict is Verdict.REFUTED
+
+    def test_cq_vs_datalog(self):
+        tc = transitive_closure_program("e", "tc")
+        path2 = cq_from_strings("x,z", ["e(x,y)", "e(y,z)"])
+        assert check_containment(path2, tc).verdict is Verdict.HOLDS
+        assert check_containment(tc, path2, max_expansions=15).verdict is Verdict.REFUTED
+
+    def test_ucq_vs_nonrecursive_program(self):
+        program = parse_program("p(x, z) :- e(x, y), e(y, z).")
+        path2 = cq_from_strings("x,z", ["e(x,y)", "e(y,z)"])
+        assert check_containment(UCQ((path2,)), program).holds
+        assert check_containment(program, UCQ((path2,))).verdict is Verdict.HOLDS
+
+
+class TestEquivalence:
+    def test_equivalent_rpqs(self):
+        assert check_equivalence(RPQ.parse("a a*"), RPQ.parse("a+"))
+
+    def test_inequivalent(self):
+        assert not check_equivalence(RPQ.parse("a"), RPQ.parse("a+"))
+
+
+class TestOptionsForwarding:
+    def test_method_option(self):
+        result = check_containment(
+            TwoRPQ.parse("p"), TwoRPQ.parse("p p- p"), method="lemma4-onthefly"
+        )
+        assert result.method == "2rpq-fold-lemma4-onthefly"
+
+    def test_expansion_budget_option(self):
+        tc = transitive_closure_program("e", "tc")
+        result = check_containment(tc, tc, max_expansions=5)
+        assert result.details["expansions_checked"] <= 5

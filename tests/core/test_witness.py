@@ -1,0 +1,85 @@
+"""Tests for counterexample replay."""
+
+import pytest
+
+from repro.core.witness import holds_on, verify_counterexample
+from repro.cq.syntax import UCQ, cq_from_strings
+from repro.crpq.syntax import paper_example_1
+from repro.datalog.syntax import transitive_closure_program
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import path_graph
+from repro.relational.instance import Instance, graph_to_instance
+from repro.report import ContainmentResult, Counterexample, Verdict
+from repro.rpq.rpq import TwoRPQ
+from repro.rq.syntax import TransitiveClosure, edge
+
+
+class TestHoldsOn:
+    def test_two_rpq_on_graph(self):
+        db = path_graph(2, "e")
+        assert holds_on(TwoRPQ.parse("e e"), db, (0, 2))
+        assert not holds_on(TwoRPQ.parse("e e"), db, (0, 1))
+
+    def test_uc2rpq(self):
+        triangle, _ = paper_example_1()
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("a", "r", "c"), ("b", "r", "c")]
+        )
+        assert holds_on(triangle, db, ("a", "b"))
+
+    def test_rq(self):
+        db = path_graph(3, "e")
+        assert holds_on(TransitiveClosure(edge("e", "x", "y")), db, (0, 3))
+
+    def test_cq_on_instance(self):
+        instance = Instance.from_facts([("e", (1, 2))])
+        cq = cq_from_strings("x,y", ["e(x,y)"])
+        assert holds_on(cq, instance, (1, 2))
+        assert holds_on(UCQ((cq,)), instance, (1, 2))
+
+    def test_datalog(self):
+        tc = transitive_closure_program("e", "tc")
+        instance = Instance.from_facts([("e", (1, 2)), ("e", (2, 3))])
+        assert holds_on(tc, instance, (1, 3))
+
+    def test_database_kind_conversion(self):
+        """Graph queries accept instances and vice versa."""
+        db = path_graph(2, "e")
+        instance = graph_to_instance(db)
+        assert holds_on(TwoRPQ.parse("e e"), instance, (0, 2))
+        cq = cq_from_strings("x,z", ["e(x,y)", "e(y,z)"])
+        assert holds_on(cq, db, (0, 2))
+
+    def test_rejects_non_query(self):
+        with pytest.raises(TypeError):
+            holds_on("nope", path_graph(1), (0, 1))
+
+    def test_rejects_non_database(self):
+        with pytest.raises(TypeError):
+            holds_on(TwoRPQ.parse("e"), "nope", (0, 1))
+
+
+class TestVerifyCounterexample:
+    def test_valid_counterexample(self):
+        q1, q2 = TwoRPQ.parse("e e"), TwoRPQ.parse("e e e")
+        db = path_graph(2, "e")
+        result = ContainmentResult(
+            Verdict.REFUTED, "manual", Counterexample(db, (0, 2))
+        )
+        assert verify_counterexample(q1, q2, result)
+
+    def test_invalid_counterexample_detected(self):
+        q1, q2 = TwoRPQ.parse("e"), TwoRPQ.parse("e e-e")  # actually contained
+        db = path_graph(1, "e")
+        bogus = ContainmentResult(
+            Verdict.REFUTED, "manual", Counterexample(db, (0, 1))
+        )
+        assert not verify_counterexample(q1, q2, bogus)
+
+    def test_rejects_non_refuted(self):
+        with pytest.raises(ValueError):
+            verify_counterexample(
+                TwoRPQ.parse("e"),
+                TwoRPQ.parse("e"),
+                ContainmentResult(Verdict.HOLDS, "manual"),
+            )

@@ -1,0 +1,100 @@
+"""Unit tests for CQ/UCQ evaluation."""
+
+import pytest
+
+from repro.cq.evaluation import (
+    bindings,
+    evaluate_cq,
+    evaluate_ucq,
+    satisfies,
+    satisfies_ucq,
+)
+from repro.cq.syntax import UCQ, Var, cq_from_strings
+from repro.relational.generators import chain_instance
+from repro.relational.instance import Instance
+
+
+@pytest.fixture
+def chain():
+    return chain_instance(4, "E")
+
+
+class TestEvaluateCQ:
+    def test_path_of_length_two(self, chain):
+        cq = cq_from_strings("x,z", ["E(x,y)", "E(y,z)"])
+        assert evaluate_cq(cq, chain) == {(0, 2), (1, 3), (2, 4)}
+
+    def test_boolean_query(self, chain):
+        boolean = cq_from_strings("", ["E(x,y)"])
+        assert evaluate_cq(boolean, chain) == {()}
+        assert evaluate_cq(boolean, Instance()) == frozenset()
+
+    def test_constants_filter(self, chain):
+        cq = cq_from_strings("y", ["E(0, y)"])
+        assert evaluate_cq(cq, chain) == {(1,)}
+
+    def test_repeated_variable_in_atom(self):
+        db = Instance.from_facts([("E", (1, 1)), ("E", (1, 2))])
+        loops = cq_from_strings("x", ["E(x,x)"])
+        assert evaluate_cq(loops, db) == {(1,)}
+
+    def test_cartesian_product_when_no_shared_vars(self):
+        db = Instance.from_facts([("a", (1,)), ("a", (2,)), ("b", (9,))])
+        cq = cq_from_strings("x,y", ["a(x)", "b(y)"])
+        assert evaluate_cq(cq, db) == {(1, 9), (2, 9)}
+
+    def test_triangle(self):
+        db = Instance.from_facts(
+            [("E", (1, 2)), ("E", (2, 3)), ("E", (3, 1)), ("E", (3, 4))]
+        )
+        triangle = cq_from_strings("x", ["E(x,y)", "E(y,z)", "E(z,x)"])
+        assert evaluate_cq(triangle, db) == {(1,), (2,), (3,)}
+
+    def test_empty_relation_yields_empty(self, chain):
+        cq = cq_from_strings("x", ["nope(x)"])
+        assert evaluate_cq(cq, chain) == frozenset()
+
+
+class TestSatisfies:
+    def test_positive_and_negative(self, chain):
+        cq = cq_from_strings("x,z", ["E(x,y)", "E(y,z)"])
+        assert satisfies(cq, chain, (0, 2))
+        assert not satisfies(cq, chain, (0, 3))
+
+    def test_arity_mismatch_is_false(self, chain):
+        cq = cq_from_strings("x", ["E(x,y)"])
+        assert not satisfies(cq, chain, (0, 1))
+
+    def test_repeated_head_variable_constraint(self, chain):
+        cq_rep = cq_from_strings("x,x", ["E(x,y)"])
+        assert satisfies(cq_rep, chain, (0, 0))
+        assert not satisfies(cq_rep, chain, (0, 1))
+
+
+class TestUCQEvaluation:
+    def test_union_of_answers(self, chain):
+        one = cq_from_strings("x,y", ["E(x,y)"])
+        two = cq_from_strings("x,z", ["E(x,y)", "E(y,z)"])
+        union = UCQ((one, two))
+        assert evaluate_ucq(union, chain) == evaluate_cq(one, chain) | evaluate_cq(
+            two, chain
+        )
+
+    def test_satisfies_ucq(self, chain):
+        one = cq_from_strings("x,y", ["E(x,y)"])
+        two = cq_from_strings("x,z", ["E(x,y)", "E(y,z)"])
+        union = UCQ((one, two))
+        assert satisfies_ucq(union, chain, (0, 2))  # only via disjunct two
+        assert satisfies_ucq(union, chain, (0, 1))  # only via disjunct one
+        assert not satisfies_ucq(union, chain, (4, 0))
+
+
+class TestBindings:
+    def test_all_bindings_enumerated(self, chain):
+        cq = cq_from_strings("x", ["E(x,y)"])
+        assert len(list(bindings(cq, chain))) == 4
+
+    def test_binding_maps_every_variable(self, chain):
+        cq = cq_from_strings("x,z", ["E(x,y)", "E(y,z)"])
+        for binding in bindings(cq, chain):
+            assert set(binding) == {Var("x"), Var("y"), Var("z")}

@@ -1,0 +1,62 @@
+"""Tests for homomorphism search."""
+
+from repro.cq.homomorphism import (
+    cq_homomorphism,
+    has_homomorphism,
+    homomorphism_to_instance,
+)
+from repro.cq.syntax import Var, cq_from_strings
+from repro.relational.instance import Instance
+
+
+class TestHomomorphismToInstance:
+    def test_finds_mapping(self):
+        cq = cq_from_strings("x", ["E(x,y)", "E(y,z)"])
+        db = Instance.from_facts([("E", (1, 2)), ("E", (2, 3))])
+        mapping = homomorphism_to_instance(cq, db, (1,))
+        assert mapping is not None
+        assert mapping[Var("x")] == 1
+        assert mapping[Var("y")] == 2
+        assert mapping[Var("z")] == 3
+
+    def test_none_when_head_image_impossible(self):
+        cq = cq_from_strings("x", ["E(x,y)"])
+        db = Instance.from_facts([("E", (1, 2))])
+        assert homomorphism_to_instance(cq, db, (2,)) is None
+
+    def test_arity_mismatch(self):
+        cq = cq_from_strings("x", ["E(x,y)"])
+        db = Instance.from_facts([("E", (1, 2))])
+        assert homomorphism_to_instance(cq, db, (1, 2)) is None
+
+
+class TestCQHomomorphism:
+    def test_hom_direction_is_contravariant(self):
+        """hom: big-query -> small-query canonical db witnesses small ⊑ big."""
+        small = cq_from_strings("x", ["E(x,y)", "E(y,z)"])
+        big = cq_from_strings("x", ["E(x,y)"])
+        # big maps into small's canonical db (containment small ⊑ big).
+        assert cq_homomorphism(big, small) is not None
+        # small does not map into big's canonical db.
+        assert cq_homomorphism(small, big) is None
+
+    def test_mapping_hits_head(self):
+        source = cq_from_strings("x", ["E(x,y)"])
+        target = cq_from_strings("x", ["E(x,y)", "E(y,x)"])
+        mapping = cq_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Var("x")] == ("_frozen", "x")
+
+    def test_boolean_fast_path_agrees(self):
+        pairs = [
+            (cq_from_strings("x", ["E(x,y)"]), cq_from_strings("x", ["E(x,x)"])),
+            (cq_from_strings("x", ["E(x,x)"]), cq_from_strings("x", ["E(x,y)"])),
+            (
+                cq_from_strings("x", ["E(x,y)", "F(y,z)"]),
+                cq_from_strings("x", ["E(x,y)", "F(y,y)"]),
+            ),
+        ]
+        for source, target in pairs:
+            assert has_homomorphism(source, target) == (
+                cq_homomorphism(source, target) is not None
+            )

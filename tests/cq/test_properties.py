@@ -1,0 +1,97 @@
+"""Property-based tests for the CQ layer.
+
+Random CQs are generated structurally (not via hypothesis recursion, to
+keep them safe/connected), then hypothesis drives seeds and instances.
+Key invariants: Chandra-Merlin agrees with semantic containment on
+sampled instances, evaluation is monotone under adding facts, and
+minimization preserves equivalence.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.containment import cq_contained
+from repro.cq.evaluation import evaluate_cq
+from repro.cq.minimization import minimize_cq
+from repro.cq.syntax import CQ, Atom, Var
+from repro.relational.generators import random_instance
+from repro.relational.instance import Instance
+
+
+def random_cq(rng: random.Random, num_atoms: int, num_vars: int) -> CQ:
+    """A random connected-ish binary CQ with head (v0,)."""
+    variables = [Var(f"v{i}") for i in range(num_vars)]
+    atoms = []
+    for index in range(num_atoms):
+        # Chain-bias: reuse an existing variable as source to stay connected.
+        source = variables[rng.randrange(min(index + 1, num_vars))]
+        target = rng.choice(variables)
+        atoms.append(Atom("E", (source, target)))
+    # Guarantee the head variable occurs.
+    atoms.append(Atom("E", (variables[0], rng.choice(variables))))
+    return CQ((variables[0],), tuple(atoms))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10**9))
+def test_containment_is_reflexive(seed):
+    cq = random_cq(random.Random(seed), 3, 3)
+    assert cq_contained(cq, cq)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9), st.integers(0, 10**9))
+def test_containment_sound_on_sampled_instances(seed1, seed2):
+    """If Q1 ⊑ Q2 is claimed, answers agree on a random instance."""
+    rng = random.Random(seed1)
+    q1 = random_cq(rng, 3, 3)
+    q2 = random_cq(rng, 2, 3)
+    db = random_instance({"E": 2}, 5, 10, seed=seed2)
+    if cq_contained(q1, q2):
+        assert evaluate_cq(q1, db) <= evaluate_cq(q2, db)
+    if cq_contained(q2, q1):
+        assert evaluate_cq(q2, db) <= evaluate_cq(q1, db)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9), st.integers(0, 10**9))
+def test_evaluation_monotone_under_more_facts(seed1, seed2):
+    rng = random.Random(seed1)
+    cq = random_cq(rng, 3, 4)
+    small = random_instance({"E": 2}, 5, 6, seed=seed2)
+    big = small.union(random_instance({"E": 2}, 5, 6, seed=seed2 + 1))
+    assert evaluate_cq(cq, small) <= evaluate_cq(cq, big)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9))
+def test_minimization_yields_equivalent_subquery(seed):
+    cq = random_cq(random.Random(seed), 4, 3)
+    core = minimize_cq(cq)
+    assert len(core.body) <= len(cq.body)
+    assert cq_contained(cq, core) and cq_contained(core, cq)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9))
+def test_canonical_instance_satisfies_own_query(seed):
+    """Q always answers its own canonical database at the frozen head."""
+    from repro.cq.evaluation import satisfies
+
+    cq = random_cq(random.Random(seed), 3, 3)
+    instance, head = cq.canonical_instance()
+    assert satisfies(cq, instance, head)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**9), st.integers(0, 10**9))
+def test_containment_transitive_on_samples(seed1, seed2):
+    rng = random.Random(seed1)
+    q1 = random_cq(rng, 2, 2)
+    q2 = random_cq(rng, 3, 3)
+    q3 = random_cq(random.Random(seed2), 2, 3)
+    if cq_contained(q1, q2) and cq_contained(q2, q3):
+        assert cq_contained(q1, q3)

@@ -1,0 +1,102 @@
+"""Unit tests for CQ/UCQ syntax."""
+
+import pytest
+
+from repro.cq.syntax import (
+    CQ,
+    UCQ,
+    Atom,
+    Var,
+    cq_from_strings,
+    is_var,
+)
+
+
+class TestTerms:
+    def test_var_identity(self):
+        assert Var("x") == Var("x") and Var("x") != Var("y")
+
+    def test_is_var(self):
+        assert is_var(Var("x"))
+        assert not is_var("x") and not is_var(3)
+
+
+class TestAtom:
+    def test_variables(self):
+        atom = Atom("r", (Var("x"), 5, Var("y")))
+        assert atom.variables() == (Var("x"), Var("y"))
+
+    def test_substitute(self):
+        atom = Atom("r", (Var("x"), Var("y")))
+        out = atom.substitute({Var("x"): 7})
+        assert out == Atom("r", (7, Var("y")))
+
+
+class TestCQ:
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError):
+            CQ((Var("z"),), (Atom("r", (Var("x"),)),))
+
+    def test_repeated_head_vars_allowed(self):
+        cq = CQ((Var("x"), Var("x")), (Atom("r", (Var("x"),)),))
+        assert cq.arity == 2
+
+    def test_variable_partition(self):
+        cq = cq_from_strings("x", ["r(x,y)", "s(y,z)"])
+        assert cq.variables() == {Var("x"), Var("y"), Var("z")}
+        assert cq.existential_variables() == {Var("y"), Var("z")}
+
+    def test_substitute_protects_head(self):
+        cq = cq_from_strings("x", ["r(x,y)"])
+        with pytest.raises(ValueError):
+            cq.substitute({Var("x"): 3})
+
+    def test_rename_apart(self):
+        cq = cq_from_strings("x", ["r(x,y)"])
+        renamed = cq.rename_apart([Var("y")])
+        assert Var("y") not in renamed.variables()
+        assert renamed.head_vars == cq.head_vars
+
+    def test_canonical_instance_freezes_variables(self):
+        cq = cq_from_strings("x", ["r(x,y)", "s(y, 3)"])
+        instance, head = cq.canonical_instance()
+        assert head == (("_frozen", "x"),)
+        assert (("_frozen", "x"), ("_frozen", "y")) in instance.tuples("r")
+        assert (("_frozen", "y"), 3) in instance.tuples("s")
+
+
+class TestUCQ:
+    def test_arity_must_agree(self):
+        a = cq_from_strings("x", ["r(x,y)"])
+        b = cq_from_strings("x,y", ["r(x,y)"])
+        with pytest.raises(ValueError):
+            UCQ((a, b))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UCQ(())
+
+    def test_predicates_union(self):
+        a = cq_from_strings("x", ["r(x,y)"])
+        b = cq_from_strings("x", ["s(x,y)"])
+        assert UCQ((a, b)).predicates() == {"r", "s"}
+
+
+class TestParsing:
+    def test_basic(self):
+        cq = cq_from_strings("x,z", ["E(x,y)", "E(y,z)"])
+        assert cq.arity == 2
+        assert cq.body[0] == Atom("E", (Var("x"), Var("y")))
+
+    def test_constants(self):
+        cq = cq_from_strings("x", ["r(x, 5)", "s(x, 'alice')"])
+        assert cq.body[0].args[1] == 5
+        assert cq.body[1].args[1] == "alice"
+
+    def test_head_must_be_variables(self):
+        with pytest.raises(ValueError):
+            cq_from_strings("5", ["r(x, 5)"])
+
+    def test_malformed_atom(self):
+        with pytest.raises(ValueError):
+            cq_from_strings("x", ["r(x"])

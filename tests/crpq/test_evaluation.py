@@ -1,0 +1,82 @@
+"""Tests for UC2RPQ evaluation."""
+
+import pytest
+
+from repro.crpq.evaluation import (
+    evaluate_c2rpq,
+    evaluate_uc2rpq,
+    satisfies_c2rpq,
+    satisfies_uc2rpq,
+)
+from repro.crpq.syntax import C2RPQ, UC2RPQ, paper_example_1
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import cycle_graph, path_graph, random_graph
+
+
+class TestEvaluateC2RPQ:
+    def test_paper_example_triangle(self):
+        triangle, _ = paper_example_1()
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("a", "r", "c"), ("b", "r", "c")]
+        )
+        assert evaluate_c2rpq(triangle, db) == {("a", "b")}
+
+    def test_conjunction_requires_both_paths(self):
+        """Section 3.3: Q1(x,y) & Q2(x,y) means two (possibly different)
+        paths — not one path matching both."""
+        query = C2RPQ.from_strings("x,y", [("a", "x", "y"), ("b", "x", "y")])
+        both = GraphDatabase.from_edges([("n", "a", "m"), ("n", "b", "m")])
+        only_a = GraphDatabase.from_edges([("n", "a", "m")])
+        assert evaluate_c2rpq(query, both) == {("n", "m")}
+        assert evaluate_c2rpq(query, only_a) == frozenset()
+
+    def test_regular_atoms_with_closure(self):
+        query = C2RPQ.from_strings("x,y", [("e+", "x", "y"), ("e+", "y", "x")])
+        db = cycle_graph(3, "e")
+        # On a cycle everything reaches everything both ways.
+        assert evaluate_c2rpq(query, db) == {
+            (i, j) for i in range(3) for j in range(3)
+        }
+
+    def test_projection_of_middle_variable(self):
+        query = C2RPQ.from_strings("x", [("e", "x", "y"), ("e", "y", "z")])
+        db = path_graph(2, "e")
+        assert evaluate_c2rpq(query, db) == {(0,)}
+
+    def test_empty_answer_when_atom_unsatisfiable(self):
+        query = C2RPQ.from_strings("x,y", [("ghost", "x", "y")])
+        db = path_graph(1, "e")
+        assert evaluate_c2rpq(query, db) == frozenset()
+
+
+class TestEvaluateUC2RPQ:
+    def test_union_semantics(self):
+        _, union = paper_example_1()
+        three_cycle = cycle_graph(3, "r")
+        assert evaluate_uc2rpq(union, three_cycle) == {(0, 1), (1, 2), (2, 0)}
+
+    def test_single_disjunct_autowrap(self):
+        triangle, _ = paper_example_1()
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("a", "r", "c"), ("b", "r", "c")]
+        )
+        assert evaluate_uc2rpq(triangle, db) == evaluate_c2rpq(triangle, db)
+
+
+class TestSatisfies:
+    def test_early_exit_variant_agrees(self):
+        _, union = paper_example_1()
+        for seed in range(3):
+            db = random_graph(5, 10, ("r",), seed=seed)
+            answers = evaluate_uc2rpq(union, db)
+            for x in db.nodes:
+                for y in db.nodes:
+                    assert satisfies_uc2rpq(union, db, (x, y)) == ((x, y) in answers)
+
+    def test_satisfies_c2rpq(self):
+        triangle, _ = paper_example_1()
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("a", "r", "c"), ("b", "r", "c")]
+        )
+        assert satisfies_c2rpq(triangle, db, ("a", "b"))
+        assert not satisfies_c2rpq(triangle, db, ("b", "a"))

@@ -1,0 +1,97 @@
+"""Tests for C2RPQ expansion enumeration."""
+
+import pytest
+
+from repro.crpq.expansion import (
+    build_expansion,
+    enumerate_expansions,
+    exhaustive_length_bound,
+    expansion_space_is_finite,
+)
+from repro.crpq.evaluation import satisfies_c2rpq
+from repro.crpq.syntax import C2RPQ
+
+
+class TestBuildExpansion:
+    def test_forward_word(self):
+        query = C2RPQ.from_strings("x,y", [("a b", "x", "y")])
+        expansion = build_expansion(query, [("a", "b")])
+        assert expansion.database.num_edges == 2
+        assert expansion.total_length == 2
+        source, target = expansion.head
+        assert expansion.database.has_semipath(source, target, ("a", "b"))
+
+    def test_inverse_letters_produce_backward_edges(self):
+        query = C2RPQ.from_strings("x,y", [("a-", "x", "y")])
+        expansion = build_expansion(query, [("a-",)])
+        (edge,) = list(expansion.database.edges())
+        source, target = expansion.head
+        assert edge == (target, "a", source)
+
+    def test_empty_word_identifies_endpoints(self):
+        query = C2RPQ.from_strings("x,y", [("a?", "x", "y")])
+        expansion = build_expansion(query, [()])
+        assert expansion.head[0] == expansion.head[1]
+
+    def test_epsilon_chain_merges_transitively(self):
+        query = C2RPQ.from_strings(
+            "x,z", [("a?", "x", "y"), ("a?", "y", "z"), ("b", "x", "w")]
+        )
+        expansion = build_expansion(query, [(), (), ("b",)])
+        assert expansion.head[0] == expansion.head[1]
+
+    def test_word_count_mismatch(self):
+        query = C2RPQ.from_strings("x,y", [("a", "x", "y")])
+        with pytest.raises(ValueError):
+            build_expansion(query, [("a",), ("a",)])
+
+    def test_shared_variables_glue_paths(self):
+        query = C2RPQ.from_strings("x,z", [("a", "x", "y"), ("b", "y", "z")])
+        expansion = build_expansion(query, [("a",), ("b",)])
+        source, target = expansion.head
+        assert expansion.database.has_semipath(source, target, ("a", "b"))
+
+
+class TestEnumerateExpansions:
+    def test_order_is_by_total_length(self):
+        query = C2RPQ.from_strings("x,y", [("a+", "x", "y")])
+        lengths = [e.total_length for e in enumerate_expansions(query, 4)]
+        assert lengths == sorted(lengths) == [1, 2, 3, 4]
+
+    def test_multi_atom_compositions(self):
+        query = C2RPQ.from_strings("x,z", [("a*", "x", "y"), ("b*", "y", "z")])
+        expansions = list(enumerate_expansions(query, 2))
+        # total 0: (eps, eps); total 1: (a, eps), (eps, b); total 2: three splits.
+        assert len(expansions) == 1 + 2 + 3
+
+    def test_max_expansions_cap(self):
+        query = C2RPQ.from_strings("x,y", [("a*", "x", "y")])
+        assert len(list(enumerate_expansions(query, 10, max_expansions=3))) == 3
+
+    def test_every_expansion_satisfies_its_query(self):
+        """Soundness: the canonical database answers the query at the head."""
+        query = C2RPQ.from_strings(
+            "x,z", [("a (b|a)*", "x", "y"), ("b+", "z", "y")]
+        )
+        for expansion in enumerate_expansions(query, 4):
+            assert satisfies_c2rpq(query, expansion.database, expansion.head), (
+                expansion.words
+            )
+
+
+class TestFiniteness:
+    def test_finite_space_detected(self):
+        finite = C2RPQ.from_strings("x,y", [("a|b b", "x", "y"), ("a?", "y", "z")])
+        assert expansion_space_is_finite(finite)
+        assert exhaustive_length_bound(finite) == 3
+
+    def test_infinite_space_detected(self):
+        infinite = C2RPQ.from_strings("x,y", [("a+", "x", "y")])
+        assert not expansion_space_is_finite(infinite)
+        assert exhaustive_length_bound(infinite) is None
+
+    def test_exhaustion_covers_all_expansions(self):
+        query = C2RPQ.from_strings("x,y", [("a|b b", "x", "y")])
+        bound = exhaustive_length_bound(query)
+        expansions = list(enumerate_expansions(query, bound))
+        assert len(expansions) == 2  # words a, bb

@@ -1,0 +1,108 @@
+"""Tests for UC2RPQ minimization."""
+
+import pytest
+
+from repro.crpq.evaluation import evaluate_uc2rpq
+from repro.crpq.minimization import (
+    canonicalize_atoms,
+    minimize_c2rpq,
+    minimize_uc2rpq,
+)
+from repro.crpq.syntax import C2RPQ, UC2RPQ
+from repro.graphdb.generators import random_graph
+
+
+def assert_equivalent_on_samples(q1, q2, labels=("a", "b")):
+    for seed in range(3):
+        db = random_graph(5, 12, labels, seed=seed)
+        assert evaluate_uc2rpq(q1, db) == evaluate_uc2rpq(q2, db), seed
+
+
+class TestMinimizeC2RPQ:
+    def test_duplicate_atom_dropped(self):
+        query = C2RPQ.from_strings(
+            "x,y", [("a", "x", "y"), ("a", "x", "y")]
+        )
+        core = minimize_c2rpq(query)
+        assert len(core.atoms) == 1
+        assert_equivalent_on_samples(core, query)
+
+    def test_subsumed_dangling_atom_dropped(self):
+        """E(x,y) & E(x,z): the dangling copy is redundant (as in CQs)."""
+        query = C2RPQ.from_strings(
+            "x,y", [("a", "x", "y"), ("a", "x", "z")]
+        )
+        core = minimize_c2rpq(query)
+        assert len(core.atoms) == 1
+        assert_equivalent_on_samples(core, query)
+
+    def test_necessary_atoms_kept(self):
+        query = C2RPQ.from_strings(
+            "x,z", [("a", "x", "y"), ("b", "y", "z")]
+        )
+        assert minimize_c2rpq(query) == query
+
+    def test_infinite_language_not_dropped_without_optin(self):
+        """a+ atoms give bounded verdicts only; default keeps them."""
+        query = C2RPQ.from_strings(
+            "x,y", [("a+", "x", "y"), ("a+", "x", "z")]
+        )
+        conservative = minimize_c2rpq(query)
+        assert len(conservative.atoms) == 2
+        optimistic = minimize_c2rpq(query, allow_bounded=True)
+        assert len(optimistic.atoms) == 1
+        assert_equivalent_on_samples(optimistic, query)
+
+    def test_head_variables_protected(self):
+        query = C2RPQ.from_strings(
+            "x,z", [("a", "x", "y"), ("a", "x", "z")]
+        )
+        core = minimize_c2rpq(query)
+        head_vars = set(core.head_vars)
+        body_vars = {v for atom in core.atoms for v in atom.variables()}
+        assert head_vars <= body_vars
+
+
+class TestMinimizeUC2RPQ:
+    def test_subsumed_disjunct_dropped(self):
+        union = UC2RPQ(
+            (
+                C2RPQ.from_strings("x,y", [("a", "x", "y")]),
+                C2RPQ.from_strings("x,y", [("a", "x", "y"), ("b", "x", "z")]),
+            )
+        )
+        pruned = minimize_uc2rpq(union)
+        assert len(pruned) == 1
+        assert_equivalent_on_samples(pruned, union)
+
+    def test_equivalent_disjuncts_keep_one(self):
+        union = UC2RPQ(
+            (
+                C2RPQ.from_strings("x,y", [("a", "x", "y")]),
+                C2RPQ.from_strings("u,v", [("a", "u", "v")]),
+            )
+        )
+        pruned = minimize_uc2rpq(union)
+        assert len(pruned) == 1
+        assert_equivalent_on_samples(pruned, union)
+
+    def test_incomparable_disjuncts_kept(self):
+        union = UC2RPQ(
+            (
+                C2RPQ.from_strings("x,y", [("a", "x", "y")]),
+                C2RPQ.from_strings("x,y", [("b", "x", "y")]),
+            )
+        )
+        assert len(minimize_uc2rpq(union)) == 2
+
+
+class TestCanonicalizeAtoms:
+    def test_redundant_union_shrinks(self):
+        query = C2RPQ.from_strings("x,y", [("a|a|a a*", "x", "y")])
+        canonical = canonicalize_atoms(query)
+        assert len(str(canonical.atoms[0].query.regex)) < len("a|a|a a*")
+        assert_equivalent_on_samples(canonical, query, labels=("a",))
+
+    def test_already_small_untouched(self):
+        query = C2RPQ.from_strings("x,y", [("a", "x", "y")])
+        assert canonicalize_atoms(query) == query

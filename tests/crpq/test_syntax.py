@@ -1,0 +1,69 @@
+"""Tests for C2RPQ/UC2RPQ syntax."""
+
+import pytest
+
+from repro.cq.syntax import Var
+from repro.crpq.syntax import (
+    C2RPQ,
+    UC2RPQ,
+    RegularAtom,
+    paper_example_1,
+    two_rpq_as_uc2rpq,
+)
+from repro.rpq.rpq import TwoRPQ
+
+
+class TestC2RPQ:
+    def test_from_strings(self):
+        query = C2RPQ.from_strings("x,y", [("r+", "x", "y"), ("s", "y", "z")])
+        assert query.arity == 2
+        assert query.variables() == {Var("x"), Var("y"), Var("z")}
+
+    def test_head_must_occur(self):
+        with pytest.raises(ValueError):
+            C2RPQ.from_strings("w", [("r", "x", "y")])
+
+    def test_needs_atoms(self):
+        with pytest.raises(ValueError):
+            C2RPQ((Var("x"),), ())
+
+    def test_base_symbols(self):
+        query = C2RPQ.from_strings("x,y", [("r- s", "x", "y")])
+        assert query.base_symbols() == {"r", "s"}
+
+    def test_is_one_way(self):
+        assert C2RPQ.from_strings("x,y", [("r s", "x", "y")]).is_one_way()
+        assert not C2RPQ.from_strings("x,y", [("r-", "x", "y")]).is_one_way()
+
+
+class TestUC2RPQ:
+    def test_arity_checked(self):
+        a = C2RPQ.from_strings("x", [("r", "x", "y")])
+        b = C2RPQ.from_strings("x,y", [("r", "x", "y")])
+        with pytest.raises(ValueError):
+            UC2RPQ((a, b))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            UC2RPQ(())
+
+    def test_iteration(self):
+        _, union = paper_example_1()
+        assert len(union) == 2
+        assert all(isinstance(d, C2RPQ) for d in union)
+
+
+class TestEmbeddings:
+    def test_two_rpq_as_uc2rpq(self):
+        union = two_rpq_as_uc2rpq(TwoRPQ.parse("a+"))
+        assert union.arity == 2
+        assert len(union) == 1
+        (atom,) = union.disjuncts[0].atoms
+        assert isinstance(atom, RegularAtom)
+
+    def test_paper_example_1_shapes(self):
+        """Example 1: the triangle C2RPQ and the 2-disjunct UC2RPQ."""
+        triangle, union = paper_example_1()
+        assert len(triangle.atoms) == 3
+        assert triangle.head_vars == (Var("x"), Var("y"))
+        assert triangle in union.disjuncts

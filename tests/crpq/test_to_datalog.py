@@ -1,0 +1,80 @@
+"""Tests for the UC2RPQ -> Datalog product-construction translation."""
+
+import pytest
+
+from repro.crpq.evaluation import evaluate_uc2rpq
+from repro.crpq.syntax import C2RPQ, UC2RPQ, paper_example_1
+from repro.crpq.to_datalog import uc2rpq_to_datalog
+from repro.datalog.analysis import is_nonrecursive
+from repro.datalog.evaluation import evaluate
+from repro.graphdb.generators import random_graph
+from repro.grq.membership import is_grq
+from repro.relational.instance import graph_to_instance
+
+
+def incident_restricted(db, answers):
+    incident = {n for edge in db.edges() for n in (edge[0], edge[2])}
+    return frozenset(
+        row for row in answers if all(value in incident for value in row)
+    )
+
+
+def assert_translation_agrees(query, labels, seeds=range(4)):
+    program = uc2rpq_to_datalog(query)
+    for seed in seeds:
+        db = random_graph(5, 12, labels, seed=seed)
+        got = evaluate(program, graph_to_instance(db))
+        want = incident_restricted(db, evaluate_uc2rpq(query, db))
+        assert got == want, seed
+
+
+class TestTranslation:
+    def test_paper_example_1(self):
+        _, union = paper_example_1()
+        assert_translation_agrees(union, ("r",))
+
+    def test_single_word_atom_is_nonrecursive(self):
+        tri, _ = paper_example_1()
+        program = uc2rpq_to_datalog(tri)
+        assert is_nonrecursive(program)
+        assert is_grq(program)
+
+    def test_two_way_atom(self):
+        query = C2RPQ.from_strings("x,y", [("a b-", "x", "y")])
+        assert_translation_agrees(query, ("a", "b"))
+
+    def test_closure_atom_is_recursive_but_not_grq(self):
+        """Run-predicate recursion is state-annotated, not TC-shaped."""
+        query = C2RPQ.from_strings("x,y", [("a (b|a-)+", "x", "y")])
+        program = uc2rpq_to_datalog(query)
+        assert not is_nonrecursive(program)
+        assert not is_grq(program)
+        assert_translation_agrees(query, ("a", "b"))
+
+    def test_multi_atom_conjunction(self):
+        query = C2RPQ.from_strings(
+            "x,z", [("a+", "x", "y"), ("b", "y", "z"), ("a", "x", "z")]
+        )
+        assert_translation_agrees(query, ("a", "b"))
+
+    def test_union_of_disjuncts(self):
+        union = UC2RPQ(
+            (
+                C2RPQ.from_strings("x,y", [("a", "x", "y")]),
+                C2RPQ.from_strings("u,v", [("b b", "u", "v")]),
+            )
+        )
+        assert_translation_agrees(union, ("a", "b"))
+
+    def test_epsilon_atom_over_active_domain(self):
+        query = C2RPQ.from_strings("x,y", [("a?", "x", "y")])
+        program = uc2rpq_to_datalog(query)
+        db = random_graph(4, 6, ("a",), seed=0)
+        got = evaluate(program, graph_to_instance(db))
+        incident = {n for edge in db.edges() for n in (edge[0], edge[2])}
+        for node in incident:
+            assert (node, node) in got
+
+    def test_goal_name(self):
+        tri, _ = paper_example_1()
+        assert uc2rpq_to_datalog(tri, goal="q").goal == "q"

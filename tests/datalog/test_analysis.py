@@ -1,0 +1,132 @@
+"""Tests for the dependence graph and program classifications."""
+
+import pytest
+
+from repro.datalog.analysis import (
+    dependence_graph,
+    is_linear,
+    is_monadic,
+    is_nonrecursive,
+    predicate_depth,
+    recursive_components,
+    recursive_predicates,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import reachability_program, transitive_closure_program
+
+
+class TestDependenceGraph:
+    def test_edges_point_body_to_head(self):
+        tc = transitive_closure_program("edge", "tc")
+        graph = dependence_graph(tc)
+        assert ("edge", "tc") in graph.edges
+        assert ("tc", "tc") in graph.edges
+
+    def test_sccs(self):
+        program = parse_program(
+            """
+            a(x) :- b(x).
+            b(x) :- a(x).
+            c(x) :- a(x), base(x).
+            """,
+            goal="c",
+        )
+        graph = dependence_graph(program)
+        components = graph.strongly_connected_components()
+        assert frozenset({"a", "b"}) in components
+
+
+class TestRecursion:
+    def test_tc_is_recursive(self):
+        assert recursive_predicates(transitive_closure_program()) == {"tc"}
+
+    def test_nonrecursive_program(self):
+        program = parse_program(
+            """
+            out(x, z) :- mid(x, y), edge(y, z).
+            mid(x, y) :- edge(x, y).
+            """,
+            goal="out",
+        )
+        assert is_nonrecursive(program)
+        assert recursive_predicates(program) == frozenset()
+
+    def test_mutual_recursion_detected(self):
+        program = parse_program(
+            """
+            a(x) :- edge(x, y), b(y).
+            b(x) :- edge(x, y), a(y).
+            """,
+            goal="a",
+        )
+        assert recursive_predicates(program) == {"a", "b"}
+
+    def test_recursive_components_in_order(self):
+        program = parse_program(
+            """
+            inner(x, y) :- edge(x, y).
+            inner(x, z) :- inner(x, y), edge(y, z).
+            outer(x, y) :- inner(x, y).
+            outer(x, z) :- outer(x, y), inner(y, z).
+            """,
+            goal="outer",
+        )
+        components = recursive_components(program)
+        assert components == [frozenset({"inner"}), frozenset({"outer"})]
+
+
+class TestMonadic:
+    def test_paper_reachability_is_monadic(self):
+        assert is_monadic(reachability_program())
+
+    def test_tc_is_not_monadic(self):
+        """The paper's point: E+ needs binary recursion (Section 2.3)."""
+        assert not is_monadic(transitive_closure_program())
+
+    def test_nonrecursive_is_trivially_monadic(self):
+        program = parse_program("out(x, y) :- edge(x, y).")
+        assert is_monadic(program)
+
+    def test_monadic_goal_may_be_polyadic(self):
+        """Monadic restricts recursive predicates only (per the paper)."""
+        program = parse_program(
+            """
+            reach(x) :- source(x).
+            reach(y) :- reach(x), edge(x, y).
+            pairs(x, y) :- reach(x), reach(y).
+            """,
+            goal="pairs",
+        )
+        assert is_monadic(program)
+
+
+class TestLinear:
+    def test_tc_is_linear(self):
+        assert is_linear(transitive_closure_program())
+
+    def test_doubling_rule_is_not_linear(self):
+        program = parse_program(
+            """
+            tc(x, y) :- edge(x, y).
+            tc(x, z) :- tc(x, y), tc(y, z).
+            """
+        )
+        assert not is_linear(program)
+
+
+class TestDepth:
+    def test_depth_of_layered_program(self):
+        program = parse_program(
+            """
+            l2(x) :- l1(x).
+            l1(x) :- l0(x).
+            l0(x) :- base(x).
+            """,
+            goal="l2",
+        )
+        depth = predicate_depth(program)
+        assert depth["l0"] == 1 and depth["l1"] == 2 and depth["l2"] == 3
+
+    def test_rejects_recursive(self):
+        with pytest.raises(ValueError):
+            predicate_depth(transitive_closure_program())

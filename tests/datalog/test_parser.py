@@ -1,0 +1,78 @@
+"""Unit tests for the Datalog text parser."""
+
+import pytest
+
+from repro.cq.syntax import Atom, Var
+from repro.datalog.parser import DatalogSyntaxError, parse_program, parse_rule
+
+
+class TestParseRule:
+    def test_simple_rule(self):
+        rule = parse_rule("tc(x, y) :- edge(x, y)")
+        assert rule.head == Atom("tc", (Var("x"), Var("y")))
+        assert rule.body == (Atom("edge", (Var("x"), Var("y"))),)
+
+    def test_multiple_body_atoms(self):
+        rule = parse_rule("p(x) :- q(x, y), r(y)")
+        assert len(rule.body) == 2
+
+    def test_constants(self):
+        rule = parse_rule("p(x) :- q(x, 5), r(x, 'alice')")
+        assert rule.body[0].args[1] == 5
+        assert rule.body[1].args[1] == "alice"
+
+    def test_ground_fact(self):
+        rule = parse_rule("p(1, 2)")
+        assert rule.body == ()
+
+    def test_zero_arity_atom(self):
+        rule = parse_rule("goal() :- p(x)")
+        assert rule.head.args == ()
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["p(x) :- ", "p(x q(y)", "p(x) :- q(y) r(z)", "p(x) :- q(@)"],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises((DatalogSyntaxError, ValueError)):
+            parse_rule(bad)
+
+
+class TestParseProgram:
+    def test_transitive_closure(self):
+        program = parse_program(
+            """
+            tc(x, y) :- edge(x, y).
+            tc(x, z) :- tc(x, y), edge(y, z).
+            """
+        )
+        assert program.goal == "tc"
+        assert len(program.rules) == 2
+
+    def test_comments_stripped(self):
+        program = parse_program(
+            """
+            % leading comment
+            p(x) :- q(x).   # trailing comment
+            """
+        )
+        assert len(program.rules) == 1
+
+    def test_explicit_goal(self):
+        program = parse_program(
+            "aux(x) :- b(x). out(x) :- aux(x).", goal="out"
+        )
+        assert program.goal == "out"
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_program("   % nothing here")
+
+    def test_predicate_names_with_plus(self):
+        program = parse_program(
+            """
+            E+(x, y) :- E(x, y).
+            E+(x, z) :- E+(x, y), E(y, z).
+            """
+        )
+        assert program.goal == "E+"

@@ -1,0 +1,102 @@
+"""Property-based tests for the Datalog layer.
+
+Random linear programs and instances drive the central invariants: the
+two fixpoint engines agree, bounded evaluation is a monotone ladder to
+the fixpoint, and every enumerated expansion is sound (its canonical
+database derives the goal).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.syntax import Atom, Var
+from repro.datalog.evaluation import (
+    bounded_evaluate,
+    evaluate,
+    naive_evaluate,
+    seminaive_evaluate,
+)
+from repro.datalog.syntax import Program, Rule
+from repro.datalog.unfolding import enumerate_expansions
+from repro.relational.generators import random_instance
+
+
+def random_linear_program(rng: random.Random) -> Program:
+    """A random binary-IDB program with one base and 1-2 step rules.
+
+    Shapes stay within safe Datalog; steps may be left- or right-linear
+    and may draw from two EDB relations.
+    """
+    x, y, z = Var("x"), Var("y"), Var("z")
+    edb = ["e", "f"]
+    base_pred = rng.choice(edb)
+    rules = [Rule(Atom("p", (x, y)), (Atom(base_pred, (x, y)),))]
+    for _ in range(rng.randint(1, 2)):
+        step_pred = rng.choice(edb)
+        if rng.random() < 0.5:
+            rules.append(
+                Rule(Atom("p", (x, z)), (Atom("p", (x, y)), Atom(step_pred, (y, z))))
+            )
+        else:
+            rules.append(
+                Rule(Atom("p", (x, z)), (Atom(step_pred, (x, y)), Atom("p", (y, z))))
+            )
+    return Program(tuple(rules), "p")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**9), st.integers(0, 10**6))
+def test_naive_equals_seminaive(seed, db_seed):
+    program = random_linear_program(random.Random(seed))
+    db = random_instance({"e": 2, "f": 2}, 5, 8, seed=db_seed)
+    assert naive_evaluate(program, db) == seminaive_evaluate(program, db)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**9), st.integers(0, 10**6))
+def test_bounded_ladder_monotone_to_fixpoint(seed, db_seed):
+    program = random_linear_program(random.Random(seed))
+    db = random_instance({"e": 2, "f": 2}, 4, 6, seed=db_seed)
+    fixpoint = evaluate(program, db)
+    previous: frozenset = frozenset()
+    for rounds in range(8):
+        stage = bounded_evaluate(program, db, rounds)
+        assert previous <= stage <= fixpoint
+        previous = stage
+    assert bounded_evaluate(program, db, 30) == fixpoint
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_expansions_are_sound(seed):
+    """Every expansion's canonical database must derive the goal head."""
+    program = random_linear_program(random.Random(seed))
+    for expansion in enumerate_expansions(program, max_expansions=6):
+        instance, head = expansion.canonical_instance()
+        assert head in evaluate(program, instance)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9), st.integers(0, 10**6))
+def test_evaluation_monotone_in_edb(seed, db_seed):
+    program = random_linear_program(random.Random(seed))
+    small = random_instance({"e": 2, "f": 2}, 4, 5, seed=db_seed)
+    big = small.union(random_instance({"e": 2, "f": 2}, 4, 5, seed=db_seed + 1))
+    assert evaluate(program, small) <= evaluate(program, big)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**9))
+def test_expansion_answers_are_subsets_of_program_answers(seed):
+    """Each expansion, as a CQ, is contained in the program (semantic)."""
+    from repro.cq.evaluation import evaluate_cq
+
+    rng = random.Random(seed)
+    program = random_linear_program(rng)
+    db = random_instance({"e": 2, "f": 2}, 4, 7, seed=seed % 1000)
+    answers = evaluate(program, db)
+    for expansion in enumerate_expansions(program, max_expansions=4):
+        assert evaluate_cq(expansion, db) <= answers

@@ -1,0 +1,39 @@
+"""Tests for Datalog program text serialization."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import (
+    program_to_text,
+    reachability_program,
+    transitive_closure_program,
+)
+
+
+class TestProgramToText:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            transitive_closure_program(),
+            transitive_closure_program(left_linear=False),
+            reachability_program(),
+            parse_program("p(x) :- q(x, 'alice'), r(x, 5)."),
+            parse_program("seed(1, 2). goal(x, y) :- seed(x, y).", goal="goal"),
+        ],
+        ids=["tc-left", "tc-right", "reach", "constants", "facts"],
+    )
+    def test_roundtrip(self, program):
+        text = program_to_text(program)
+        assert parse_program(text, goal=program.goal) == program
+
+    def test_goal_recorded_as_comment(self):
+        text = program_to_text(transitive_closure_program(goal="closure"))
+        assert "% goal: closure" in text
+
+    def test_translated_rq_roundtrips(self):
+        from repro.rq.syntax import triangle_plus
+        from repro.rq.to_datalog import rq_to_datalog
+
+        program = rq_to_datalog(triangle_plus())
+        # Variable names like __tc_q0 survive the parser's lexer.
+        assert parse_program(program_to_text(program), goal=program.goal) == program

@@ -1,0 +1,80 @@
+"""Unit tests for Datalog rule/program structure."""
+
+import pytest
+
+from repro.cq.syntax import Atom, Var
+from repro.datalog.syntax import (
+    Program,
+    Rule,
+    reachability_program,
+    transitive_closure_program,
+)
+
+
+class TestRule:
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Atom("p", (Var("x"),)), (Atom("q", (Var("y"),)),))
+
+    def test_nonground_fact_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Atom("p", (Var("x"),)), ())
+
+    def test_ground_fact_allowed(self):
+        Rule(Atom("p", (1, 2)), ())
+
+    def test_rename_with_suffix(self):
+        rule = Rule(Atom("p", (Var("x"),)), (Atom("q", (Var("x"), Var("y"))),))
+        renamed = rule.rename_with_suffix("_1")
+        assert renamed.head.args == (Var("x_1"),)
+        assert renamed.body[0].args == (Var("x_1"), Var("y_1"))
+
+
+class TestProgram:
+    def test_goal_must_be_idb(self):
+        rule = Rule(Atom("p", (Var("x"),)), (Atom("q", (Var("x"),)),))
+        with pytest.raises(ValueError):
+            Program((rule,), "q")
+
+    def test_arity_consistency_enforced(self):
+        r1 = Rule(Atom("p", (Var("x"),)), (Atom("q", (Var("x"),)),))
+        r2 = Rule(Atom("p", (Var("x"), Var("y"))), (Atom("q2", (Var("x"), Var("y"))),))
+        with pytest.raises(ValueError):
+            Program((r1, r2), "p")
+
+    def test_idb_edb_partition(self):
+        tc = transitive_closure_program("edge", "tc")
+        assert tc.idb_predicates == {"tc"}
+        assert tc.edb_predicates == {"edge"}
+
+    def test_goal_arity(self):
+        assert transitive_closure_program().goal_arity == 2
+        assert reachability_program().goal_arity == 1
+
+    def test_rules_for(self):
+        tc = transitive_closure_program()
+        assert len(tc.rules_for("tc")) == 2
+        assert tc.rules_for("missing") == ()
+
+    def test_rename_predicates(self):
+        tc = transitive_closure_program("edge", "tc")
+        renamed = tc.rename_predicates({"tc": "closure", "edge": "E"})
+        assert renamed.goal == "closure"
+        assert renamed.edb_predicates == {"E"}
+
+
+class TestFactories:
+    def test_tc_variants_shape(self):
+        left = transitive_closure_program(left_linear=True)
+        right = transitive_closure_program(left_linear=False)
+        # Both have a recursive atom; on different sides.
+        left_step = left.rules_for("tc")[1]
+        right_step = right.rules_for("tc")[1]
+        assert left_step.body[0].predicate == "tc"
+        assert right_step.body[1].predicate == "tc"
+
+    def test_reachability_is_paper_program(self):
+        prog = reachability_program("E", "P", "Q")
+        texts = {repr(rule) for rule in prog.rules}
+        assert any("P(" in text for text in texts)
+        assert prog.goal == "Q"

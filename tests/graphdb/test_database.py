@@ -1,0 +1,120 @@
+"""Unit tests for the graph-database substrate."""
+
+import pytest
+
+from repro.graphdb.database import GraphDatabase, canonical_database_of_word
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")], nodes=["z"])
+        assert db.nodes == {"a", "b", "z"}
+        assert db.num_edges == 1
+        assert db.labels == {"r"}
+
+    def test_rejects_inverse_labels(self):
+        with pytest.raises(ValueError):
+            GraphDatabase().add_edge("a", "r-", "b")
+
+    def test_duplicate_edges_counted_once(self):
+        db = GraphDatabase.from_edges([("a", "r", "b"), ("a", "r", "b")])
+        assert db.num_edges == 1
+
+    def test_alphabet_is_sorted(self):
+        db = GraphDatabase.from_edges([("a", "z", "b"), ("a", "k", "b")])
+        assert db.alphabet.symbols == ("k", "z")
+
+
+class TestNavigation:
+    @pytest.fixture
+    def db(self) -> GraphDatabase:
+        return GraphDatabase.from_edges(
+            [("a", "r", "b"), ("b", "r", "c"), ("c", "s", "a")]
+        )
+
+    def test_forward(self, db):
+        assert db.successors("a", "r") == {"b"}
+
+    def test_backward_via_inverse_label(self, db):
+        assert db.successors("b", "r-") == {"a"}
+
+    def test_unknown_node(self, db):
+        assert db.successors("nope", "r") == frozenset()
+
+    def test_relation(self, db):
+        assert db.relation("r") == {("a", "b"), ("b", "c")}
+        assert db.relation("r-") == {("b", "a"), ("c", "b")}
+
+    def test_semipath_targets_forward(self, db):
+        assert db.semipath_targets("a", ("r", "r")) == {"c"}
+
+    def test_semipath_targets_mixed(self, db):
+        # a -r-> b -r-> c, then backwards over s-: c <-s- ... s(c,a): c -s-> a
+        assert db.semipath_targets("a", ("r", "r", "s")) == {"a"}
+        assert db.semipath_targets("b", ("r", "r-")) == {"b"}
+
+    def test_empty_word_semipath(self, db):
+        assert db.semipath_targets("a", ()) == {"a"}
+
+    def test_has_semipath(self, db):
+        assert db.has_semipath("a", "c", ("r", "r"))
+        assert not db.has_semipath("a", "c", ("r",))
+
+    def test_find_semipath_reconstructs(self, db):
+        path = db.find_semipath("a", "c", ("r", "r"))
+        assert path == ("a", "r", "b", "r", "c")
+
+    def test_find_semipath_with_inverse(self, db):
+        path = db.find_semipath("b", "b", ("r", "r-"))
+        assert path == ("b", "r", "c", "r-", "b")
+
+    def test_find_semipath_missing(self, db):
+        assert db.find_semipath("a", "b", ("s",)) is None
+
+
+class TestTransforms:
+    def test_restrict(self):
+        db = GraphDatabase.from_edges([("a", "r", "b"), ("b", "r", "c")])
+        sub = db.restrict(["a", "b"])
+        assert sub.nodes == {"a", "b"}
+        assert sub.relation("r") == {("a", "b")}
+
+    def test_renamed(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        renamed = db.renamed({"a": "x"})
+        assert renamed.relation("r") == {("x", "b")}
+
+    def test_disjoint_union(self):
+        left = GraphDatabase.from_edges([("a", "r", "b")])
+        right = GraphDatabase.from_edges([("a", "s", "b")])
+        union = left.disjoint_union(right)
+        assert union.num_edges == 2
+        assert union.relation("r") == {((0, "a"), (0, "b"))}
+
+    def test_equality(self):
+        a = GraphDatabase.from_edges([("a", "r", "b")])
+        b = GraphDatabase.from_edges([("a", "r", "b")])
+        c = GraphDatabase.from_edges([("a", "r", "c")])
+        assert a == b and a != c
+
+
+class TestCanonicalWordDatabase:
+    def test_forward_word(self):
+        db, source, target = canonical_database_of_word(("a", "b"))
+        assert (source, target) == (0, 2)
+        assert db.relation("a") == {(0, 1)} and db.relation("b") == {(1, 2)}
+
+    def test_inverse_letters_make_backward_edges(self):
+        db, source, target = canonical_database_of_word(("a", "b-"))
+        assert db.relation("a") == {(0, 1)}
+        assert db.relation("b") == {(2, 1)}  # backward edge for b-
+
+    def test_empty_word(self):
+        db, source, target = canonical_database_of_word(())
+        assert source == target == 0
+        assert db.num_nodes == 1 and db.num_edges == 0
+
+    def test_semipath_spells_the_word(self):
+        word = ("a", "b-", "a", "a-")
+        db, source, target = canonical_database_of_word(word)
+        assert db.has_semipath(source, target, word)

@@ -1,0 +1,84 @@
+"""Unit tests for the synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.graphdb.generators import (
+    cycle_graph,
+    grid_graph,
+    labeled_word_path,
+    layered_dag,
+    path_graph,
+    random_graph,
+    skewed_random_graph,
+    social_network,
+)
+
+
+class TestShapes:
+    def test_path_graph(self):
+        db = path_graph(3)
+        assert db.num_nodes == 4 and db.num_edges == 3
+        assert db.has_semipath(0, 3, ("e", "e", "e"))
+
+    def test_path_graph_zero_length(self):
+        db = path_graph(0)
+        assert db.num_nodes == 1 and db.num_edges == 0
+
+    def test_cycle_graph(self):
+        db = cycle_graph(4)
+        assert db.num_edges == 4
+        assert db.has_semipath(0, 0, ("e",) * 4)
+
+    def test_cycle_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cycle_graph(0)
+
+    def test_grid_graph(self):
+        db = grid_graph(2, 3)
+        assert db.num_nodes == 6
+        assert db.has_semipath((0, 0), (1, 2), ("r", "r", "d"))
+
+    def test_labeled_word_path(self):
+        db = labeled_word_path(("a", "b"))
+        assert db.has_semipath(0, 2, ("a", "b"))
+        assert not db.has_semipath(0, 2, ("b", "a"))
+
+    def test_layered_dag_edges_cross_layers_only(self):
+        db = layered_dag(3, 2, density=1.0)
+        for source, _label, target in db.edges():
+            assert target[0] == source[0] + 1
+
+
+class TestRandomGraphs:
+    def test_deterministic_given_seed(self):
+        a = random_graph(10, 20, ("r", "s"), seed=7)
+        b = random_graph(10, 20, ("r", "s"), seed=7)
+        assert a == b
+
+    def test_accepts_rng_instance(self):
+        rng = random.Random(3)
+        db = random_graph(5, 5, ("r",), seed=rng)
+        assert db.num_nodes == 5
+
+    def test_skew_prefers_first_label(self):
+        db = skewed_random_graph(30, 400, ("hot", "cold"), skew=3.0, seed=1)
+        hot = len(db.relation("hot"))
+        cold = len(db.relation("cold"))
+        assert hot > 3 * max(cold, 1)
+
+
+class TestSocialNetwork:
+    def test_schema(self):
+        db = social_network(30, seed=5)
+        assert {"knows", "worksAt", "livesIn", "partOf"} <= set(db.labels)
+
+    def test_every_person_works_and_lives(self):
+        db = social_network(20, seed=5)
+        for i in range(20):
+            assert db.successors(f"p{i}", "worksAt")
+            assert db.successors(f"p{i}", "livesIn")
+
+    def test_deterministic(self):
+        assert social_network(15, seed=2) == social_network(15, seed=2)

@@ -1,0 +1,58 @@
+"""Tests for graph-database serialization."""
+
+import pytest
+
+from repro.graphdb import io
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import social_network
+
+
+class TestEdgeList:
+    def test_roundtrip(self):
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("b", "s", "c")], nodes=["lonely"]
+        )
+        assert io.from_edge_list(io.to_edge_list(db)) == db
+
+    def test_comments_and_blanks(self):
+        text = "# header\n\na r b  # trailing\nlonely\n"
+        db = io.from_edge_list(text)
+        assert db.relation("r") == {("a", "b")}
+        assert "lonely" in db.nodes
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            io.from_edge_list("a b\n")
+
+    def test_deterministic_output(self):
+        db = social_network(20, seed=1)
+        assert io.to_edge_list(db) == io.to_edge_list(db)
+
+    def test_empty(self):
+        assert io.to_edge_list(GraphDatabase()) == ""
+        assert io.from_edge_list("") == GraphDatabase()
+
+
+class TestJSON:
+    def test_roundtrip_string_nodes(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")], nodes=["x"])
+        assert io.from_json(io.to_json(db)) == db
+
+    def test_roundtrip_tuple_nodes(self):
+        """Canonical databases use tuple nodes; JSON must round-trip them."""
+        db = GraphDatabase.from_edges([((0, "a"), "r", (1, "b"))])
+        assert io.from_json(io.to_json(db)) == db
+
+    def test_roundtrip_int_nodes(self):
+        db = GraphDatabase.from_edges([(0, "e", 1), (1, "e", 2)])
+        assert io.from_json(io.to_json(db)) == db
+
+
+class TestFiles:
+    def test_save_load_by_extension(self, tmp_path):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        for name in ("g.edges", "g.json"):
+            path = tmp_path / name
+            io.save(db, path)
+            loaded = io.load(path)
+            assert loaded.relation("r") == {("a", "b")}

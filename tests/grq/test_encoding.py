@@ -1,0 +1,75 @@
+"""Tests for the arity-reduction encoding (Theorem 8 machinery)."""
+
+import random
+
+from repro.cq.containment import cq_contained
+from repro.cq.evaluation import evaluate_cq
+from repro.cq.syntax import cq_from_strings
+from repro.grq.encoding import (
+    encode_cq,
+    encode_head,
+    encode_instance,
+    position_label,
+)
+from repro.relational.generators import random_instance
+from repro.relational.instance import Instance, graph_to_instance
+
+
+class TestEncodeInstance:
+    def test_facts_become_fact_nodes(self):
+        instance = Instance.from_facts([("R", (1, 2, 3))])
+        graph = encode_instance(instance)
+        assert graph.num_edges == 3
+        assert graph.relation(position_label("R", 0)) == {
+            (("f", "R", (1, 2, 3)), ("c", 1))
+        }
+
+    def test_constants_shared_between_facts(self):
+        instance = Instance.from_facts([("R", (1, 2)), ("S", (2,))])
+        graph = encode_instance(instance)
+        assert ("c", 2) in graph.nodes
+        # Two edges end at the shared constant node.
+        ends = [e for e in graph.edges() if e[2] == ("c", 2)]
+        assert len(ends) == 2
+
+
+class TestEncodeCQ:
+    def test_shape(self):
+        cq = cq_from_strings("x", ["R(x,y,z)"])
+        encoded = encode_cq(cq)
+        assert len(encoded.body) == 3
+        assert {atom.predicate for atom in encoded.body} == {
+            position_label("R", i) for i in range(3)
+        }
+
+    def test_evaluation_commutes_with_encoding(self):
+        """Q(D) and enc(Q)(enc(D)) agree up to constant tagging."""
+        cq = cq_from_strings("x", ["R(x,y,z)", "S(z,x)"])
+        for seed in range(4):
+            instance = random_instance({"R": 3, "S": 2}, 4, 8, seed=seed)
+            direct = evaluate_cq(cq, instance)
+            encoded_db = graph_to_instance(encode_instance(instance))
+            encoded = evaluate_cq(encode_cq(cq), encoded_db)
+            assert {encode_head(row) for row in direct} == encoded, seed
+
+    def test_containment_preserved_both_ways(self):
+        """Q1 ⊑ Q2 iff enc(Q1) ⊑ enc(Q2) — the Theorem 8 reduction's core."""
+        rng = random.Random(17)
+        bodies = [
+            ["R(x,y,z)"],
+            ["R(x,y,z)", "R(y,z,x)"],
+            ["R(x,x,y)"],
+            ["R(x,y,y)"],
+            ["R(x,y,z)", "R(x,u,v)"],
+        ]
+        queries = [cq_from_strings("x", body) for body in bodies]
+        for q1 in queries:
+            for q2 in queries:
+                plain = cq_contained(q1, q2)
+                encoded = cq_contained(encode_cq(q1), encode_cq(q2))
+                assert plain == encoded, (q1, q2)
+
+    def test_constants_in_atoms(self):
+        cq = cq_from_strings("x", ["R(x, 5)"])
+        encoded = encode_cq(cq)
+        assert encoded.body[1].args[1] == ("c", 5)

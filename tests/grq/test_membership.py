@@ -1,0 +1,129 @@
+"""Tests for the GRQ membership checker."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import reachability_program, transitive_closure_program
+from repro.grq.membership import check_grq, is_graph_grq, is_grq
+
+
+class TestAccepts:
+    def test_left_linear_tc(self):
+        assert is_grq(transitive_closure_program(left_linear=True))
+
+    def test_right_linear_tc(self):
+        assert is_grq(transitive_closure_program(left_linear=False))
+
+    def test_nonrecursive_programs_are_grq(self):
+        program = parse_program("p(x, z) :- e(x, y), e(y, z).")
+        assert is_grq(program)
+
+    def test_stacked_tcs(self):
+        program = parse_program(
+            """
+            inner(x, y) :- edge(x, y).
+            inner(x, z) :- inner(x, y), edge(y, z).
+            outer(x, y) :- inner(x, y).
+            outer(x, z) :- outer(x, y), inner(y, z).
+            """,
+            goal="outer",
+        )
+        assert is_grq(program)
+
+    def test_multiple_base_rules(self):
+        program = parse_program(
+            """
+            tc(x, y) :- a(x, y).
+            tc(x, y) :- b(x, y).
+            tc(x, z) :- tc(x, y), a(y, z).
+            """,
+        )
+        assert is_grq(program)
+
+    def test_rq_translation_images(self):
+        from repro.rq.syntax import triangle_plus
+        from repro.rq.to_datalog import rq_to_datalog
+
+        assert is_grq(rq_to_datalog(triangle_plus()))
+
+
+class TestRejects:
+    def test_monadic_recursion(self):
+        """The paper's reachability program recursion is unary, not TC."""
+        report = check_grq(reachability_program())
+        assert not report.is_grq
+        assert any("arity 1" in violation for violation in report.violations)
+
+    def test_nonlinear_recursion(self):
+        program = parse_program(
+            """
+            tc(x, y) :- edge(x, y).
+            tc(x, z) :- tc(x, y), tc(y, z).
+            """
+        )
+        report = check_grq(program)
+        assert not report.is_grq
+        assert any("linear" in violation for violation in report.violations)
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            """
+            a(x, y) :- edge(x, y).
+            a(x, z) :- b(x, y), edge(y, z).
+            b(x, z) :- a(x, y), edge(y, z).
+            """,
+            goal="a",
+        )
+        report = check_grq(program)
+        assert not report.is_grq
+        assert any("mutually recursive" in violation for violation in report.violations)
+
+    def test_ternary_recursion(self):
+        program = parse_program(
+            """
+            t(x, y, z) :- base(x, y, z).
+            t(x, y, w) :- t(x, y, z), step(z, w).
+            """
+        )
+        assert not is_grq(program)
+
+    def test_step_rule_with_extra_atom(self):
+        program = parse_program(
+            """
+            tc(x, y) :- edge(x, y).
+            tc(x, z) :- tc(x, y), edge(y, z), mark(x).
+            """
+        )
+        assert not is_grq(program)
+
+    def test_step_rule_with_twisted_variables(self):
+        program = parse_program(
+            """
+            tc(x, y) :- edge(x, y).
+            tc(x, z) :- tc(y, x), edge(y, z).
+            """
+        )
+        assert not is_grq(program)
+
+    def test_missing_base_rule(self):
+        program = parse_program(
+            """
+            seedless(x, z) :- seedless(x, y), edge(y, z).
+            """
+        )
+        assert not is_grq(program)
+
+
+class TestGraphGRQ:
+    def test_binary_edb_required(self):
+        program = parse_program(
+            """
+            tc(x, y) :- fact(x, y, w).
+            tc(x, z) :- tc(x, y), hop(y, z).
+            hop(y, z) :- fact(y, z, w).
+            """
+        )
+        # The recursive step uses binary hop, so GRQ holds; but the EDB
+        # is ternary, so it is not an RQ-style (graph) program.
+        assert is_grq(program)
+        assert not is_graph_grq(program)

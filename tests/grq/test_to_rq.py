@@ -1,0 +1,127 @@
+"""Tests for the GRQ -> RQ reduction (Theorem 8 machinery)."""
+
+import pytest
+
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import reachability_program, transitive_closure_program
+from repro.grq.containment import NotGRQError
+from repro.grq.to_rq import grq_to_rq
+from repro.graphdb.generators import random_graph
+from repro.relational.instance import graph_to_instance
+from repro.rq.evaluation import evaluate_rq
+from repro.rq.syntax import (
+    And,
+    Or,
+    RQError,
+    Select,
+    TransitiveClosure,
+    edge,
+    triangle_plus,
+)
+from repro.rq.to_datalog import rq_to_datalog
+from repro.cq.syntax import Var
+
+
+def assert_same_semantics(program, term, labels, seeds=range(3), size=(5, 11)):
+    for seed in seeds:
+        db = random_graph(size[0], size[1], labels, seed=seed)
+        assert evaluate_rq(term, db) == evaluate(program, graph_to_instance(db)), seed
+
+
+class TestDirectPrograms:
+    def test_left_linear_tc(self):
+        program = transitive_closure_program("e", "tc")
+        assert_same_semantics(program, grq_to_rq(program), ("e",))
+
+    def test_right_linear_tc(self):
+        program = transitive_closure_program("e", "tc", left_linear=False)
+        assert_same_semantics(program, grq_to_rq(program), ("e",))
+
+    def test_mixed_linear_steps(self):
+        """X = base ∪ X;A ∪ B;X must translate to B*;base;A*."""
+        program = parse_program(
+            """
+            p(x, y) :- a(x, y).
+            p(x, z) :- p(x, y), a(y, z).
+            p(x, z) :- b(x, y), p(y, z).
+            """,
+            goal="p",
+        )
+        assert_same_semantics(program, grq_to_rq(program), ("a", "b"))
+
+    def test_multiple_base_rules(self):
+        program = parse_program(
+            """
+            p(x, y) :- a(x, y).
+            p(x, y) :- b(x, y).
+            p(x, z) :- p(x, y), a(y, z).
+            """,
+            goal="p",
+        )
+        assert_same_semantics(program, grq_to_rq(program), ("a", "b"))
+
+    def test_stacked_tc(self):
+        program = parse_program(
+            """
+            inner(x, y) :- e(x, y).
+            inner(x, z) :- inner(x, y), e(y, z).
+            outer(x, y) :- inner(x, y).
+            outer(x, z) :- outer(x, y), inner(y, z).
+            """,
+            goal="outer",
+        )
+        assert_same_semantics(program, grq_to_rq(program), ("e",), size=(4, 8))
+
+    def test_nonrecursive_join(self):
+        program = parse_program(
+            "p(x, z) :- a(x, y), b(y, z), a(z, w).", goal="p"
+        )
+        assert_same_semantics(program, grq_to_rq(program), ("a", "b"))
+
+    def test_repeated_body_variable(self):
+        program = parse_program("p(x) :- a(x, x).", goal="p")
+        assert_same_semantics(program, grq_to_rq(program), ("a",))
+
+    def test_repeated_head_variable(self):
+        program = parse_program("p(x, x) :- a(x, y).", goal="p")
+        assert_same_semantics(program, grq_to_rq(program), ("a",))
+
+
+class TestRoundTrips:
+    """rq -> datalog -> rq preserves semantics for every operator."""
+
+    CASES = {
+        "tc": TransitiveClosure(edge("a", "x", "y")),
+        "triangle-plus": triangle_plus("a"),
+        "tc-of-union": TransitiveClosure(
+            Or(edge("a", "x", "y"), edge("b", "x", "y"))
+        ),
+        "select": Select(
+            And(edge("a", "x", "y"), edge("b", "y", "z")), Var("x"), Var("z")
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_roundtrip(self, name):
+        query = self.CASES[name]
+        back = grq_to_rq(rq_to_datalog(query))
+        for seed in range(3):
+            db = random_graph(5, 11, ("a", "b"), seed=seed)
+            assert evaluate_rq(back, db) == evaluate_rq(query, db), (name, seed)
+
+
+class TestRejections:
+    def test_non_grq_rejected(self):
+        with pytest.raises(NotGRQError):
+            grq_to_rq(reachability_program())
+
+    def test_non_binary_edb_rejected(self):
+        program = parse_program("p(x, y) :- fact(x, y, z).", goal="p")
+        with pytest.raises(RQError):
+            grq_to_rq(program)
+
+    def test_constants_rejected(self):
+        program = parse_program("p(x, y) :- a(x, y), a(x, 5).", goal="p")
+        with pytest.raises(RQError):
+            grq_to_rq(program)

@@ -1,0 +1,122 @@
+"""Edge-case sweep: empty and degenerate inputs across every engine.
+
+Systems code earns trust at the boundaries: empty databases, empty
+languages, single-node graphs, self-loops, and arity-0 queries must not
+crash and must return the mathematically right answer.
+"""
+
+import pytest
+
+from repro.automata.regex import EmptySet, parse_regex
+from repro.core.engine import check_containment
+from repro.cq.evaluation import evaluate_cq
+from repro.cq.syntax import cq_from_strings
+from repro.crpq.containment import uc2rpq_contained
+from repro.crpq.evaluation import evaluate_c2rpq
+from repro.crpq.syntax import C2RPQ
+from repro.datalog.evaluation import evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import transitive_closure_program
+from repro.graphdb.database import GraphDatabase
+from repro.relational.instance import Instance
+from repro.report import Verdict
+from repro.rpq.containment import two_rpq_contained
+from repro.rpq.rpq import RPQ, TwoRPQ
+from repro.rq.evaluation import evaluate_rq
+from repro.rq.syntax import TransitiveClosure, edge
+
+
+class TestEmptyDatabases:
+    def test_rpq_on_empty_graph(self):
+        assert RPQ.parse("a+").evaluate(GraphDatabase()) == frozenset()
+
+    def test_rpq_star_on_nodes_only(self):
+        db = GraphDatabase.from_edges([], nodes=["a", "b"])
+        assert RPQ.parse("x*").evaluate(db) == {("a", "a"), ("b", "b")}
+
+    def test_c2rpq_on_empty_graph(self):
+        query = C2RPQ.from_strings("x,y", [("a", "x", "y")])
+        assert evaluate_c2rpq(query, GraphDatabase()) == frozenset()
+
+    def test_rq_on_empty_graph(self):
+        assert evaluate_rq(TransitiveClosure(edge("a", "x", "y")), GraphDatabase()) == frozenset()
+
+    def test_datalog_on_empty_instance(self):
+        assert evaluate(transitive_closure_program(), Instance()) == frozenset()
+
+    def test_cq_on_empty_instance(self):
+        assert evaluate_cq(cq_from_strings("x", ["e(x,y)"]), Instance()) == frozenset()
+
+
+class TestDegenerateGraphs:
+    def test_self_loop_star(self):
+        db = GraphDatabase.from_edges([("n", "a", "n")])
+        assert RPQ.parse("a a a").evaluate(db) == {("n", "n")}
+
+    def test_self_loop_two_way(self):
+        db = GraphDatabase.from_edges([("n", "a", "n")])
+        assert TwoRPQ.parse("a a- a a-").evaluate(db) == {("n", "n")}
+
+    def test_single_node_no_edges(self):
+        db = GraphDatabase.from_edges([], nodes=["solo"])
+        assert RPQ.parse("a").evaluate(db) == frozenset()
+        assert RPQ.parse("a?").evaluate(db) == {("solo", "solo")}
+
+
+class TestEmptyLanguages:
+    def test_empty_regex_query(self):
+        query = TwoRPQ(EmptySet())
+        db = GraphDatabase.from_edges([("a", "p", "b")])
+        assert query.evaluate(db) == frozenset()
+
+    def test_empty_language_contained_in_everything(self):
+        empty = TwoRPQ(EmptySet())
+        assert two_rpq_contained(empty, TwoRPQ.parse("p")).holds
+
+    def test_nothing_nonempty_contained_in_empty(self):
+        empty = TwoRPQ(EmptySet())
+        result = two_rpq_contained(TwoRPQ.parse("p"), empty)
+        assert result.verdict is Verdict.REFUTED
+
+
+class TestEpsilonQueries:
+    def test_epsilon_rpq_is_identity(self):
+        db = GraphDatabase.from_edges([("a", "p", "b")], nodes=["c"])
+        assert RPQ.parse("()").evaluate(db) == {
+            ("a", "a"), ("b", "b"), ("c", "c")
+        }
+
+    def test_epsilon_contained_in_star(self):
+        assert two_rpq_contained(TwoRPQ.parse("()"), TwoRPQ.parse("p*")).holds
+
+    def test_star_not_contained_in_epsilon(self):
+        result = two_rpq_contained(TwoRPQ.parse("p*"), TwoRPQ.parse("()"))
+        assert result.verdict is Verdict.REFUTED
+
+
+class TestBooleanAndConstants:
+    def test_boolean_datalog_goal(self):
+        program = parse_program("hit() :- e(x, y).", goal="hit")
+        assert evaluate(program, Instance.from_facts([("e", (1, 2))])) == {()}
+        assert evaluate(program, Instance()) == frozenset()
+
+    def test_constants_in_datalog(self):
+        program = parse_program("from_one(y) :- e(1, y).", goal="from_one")
+        db = Instance.from_facts([("e", (1, 2)), ("e", (3, 4))])
+        assert evaluate(program, db) == {(2,)}
+
+
+class TestContainmentDegenerate:
+    def test_identical_queries_hold_everywhere(self):
+        for query in (RPQ.parse("a+"), TwoRPQ.parse("a-")):
+            assert check_containment(query, query).holds
+
+    def test_uc2rpq_epsilon_only_disjunct(self):
+        eps = C2RPQ.from_strings("x,y", [("()", "x", "y")])
+        star = C2RPQ.from_strings("x,y", [("a*", "x", "y")])
+        assert uc2rpq_contained(eps, star).verdict is Verdict.HOLDS
+        assert uc2rpq_contained(star, eps).verdict is Verdict.REFUTED
+
+    def test_single_fact_datalog_program(self):
+        facts_only = parse_program("seed(1, 2). goal(x, y) :- seed(x, y).", goal="goal")
+        assert evaluate(facts_only, Instance()) == {(1, 2)}

@@ -1,0 +1,29 @@
+"""Every example script must run to completion (they assert internally)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they do"
+
+
+def test_all_examples_are_covered():
+    """The README's examples table and the directory must agree."""
+    readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+    for script in EXAMPLES:
+        assert script.name in readme, f"{script.name} missing from README"

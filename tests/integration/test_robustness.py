@@ -1,0 +1,71 @@
+"""Robustness: query objects are proper values (hashable, picklable,
+printable, equality-stable) — what a downstream user silently assumes."""
+
+import pickle
+
+import pytest
+
+from repro.cq.syntax import UCQ, cq_from_strings
+from repro.crpq.syntax import C2RPQ, paper_example_1
+from repro.datalog.parser import parse_program
+from repro.datalog.syntax import transitive_closure_program
+from repro.graphdb.database import GraphDatabase
+from repro.relational.instance import Instance
+from repro.rpq.rpq import RPQ, TwoRPQ
+from repro.rq.parser import parse_rq
+from repro.rq.syntax import triangle_plus
+
+QUERIES = {
+    "rpq": RPQ.parse("a (b|a)* b?"),
+    "2rpq": TwoRPQ.parse("a b- a"),
+    "c2rpq": paper_example_1()[0],
+    "uc2rpq": paper_example_1()[1],
+    "rq": triangle_plus(),
+    "rq-parsed": parse_rq("ans(x, y) :- [a+](x, y)."),
+    "cq": cq_from_strings("x,z", ["e(x,y)", "e(y,z)"]),
+    "ucq": UCQ((cq_from_strings("x", ["e(x,y)"]),)),
+    "datalog": transitive_closure_program(),
+}
+
+
+class TestValueSemantics:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_pickle_roundtrip(self, name):
+        query = QUERIES[name]
+        clone = pickle.loads(pickle.dumps(query))
+        assert clone == query
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_hashable(self, name):
+        assert {QUERIES[name]}  # must not raise
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_repr_is_nonempty(self, name):
+        assert repr(QUERIES[name])
+
+    def test_pickled_query_still_evaluates(self):
+        query = pickle.loads(pickle.dumps(QUERIES["rpq"]))
+        db = GraphDatabase.from_edges([(0, "a", 1), (1, "b", 2)])
+        assert (0, 1) in query.evaluate(db)
+
+
+class TestDatabaseValueSemantics:
+    def test_graph_pickle_roundtrip(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")], nodes=["c"])
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone == db
+        assert clone.successors("a", "r") == {"b"}
+
+    def test_instance_pickle_roundtrip(self):
+        db = Instance.from_facts([("r", (1, 2)), ("s", ("x",))])
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone == db
+        assert clone.arity("r") == 2
+
+    def test_results_pickle(self):
+        from repro.core.engine import check_containment
+
+        result = check_containment(RPQ.parse("a+"), RPQ.parse("a a"))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.verdict == result.verdict
+        assert clone.counterexample.output == result.counterexample.output

@@ -1,0 +1,53 @@
+"""Unit tests for the relational workload generators."""
+
+from repro.relational.generators import (
+    bipartite_instance,
+    chain_instance,
+    random_instance,
+    tree_instance,
+)
+
+
+class TestChain:
+    def test_facts(self):
+        db = chain_instance(3)
+        assert db.tuples("edge") == {(0, 1), (1, 2), (2, 3)}
+
+
+class TestTree:
+    def test_complete_binary_tree(self):
+        db = tree_instance(depth=2, fanout=2)
+        assert len(db.tuples("edge")) == 6  # 2 + 4
+
+    def test_edges_go_parent_to_child(self):
+        db = tree_instance(depth=1, fanout=3)
+        for parent, child in db.tuples("edge"):
+            assert child[: len(parent)] == parent
+
+
+class TestRandom:
+    def test_schema_respected(self):
+        db = random_instance({"r": 2, "s": 3}, domain_size=5, facts_per_relation=10, seed=1)
+        assert db.arity("r") == 2 and db.arity("s") == 3
+
+    def test_deterministic(self):
+        a = random_instance({"r": 2}, 5, 10, seed=9)
+        b = random_instance({"r": 2}, 5, 10, seed=9)
+        assert a == b
+
+    def test_domain_bounds(self):
+        db = random_instance({"r": 1}, domain_size=3, facts_per_relation=50, seed=2)
+        assert all(0 <= value < 3 for (value,) in db.tuples("r"))
+
+
+class TestBipartite:
+    def test_density_extremes(self):
+        full = bipartite_instance(3, 4, density=1.0)
+        empty = bipartite_instance(3, 4, density=0.0)
+        assert len(full.tuples("rel")) == 12
+        assert len(empty.tuples("rel")) == 0
+
+    def test_sides_are_disjoint(self):
+        db = bipartite_instance(2, 2, density=1.0)
+        for left, right in db.tuples("rel"):
+            assert left.startswith("l") and right.startswith("r")

@@ -1,0 +1,77 @@
+"""Unit tests for relational instances and graph conversions."""
+
+import pytest
+
+from repro.graphdb.database import GraphDatabase
+from repro.relational.instance import (
+    Instance,
+    graph_to_instance,
+    instance_to_graph,
+)
+
+
+class TestInstance:
+    def test_from_facts(self):
+        db = Instance.from_facts([("edge", (1, 2)), ("edge", (2, 3))])
+        assert db.tuples("edge") == {(1, 2), (2, 3)}
+        assert db.num_facts == 2
+
+    def test_arity_enforced(self):
+        db = Instance.from_facts([("r", (1, 2))])
+        with pytest.raises(ValueError):
+            db.add("r", (1, 2, 3))
+
+    def test_declare_registers_empty_relation(self):
+        db = Instance()
+        db.declare("r", 2)
+        assert db.tuples("r") == frozenset()
+        with pytest.raises(ValueError):
+            db.declare("r", 3)
+
+    def test_unknown_predicate_is_empty(self):
+        assert Instance().tuples("nope") == frozenset()
+
+    def test_active_domain(self):
+        db = Instance.from_facts([("r", (1, "x")), ("s", (2,))])
+        assert db.active_domain == {1, "x", 2}
+
+    def test_union(self):
+        a = Instance.from_facts([("r", (1,))])
+        b = Instance.from_facts([("r", (2,)), ("s", (3,))])
+        merged = a.union(b)
+        assert merged.tuples("r") == {(1,), (2,)}
+        assert merged.tuples("s") == {(3,)}
+        # inputs untouched
+        assert a.tuples("r") == {(1,)}
+
+    def test_copy_is_independent(self):
+        a = Instance.from_facts([("r", (1,))])
+        b = a.copy()
+        b.add("r", (2,))
+        assert a.tuples("r") == {(1,)}
+
+    def test_contains(self):
+        db = Instance.from_facts([("r", (1, 2))])
+        assert ("r", (1, 2)) in db
+        assert ("r", (2, 1)) not in db
+
+    def test_equality_ignores_empty_relations(self):
+        a = Instance.from_facts([("r", (1,))])
+        b = Instance.from_facts([("r", (1,))])
+        b.declare("s", 2)
+        assert a == b
+
+
+class TestGraphConversion:
+    def test_roundtrip(self):
+        graph = GraphDatabase.from_edges([("a", "r", "b"), ("b", "s", "a")])
+        instance = graph_to_instance(graph)
+        assert instance.tuples("r") == {("a", "b")}
+        back = instance_to_graph(instance)
+        assert back.relation("r") == {("a", "b")}
+        assert back.relation("s") == {("b", "a")}
+
+    def test_non_binary_rejected(self):
+        instance = Instance.from_facts([("t", (1, 2, 3))])
+        with pytest.raises(ValueError):
+            instance_to_graph(instance)

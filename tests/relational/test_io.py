@@ -1,0 +1,51 @@
+"""Tests for relational-instance serialization."""
+
+import pytest
+
+from repro.relational import io
+from repro.relational.instance import Instance
+
+
+class TestFactText:
+    def test_roundtrip(self):
+        db = Instance.from_facts(
+            [("edge", (1, 2)), ("edge", (2, 3)), ("label", ("a", 5))]
+        )
+        assert io.from_fact_text(io.to_fact_text(db)) == db
+
+    def test_quoted_strings(self):
+        db = io.from_fact_text("person('alice', 30).")
+        assert db.tuples("person") == {("alice", 30)}
+
+    def test_bare_tokens_are_strings(self):
+        db = io.from_fact_text("edge(a, b).")
+        assert db.tuples("edge") == {("a", "b")}
+
+    def test_comments(self):
+        db = io.from_fact_text("% header\nedge(1, 2).  % trailing\n")
+        assert db.num_facts == 1
+
+    def test_zero_arity(self):
+        db = io.from_fact_text("flag().")
+        assert db.tuples("flag") == {()}
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            io.from_fact_text("edge(1, 2) :- nope(3).")
+
+
+class TestJSON:
+    def test_roundtrip(self):
+        db = Instance.from_facts([("r", (1, "x", 2)), ("s", ())])
+        loaded = io.from_json(io.to_json(db))
+        assert loaded.tuples("r") == {(1, "x", 2)}
+        assert loaded.tuples("s") == {()}
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path):
+        db = Instance.from_facts([("edge", (1, 2))])
+        for name in ("d.facts", "d.json"):
+            path = tmp_path / name
+            io.save(db, path)
+            assert io.load(path).tuples("edge") == {(1, 2)}

@@ -1,0 +1,80 @@
+"""Property-based tests tying 2RPQ containment to semantics.
+
+The central invariant: whenever ``two_rpq_contained`` says HOLDS, no
+sampled database separates the queries; whenever it says REFUTED, the
+produced counterexample database does.  Together with the exactness of
+the automata pipeline this cross-validates Lemmas 2-4 end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.regex import random_regex
+from repro.graphdb.generators import random_graph
+from repro.report import Verdict
+from repro.rpq.containment import two_rpq_contained
+from repro.rpq.rpq import TwoRPQ
+
+ALPHABET = ("a", "b")
+
+
+def queries_from_seed(seed: int) -> tuple[TwoRPQ, TwoRPQ]:
+    rng = random.Random(seed)
+    return (
+        TwoRPQ(random_regex(rng, ALPHABET, 2, allow_inverse=True)),
+        TwoRPQ(random_regex(rng, ALPHABET, 2, allow_inverse=True)),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_containment_is_reflexive(seed):
+    q1, _ = queries_from_seed(seed)
+    assert two_rpq_contained(q1, q1).holds
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**9), st.integers(0, 10**6))
+def test_holds_implies_no_separating_database(seed, db_seed):
+    q1, q2 = queries_from_seed(seed)
+    result = two_rpq_contained(q1, q2)
+    if result.verdict is Verdict.HOLDS:
+        db = random_graph(5, 9, ALPHABET, seed=db_seed)
+        assert q1.evaluate(db) <= q2.evaluate(db)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**9))
+def test_refuted_counterexample_replays(seed):
+    q1, q2 = queries_from_seed(seed)
+    result = two_rpq_contained(q1, q2)
+    if result.verdict is Verdict.REFUTED:
+        db = result.counterexample.database
+        source, target = result.counterexample.output
+        assert q1.matches(db, source, target)
+        assert not q2.matches(db, source, target)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**9))
+def test_union_always_contains(seed):
+    """Q1 ⊑ Q1 | Q2 syntactically, so the checker must say so."""
+    q1, q2 = queries_from_seed(seed)
+    union = TwoRPQ(q1.regex | q2.regex)
+    assert two_rpq_contained(q1, union).holds
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**9))
+def test_query_containment_weaker_than_language_containment(seed):
+    """L(Q1) ⊆ L(Q2) implies Q1 ⊑ Q2 (folding subsumes identity)."""
+    from repro.automata.alphabet import Alphabet
+    from repro.automata.dfa import nfa_contains
+
+    q1, q2 = queries_from_seed(seed)
+    sigma_pm = Alphabet(ALPHABET).two_way
+    if nfa_contains(q1.nfa, q2.nfa, sigma_pm):
+        assert two_rpq_contained(q1, q2).holds

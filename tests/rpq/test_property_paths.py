@@ -1,0 +1,100 @@
+"""Tests for the SPARQL property-path adapter."""
+
+import pytest
+
+from repro.graphdb.database import GraphDatabase
+from repro.rpq.property_paths import (
+    PropertyPathError,
+    from_property_path,
+    to_property_path,
+)
+from repro.rpq.rpq import RPQ, TwoRPQ
+
+
+@pytest.fixture
+def db():
+    return GraphDatabase.from_edges(
+        [
+            ("ann", "knows", "bob"),
+            ("bob", "knows", "cal"),
+            ("ann", "worksAt", "acme"),
+            ("bob", "worksAt", "acme"),
+        ]
+    )
+
+
+class TestParsing:
+    def test_bare_label(self, db):
+        query = from_property_path("knows")
+        assert isinstance(query, RPQ)
+        assert query.evaluate(db) == {("ann", "bob"), ("bob", "cal")}
+
+    def test_sequence(self, db):
+        assert from_property_path("knows/knows").evaluate(db) == {("ann", "cal")}
+
+    def test_alternative(self, db):
+        answers = from_property_path("knows|worksAt").evaluate(db)
+        assert ("ann", "acme") in answers and ("ann", "bob") in answers
+
+    def test_inverse(self, db):
+        query = from_property_path("^knows")
+        assert isinstance(query, TwoRPQ) and not isinstance(query, RPQ)
+        assert query.evaluate(db) == {("bob", "ann"), ("cal", "bob")}
+
+    def test_inverse_of_sequence(self, db):
+        """^(a/b) = ^b/^a — inversion distributes with reversal."""
+        direct = from_property_path("^(knows/worksAt)")
+        spelled = from_property_path("^worksAt/^knows")
+        assert direct.evaluate(db) == spelled.evaluate(db)
+
+    def test_colleagues_pattern(self, db):
+        query = from_property_path("worksAt/^worksAt")
+        assert ("ann", "bob") in query.evaluate(db)
+
+    def test_closures(self, db):
+        assert from_property_path("knows+").evaluate(db) == {
+            ("ann", "bob"), ("bob", "cal"), ("ann", "cal")
+        }
+        star = from_property_path("knows*").evaluate(db)
+        assert ("acme", "acme") in star  # identity on every node
+
+    def test_prefixed_names(self):
+        query = from_property_path("foaf:knows/^foaf:member")
+        assert query.base_symbols() == {"foaf:knows", "foaf:member"}
+
+    def test_precedence_sequence_binds_tighter_than_alt(self, db):
+        query = from_property_path("knows/knows|worksAt")
+        answers = query.evaluate(db)
+        assert ("ann", "cal") in answers and ("ann", "acme") in answers
+
+    @pytest.mark.parametrize("bad", ["", "a//b", "(a", "a)", "^", "a|"])
+    def test_malformed(self, bad):
+        with pytest.raises(PropertyPathError):
+            from_property_path(bad)
+
+    def test_negated_property_set_rejected(self):
+        with pytest.raises(PropertyPathError) as excinfo:
+            from_property_path("!knows")
+        assert "not regular" in str(excinfo.value)
+
+
+class TestRendering:
+    CASES = ["knows", "^knows", "knows/knows", "a|b", "a+", "(a/b)*", "a/(b|c)?"]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_roundtrip_language(self, text):
+        query = from_property_path(text)
+        rendered = to_property_path(query)
+        again = from_property_path(rendered)
+        from repro.automata.dfa import nfa_equivalent
+
+        assert nfa_equivalent(
+            query.nfa, again.nfa, query.nfa.alphabet
+        ), (text, rendered)
+
+    def test_inverse_of_compound_renders(self):
+        query = from_property_path("^(knows/worksAt)")
+        rendered = to_property_path(query)
+        assert from_property_path(rendered).evaluate(
+            GraphDatabase.from_edges([(1, "knows", 2), (2, "worksAt", 3)])
+        ) == {(3, 1)}

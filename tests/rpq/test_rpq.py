@@ -1,0 +1,156 @@
+"""Tests for RPQ/2RPQ evaluation (Section 3.1 semantics)."""
+
+import pytest
+
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import cycle_graph, path_graph
+from repro.rpq.rpq import RPQ, TwoRPQ
+
+
+class TestRPQEvaluation:
+    def test_single_edge(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        assert RPQ.parse("r").evaluate(db) == {("a", "b")}
+
+    def test_plus_on_path(self):
+        db = path_graph(3, "e")
+        expected = {(i, j) for i in range(4) for j in range(i + 1, 4)}
+        assert RPQ.parse("e+").evaluate(db) == expected
+
+    def test_star_includes_identity_on_all_nodes(self):
+        db = path_graph(2, "e")
+        answers = RPQ.parse("e*").evaluate(db)
+        for node in db.nodes:
+            assert (node, node) in answers
+
+    def test_star_on_isolated_node(self):
+        db = GraphDatabase.from_edges([("a", "e", "b")], nodes=["lonely"])
+        assert ("lonely", "lonely") in RPQ.parse("e*").evaluate(db)
+
+    def test_union_and_concat(self):
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("b", "s", "c"), ("a", "s", "c")]
+        )
+        assert RPQ.parse("r s|s").evaluate(db) == {("a", "c"), ("b", "c")}
+
+    def test_cycle_wraps(self):
+        db = cycle_graph(3, "e")
+        assert (0, 0) in RPQ.parse("e e e").evaluate(db)
+        assert (0, 1) not in RPQ.parse("e e e").evaluate(db)
+
+    def test_rejects_inverse_letters(self):
+        with pytest.raises(ValueError):
+            RPQ.parse("r-")
+
+    def test_matches_and_targets(self):
+        db = path_graph(2, "e")
+        query = RPQ.parse("e e")
+        assert query.matches(db, 0, 2)
+        assert not query.matches(db, 0, 1)
+        assert query.targets(db, 0) == {2}
+
+    def test_unknown_source(self):
+        db = path_graph(1, "e")
+        assert RPQ.parse("e").targets(db, "ghost") == frozenset()
+
+
+class TestTwoRPQEvaluation:
+    def test_backward_navigation(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        assert TwoRPQ.parse("r-").evaluate(db) == {("b", "a")}
+
+    def test_colleague_pattern(self):
+        """worksAt worksAt-: same-employer pairs (incl. self)."""
+        db = GraphDatabase.from_edges(
+            [("ann", "worksAt", "acme"), ("bob", "worksAt", "acme"),
+             ("eve", "worksAt", "other")]
+        )
+        answers = TwoRPQ.parse("worksAt worksAt-").evaluate(db)
+        assert ("ann", "bob") in answers and ("bob", "ann") in answers
+        assert ("ann", "eve") not in answers
+
+    def test_semipath_revisits_nodes(self):
+        """The paper: semipath objects need not be distinct (p p- p)."""
+        db = GraphDatabase.from_edges([("x", "p", "y")])
+        assert TwoRPQ.parse("p p- p").evaluate(db) == {("x", "y")}
+
+    def test_mixed_directions(self):
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("c", "r", "b"), ("c", "s", "d")]
+        )
+        # a forward-r, backward-r to c, forward-s to d.
+        assert TwoRPQ.parse("r r- s").evaluate(db) == {("a", "d"), ("c", "d")}
+
+    def test_accepts_word_is_language_membership(self):
+        query = TwoRPQ.parse("p p- p")
+        assert query.accepts_word(("p", "p-", "p"))
+        assert not query.accepts_word(("p",))
+
+    def test_is_one_way(self):
+        assert TwoRPQ.parse("a b").is_one_way()
+        assert not TwoRPQ.parse("a b-").is_one_way()
+
+    def test_base_symbols_strip_inverses(self):
+        assert TwoRPQ.parse("a- b").base_symbols() == {"a", "b"}
+
+    def test_rpq_as_two_way(self):
+        query = RPQ.parse("a+")
+        two_way = query.as_two_way()
+        assert isinstance(two_way, TwoRPQ)
+        db = path_graph(2, "a")
+        assert two_way.evaluate(db) == query.evaluate(db)
+
+
+class TestWitnessSemipath:
+    def test_forward_witness(self):
+        db = path_graph(3, "e")
+        path = RPQ.parse("e e e").witness_semipath(db, 0, 3)
+        assert path == (0, "e", 1, "e", 2, "e", 3)
+
+    def test_two_way_witness(self):
+        db = GraphDatabase.from_edges([("x", "p", "y")])
+        path = TwoRPQ.parse("p p- p").witness_semipath(db, "x", "y")
+        assert path == ("x", "p", "y", "p-", "x", "p", "y")
+
+    def test_witness_word_in_language(self):
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("b", "s", "c"), ("c", "r", "a")]
+        )
+        query = TwoRPQ.parse("r (s|r-)+")
+        path = query.witness_semipath(db, "a", "c")
+        assert path is not None
+        word = tuple(path[1::2])
+        assert query.accepts_word(word)
+        assert db.has_semipath("a", "c", word)
+
+    def test_witness_is_shortest(self):
+        db = GraphDatabase.from_edges(
+            [("a", "e", "b"), ("b", "e", "c"), ("a", "e", "c")]
+        )
+        path = RPQ.parse("e+").witness_semipath(db, "a", "c")
+        assert path == ("a", "e", "c")
+
+    def test_no_witness(self):
+        db = path_graph(1, "e")
+        assert RPQ.parse("e e").witness_semipath(db, 0, 1) is None
+        assert RPQ.parse("e").witness_semipath(db, "ghost", 0) is None
+
+    def test_empty_word_witness(self):
+        db = path_graph(1, "e")
+        assert RPQ.parse("e*").witness_semipath(db, 0, 0) == (0,)
+
+
+class TestEvaluationAgainstBruteForce:
+    def test_matches_word_enumeration(self):
+        """Q(D) = union over words w in L(Q) of semipath pairs (oracle)."""
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("b", "s", "c"), ("c", "r", "a"), ("b", "r", "b")]
+        )
+        query = TwoRPQ.parse("r (s|r-)?")
+        expected = set()
+        for word in query.nfa.enumerate_words(3):
+            for x in db.nodes:
+                for y in db.semipath_targets(x, word):
+                    expected.add((x, y))
+        # Language is finite (max length 2), so the oracle is exact.
+        assert query.evaluate(db) == expected

@@ -1,0 +1,116 @@
+"""Tests for answering RPQs using views (maximally contained rewriting)."""
+
+import pytest
+
+from repro.automata.dfa import nfa_contains
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import random_graph
+from repro.rpq.rpq import RPQ, TwoRPQ
+from repro.rpq.views import answer_using_views, rewrite, view_graph
+
+
+class TestRewriteConstruction:
+    def test_identity_view(self):
+        rewriting = rewrite(RPQ.parse("a+"), {"v": RPQ.parse("a+")})
+        assert rewriting.automaton.accepts(("v",))
+        assert rewriting.is_exact()
+
+    def test_composition(self):
+        """Q = (a b)+ with V = a b gives MCR = v+."""
+        rewriting = rewrite(RPQ.parse("(a b)+"), {"v": RPQ.parse("a b")})
+        for count in (1, 2, 3):
+            assert rewriting.automaton.accepts(("v",) * count)
+        assert not rewriting.automaton.accepts(())
+        assert rewriting.is_exact()
+
+    def test_selects_the_right_views(self):
+        rewriting = rewrite(
+            RPQ.parse("a b c"),
+            {"ab": RPQ.parse("a b"), "c": RPQ.parse("c"), "bc": RPQ.parse("b c")},
+        )
+        assert rewriting.automaton.accepts(("ab", "c"))
+        assert not rewriting.automaton.accepts(("bc",))
+        assert not rewriting.automaton.accepts(("ab", "bc"))
+
+    def test_no_rewriting_exists(self):
+        rewriting = rewrite(RPQ.parse("a"), {"v": RPQ.parse("a a")})
+        assert rewriting.is_empty
+
+    def test_view_language_must_be_fully_contained(self):
+        """V = a|b cannot rewrite a+ — the b-words escape L(Q)."""
+        rewriting = rewrite(RPQ.parse("a+"), {"v": RPQ.parse("a|b")})
+        assert rewriting.is_empty
+
+    def test_partial_rewriting_is_not_exact(self):
+        """Views cover only part of L(Q): MCR nonempty, not exact."""
+        rewriting = rewrite(
+            RPQ.parse("a|b b"), {"v": RPQ.parse("a")}
+        )
+        assert rewriting.automaton.accepts(("v",))
+        assert not rewriting.is_exact()
+
+    def test_expansion_always_contained_in_query(self):
+        """Soundness invariant of the MCR: every expansion ⊆ L(Q)."""
+        from repro.rpq.views import _expand
+
+        cases = [
+            ("(a b)+", {"v": "a b"}),
+            ("a b c", {"ab": "a b", "c": "c"}),
+            ("a* b", {"a": "a", "ab": "a* b"}),
+        ]
+        for query_text, view_texts in cases:
+            query = RPQ.parse(query_text)
+            views = {name: RPQ.parse(text) for name, text in view_texts.items()}
+            rewriting = rewrite(query, views)
+            if rewriting.is_empty:
+                continue
+            expansion = _expand(rewriting.automaton, views)
+            assert nfa_contains(expansion, query.nfa, query.nfa.alphabet), query_text
+
+    def test_two_way_rejected(self):
+        with pytest.raises(ValueError):
+            rewrite(TwoRPQ.parse("a-"), {"v": RPQ.parse("a")})  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            rewrite(RPQ.parse("a"), {"v": TwoRPQ.parse("a-")})  # type: ignore[dict-item]
+
+
+class TestAnsweringFromViews:
+    @pytest.fixture
+    def db(self) -> GraphDatabase:
+        return GraphDatabase.from_edges(
+            [
+                (0, "a", 1), (1, "b", 2), (2, "a", 3), (3, "b", 4),
+                (4, "c", 5), (2, "c", 6),
+            ]
+        )
+
+    def test_exact_rewriting_reproduces_answers(self, db):
+        query = RPQ.parse("(a b)+")
+        views = {"v": RPQ.parse("a b")}
+        rewriting = rewrite(query, views)
+        answers = answer_using_views(rewriting, view_graph(views, db))
+        assert answers == query.evaluate(db)
+        assert (0, 4) in answers  # two v-hops
+
+    def test_answers_are_always_sound(self, db):
+        query = RPQ.parse("a b c")
+        views = {"ab": RPQ.parse("a b"), "c": RPQ.parse("c")}
+        rewriting = rewrite(query, views)
+        answers = answer_using_views(rewriting, view_graph(views, db))
+        assert answers <= query.evaluate(db)
+        assert (2, 5) in answers
+
+    def test_soundness_on_random_graphs(self):
+        query = RPQ.parse("(a|b) c*")
+        views = {"ac": RPQ.parse("a c*"), "b": RPQ.parse("b")}
+        rewriting = rewrite(query, views)
+        assert not rewriting.is_empty
+        for seed in range(4):
+            db = random_graph(6, 16, ("a", "b", "c"), seed=seed)
+            answers = answer_using_views(rewriting, view_graph(views, db))
+            assert answers <= query.evaluate(db), seed
+
+    def test_view_graph_materialization(self, db):
+        views = {"v": RPQ.parse("a b")}
+        materialized = view_graph(views, db)
+        assert materialized.relation("v") == {(0, 2), (2, 4)}

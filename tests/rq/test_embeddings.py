@@ -1,0 +1,99 @@
+"""Tests for the tower embeddings (regex/2RPQ/UC2RPQ -> RQ)."""
+
+import pytest
+
+from repro.automata.regex import parse_regex
+from repro.cq.syntax import Var
+from repro.crpq.evaluation import evaluate_uc2rpq
+from repro.crpq.syntax import C2RPQ, UC2RPQ, paper_example_1
+from repro.graphdb.generators import random_graph
+from repro.rpq.rpq import TwoRPQ
+from repro.rq.embeddings import (
+    c2rpq_to_rq,
+    identity_query,
+    regex_to_rq,
+    two_rpq_to_rq,
+    uc2rpq_to_rq,
+)
+from repro.rq.evaluation import evaluate_rq
+from repro.rq.syntax import RQError
+
+
+def incident_pairs(db, answers):
+    """Filter out isolated-node identity pairs (embedding caveat)."""
+    incident = {n for e in db.edges() for n in (e[0], e[2])}
+    return {p for p in answers if all(node in incident for node in p)}
+
+
+class TestIdentityQuery:
+    def test_identity_over_incident_nodes(self):
+        db = random_graph(4, 6, ("a",), seed=1)
+        query = identity_query(("a",), Var("x"), Var("y"))
+        answers = evaluate_rq(query, db)
+        incident = {n for e in db.edges() for n in (e[0], e[2])}
+        assert answers == {(n, n) for n in incident}
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(RQError):
+            identity_query((), Var("x"), Var("y"))
+
+
+class TestRegexToRQ:
+    CASES = ["a", "a-", "a b", "a|b", "a+", "a*", "a?", "(a|b)+ a-", "a (b a)*"]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_agrees_with_2rpq_semantics(self, text):
+        query = TwoRPQ.parse(text)
+        algebra = two_rpq_to_rq(query, ("a", "b"))
+        for seed in range(3):
+            db = random_graph(5, 10, ("a", "b"), seed=seed)
+            expected = incident_pairs(db, query.evaluate(db))
+            assert evaluate_rq(algebra, db) == expected, (text, seed)
+
+    def test_empty_set_rejected(self):
+        from repro.automata.regex import EmptySet
+
+        with pytest.raises(RQError):
+            regex_to_rq(EmptySet(), Var("x"), Var("y"), ("a",))
+
+    def test_head_is_canonical(self):
+        algebra = two_rpq_to_rq(TwoRPQ.parse("a+"))
+        assert algebra.head_vars == (Var("x"), Var("y"))
+
+
+class TestC2RPQToRQ:
+    def test_triangle(self):
+        triangle, _ = paper_example_1()
+        algebra = c2rpq_to_rq(triangle)
+        for seed in range(3):
+            db = random_graph(5, 10, ("r",), seed=seed)
+            from repro.crpq.evaluation import evaluate_c2rpq
+
+            assert evaluate_rq(algebra, db) == evaluate_c2rpq(triangle, db)
+
+    def test_star_atom_with_shared_endpoint(self):
+        query = C2RPQ.from_strings("x,y", [("a*", "x", "y"), ("b", "x", "z")])
+        algebra = c2rpq_to_rq(query, ("a", "b"))
+        for seed in range(3):
+            db = random_graph(4, 9, ("a", "b"), seed=seed)
+            expected = incident_pairs(db, evaluate_uc2rpq(query, db))
+            assert evaluate_rq(algebra, db) == expected
+
+
+class TestUC2RPQToRQ:
+    def test_paper_example_union(self):
+        _, union = paper_example_1()
+        algebra = uc2rpq_to_rq(union)
+        for seed in range(3):
+            db = random_graph(5, 11, ("r",), seed=seed)
+            assert evaluate_rq(algebra, db) == evaluate_uc2rpq(union, db)
+
+    def test_variable_name_collision_across_disjuncts(self):
+        """Disjuncts reusing each other's variable names must not join."""
+        one = C2RPQ.from_strings("x,y", [("a", "x", "y"), ("b", "x", "m")])
+        two = C2RPQ.from_strings("u,v", [("b", "u", "v"), ("a", "u", "m")])
+        union = UC2RPQ((one, two))
+        algebra = uc2rpq_to_rq(union)
+        for seed in range(3):
+            db = random_graph(5, 12, ("a", "b"), seed=seed)
+            assert evaluate_rq(algebra, db) == evaluate_uc2rpq(union, db)

@@ -1,0 +1,127 @@
+"""Tests for direct RQ algebra evaluation."""
+
+import pytest
+
+from repro.cq.syntax import Var
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import cycle_graph, path_graph
+from repro.rq.evaluation import evaluate_rq, satisfies_rq, transitive_closure_pairs
+from repro.rq.syntax import (
+    And,
+    EdgeAtom,
+    Or,
+    Project,
+    Select,
+    TransitiveClosure,
+    edge,
+    path_query,
+    triangle_plus,
+    triangle_query,
+)
+
+
+class TestLeaves:
+    def test_edge(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        assert evaluate_rq(edge("r", "x", "y"), db) == {("a", "b")}
+
+    def test_inverse_edge(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        assert evaluate_rq(edge("r-", "x", "y"), db) == {("b", "a")}
+
+    def test_self_loop_atom(self):
+        db = GraphDatabase.from_edges([("a", "r", "a"), ("a", "r", "b")])
+        assert evaluate_rq(EdgeAtom("r", Var("x"), Var("x")), db) == {("a",)}
+
+
+class TestOperators:
+    def test_select(self):
+        db = GraphDatabase.from_edges([("a", "r", "a"), ("a", "r", "b")])
+        query = Select(edge("r", "x", "y"), Var("x"), Var("y"))
+        assert evaluate_rq(query, db) == {("a", "a")}
+
+    def test_project_reorders(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        query = Project(edge("r", "x", "y"), (Var("y"), Var("x")))
+        assert evaluate_rq(query, db) == {("b", "a")}
+
+    def test_join_on_shared_variable(self):
+        db = path_graph(2, "e")
+        query = And(edge("e", "x", "y"), edge("e", "y", "z"))
+        assert evaluate_rq(query, db) == {(0, 1, 2)}
+
+    def test_join_without_shared_variables_is_product(self):
+        db = GraphDatabase.from_edges([("a", "r", "b"), ("c", "s", "d")])
+        query = And(edge("r", "x", "y"), edge("s", "u", "v"))
+        assert evaluate_rq(query, db) == {("a", "b", "c", "d")}
+
+    def test_or(self):
+        db = GraphDatabase.from_edges([("a", "r", "b"), ("c", "s", "d")])
+        query = Or(edge("r", "x", "y"), edge("s", "x", "y"))
+        assert evaluate_rq(query, db) == {("a", "b"), ("c", "d")}
+
+    def test_transitive_closure_on_path(self):
+        db = path_graph(3, "e")
+        query = TransitiveClosure(edge("e", "x", "y"))
+        expected = {(i, j) for i in range(4) for j in range(i + 1, 4)}
+        assert evaluate_rq(query, db) == expected
+
+    def test_transitive_closure_on_cycle(self):
+        db = cycle_graph(3, "e")
+        query = TransitiveClosure(edge("e", "x", "y"))
+        assert evaluate_rq(query, db) == {(i, j) for i in range(3) for j in range(3)}
+
+
+class TestCompositeQueries:
+    def test_path_query(self):
+        db = GraphDatabase.from_edges([("a", "r", "b"), ("b", "s", "c")])
+        assert evaluate_rq(path_query(["r", "s"]), db) == {("a", "c")}
+
+    def test_triangle_query(self):
+        db = GraphDatabase.from_edges(
+            [("a", "r", "b"), ("b", "r", "c"), ("c", "r", "a"), ("a", "r", "z")]
+        )
+        assert evaluate_rq(triangle_query(), db) == {
+            ("a", "b"), ("b", "c"), ("c", "a")
+        }
+
+    def test_triangle_plus_composes_triangles(self):
+        """Q+ of the triangle: chains of triangle hops (Section 3.4)."""
+        db = GraphDatabase.from_edges(
+            # two triangles sharing node c: a-b-c and c-d-e
+            [("a", "r", "b"), ("b", "r", "c"), ("c", "r", "a"),
+             ("c", "r", "d"), ("d", "r", "e"), ("e", "r", "c")]
+        )
+        plus = evaluate_rq(triangle_plus(), db)
+        single = evaluate_rq(triangle_query(), db)
+        assert single < plus              # strictly more pairs
+        assert ("a", "c") in plus         # a->b (hop 1), b->c (hop 2)... composed
+
+    def test_agreement_with_rpq_for_regular_shapes(self):
+        from repro.rpq.rpq import RPQ
+
+        db = GraphDatabase.from_edges(
+            [("a", "e", "b"), ("b", "e", "c"), ("c", "e", "a"), ("x", "e", "a")]
+        )
+        algebra = TransitiveClosure(edge("e", "x", "y"))
+        assert evaluate_rq(algebra, db) == RPQ.parse("e+").evaluate(db)
+
+
+class TestSatisfiesAndTC:
+    def test_satisfies(self):
+        db = path_graph(2, "e")
+        query = TransitiveClosure(edge("e", "x", "y"))
+        assert satisfies_rq(query, db, (0, 2))
+        assert not satisfies_rq(query, db, (2, 0))
+
+    def test_transitive_closure_pairs(self):
+        closure = transitive_closure_pairs(frozenset({(1, 2), (2, 3)}))
+        assert closure == {(1, 2), (2, 3), (1, 3)}
+
+    def test_transitive_closure_pairs_empty(self):
+        assert transitive_closure_pairs(frozenset()) == frozenset()
+
+    def test_transitive_closure_is_idempotent(self):
+        pairs = frozenset({(1, 2), (2, 1)})
+        once = transitive_closure_pairs(pairs)
+        assert transitive_closure_pairs(once) == once

@@ -1,0 +1,100 @@
+"""Tests for the RQ simplifier."""
+
+import random
+
+import pytest
+
+from repro.cq.syntax import Var
+from repro.graphdb.generators import random_graph
+from repro.rq.evaluation import evaluate_rq
+from repro.rq.generators import random_rq
+from repro.rq.optimize import simplify, size_reduction
+from repro.rq.syntax import (
+    And,
+    Or,
+    Project,
+    Select,
+    TransitiveClosure,
+    edge,
+)
+
+
+class TestRules:
+    def test_projection_fusion(self):
+        inner = And(edge("a", "x", "y"), edge("b", "y", "z"))
+        term = Project(Project(inner, (Var("x"), Var("y"))), (Var("x"),))
+        simplified = simplify(term)
+        assert simplified == Project(inner, (Var("x"),))
+
+    def test_identity_projection_removed(self):
+        atom = edge("a", "x", "y")
+        assert simplify(Project(atom, (Var("x"), Var("y")))) == atom
+
+    def test_reordering_projection_kept(self):
+        atom = edge("a", "x", "y")
+        term = Project(atom, (Var("y"), Var("x")))
+        assert simplify(term) == term
+
+    def test_trivial_selection_removed(self):
+        atom = edge("a", "x", "y")
+        assert simplify(Select(atom, Var("x"), Var("x"))) == atom
+
+    def test_tc_idempotence(self):
+        atom = edge("a", "x", "y")
+        assert simplify(TransitiveClosure(TransitiveClosure(atom))) == (
+            TransitiveClosure(atom)
+        )
+
+    def test_or_deduplication(self):
+        atom = edge("a", "x", "y")
+        other = edge("b", "x", "y")
+        term = Or(Or(atom, other), Or(atom, other))
+        assert simplify(term) == Or(atom, other)
+
+    def test_idempotent_join(self):
+        atom = edge("a", "x", "y")
+        assert simplify(And(atom, atom)) == atom
+
+    def test_nested_cascade(self):
+        atom = edge("a", "x", "y")
+        term = Project(
+            Project(TransitiveClosure(TransitiveClosure(atom)), (Var("x"), Var("y"))),
+            (Var("x"), Var("y")),
+        )
+        assert simplify(term) == TransitiveClosure(atom)
+
+
+class TestSemanticPreservation:
+    def test_random_terms(self):
+        rng = random.Random(11)
+        for trial in range(25):
+            term = random_rq(rng, ("a", "b"), depth=4)
+            simplified = simplify(term)
+            assert simplified.size() <= term.size()
+            for seed in range(2):
+                db = random_graph(5, 10, ("a", "b"), seed=seed * 100 + trial)
+                assert evaluate_rq(term, db) == evaluate_rq(simplified, db), (
+                    trial,
+                    term,
+                )
+
+    def test_size_reduction_metric(self):
+        atom = edge("a", "x", "y")
+        bloated = Or(atom, atom)
+        assert size_reduction(bloated, simplify(bloated)) > 0
+        assert size_reduction(atom, simplify(atom)) == 0
+
+
+class TestGenerators:
+    def test_random_rq_is_deterministic(self):
+        a = random_rq(random.Random(5), ("a",), 3)
+        b = random_rq(random.Random(5), ("a",), 3)
+        assert a == b
+
+    def test_random_rq_is_wellformed(self):
+        rng = random.Random(2)
+        for _ in range(40):
+            term = random_rq(rng, ("a", "b"), 4)
+            assert term.arity >= 1
+            # Evaluation must not raise.
+            evaluate_rq(term, random_graph(4, 8, ("a", "b"), seed=1))

@@ -1,0 +1,104 @@
+"""Tests for the RQ algebra AST."""
+
+import pytest
+
+from repro.cq.syntax import Var
+from repro.rq.syntax import (
+    And,
+    EdgeAtom,
+    Or,
+    Project,
+    RQError,
+    Select,
+    TransitiveClosure,
+    edge,
+    path_query,
+    rename,
+    triangle_plus,
+    triangle_query,
+)
+
+
+class TestNodes:
+    def test_edge_atom_head(self):
+        atom = edge("r", "x", "y")
+        assert atom.head_vars == (Var("x"), Var("y"))
+        assert atom.base_symbols() == {"r"}
+
+    def test_self_loop_atom_is_unary(self):
+        atom = EdgeAtom("r", Var("x"), Var("x"))
+        assert atom.head_vars == (Var("x"),)
+
+    def test_inverse_label_base_symbol(self):
+        assert edge("r-", "x", "y").base_symbols() == {"r"}
+
+    def test_select_validates_variables(self):
+        with pytest.raises(RQError):
+            Select(edge("r", "x", "y"), Var("x"), Var("z"))
+
+    def test_project_validates_variables(self):
+        with pytest.raises(RQError):
+            Project(edge("r", "x", "y"), (Var("z"),))
+
+    def test_project_rejects_duplicates(self):
+        with pytest.raises(RQError):
+            Project(edge("r", "x", "y"), (Var("x"), Var("x")))
+
+    def test_and_head_is_union_in_order(self):
+        conj = And(edge("r", "x", "y"), edge("s", "y", "z"))
+        assert conj.head_vars == (Var("x"), Var("y"), Var("z"))
+
+    def test_or_requires_matching_heads(self):
+        with pytest.raises(RQError):
+            Or(edge("r", "x", "y"), edge("s", "y", "x"))
+
+    def test_tc_requires_binary(self):
+        with pytest.raises(RQError):
+            TransitiveClosure(Project(edge("r", "x", "y"), (Var("x"),)))
+
+    def test_uses_transitive_closure(self):
+        assert triangle_plus().uses_transitive_closure()
+        assert not triangle_query().uses_transitive_closure()
+
+    def test_size_counts_nodes(self):
+        assert edge("r", "x", "y").size() == 1
+        assert triangle_query().size() == 6  # 3 atoms + 2 ands + project
+
+    def test_walk_visits_all(self):
+        nodes = list(triangle_plus().walk())
+        assert len(nodes) == triangle_plus().size()
+
+
+class TestSugar:
+    def test_operators(self):
+        q = edge("r", "x", "y") & edge("s", "y", "z")
+        assert isinstance(q, And)
+        q2 = edge("r", "x", "y") | edge("s", "x", "y")
+        assert isinstance(q2, Or)
+        assert isinstance(edge("r", "x", "y").plus(), TransitiveClosure)
+
+    def test_project_and_select_sugar(self):
+        q = (edge("r", "x", "y") & edge("r", "y", "z")).project("x", "z")
+        assert q.head_vars == (Var("x"), Var("z"))
+        s = edge("r", "x", "y").select_eq("x", "y")
+        assert isinstance(s, Select)
+
+
+class TestHelpers:
+    def test_path_query_head(self):
+        q = path_query(["a", "b", "c"])
+        assert q.head_vars == (Var("x"), Var("y"))
+        assert q.base_symbols() == {"a", "b", "c"}
+
+    def test_path_query_empty_rejected(self):
+        with pytest.raises(RQError):
+            path_query([])
+
+    def test_rename(self):
+        q = rename(edge("r", "x", "y"), {"x": "a"})
+        assert q.head_vars == (Var("a"), Var("y"))
+
+    def test_triangle_query_shape(self):
+        q = triangle_query()
+        assert q.head_vars == (Var("x"), Var("y"))
+        assert q.arity == 2

@@ -1,0 +1,81 @@
+"""Tests for the Section 4.1 RQ -> Datalog embedding."""
+
+import pytest
+
+from repro.cq.syntax import Var
+from repro.datalog.analysis import is_nonrecursive, recursive_predicates
+from repro.datalog.evaluation import evaluate
+from repro.graphdb.generators import random_graph
+from repro.grq.membership import is_graph_grq, is_grq
+from repro.relational.instance import graph_to_instance
+from repro.rq.evaluation import evaluate_rq
+from repro.rq.syntax import (
+    And,
+    Or,
+    Project,
+    Select,
+    TransitiveClosure,
+    edge,
+    path_query,
+    triangle_plus,
+    triangle_query,
+)
+from repro.rq.to_datalog import rq_to_datalog
+
+QUERIES = {
+    "atom": edge("a", "x", "y"),
+    "inverse-atom": edge("a-", "x", "y"),
+    "select": Select(And(edge("a", "x", "y"), edge("b", "y", "z")), Var("x"), Var("z")),
+    "project": Project(And(edge("a", "x", "y"), edge("b", "y", "z")), (Var("x"), Var("z"))),
+    "union": Or(edge("a", "x", "y"), edge("b", "x", "y")),
+    "conjunction": And(edge("a", "x", "y"), edge("b", "y", "z")),
+    "tc": TransitiveClosure(edge("a", "x", "y")),
+    "path": path_query(["a", "b"]),
+    "triangle": triangle_query("a"),
+    "triangle-plus": triangle_plus("a"),
+    "tc-of-union": TransitiveClosure(Or(edge("a", "x", "y"), edge("b", "x", "y"))),
+    "nested": TransitiveClosure(
+        Project(
+            And(TransitiveClosure(edge("a", "x", "y")), edge("b", "y", "z")),
+            (Var("x"), Var("z")),
+        )
+    ),
+}
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_roundtrip_on_random_graphs(self, name):
+        """Every operator's translation evaluates identically (E8 core)."""
+        query = QUERIES[name]
+        program = rq_to_datalog(query)
+        for seed in range(3):
+            db = random_graph(5, 11, ("a", "b"), seed=seed)
+            via_algebra = evaluate_rq(query, db)
+            via_datalog = evaluate(program, graph_to_instance(db))
+            assert via_algebra == via_datalog, (name, seed)
+
+
+class TestImageShape:
+    def test_image_is_grq(self):
+        """The embedding's whole point: recursion is TC-shaped only."""
+        for name, query in QUERIES.items():
+            program = rq_to_datalog(query)
+            assert is_grq(program), name
+            assert is_graph_grq(program), name
+
+    def test_tc_free_image_is_nonrecursive(self):
+        program = rq_to_datalog(triangle_query())
+        assert is_nonrecursive(program)
+
+    def test_tc_image_has_single_recursive_predicate_per_closure(self):
+        program = rq_to_datalog(triangle_plus())
+        assert len(recursive_predicates(program)) == 1
+
+    def test_goal_arity_matches_head(self):
+        assert rq_to_datalog(triangle_query()).goal_arity == 2
+        assert rq_to_datalog(Project(edge("a", "x", "y"), (Var("x"),))).goal_arity == 1
+
+    def test_predicate_prefix(self):
+        program = rq_to_datalog(edge("a", "x", "y"), prefix="zz")
+        assert program.goal.startswith("zz")
