@@ -12,6 +12,9 @@ Public surface:
   complementation) plus its lazy, on-the-fly variant.
 - :mod:`repro.automata.shepherdson` — the classical conversion baseline.
 - :mod:`repro.automata.onthefly` — generic on-the-fly product emptiness.
+- :mod:`repro.automata.indexed` — integer-indexed bitset kernels the hot
+  paths dispatch to (with :func:`set_indexed_kernels` as the ablation
+  switch back to the object-level baselines).
 """
 
 from .alphabet import (
@@ -35,6 +38,13 @@ from .dfa import (
     nfa_equivalent,
 )
 from .fold import fold_two_nfa, folds_onto, fold_witness, lemma3_state_bound
+from .indexed import (
+    IndexedDFA,
+    IndexedNFA,
+    indexed_kernels_enabled,
+    set_indexed_kernels,
+    use_indexed_kernels,
+)
 from .nfa import NFA, Word, from_epsilon_nfa
 from .onthefly import (
     ExplicitNFA,
@@ -91,6 +101,11 @@ __all__ = [
     "folds_onto",
     "fold_witness",
     "lemma3_state_bound",
+    "IndexedDFA",
+    "IndexedNFA",
+    "indexed_kernels_enabled",
+    "set_indexed_kernels",
+    "use_indexed_kernels",
     "NFA",
     "Word",
     "from_epsilon_nfa",

@@ -71,7 +71,13 @@ class DFA:
         """Hopcroft partition refinement; returns the canonical minimal DFA.
 
         States of the result are frozensets (the equivalence blocks).
+        Dispatches to the bitset kernel of :mod:`repro.automata.indexed`
+        unless the indexed kernels are disabled (ablation baseline).
         """
+        from .indexed import indexed_kernels_enabled, minimize_dfa
+
+        if indexed_kernels_enabled():
+            return minimize_dfa(self)
         reachable = self._reachable()
         final = frozenset(s for s in reachable if s in self.final)
         non_final = frozenset(reachable - final)
@@ -149,8 +155,29 @@ def determinize(nfa: NFA, alphabet: Iterable[str] | None = None) -> DFA:
             Supplying a larger alphabet matters for complementation,
             where "complement" must be taken relative to the full
             Sigma* (or Sigma±*) of the containment problem.
+
+    Repeated determinizations of the same automaton are served from the
+    canonical-form-keyed cache in :mod:`repro.cache`; the subset
+    construction itself runs on the bitset kernel unless the indexed
+    kernels are disabled (ablation baseline).
     """
+    from ..cache import determinize_cache, nfa_cache_key
+
     alpha = tuple(dict.fromkeys(alphabet)) if alphabet is not None else nfa.alphabet
+    key = nfa_cache_key(nfa, alpha)
+    cached = determinize_cache.get(key)
+    if cached is not None:
+        return cached
+    result = _determinize_uncached(nfa, alpha)
+    determinize_cache.put(key, result)
+    return result
+
+
+def _determinize_uncached(nfa: NFA, alpha: tuple[str, ...]) -> DFA:
+    from .indexed import IndexedNFA, indexed_kernels_enabled
+
+    if indexed_kernels_enabled():
+        return IndexedNFA.from_nfa(nfa, alpha).determinize().to_dfa()
     initial = frozenset(nfa.initial)
     states: set[frozenset] = {initial}
     transitions: dict[tuple[frozenset, str], frozenset] = {}
@@ -211,10 +238,22 @@ def nfa_contains(left: NFA, right: NFA, alphabet: Iterable[str] | None = None) -
 def containment_counterexample(
     left: NFA, right: NFA, alphabet: Iterable[str] | None = None
 ) -> Word | None:
-    """A shortest word in L(left) - L(right), or None if contained."""
+    """A shortest word in L(left) - L(right), or None if contained.
+
+    With the indexed kernels enabled this never materializes the
+    complement automaton: the search runs over ``(left state, right
+    subset bitset)`` configurations, determinizing the right side
+    incrementally (see
+    :func:`repro.automata.indexed.containment_counterexample_indexed`).
+    The materializing pipeline below stays as the ablation baseline.
+    """
+    from .indexed import containment_counterexample_indexed, indexed_kernels_enabled
+
     if alphabet is None:
         alphabet = tuple(dict.fromkeys(left.alphabet + right.alphabet))
     alpha = tuple(alphabet)
+    if indexed_kernels_enabled():
+        return containment_counterexample_indexed(left, right, alpha)
     product = left.product(complement_nfa(right, alpha))
     return product.shortest_word()
 

@@ -1,0 +1,714 @@
+"""Integer-indexed automaton kernels (the bitset hot-path layer).
+
+Every containment pipeline in the package bottoms out in the same few
+automaton operations — epsilon closure, subset construction, product
+reachability, emptiness with witness extraction — and the object-level
+implementations in :mod:`repro.automata.nfa` / :mod:`repro.automata.dfa`
+run them over dict-of-frozenset tables keyed by arbitrary hashable
+states.  This module provides *compiled* equivalents: states and symbols
+are interned to dense integers, transition tables are per-symbol
+adjacency arrays, and state *sets* are Python big-int bitsets, so the
+inner loops become integer OR/AND/shift operations instead of frozenset
+hashing and set unions.
+
+Design contract:
+
+- Every kernel is a drop-in semantic equivalent of the corresponding
+  object-level construction; the property tests in
+  ``tests/automata/test_indexed_properties.py`` cross-validate them on
+  random automata.
+- The object-level implementations remain available as ablation
+  baselines behind the :func:`set_indexed_kernels` switch (the A1
+  pattern in ``benchmarks/bench_a01_ablations.py``); benchmark A5
+  measures the gap.
+- :class:`IndexedNFA` satisfies the
+  :class:`repro.automata.onthefly.ImplicitNFA` protocol directly (its
+  states are plain ints), so on-the-fly product searches can consume it
+  without an adapter.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import deque
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from .nfa import NFA, Word
+
+# --- kernel switch (ablation baseline support) --------------------------------
+
+_INDEXED_KERNELS_ENABLED = True
+
+
+def indexed_kernels_enabled() -> bool:
+    """Whether the rewired hot paths dispatch to the indexed kernels."""
+    return _INDEXED_KERNELS_ENABLED
+
+
+def set_indexed_kernels(enabled: bool) -> bool:
+    """Enable/disable the indexed kernels globally; returns the old value.
+
+    Disabling falls back to the original object-state implementations,
+    which stay in place as ablation baselines (benchmarks A1/A5).
+    """
+    global _INDEXED_KERNELS_ENABLED
+    previous = _INDEXED_KERNELS_ENABLED
+    _INDEXED_KERNELS_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_indexed_kernels(enabled: bool = True) -> Iterator[None]:
+    """Context manager form of :func:`set_indexed_kernels`."""
+    previous = set_indexed_kernels(enabled)
+    try:
+        yield
+    finally:
+        set_indexed_kernels(previous)
+
+
+# --- bitset helpers ------------------------------------------------------------
+
+
+def bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of *mask*, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _mask_of(indices: Iterable[int]) -> int:
+    out = 0
+    for index in indices:
+        out |= 1 << index
+    return out
+
+
+def _closure_mask(seeds: int, adjacency: Sequence[int]) -> int:
+    """Bitset transitive closure: all indices reachable from *seeds*."""
+    reached = seeds
+    frontier = seeds
+    while frontier:
+        step = 0
+        for index in bits(frontier):
+            step |= adjacency[index]
+        frontier = step & ~reached
+        reached |= frontier
+    return reached
+
+
+def epsilon_closures(
+    num_states: int, eps_edges: Iterable[tuple[int, int]]
+) -> list[int]:
+    """Per-state epsilon-closure bitsets (state i is always in its own).
+
+    The kernel behind epsilon elimination: ``result[i]`` is the bitset of
+    states reachable from ``i`` by epsilon moves (reflexively).
+    """
+    adjacency = [0] * num_states
+    for source, target in eps_edges:
+        adjacency[source] |= 1 << target
+    return [
+        _closure_mask(1 << index, adjacency) for index in range(num_states)
+    ]
+
+
+# --- the compiled automata ------------------------------------------------------
+
+
+class IndexedNFA:
+    """An NFA compiled to dense integer states and bitset transitions.
+
+    Attributes:
+        symbols: the interned symbol order (index = symbol id).
+        num_states: states are ``0 .. num_states - 1``.
+        delta: ``delta[symbol_id][state]`` is the successor bitset.
+        initial / final: bitsets of initial / accepting states.
+        state_names: original state objects, ``state_names[i]`` for state
+            ``i`` (used to map results back to the object layer).
+    """
+
+    __slots__ = ("symbols", "symbol_index", "num_states", "delta",
+                 "initial", "final", "state_names")
+
+    def __init__(
+        self,
+        symbols: tuple[str, ...],
+        num_states: int,
+        delta: list[list[int]],
+        initial: int,
+        final: int,
+        state_names: tuple[Hashable, ...] | None = None,
+    ) -> None:
+        self.symbols = symbols
+        self.symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+        self.num_states = num_states
+        self.delta = delta
+        self.initial = initial
+        self.final = final
+        self.state_names = (
+            state_names if state_names is not None else tuple(range(num_states))
+        )
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA, alphabet: Iterable[str] | None = None) -> "IndexedNFA":
+        """Intern an object-level :class:`NFA` (stable state ordering).
+
+        Args:
+            nfa: the automaton to compile.
+            alphabet: symbol order of the result; defaults to the NFA's
+                alphabet.  Symbols outside the NFA's alphabet get empty
+                transition rows (useful for complementation relative to a
+                larger Sigma).
+        """
+        symbols = (
+            tuple(dict.fromkeys(alphabet)) if alphabet is not None else nfa.alphabet
+        )
+        names = tuple(sorted(nfa.states, key=repr))
+        index = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+        delta = [[0] * n for _ in symbols]
+        for (source, symbol), targets in nfa.transitions.items():
+            row = symbol_index.get(symbol)
+            if row is None:
+                continue
+            delta[row][index[source]] |= _mask_of(index[t] for t in targets)
+        initial = _mask_of(index[s] for s in nfa.initial)
+        final = _mask_of(index[s] for s in nfa.final)
+        return cls(symbols, n, delta, initial, final, names)
+
+    @classmethod
+    def build(
+        cls,
+        symbols: Iterable[str],
+        num_states: int,
+        edges: Iterable[tuple[int, str, int]],
+        initial: Iterable[int],
+        final: Iterable[int],
+    ) -> "IndexedNFA":
+        """Build directly from integer states and an edge list."""
+        syms = tuple(dict.fromkeys(symbols))
+        symbol_index = {symbol: i for i, symbol in enumerate(syms)}
+        delta = [[0] * num_states for _ in syms]
+        for source, symbol, target in edges:
+            delta[symbol_index[symbol]][source] |= 1 << target
+        return cls(syms, num_states, delta, _mask_of(initial), _mask_of(final))
+
+    def to_nfa(self) -> NFA:
+        """Decompile to the object layer, restoring original state names."""
+        names = self.state_names
+        transitions = [
+            (names[source], self.symbols[row], names[target])
+            for row in range(len(self.symbols))
+            for source in range(self.num_states)
+            for target in bits(self.delta[row][source])
+        ]
+        return NFA.build(
+            self.symbols,
+            names,
+            [names[i] for i in bits(self.initial)],
+            [names[i] for i in bits(self.final)],
+            transitions,
+        )
+
+    # -- the ImplicitNFA protocol (states are ints) ----------------------------
+
+    def initial_states(self) -> Iterator[int]:
+        return bits(self.initial)
+
+    def successor_states(self, state: int, symbol: str) -> Iterator[int]:
+        row = self.symbol_index.get(symbol)
+        if row is None:
+            return iter(())
+        return bits(self.delta[row][state])
+
+    def is_final(self, state: int) -> bool:
+        return bool((self.final >> state) & 1)
+
+    # -- kernels ---------------------------------------------------------------
+
+    def successor_mask(self, mask: int, symbol_id: int) -> int:
+        """One subset-construction step: rho(mask, symbol) as a bitset."""
+        row = self.delta[symbol_id]
+        out = 0
+        for index in bits(mask):
+            out |= row[index]
+        return out
+
+    def accepts(self, word: Word) -> bool:
+        current = self.initial
+        for symbol in word:
+            row = self.symbol_index.get(symbol)
+            if row is None:
+                return False
+            current = self.successor_mask(current, row)
+            if not current:
+                return False
+        return bool(current & self.final)
+
+    def reachable_mask(self) -> int:
+        """Bitset of states reachable from the initial set."""
+        adjacency = [0] * self.num_states
+        for row in self.delta:
+            for index in range(self.num_states):
+                adjacency[index] |= row[index]
+        return _closure_mask(self.initial, adjacency)
+
+    def coreachable_mask(self) -> int:
+        """Bitset of states from which the final set is reachable."""
+        reverse = [0] * self.num_states
+        for row in self.delta:
+            for source in range(self.num_states):
+                targets = row[source]
+                for target in bits(targets):
+                    reverse[target] |= 1 << source
+        return _closure_mask(self.final, reverse)
+
+    def live_mask(self) -> int:
+        """States both reachable and co-reachable (the trim kernel)."""
+        return self.reachable_mask() & self.coreachable_mask()
+
+    def is_empty(self) -> bool:
+        """True iff no accepting state is reachable."""
+        return not (self.reachable_mask() & self.final)
+
+    def shortest_word(self) -> Word | None:
+        """A shortest accepted word, or None (layered bitset BFS)."""
+        if self.initial & self.final:
+            return ()
+        layers = [self.initial]
+        seen = self.initial
+        num_symbols = len(self.symbols)
+        while True:
+            frontier = layers[-1]
+            if not frontier:
+                return None
+            step = 0
+            for row in range(num_symbols):
+                step |= self.successor_mask(frontier, row)
+            new = step & ~seen
+            if not new:
+                return None
+            seen |= new
+            layers.append(new)
+            if new & self.final:
+                break
+        # Backtrack a witness through the BFS layers.
+        cursor = next(bits(layers[-1] & self.final))
+        word: list[str] = []
+        for depth in range(len(layers) - 1, 0, -1):
+            previous = layers[depth - 1]
+            for row in range(num_symbols):
+                found = False
+                for source in bits(previous):
+                    if (self.delta[row][source] >> cursor) & 1:
+                        word.append(self.symbols[row])
+                        cursor = source
+                        found = True
+                        break
+                if found:
+                    break
+        return tuple(reversed(word))
+
+    def determinize(self) -> "IndexedDFA":
+        """Subset construction; the result is complete over ``symbols``.
+
+        DFA state ``i`` stands for the NFA-state bitset
+        ``subset_masks[i]``; the empty subset is the (reachable) sink.
+        """
+        initial = self.initial
+        index_of: dict[int, int] = {initial: 0}
+        subset_masks: list[int] = [initial]
+        num_symbols = len(self.symbols)
+        delta: list[list[int]] = [[] for _ in range(num_symbols)]
+        position = 0
+        while position < len(subset_masks):
+            mask = subset_masks[position]
+            for row in range(num_symbols):
+                target_mask = self.successor_mask(mask, row)
+                target = index_of.get(target_mask)
+                if target is None:
+                    target = len(subset_masks)
+                    index_of[target_mask] = target
+                    subset_masks.append(target_mask)
+                delta[row].append(target)
+            position += 1
+        final = _mask_of(
+            i for i, mask in enumerate(subset_masks) if mask & self.final
+        )
+        return IndexedDFA(
+            self.symbols, len(subset_masks), delta, 0, final,
+            tuple(subset_masks), self.state_names,
+        )
+
+    def product(self, other: "IndexedNFA") -> "IndexedNFA":
+        """Intersection automaton (reachable pairs only).
+
+        Both operands must share a symbol order (build them with the
+        same ``alphabet`` argument); pair states are encoded as
+        ``i * other.num_states + j`` during the BFS and named
+        ``(self.state_names[i], other.state_names[j])`` in the result.
+        """
+        if self.symbols != other.symbols:
+            raise ValueError("product operands must share a symbol order")
+        width = other.num_states
+        num_symbols = len(self.symbols)
+        code_of: dict[int, int] = {}
+        names: list[tuple] = []
+        edges: list[tuple[int, int, int]] = []  # (source, symbol_id, target)
+
+        def intern(code: int) -> int:
+            dense = code_of.get(code)
+            if dense is None:
+                dense = len(names)
+                code_of[code] = dense
+                i, j = divmod(code, width)
+                names.append((self.state_names[i], other.state_names[j]))
+            return dense
+
+        queue: deque[int] = deque()
+        for i in bits(self.initial):
+            for j in bits(other.initial):
+                code = i * width + j
+                if code not in code_of:
+                    intern(code)
+                    queue.append(code)
+        initial_count = len(names)
+        while queue:
+            code = queue.popleft()
+            source = code_of[code]
+            i, j = divmod(code, width)
+            for row in range(num_symbols):
+                left_targets = self.delta[row][i]
+                if not left_targets:
+                    continue
+                right_targets = other.delta[row][j]
+                if not right_targets:
+                    continue
+                for i2 in bits(left_targets):
+                    base = i2 * width
+                    for j2 in bits(right_targets):
+                        next_code = base + j2
+                        fresh = next_code not in code_of
+                        target = intern(next_code)
+                        edges.append((source, row, target))
+                        if fresh:
+                            queue.append(next_code)
+        n = len(names)
+        delta = [[0] * n for _ in range(num_symbols)]
+        for source, row, target in edges:
+            delta[row][source] |= 1 << target
+        final = 0
+        for code, dense in code_of.items():
+            i, j = divmod(code, width)
+            if ((self.final >> i) & 1) and ((other.final >> j) & 1):
+                final |= 1 << dense
+        return IndexedNFA(
+            self.symbols, n, delta, _mask_of(range(initial_count)), final,
+            tuple(names),
+        )
+
+
+class IndexedDFA:
+    """A complete DFA over dense integer states (subset-construction image).
+
+    Attributes:
+        delta: ``delta[symbol_id][state]`` is the unique successor state.
+        final: bitset of accepting states.
+        subset_masks: the NFA-state bitset each DFA state stands for.
+        nfa_state_names: the source NFA's state names (for decompiling).
+    """
+
+    __slots__ = ("symbols", "symbol_index", "num_states", "delta",
+                 "initial", "final", "subset_masks", "nfa_state_names")
+
+    def __init__(
+        self,
+        symbols: tuple[str, ...],
+        num_states: int,
+        delta: list[list[int]],
+        initial: int,
+        final: int,
+        subset_masks: tuple[int, ...] | None = None,
+        nfa_state_names: tuple[Hashable, ...] | None = None,
+    ) -> None:
+        self.symbols = symbols
+        self.symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+        self.num_states = num_states
+        self.delta = delta
+        self.initial = initial
+        self.final = final
+        self.subset_masks = subset_masks
+        self.nfa_state_names = nfa_state_names
+
+    def step(self, state: int, symbol_id: int) -> int:
+        return self.delta[symbol_id][state]
+
+    def accepts(self, word: Word) -> bool:
+        state = self.initial
+        for symbol in word:
+            state = self.delta[self.symbol_index[symbol]][state]
+        return bool((self.final >> state) & 1)
+
+    def complement(self) -> "IndexedDFA":
+        """Flip the accepting set (the DFA is complete by construction)."""
+        all_states = (1 << self.num_states) - 1
+        return IndexedDFA(
+            self.symbols, self.num_states, self.delta, self.initial,
+            all_states & ~self.final, self.subset_masks, self.nfa_state_names,
+        )
+
+    def is_empty(self) -> bool:
+        adjacency = [0] * self.num_states
+        for row in self.delta:
+            for source in range(self.num_states):
+                adjacency[source] |= 1 << row[source]
+        return not (_closure_mask(1 << self.initial, adjacency) & self.final)
+
+    def to_dfa(self) -> "DFA":
+        """Decompile to :class:`repro.automata.dfa.DFA`.
+
+        When this DFA came from :meth:`IndexedNFA.determinize`, states
+        are rendered as frozensets of the source NFA's state names —
+        exactly what the object-level subset construction produces, so
+        the two paths are interchangeable.
+        """
+        from .dfa import DFA
+
+        if self.subset_masks is not None and self.nfa_state_names is not None:
+            names: list[Hashable] = [
+                frozenset(self.nfa_state_names[i] for i in bits(mask))
+                for mask in self.subset_masks
+            ]
+        else:
+            names = list(range(self.num_states))
+        transitions = {
+            (names[source], self.symbols[row]): names[self.delta[row][source]]
+            for row in range(len(self.symbols))
+            for source in range(self.num_states)
+        }
+        return DFA(
+            self.symbols,
+            frozenset(names),
+            names[self.initial],
+            frozenset(names[i] for i in bits(self.final)),
+            transitions,
+        )
+
+
+# --- drop-in replacements for the object-level hot paths ------------------------
+
+
+def product_nfa(left: NFA, right: NFA) -> NFA:
+    """Indexed kernel behind :meth:`repro.automata.nfa.NFA.product`."""
+    alphabet = tuple(
+        symbol for symbol in left.alphabet if symbol in set(right.alphabet)
+    )
+    compiled = IndexedNFA.from_nfa(left, alphabet).product(
+        IndexedNFA.from_nfa(right, alphabet)
+    )
+    return compiled.to_nfa()
+
+
+def containment_counterexample_indexed(
+    left: NFA, right: NFA, alphabet: Sequence[str]
+) -> Word | None:
+    """A shortest word in ``L(left) - L(right)``, or None if contained.
+
+    The kernel behind the Lemma 1 pipeline: a BFS over configurations
+    ``(left state, right subset bitset)`` — i.e. the product of ``left``
+    with the complement of ``right``'s subset construction, explored on
+    the fly so the exponential determinization is never materialized
+    beyond its reachable-under-``left`` part.  Subset steps are memoized
+    per (bitset, symbol), which is exactly incremental determinization.
+    """
+    alpha = tuple(dict.fromkeys(alphabet))
+    compiled_left = IndexedNFA.from_nfa(left, alpha)
+    compiled_right = IndexedNFA.from_nfa(right, alpha)
+    right_final = compiled_right.final
+
+    def accepted(state: int, mask: int) -> bool:
+        return bool((compiled_left.final >> state) & 1) and not (mask & right_final)
+
+    start_mask = compiled_right.initial
+    initial = [(state, start_mask) for state in bits(compiled_left.initial)]
+    parents: dict[tuple[int, int], tuple[tuple[int, int], int] | None] = {
+        config: None for config in initial
+    }
+    hit = next((config for config in initial if accepted(*config)), None)
+    queue = deque(initial)
+    subset_step: dict[tuple[int, int], int] = {}
+    num_symbols = len(alpha)
+    while queue and hit is None:
+        config = queue.popleft()
+        state, mask = config
+        for row in range(num_symbols):
+            left_targets = compiled_left.delta[row][state]
+            if not left_targets:
+                continue
+            key = (mask, row)
+            next_mask = subset_step.get(key)
+            if next_mask is None:
+                next_mask = compiled_right.successor_mask(mask, row)
+                subset_step[key] = next_mask
+            for next_state in bits(left_targets):
+                next_config = (next_state, next_mask)
+                if next_config in parents:
+                    continue
+                parents[next_config] = (config, row)
+                if accepted(next_state, next_mask):
+                    hit = next_config
+                    break
+                queue.append(next_config)
+            if hit is not None:
+                break
+    if hit is None:
+        return None
+    word: list[str] = []
+    cursor: tuple[int, int] = hit
+    while parents[cursor] is not None:
+        cursor, row = parents[cursor]  # type: ignore[misc]
+        word.append(alpha[row])
+    return tuple(reversed(word))
+
+
+def minimize_dfa(dfa: "DFA") -> "DFA":
+    """Indexed Hopcroft refinement behind :meth:`DFA.minimize`.
+
+    Blocks are bitsets over interned DFA states; the result renders each
+    block as a frozenset of original states, matching the object-level
+    implementation (partition refinement computes the unique coarsest
+    partition, so both paths produce the identical automaton).
+    """
+    names = tuple(sorted(dfa.states, key=repr))
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    symbols = dfa.alphabet
+    num_symbols = len(symbols)
+    symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+    forward = [[0] * n for _ in range(num_symbols)]  # target index per state
+    reverse = [[0] * n for _ in range(num_symbols)]  # predecessor bitsets
+    adjacency = [0] * n
+    for (source, symbol), target in dfa.transitions.items():
+        row = symbol_index[symbol]
+        s, t = index[source], index[target]
+        forward[row][s] = t
+        reverse[row][t] |= 1 << s
+        adjacency[s] |= 1 << t
+    reachable = _closure_mask(1 << index[dfa.initial], adjacency)
+    final = _mask_of(index[s] for s in dfa.final) & reachable
+    non_final = reachable & ~final
+    partition = [block for block in (final, non_final) if block]
+    worklist = deque(partition)
+    while worklist:
+        splitter = worklist.popleft()
+        for row in range(num_symbols):
+            predecessors = 0
+            for target in bits(splitter):
+                predecessors |= reverse[row][target]
+            predecessors &= reachable
+            if not predecessors:
+                continue
+            next_partition: list[int] = []
+            for block in partition:
+                inside = block & predecessors
+                outside = block & ~predecessors
+                if inside and outside:
+                    next_partition.append(inside)
+                    next_partition.append(outside)
+                    try:
+                        position = worklist.index(block)
+                    except ValueError:
+                        position = -1
+                    if position >= 0:
+                        del worklist[position]
+                        worklist.append(inside)
+                        worklist.append(outside)
+                    else:
+                        smaller = min(
+                            (inside, outside), key=lambda m: m.bit_count()
+                        )
+                        worklist.append(smaller)
+                else:
+                    next_partition.append(block)
+            partition = next_partition
+    from .dfa import DFA
+
+    block_names = [
+        frozenset(names[i] for i in bits(block)) for block in partition
+    ]
+    block_of_state: dict[int, int] = {}
+    for position, block in enumerate(partition):
+        for state in bits(block):
+            block_of_state[state] = position
+    transitions = {
+        (block_names[position], symbols[row]): block_names[
+            block_of_state[forward[row][next(bits(block))]]
+        ]
+        for position, block in enumerate(partition)
+        for row in range(num_symbols)
+    }
+    final_blocks = frozenset(
+        block_names[position]
+        for position, block in enumerate(partition)
+        if block & final
+    )
+    return DFA(
+        symbols,
+        frozenset(block_names),
+        block_names[block_of_state[index[dfa.initial]]],
+        final_blocks,
+        transitions,
+    )
+
+
+def graph_product_targets(
+    nfa: IndexedNFA,
+    adjacency: Sequence[Sequence[Sequence[int]]],
+    num_nodes: int,
+    source: int,
+) -> int:
+    """RPQ product-BFS kernel: bitset of nodes reachable from *source*.
+
+    Args:
+        nfa: the compiled query automaton.
+        adjacency: ``adjacency[symbol_id][node]`` lists successor node
+            indices (the caller pre-resolves inverse letters).
+        num_nodes: graph size (node indices are ``0 .. num_nodes - 1``).
+        source: the start node index.
+
+    Returns:
+        A bitset over node indices: nodes ``y`` such that some semipath
+        from *source* to ``y`` spells a word of the language.
+
+    Each node carries the bitset of automaton states reachable alongside
+    it; the BFS propagates *newly added* state bits only, so each
+    (node, state) configuration is expanded at most once.
+    """
+    node_masks = [0] * num_nodes
+    node_masks[source] = nfa.initial
+    queue: deque[tuple[int, int]] = deque()
+    if nfa.initial:
+        queue.append((source, nfa.initial))
+    num_symbols = len(nfa.symbols)
+    while queue:
+        node, added = queue.popleft()
+        for row in range(num_symbols):
+            next_states = nfa.successor_mask(added, row)
+            if not next_states:
+                continue
+            for neighbor in adjacency[row][node]:
+                fresh = next_states & ~node_masks[neighbor]
+                if fresh:
+                    node_masks[neighbor] |= fresh
+                    queue.append((neighbor, fresh))
+    final = nfa.final
+    found = 0
+    for node in range(num_nodes):
+        if node_masks[node] & final:
+            found |= 1 << node
+    return found

@@ -73,6 +73,19 @@ class NFA:
         """rho(state, symbol): the set of possible successor states."""
         return self.transitions.get((state, symbol), frozenset())
 
+    # -- the ImplicitNFA protocol ---------------------------------------------
+    # A materialized NFA is trivially an implicit one, so the on-the-fly
+    # searches of :mod:`repro.automata.onthefly` consume it directly.
+
+    def initial_states(self) -> frozenset:
+        return self.initial
+
+    def successor_states(self, state: State, symbol: str) -> frozenset:
+        return self.transitions.get((state, symbol), frozenset())
+
+    def is_final(self, state: State) -> bool:
+        return state in self.final
+
     def edges(self) -> Iterator[tuple[State, str, State]]:
         """Iterate over all transitions as ``(source, symbol, target)``."""
         for (source, symbol), targets in self.transitions.items():
@@ -104,6 +117,10 @@ class NFA:
         space is the reachable subset of pairs, so the quadratic blow-up
         is an upper bound, not a certainty.
         """
+        from .indexed import indexed_kernels_enabled, product_nfa
+
+        if indexed_kernels_enabled():
+            return product_nfa(self, other)
         alphabet = tuple(sym for sym in self.alphabet if sym in set(other.alphabet))
         initial = {
             (p, q) for p in self.initial for q in other.initial
@@ -147,9 +164,16 @@ class NFA:
 
     def trim(self) -> "NFA":
         """Restrict to states both reachable and co-reachable."""
-        reachable = self._closure(self.initial, forward=True)
-        co_reachable = self._closure(self.final, forward=False)
-        live = reachable & co_reachable
+        from .indexed import IndexedNFA, bits, indexed_kernels_enabled
+
+        if indexed_kernels_enabled():
+            compiled = IndexedNFA.from_nfa(self)
+            names = compiled.state_names
+            live: set = {names[i] for i in bits(compiled.live_mask())}
+        else:
+            reachable = self._closure(self.initial, forward=True)
+            co_reachable = self._closure(self.final, forward=False)
+            live = reachable & co_reachable
         transitions = [
             (a, sym, b) for a, sym, b in self.edges() if a in live and b in live
         ]
@@ -188,6 +212,10 @@ class NFA:
         BFS from the initial states; this is step 5 of the paper's
         containment algorithm and doubles as counterexample extraction.
         """
+        from .indexed import IndexedNFA, indexed_kernels_enabled
+
+        if indexed_kernels_enabled():
+            return IndexedNFA.from_nfa(self).shortest_word()
         parents: dict[State, tuple[State, str] | None] = {
             s: None for s in self.initial
         }
@@ -337,18 +365,37 @@ def from_epsilon_nfa(
         else:
             labelled.append((source, symbol, target))
 
-    def closure(seed: State) -> set:
-        seen = {seed}
-        queue = deque([seed])
-        while queue:
-            state = queue.popleft()
-            for nxt in eps.get(state, ()):
-                if nxt not in seen:
-                    seen.add(nxt)
-                    queue.append(nxt)
-        return seen
+    states = list(states)
+    from .indexed import bits, epsilon_closures, indexed_kernels_enabled
 
-    closures = {state: closure(state) for state in states}
+    if indexed_kernels_enabled():
+        # Bitset closure kernel: intern states, close over epsilon edges.
+        index = {state: i for i, state in enumerate(states)}
+        masks = epsilon_closures(
+            len(states),
+            (
+                (index[source], index[target])
+                for source, targets in eps.items()
+                for target in targets
+            ),
+        )
+        closures = {
+            state: {states[i] for i in bits(masks[index[state]])}
+            for state in states
+        }
+    else:
+        def closure(seed: State) -> set:
+            seen = {seed}
+            queue = deque([seed])
+            while queue:
+                state = queue.popleft()
+                for nxt in eps.get(state, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        queue.append(nxt)
+            return seen
+
+        closures = {state: closure(state) for state in states}
     final_set = frozenset(final)
     new_final = {
         state for state, close in closures.items() if close & final_set

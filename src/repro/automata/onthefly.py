@@ -23,7 +23,14 @@ from .nfa import NFA, Word
 
 
 class ImplicitNFA(Protocol):
-    """The protocol on-the-fly searches consume."""
+    """The protocol on-the-fly searches consume.
+
+    :class:`repro.automata.nfa.NFA` and
+    :class:`repro.automata.indexed.IndexedNFA` implement it directly
+    (the latter with plain-int states), as do the lazy complement
+    constructions in :mod:`repro.automata.complement` and
+    :mod:`repro.automata.shepherdson`.
+    """
 
     def initial_states(self) -> Iterable: ...
 
@@ -32,20 +39,14 @@ class ImplicitNFA(Protocol):
     def is_final(self, state) -> bool: ...
 
 
-@dataclass
-class ExplicitNFA:
-    """Adapter exposing a materialized :class:`NFA` as an implicit one."""
+def ExplicitNFA(nfa: NFA) -> NFA:  # noqa: N802 - kept for API compatibility
+    """Deprecated identity adapter: NFA implements :class:`ImplicitNFA` itself.
 
-    nfa: NFA
-
-    def initial_states(self) -> Iterable:
-        return self.nfa.initial
-
-    def successor_states(self, state, symbol: str) -> Iterable:
-        return self.nfa.successors(state, symbol)
-
-    def is_final(self, state) -> bool:
-        return state in self.nfa.final
+    Earlier versions wrapped a materialized :class:`NFA` to expose the
+    implicit-automaton protocol; the protocol methods now live on
+    :class:`NFA` directly, so callers should pass the automaton as-is.
+    """
+    return nfa
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -79,7 +80,26 @@ def find_accepted_word(
 
     Returns:
         The shortest word in the intersection, or None.
+
+    When the first machine is a materialized :class:`NFA` and no stats
+    object is attached, the search dispatches to a bitset kernel that
+    tracks that machine's states as a big-int set per configuration of
+    the remaining machines — successor computations of the (expensive,
+    lazily complemented) other machines then run once per configuration
+    and symbol instead of once per product state.  The generic search
+    below remains the ablation baseline.
     """
+    from .indexed import indexed_kernels_enabled
+
+    if (
+        stats is None
+        and machines
+        and isinstance(machines[0], NFA)
+        and indexed_kernels_enabled()
+    ):
+        return _bitset_find_accepted_word(
+            machines[0], list(machines[1:]), alphabet, max_configs
+        )
     initial: list[tuple] = []
     seeds = [list(machine.initial_states()) for machine in machines]
     if any(not seed for seed in seeds):
@@ -134,6 +154,113 @@ def _cartesian(pools: Sequence[Sequence]) -> Iterator[tuple]:
     import itertools
 
     return itertools.product(*pools)
+
+
+def _bitset_find_accepted_word(
+    first: NFA,
+    rest: Sequence[ImplicitNFA],
+    alphabet: Sequence[str],
+    max_configs: int | None,
+) -> Word | None:
+    """Bitset kernel behind :func:`find_accepted_word` (same contract).
+
+    A layered BFS over configurations of the *rest* machines, each
+    carrying the bitset of *first*-machine states reachable alongside
+    it; a product state ``(l, rest-tuple)`` is explored at most once
+    (bit ``l`` enters the tuple's mask once), so the budget and the
+    shortest-word guarantee match the generic search exactly.
+    """
+    from .indexed import IndexedNFA, bits
+
+    alpha = tuple(dict.fromkeys(alphabet))
+    left = IndexedNFA.from_nfa(first, alpha)
+    if not left.initial:
+        return None
+    seeds = [list(machine.initial_states()) for machine in rest]
+    if any(not seed for seed in seeds):
+        return None
+    layer0: dict[tuple, int] = {
+        others: left.initial for others in _cartesian(seeds)
+    }
+    seen: dict[tuple, int] = dict(layer0)
+    final_mask = left.final
+
+    def accepting_bit(others: tuple, mask: int) -> int | None:
+        hit = mask & final_mask
+        if hit and all(m.is_final(s) for m, s in zip(rest, others)):
+            return next(bits(hit))
+        return None
+
+    for others, mask in layer0.items():
+        if accepting_bit(others, mask) is not None:
+            return ()
+
+    total = sum(mask.bit_count() for mask in layer0.values())
+    layers = [layer0]
+    hit: tuple[tuple, int] | None = None
+    while hit is None:
+        frontier = layers[-1]
+        if not frontier:
+            return None
+        next_layer: dict[tuple, int] = {}
+        for others, mask in frontier.items():
+            for row, symbol in enumerate(left.symbols):
+                image = left.successor_mask(mask, row)
+                if not image:
+                    continue
+                successor_sets = [
+                    list(machine.successor_states(state, symbol))
+                    for machine, state in zip(rest, others)
+                ]
+                if any(not successors for successors in successor_sets):
+                    continue
+                for next_others in _cartesian(successor_sets):
+                    fresh = image & ~seen.get(next_others, 0)
+                    if not fresh:
+                        continue
+                    seen[next_others] = seen.get(next_others, 0) | fresh
+                    next_layer[next_others] = next_layer.get(next_others, 0) | fresh
+                    total += fresh.bit_count()
+                    if max_configs is not None and total > max_configs:
+                        raise SearchBudgetExceeded(
+                            f"product search exceeded {max_configs} configurations"
+                        )
+                    bit = accepting_bit(next_others, fresh)
+                    if bit is not None:
+                        hit = (next_others, bit)
+                        break
+                if hit is not None:
+                    break
+            if hit is not None:
+                break
+        layers.append(next_layer)
+    # Backtrack a witness through the BFS layers.
+    others, cursor = hit
+    word: list[str] = []
+    for depth in range(len(layers) - 1, 0, -1):
+        found = False
+        for prev_others, prev_mask in layers[depth - 1].items():
+            for row, symbol in enumerate(left.symbols):
+                if not ((left.successor_mask(prev_mask, row) >> cursor) & 1):
+                    continue
+                if any(
+                    state not in machine.successor_states(prev_state, symbol)
+                    for machine, prev_state, state in zip(rest, prev_others, others)
+                ):
+                    continue
+                cursor = next(
+                    index
+                    for index in bits(prev_mask)
+                    if (left.delta[row][index] >> cursor) & 1
+                )
+                word.append(symbol)
+                others = prev_others
+                found = True
+                break
+            if found:
+                break
+        assert found, "BFS layer invariant: every state has a predecessor"
+    return tuple(reversed(word))
 
 
 def intersection_is_empty(

@@ -1,0 +1,210 @@
+"""Canonical-form-keyed LRU caches for the compilation pipeline.
+
+The containment engine recompiles the same artifacts constantly: a
+workload of ``check(Q1, Q2)`` calls re-derives regex→NFA compilations,
+NFA→DFA determinizations, and — for repeated query pairs — entire
+containment verdicts.  This module provides the shared memoization
+layer: small, bounded LRU caches with hit/miss/eviction counters that
+the benchmarks read off via :func:`cache_stats`.
+
+Canonical-key rules (see DESIGN.md "Performance architecture"):
+
+- **Keys bind full structural identity.**  A regex key is the frozen
+  AST itself; an NFA key is the tuple of (alphabet, states, initial,
+  final, transition table) — state *objects* included, so two automata
+  share an entry only when they are equal component-for-component,
+  never merely isomorphic.  This keeps cached values exact drop-ins
+  (e.g. a cached DFA's subset states mention the caller's own NFA
+  states).
+- **Values are immutable** (frozen dataclasses over frozensets), so
+  sharing needs no copying and no invalidation: a key can never go
+  stale because nothing it points to can change.  The only eviction is
+  LRU pressure.
+- **Instrumentation must not poison keys.**  Callers passing mutable
+  instrumentation (e.g. ``stats=`` objects) opt out of caching — the
+  engine skips the cache whenever an option does not hash.
+
+:func:`clear_caches` resets contents (benchmarks call it between
+ablation arms so both arms compile from cold).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Mapping
+
+# --- global switch --------------------------------------------------------------
+
+_CACHING_ENABLED = True
+
+
+def caching_enabled() -> bool:
+    """Whether the cache layer is active (disabled = every call recomputes)."""
+    return _CACHING_ENABLED
+
+
+def set_caching(enabled: bool) -> bool:
+    """Enable/disable all caches globally; returns the previous value."""
+    global _CACHING_ENABLED
+    previous = _CACHING_ENABLED
+    _CACHING_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_caching(enabled: bool = True) -> Iterator[None]:
+    """Context manager form of :func:`set_caching`."""
+    previous = set_caching(enabled)
+    try:
+        yield
+    finally:
+        set_caching(previous)
+
+
+# --- the cache type -------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache (surfaced to benchmarks)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class LRUCache:
+    """A bounded least-recently-used cache with instrumentation.
+
+    ``None`` is not a legal cached value (:meth:`get` uses it as the
+    miss sentinel); every value in this package is a result object, so
+    the restriction costs nothing.
+    """
+
+    def __init__(self, name: str, maxsize: int = 1024) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        _REGISTRY[name] = self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up *key*, counting a hit or miss; no-op when disabled."""
+        if not _CACHING_ENABLED:
+            return default
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting LRU past ``maxsize``."""
+        if not _CACHING_ENABLED or value is None:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """``get`` falling back to ``compute()`` (whose result is stored)."""
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self, reset_stats: bool = False) -> None:
+        self._entries.clear()
+        if reset_stats:
+            self.stats = CacheStats()
+
+
+# --- registry -------------------------------------------------------------------
+
+_REGISTRY: dict[str, LRUCache] = {}
+
+
+def cache_stats() -> dict[str, dict[str, Any]]:
+    """Machine-readable snapshot of every cache (for benchmark tables)."""
+    return {
+        name: {
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "evictions": cache.stats.evictions,
+            "hit_rate": round(cache.stats.hit_rate, 4),
+            "size": len(cache),
+            "maxsize": cache.maxsize,
+        }
+        for name, cache in _REGISTRY.items()
+    }
+
+
+def clear_caches(reset_stats: bool = True) -> None:
+    """Empty every registered cache (benchmarks: cold-start both arms)."""
+    for cache in _REGISTRY.values():
+        cache.clear(reset_stats=reset_stats)
+
+
+# --- the package's shared caches --------------------------------------------------
+
+#: regex AST -> reduced NFA (the Thompson construction + reduce_nfa).
+regex_nfa_cache = LRUCache("regex-nfa", maxsize=1024)
+
+#: (NFA canonical key, alphabet) -> complete DFA (subset construction).
+determinize_cache = LRUCache("determinize", maxsize=512)
+
+#: (Q1 key, Q2 key, options) -> ContainmentResult (the engine front door).
+containment_cache = LRUCache("containment", maxsize=2048)
+
+
+# --- canonical keys ----------------------------------------------------------------
+
+
+def nfa_cache_key(nfa: Any, alphabet: tuple[str, ...] | None = None) -> Hashable:
+    """Structural identity key for an NFA (plus the target alphabet).
+
+    Binds the exact states, transition table, and alphabet, so a cache
+    entry is shared only between calls that would compute byte-identical
+    results (see the module docstring's canonical-key rules).
+    """
+    return (
+        alphabet if alphabet is not None else nfa.alphabet,
+        nfa.states,
+        nfa.initial,
+        nfa.final,
+        frozenset(nfa.transitions.items()),
+    )
+
+
+def query_cache_key(query: Any) -> Hashable | None:
+    """A cache key for a query object, or None when it does not hash.
+
+    Query syntax objects across the towers (regexes, TwoRPQ/RPQ, CQ/UCQ,
+    Datalog programs, RQ terms) are frozen dataclasses, so they hash;
+    anything else opts out of caching rather than risking staleness.
+    """
+    try:
+        hash(query)
+    except TypeError:
+        return None
+    return (type(query).__module__, type(query).__qualname__, query)

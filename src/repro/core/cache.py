@@ -1,0 +1,38 @@
+"""Compatibility shim: the cache layer lives in :mod:`repro.cache`.
+
+(Like :mod:`repro.core.report`, the implementation sits above the
+per-class containment modules in the import graph — the automata layer
+memoizes through it — so keeping it inside ``repro.core``, whose
+``__init__`` pulls in the engine and thus every query class, would
+create an import cycle.)
+"""
+
+from ..cache import (
+    CacheStats,
+    LRUCache,
+    cache_stats,
+    caching_enabled,
+    clear_caches,
+    containment_cache,
+    determinize_cache,
+    nfa_cache_key,
+    query_cache_key,
+    regex_nfa_cache,
+    set_caching,
+    use_caching,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "cache_stats",
+    "caching_enabled",
+    "clear_caches",
+    "containment_cache",
+    "determinize_cache",
+    "nfa_cache_key",
+    "query_cache_key",
+    "regex_nfa_cache",
+    "set_caching",
+    "use_caching",
+]

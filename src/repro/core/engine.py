@@ -23,8 +23,10 @@ binary: the graph query is translated through the Section 4.1 embedding.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
+from ..cache import caching_enabled, containment_cache, query_cache_key
 from ..cq.containment import ucq_contained
 from ..cq.syntax import CQ, UCQ
 from ..crpq.containment import uc2rpq_contained
@@ -54,7 +56,48 @@ def check_containment(q1: Any, q2: Any, **options: Any) -> ContainmentResult:
     Returns:
         A :class:`repro.core.report.ContainmentResult`; see its module
         for the exactness contract.
+
+    Repeated calls with the same queries and options are served from
+    the containment cache in :mod:`repro.cache`; the returned result's
+    ``details["cache"]`` records ``"hit"``, ``"miss"``, or ``"bypass"``
+    (unhashable queries or options — e.g. a mutable ``stats=`` object —
+    opt out of caching rather than risking a stale or shared value).
     """
+    key = _cache_key(q1, q2, options)
+    if key is None:
+        result = _check_containment_uncached(q1, q2, **options)
+        return _annotate(result, "bypass")
+    cached = containment_cache.get(key)
+    if cached is not None:
+        return _annotate(cached, "hit")
+    result = _check_containment_uncached(q1, q2, **options)
+    containment_cache.put(key, result)
+    return _annotate(result, "miss")
+
+
+def _cache_key(q1: Any, q2: Any, options: dict) -> Any | None:
+    """The containment-cache key, or None when the call must not cache."""
+    if not caching_enabled():
+        return None
+    left, right = query_cache_key(q1), query_cache_key(q2)
+    if left is None or right is None:
+        return None
+    try:
+        picked = tuple(sorted(options.items()))
+        hash(picked)
+    except TypeError:
+        return None
+    return (left, right, picked)
+
+
+def _annotate(result: ContainmentResult, outcome: str) -> ContainmentResult:
+    """A copy of *result* whose details record the cache outcome."""
+    return dataclasses.replace(
+        result, details={**dict(result.details), "cache": outcome}
+    )
+
+
+def _check_containment_uncached(q1: Any, q2: Any, **options: Any) -> ContainmentResult:
     class1, class2 = classify(q1), classify(q2)
     common = least_common_class(class1, class2)
     if common is None:

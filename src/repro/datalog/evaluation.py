@@ -49,8 +49,17 @@ def _apply_rule(rule: Rule, instance: Instance) -> set[tuple]:
 
 
 def _seed_instance(program: Program, edb: Instance) -> Instance:
+    """A working copy of *edb* with every IDB relation declared.
+
+    Declaring the IDB predicates (empty, at head arity) up front means
+    rule bodies mentioning a predicate that never fires see an empty
+    relation rather than an unknown name, and an IDB head whose arity
+    clashes with an EDB relation of the same name fails loudly here
+    instead of corrupting the fixpoint.
+    """
     instance = edb.copy()
-    # Ensure IDB predicates exist with the right arity even when empty.
+    for rule in program.rules:
+        instance.declare(rule.head.predicate, len(rule.head.args))
     return instance
 
 

@@ -26,7 +26,7 @@ from ..automata.complement import LazyComplement, complement_two_nfa
 from ..automata.dfa import containment_counterexample
 from ..automata.fold import fold_two_nfa
 from ..automata.nfa import NFA, Word
-from ..automata.onthefly import ExplicitNFA, SearchStats, find_accepted_word
+from ..automata.onthefly import SearchStats, find_accepted_word
 from ..automata.shepherdson import LazyShepherdsonComplement
 from ..report import ContainmentResult, Counterexample, Verdict
 from ..graphdb.database import canonical_database_of_word
@@ -93,14 +93,14 @@ def two_rpq_contained(
     left = q1.nfa
     if method == "shepherdson":
         witness = find_accepted_word(
-            [ExplicitNFA(left), LazyShepherdsonComplement(folded)],
+            [left, LazyShepherdsonComplement(folded)],
             sigma_pm,
             max_configs=max_configs,
             stats=stats,
         )
     elif method == "lemma4-onthefly":
         witness = find_accepted_word(
-            [ExplicitNFA(left), LazyComplement(folded)],
+            [left, LazyComplement(folded)],
             sigma_pm,
             max_configs=max_configs,
             stats=stats,

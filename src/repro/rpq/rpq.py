@@ -15,26 +15,63 @@ database's ``successors`` method already interprets inverse letters.
 
 from __future__ import annotations
 
-import functools
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
 from ..automata.alphabet import base_symbol, is_inverse
 from ..automata.dfa import reduce_nfa
+from ..automata.indexed import (
+    IndexedNFA,
+    bits,
+    graph_product_targets,
+    indexed_kernels_enabled,
+)
 from ..automata.nfa import NFA, Word
 from ..automata.regex import Regex, parse_regex
+from ..cache import regex_nfa_cache
 from ..graphdb.database import GraphDatabase, Node
 
 
-@functools.lru_cache(maxsize=512)
 def _compiled(regex: Regex) -> NFA:
     """Reduced NFA for a regex (cached; regexes are frozen dataclasses)."""
-    return reduce_nfa(regex.to_nfa())
+    return regex_nfa_cache.get_or_compute(regex, lambda: reduce_nfa(regex.to_nfa()))
+
+
+def _graph_context(
+    nfa: NFA, db: GraphDatabase
+) -> tuple[IndexedNFA, tuple[Node, ...], dict[Node, int], list[list[list[int]]]]:
+    """Compile the query automaton and the graph for the bitset BFS kernel.
+
+    The adjacency table pre-resolves inverse letters through the
+    database's backward index: ``adjacency[symbol_id][node_id]`` lists
+    the node ids one navigation step away.  Built once per evaluation
+    and shared across all source nodes.
+    """
+    compiled = IndexedNFA.from_nfa(nfa)
+    nodes = tuple(sorted(db.nodes, key=repr))
+    node_index = {node: i for i, node in enumerate(nodes)}
+    adjacency = [
+        [
+            [node_index[neighbor] for neighbor in db.successors(node, symbol)]
+            for node in nodes
+        ]
+        for symbol in compiled.symbols
+    ]
+    return compiled, nodes, node_index, adjacency
 
 
 def evaluate_nfa_on_graph(nfa: NFA, db: GraphDatabase) -> frozenset[tuple[Node, Node]]:
     """All pairs (x, y) connected by a semipath spelling a word of L(nfa)."""
+    if indexed_kernels_enabled():
+        compiled, nodes, _, adjacency = _graph_context(nfa, db)
+        return frozenset(
+            (source, nodes[target])
+            for i, source in enumerate(nodes)
+            for target in bits(
+                graph_product_targets(compiled, adjacency, len(nodes), i)
+            )
+        )
     answers: set[tuple[Node, Node]] = set()
     for source in db.nodes:
         for target in targets_from(nfa, db, source):
@@ -46,6 +83,12 @@ def targets_from(nfa: NFA, db: GraphDatabase, source: Node) -> frozenset[Node]:
     """Nodes reachable from *source* along words of L(nfa) (product BFS)."""
     if source not in db.nodes:
         return frozenset()
+    if indexed_kernels_enabled():
+        compiled, nodes, node_index, adjacency = _graph_context(nfa, db)
+        mask = graph_product_targets(
+            compiled, adjacency, len(nodes), node_index[source]
+        )
+        return frozenset(nodes[i] for i in bits(mask))
     start = {(source, state) for state in nfa.initial}
     seen = set(start)
     queue = deque(start)

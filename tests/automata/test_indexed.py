@@ -1,0 +1,186 @@
+"""Unit tests for the integer-indexed bitset kernels.
+
+Each kernel is checked against hand-built automata and, where the
+contract promises a *drop-in* structural equivalent (determinize,
+minimize, product), against the object-level baseline with the kernels
+switched off.  The random cross-validation lives in
+``test_indexed_properties.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.dfa import (
+    containment_counterexample,
+    determinize,
+)
+from repro.automata.indexed import (
+    IndexedNFA,
+    bits,
+    containment_counterexample_indexed,
+    epsilon_closures,
+    graph_product_targets,
+    indexed_kernels_enabled,
+    minimize_dfa,
+    set_indexed_kernels,
+    use_indexed_kernels,
+)
+from repro.automata.nfa import NFA
+from repro.automata.onthefly import find_accepted_word
+from repro.automata.regex import parse_regex
+from repro.cache import use_caching
+
+
+def nfa_of(text: str) -> NFA:
+    return parse_regex(text).to_nfa().trim().renumber()
+
+
+def test_bits_enumerates_set_positions():
+    assert list(bits(0)) == []
+    assert list(bits(0b1)) == [0]
+    assert list(bits(0b101001)) == [0, 3, 5]
+
+
+def test_epsilon_closures_are_reflexive_transitive():
+    closures = epsilon_closures(4, [(0, 1), (1, 2), (3, 3)])
+    assert closures[0] == 0b0111
+    assert closures[1] == 0b0110
+    assert closures[2] == 0b0100
+    assert closures[3] == 0b1000
+
+
+def test_switch_restores_previous_value():
+    assert indexed_kernels_enabled()
+    previous = set_indexed_kernels(False)
+    assert previous is True
+    assert not indexed_kernels_enabled()
+    set_indexed_kernels(True)
+    with use_indexed_kernels(False):
+        assert not indexed_kernels_enabled()
+    assert indexed_kernels_enabled()
+
+
+def test_from_nfa_to_nfa_roundtrip_preserves_structure():
+    nfa = nfa_of("a(b|c)*a")
+    compiled = IndexedNFA.from_nfa(nfa)
+    back = compiled.to_nfa()
+    assert back.states == nfa.states
+    assert back.initial == nfa.initial
+    assert back.final == nfa.final
+    assert set(back.edges()) == set(nfa.edges())
+
+
+def test_accepts_matches_object_level():
+    nfa = nfa_of("a(b|c)*a")
+    compiled = IndexedNFA.from_nfa(nfa)
+    for word in [(), ("a",), ("a", "a"), ("a", "b", "a"), ("a", "b", "c", "a"), ("b",)]:
+        assert compiled.accepts(word) == nfa.accepts(word)
+
+
+def test_accepts_rejects_symbols_outside_the_alphabet():
+    compiled = IndexedNFA.from_nfa(nfa_of("a*"))
+    assert compiled.accepts(("a", "a"))
+    assert not compiled.accepts(("a", "z"))
+
+
+def test_implicit_nfa_protocol_drives_onthefly_search():
+    left = IndexedNFA.from_nfa(nfa_of("a(a|b)*"), ("a", "b"))
+    right = IndexedNFA.from_nfa(nfa_of("(a|b)*b"), ("a", "b"))
+    word = find_accepted_word([left, right], ("a", "b"))
+    assert word is not None
+    assert word[0] == "a" and word[-1] == "b"
+
+
+def test_emptiness_and_shortest_word():
+    assert IndexedNFA.build(("a",), 1, [], [0], []).shortest_word() is None
+    accepting_initial = IndexedNFA.build(("a",), 1, [], [0], [0])
+    assert accepting_initial.shortest_word() == ()
+    chain = IndexedNFA.build(
+        ("a", "b"), 3, [(0, "a", 1), (1, "b", 2)], [0], [2]
+    )
+    assert not chain.is_empty()
+    assert chain.shortest_word() == ("a", "b")
+    no_final_reachable = IndexedNFA.build(("a",), 2, [(0, "a", 0)], [0], [1])
+    assert no_final_reachable.is_empty()
+    assert no_final_reachable.shortest_word() is None
+
+
+def test_live_mask_drops_unreachable_and_dead_states():
+    # 0 -a-> 1 -a-> 2(final); 3 unreachable; 4 reachable but dead.
+    compiled = IndexedNFA.build(
+        ("a",), 5, [(0, "a", 1), (1, "a", 2), (3, "a", 2), (0, "a", 4)], [0], [2]
+    )
+    assert set(bits(compiled.live_mask())) == {0, 1, 2}
+
+
+def test_determinize_matches_baseline_exactly():
+    nfa = nfa_of("(a|b)*a(a|b)")
+    with use_caching(False):
+        with use_indexed_kernels(True):
+            fast = determinize(nfa, ("a", "b"))
+        with use_indexed_kernels(False):
+            slow = determinize(nfa, ("a", "b"))
+    assert fast == slow
+
+
+def test_indexed_dfa_complement_flips_acceptance():
+    compiled = IndexedNFA.from_nfa(nfa_of("ab*"), ("a", "b")).determinize()
+    flipped = compiled.complement()
+    for word in [(), ("a",), ("a", "b"), ("b",), ("a", "a")]:
+        assert compiled.accepts(word) != flipped.accepts(word)
+
+
+def test_product_matches_baseline_exactly():
+    left = nfa_of("a(a|b)*")
+    right = nfa_of("(a|b)*b")
+    with use_indexed_kernels(True):
+        fast = left.product(right)
+    with use_indexed_kernels(False):
+        slow = left.product(right)
+    assert fast == slow
+
+
+def test_product_requires_shared_symbol_order():
+    left = IndexedNFA.build(("a", "b"), 1, [], [0], [0])
+    right = IndexedNFA.build(("b", "a"), 1, [], [0], [0])
+    with pytest.raises(ValueError):
+        left.product(right)
+
+
+def test_minimize_matches_baseline_exactly():
+    dfa = determinize(nfa_of("(a|b)*abb"), ("a", "b"))
+    fast = minimize_dfa(dfa)
+    with use_indexed_kernels(False):
+        slow = dfa.minimize()
+    assert fast == slow
+
+
+def test_containment_counterexample_agrees_with_materializing_pipeline():
+    cases = [
+        ("a*", "(a|b)*", True),
+        ("(a|b)*", "a*", False),
+        ("ab", "a(b|c)", True),
+        ("a(b|c)", "ab", False),
+    ]
+    for left_text, right_text, contained in cases:
+        left, right = nfa_of(left_text), nfa_of(right_text)
+        alpha = ("a", "b", "c")
+        fast = containment_counterexample_indexed(left, right, alpha)
+        with use_caching(False), use_indexed_kernels(False):
+            slow = containment_counterexample(left, right, alpha)
+        assert (fast is None) == contained
+        assert (slow is None) == contained
+        if fast is not None:
+            assert len(fast) == len(slow)
+            assert left.accepts(fast) and not right.accepts(fast)
+
+
+def test_graph_product_targets_on_a_cycle():
+    # Triangle 0 -a-> 1 -a-> 2 -a-> 0; query a a reaches two hops away.
+    compiled = IndexedNFA.build(
+        ("a",), 3, [(0, "a", 1), (1, "a", 2)], [0], [2]
+    )
+    adjacency = [[[1], [2], [0]]]
+    assert set(bits(graph_product_targets(compiled, adjacency, 3, 0))) == {2}
+    assert set(bits(graph_product_targets(compiled, adjacency, 3, 1))) == {0}

@@ -1,0 +1,149 @@
+"""Tests for the canonical-form-keyed cache layer (repro.cache).
+
+Covers the LRU mechanics, the engine's containment cache (repeat calls
+served from cache with identical results, hit/miss surfaced in
+``details["cache"]`` and in :func:`cache_stats`), and the bypass rules
+for unhashable options.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.onthefly import SearchStats
+from repro.cache import (
+    LRUCache,
+    cache_stats,
+    clear_caches,
+    containment_cache,
+    determinize_cache,
+    query_cache_key,
+    use_caching,
+)
+from repro.core.engine import check_containment
+from repro.report import Verdict
+from repro.rpq.rpq import RPQ, TwoRPQ
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches(reset_stats=True)
+    yield
+    clear_caches(reset_stats=True)
+
+
+class TestLRUCache:
+    def test_get_put_and_counters(self):
+        cache = LRUCache("test-basic", maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache("test-lru", maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.stats.evictions == 1
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_disabled_cache_stores_and_counts_nothing(self):
+        cache = LRUCache("test-disabled", maxsize=4)
+        with use_caching(False):
+            cache.put("k", 1)
+            assert cache.get("k") is None
+        assert len(cache) == 0
+        assert cache.stats.requests == 0
+
+    def test_get_or_compute_computes_once(self):
+        cache = LRUCache("test-compute", maxsize=4)
+        calls = []
+        compute = lambda: calls.append(1) or "value"  # noqa: E731
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_clear_empties_and_optionally_resets_stats(self):
+        cache = LRUCache("test-clear", maxsize=4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.hits == 1
+        cache.clear(reset_stats=True)
+        assert cache.stats.hits == 0
+
+
+class TestQueryCacheKey:
+    def test_hashable_queries_key_by_type_and_value(self):
+        q = RPQ.parse("a b*")
+        assert query_cache_key(q) == query_cache_key(RPQ.parse("a b*"))
+        assert query_cache_key(q) != query_cache_key(TwoRPQ.parse("a b*"))
+
+    def test_unhashable_objects_opt_out(self):
+        assert query_cache_key({"not": "hashable"}) is None
+
+
+class TestEngineContainmentCache:
+    def test_repeat_check_is_served_from_cache(self):
+        q1, q2 = RPQ.parse("a a"), RPQ.parse("a+")
+        first = check_containment(q1, q2)
+        second = check_containment(q1, q2)
+        assert first.details["cache"] == "miss"
+        assert second.details["cache"] == "hit"
+        assert first.verdict == second.verdict == Verdict.HOLDS
+        stats = cache_stats()["containment"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_structurally_equal_queries_share_an_entry(self):
+        check_containment(RPQ.parse("a"), RPQ.parse("a|b"))
+        repeat = check_containment(RPQ.parse("a"), RPQ.parse("a|b"))
+        assert repeat.details["cache"] == "hit"
+
+    def test_cached_and_uncached_results_are_identical(self):
+        pairs = [
+            (RPQ.parse("a a"), RPQ.parse("a+")),
+            (RPQ.parse("a+"), RPQ.parse("a a")),
+            (TwoRPQ.parse("p"), TwoRPQ.parse("p p- p")),
+            (TwoRPQ.parse("p p- p"), TwoRPQ.parse("p")),
+        ]
+        for q1, q2 in pairs:
+            warm = check_containment(q1, q2)
+            cached = check_containment(q1, q2)
+            with use_caching(False):
+                cold = check_containment(q1, q2)
+            assert cached.details["cache"] == "hit"
+            assert cold.details["cache"] == "bypass"
+            for result in (cached, cold):
+                assert result.verdict == warm.verdict
+                assert result.method == warm.method
+                assert result.counterexample == warm.counterexample
+
+    def test_mutable_stats_option_bypasses_the_cache(self):
+        q1, q2 = TwoRPQ.parse("p"), TwoRPQ.parse("p p- p")
+        stats = SearchStats()
+        result = check_containment(q1, q2, stats=stats)
+        assert result.details["cache"] == "bypass"
+        assert stats.explored > 0  # the instrumented run actually happened
+        snapshot = cache_stats()["containment"]
+        assert snapshot["hits"] == 0 and snapshot["misses"] == 0
+
+    def test_distinct_options_get_distinct_entries(self):
+        q1, q2 = TwoRPQ.parse("p"), TwoRPQ.parse("p p- p")
+        check_containment(q1, q2, method="shepherdson")
+        other = check_containment(q1, q2, method="lemma4-onthefly")
+        assert other.details["cache"] == "miss"
+        assert check_containment(q1, q2, method="shepherdson").details["cache"] == "hit"
+
+    def test_determinize_cache_fills_during_rpq_checks(self):
+        check_containment(RPQ.parse("(a|b)* a"), RPQ.parse("(a|b)*"))
+        stats = cache_stats()
+        assert stats["regex-nfa"]["size"] > 0
+        # Lemma 1 now runs on the on-the-fly kernel; determinize still
+        # caches when the materializing paths (reduce_nfa) invoke it.
+        assert "determinize" in stats

@@ -4,6 +4,7 @@ import pytest
 
 from repro.datalog.evaluation import (
     EvaluationStats,
+    _seed_instance,
     bounded_evaluate,
     evaluate,
     naive_evaluate,
@@ -123,3 +124,45 @@ class TestBoundedSemantics:
 
     def test_p_0_is_empty(self, tc):
         assert bounded_evaluate(tc, chain_instance(3), 0) == frozenset()
+
+
+class TestSeedInstance:
+    """Regression tests for _seed_instance declaring the IDB schema.
+
+    An earlier version only copied the EDB, so IDB predicates entered
+    the instance lazily on first derivation — and an EDB relation
+    clashing with an IDB head's arity went undetected whenever the
+    clashing rule happened never to fire.
+    """
+
+    def test_idb_predicates_are_declared_with_head_arity(self, tc):
+        seeded = _seed_instance(tc, chain_instance(2))
+        assert seeded.arity("tc") == 2
+        assert seeded.tuples("tc") == frozenset()
+
+    def test_idb_predicate_that_never_fires_stays_empty(self):
+        program = parse_program(
+            """
+            T(x,y) :- E(x,y), Missing(x).
+            Goal(x) :- T(x,y).
+            """
+        )
+        edb = Instance.from_facts([("E", ("a", "b"))])
+        for engine in ("naive", "seminaive"):
+            assert evaluate(program, edb, engine=engine) == frozenset()
+
+    def test_edb_idb_arity_clash_fails_loudly_even_when_rule_never_fires(self):
+        program = parse_program(
+            """
+            P(x,y) :- E(x,y).
+            Goal(x) :- P(x,x).
+            """
+        )
+        # E is empty, so the clashing rule derives nothing; the old
+        # seeding accepted this ill-formed input silently.
+        edb = Instance.from_facts([("P", ("a",))])
+        edb.declare("E", 2)
+        with pytest.raises(ValueError, match="arity"):
+            evaluate(program, edb)
+        with pytest.raises(ValueError, match="arity"):
+            bounded_evaluate(program, edb, 3)
