@@ -20,10 +20,16 @@ The unified entry point is :func:`repro.core.engine.check_containment`.
 
 __version__ = "1.0.0"
 
+from .budget import Budget, BudgetExhausted, BudgetMeter
 from .core.classify import classify, describe_tower
 from .core.engine import check_containment, check_equivalence
 from .core.witness import verify_counterexample
-from .report import ContainmentResult, Counterexample, Verdict
+from .report import (
+    ContainmentResult,
+    Counterexample,
+    EquivalenceResult,
+    Verdict,
+)
 
 __all__ = [
     "classify",
@@ -31,8 +37,12 @@ __all__ = [
     "check_containment",
     "check_equivalence",
     "verify_counterexample",
+    "Budget",
+    "BudgetExhausted",
+    "BudgetMeter",
     "ContainmentResult",
     "Counterexample",
+    "EquivalenceResult",
     "Verdict",
     "automata",
     "graphdb",

@@ -28,13 +28,19 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from ..budget import BudgetExhausted, BudgetMeter
 from .alphabet import LEFT_MARKER, RIGHT_MARKER
 from .nfa import NFA
 from .two_nfa import TwoNFA
 
 
-class StateBudgetExceeded(RuntimeError):
-    """Raised when a materialized construction exceeds its state budget."""
+class StateBudgetExceeded(BudgetExhausted):
+    """Raised when a materialized construction exceeds its state budget.
+
+    A :class:`repro.budget.BudgetExhausted` subclass: the containment
+    procedures catch the whole family and convert it into a structured
+    bounded verdict, while direct kernel callers keep this type.
+    """
 
 
 def _move_targets(two_nfa: TwoNFA, states: frozenset, tape_symbol: object) -> dict[int, set]:
@@ -112,13 +118,20 @@ class LazyComplement:
                 yield seed | frozenset(extra)
 
 
-def complement_two_nfa(two_nfa: TwoNFA, max_states: int | None = None) -> NFA:
+def complement_two_nfa(
+    two_nfa: TwoNFA,
+    max_states: int | None = None,
+    meter: BudgetMeter | None = None,
+) -> NFA:
     """Materialize Lemma 4's complement NFA (reachable part only).
 
     Args:
         two_nfa: the automaton to complement.
         max_states: optional safety budget; :class:`StateBudgetExceeded`
             is raised when the reachable state space outgrows it.
+        meter: optional :class:`repro.budget.BudgetMeter`; the
+            construction charges one ``"states"`` unit per materialized
+            state and polls the wall-clock deadline per transition.
 
     Returns:
         An :class:`NFA` with ``L = Sigma* - L(two_nfa)`` over the 2NFA's
@@ -127,20 +140,33 @@ def complement_two_nfa(two_nfa: TwoNFA, max_states: int | None = None) -> NFA:
     lazy = LazyComplement(two_nfa)
     from collections import deque
 
-    initial = list(lazy.initial_states())
+    initial = []
+    for state in lazy.initial_states():
+        if meter is not None:
+            meter.poll()
+        initial.append(state)
     states: set = set(initial)
+    if meter is not None:
+        meter.charge("states", len(states))
     transitions: list[tuple[object, str, object]] = []
     queue = deque(initial)
     while queue:
         state = queue.popleft()
         for symbol in two_nfa.alphabet:
             for target in lazy.successor_states(state, symbol):
+                if meter is not None:
+                    meter.poll()
                 transitions.append((state, symbol, target))
                 if target not in states:
                     states.add(target)
+                    if meter is not None:
+                        meter.charge("states")
                     if max_states is not None and len(states) > max_states:
                         raise StateBudgetExceeded(
-                            f"complement exceeded {max_states} states"
+                            f"complement exceeded {max_states} states",
+                            resource="states",
+                            spent=len(states),
+                            limit=max_states,
                         )
                     queue.append(target)
     final = [state for state in states if lazy.is_final(state)]

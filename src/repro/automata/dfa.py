@@ -236,7 +236,7 @@ def nfa_contains(left: NFA, right: NFA, alphabet: Iterable[str] | None = None) -
 
 
 def containment_counterexample(
-    left: NFA, right: NFA, alphabet: Iterable[str] | None = None
+    left: NFA, right: NFA, alphabet: Iterable[str] | None = None, meter=None
 ) -> Word | None:
     """A shortest word in L(left) - L(right), or None if contained.
 
@@ -246,6 +246,10 @@ def containment_counterexample(
     incrementally (see
     :func:`repro.automata.indexed.containment_counterexample_indexed`).
     The materializing pipeline below stays as the ablation baseline.
+
+    An optional :class:`repro.budget.BudgetMeter` bounds the search
+    (configs budget + deadline on the indexed path; coarse deadline
+    checks between pipeline stages on the baseline path).
     """
     from .indexed import containment_counterexample_indexed, indexed_kernels_enabled
 
@@ -253,8 +257,15 @@ def containment_counterexample(
         alphabet = tuple(dict.fromkeys(left.alphabet + right.alphabet))
     alpha = tuple(alphabet)
     if indexed_kernels_enabled():
-        return containment_counterexample_indexed(left, right, alpha)
-    product = left.product(complement_nfa(right, alpha))
+        return containment_counterexample_indexed(left, right, alpha, meter=meter)
+    if meter is not None:
+        meter.check_deadline()
+    complement = complement_nfa(right, alpha)
+    if meter is not None:
+        meter.check_deadline()
+    product = left.product(complement)
+    if meter is not None:
+        meter.charge("configs", product.num_states)
     return product.shortest_word()
 
 

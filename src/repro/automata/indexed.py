@@ -515,7 +515,7 @@ def product_nfa(left: NFA, right: NFA) -> NFA:
 
 
 def containment_counterexample_indexed(
-    left: NFA, right: NFA, alphabet: Sequence[str]
+    left: NFA, right: NFA, alphabet: Sequence[str], meter=None
 ) -> Word | None:
     """A shortest word in ``L(left) - L(right)``, or None if contained.
 
@@ -525,6 +525,9 @@ def containment_counterexample_indexed(
     the fly so the exponential determinization is never materialized
     beyond its reachable-under-``left`` part.  Subset steps are memoized
     per (bitset, symbol), which is exactly incremental determinization.
+
+    An optional :class:`repro.budget.BudgetMeter` is charged one
+    ``"configs"`` unit per configuration (cooperative exhaustion).
     """
     alpha = tuple(dict.fromkeys(alphabet))
     compiled_left = IndexedNFA.from_nfa(left, alpha)
@@ -539,6 +542,8 @@ def containment_counterexample_indexed(
     parents: dict[tuple[int, int], tuple[tuple[int, int], int] | None] = {
         config: None for config in initial
     }
+    if meter is not None:
+        meter.charge("configs", len(initial))
     hit = next((config for config in initial if accepted(*config)), None)
     queue = deque(initial)
     subset_step: dict[tuple[int, int], int] = {}
@@ -546,6 +551,8 @@ def containment_counterexample_indexed(
     while queue and hit is None:
         config = queue.popleft()
         state, mask = config
+        if meter is not None:
+            meter.poll()
         for row in range(num_symbols):
             left_targets = compiled_left.delta[row][state]
             if not left_targets:
@@ -560,6 +567,8 @@ def containment_counterexample_indexed(
                 if next_config in parents:
                     continue
                 parents[next_config] = (config, row)
+                if meter is not None:
+                    meter.charge("configs")
                 if accepted(next_state, next_mask):
                     hit = next_config
                     break

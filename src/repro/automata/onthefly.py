@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Protocol, Sequence
 
+from ..budget import BudgetExhausted, BudgetMeter
 from .nfa import NFA, Word
 
 
@@ -49,8 +50,13 @@ def ExplicitNFA(nfa: NFA) -> NFA:  # noqa: N802 - kept for API compatibility
     return nfa
 
 
-class SearchBudgetExceeded(RuntimeError):
-    """Raised when the product search exceeds its configuration budget."""
+class SearchBudgetExceeded(BudgetExhausted):
+    """Raised when the product search exceeds its configuration budget.
+
+    A :class:`repro.budget.BudgetExhausted` subclass: the containment
+    procedures catch the whole family and convert it into a structured
+    bounded verdict, while direct kernel callers keep this type.
+    """
 
 
 @dataclass
@@ -66,6 +72,7 @@ def find_accepted_word(
     alphabet: Sequence[str],
     max_configs: int | None = None,
     stats: SearchStats | None = None,
+    meter: BudgetMeter | None = None,
 ) -> Word | None:
     """Shortest word accepted by *every* machine, or None if none exists.
 
@@ -77,6 +84,10 @@ def find_accepted_word(
             Because every implicit machine here has a finite state space,
             the search always terminates without a budget as well.
         stats: optional :class:`SearchStats` to fill in.
+        meter: optional :class:`repro.budget.BudgetMeter`; the search
+            charges one ``"configs"`` unit per product configuration and
+            polls the wall-clock deadline, raising
+            :class:`repro.budget.BudgetExhausted` cooperatively.
 
     Returns:
         The shortest word in the intersection, or None.
@@ -98,10 +109,10 @@ def find_accepted_word(
         and indexed_kernels_enabled()
     ):
         return _bitset_find_accepted_word(
-            machines[0], list(machines[1:]), alphabet, max_configs
+            machines[0], list(machines[1:]), alphabet, max_configs, meter
         )
     initial: list[tuple] = []
-    seeds = [list(machine.initial_states()) for machine in machines]
+    seeds = [_polled(machine.initial_states(), meter) for machine in machines]
     if any(not seed for seed in seeds):
         return None
     initial = list(_cartesian(seeds))
@@ -112,26 +123,37 @@ def find_accepted_word(
     def accepted(tup: tuple) -> bool:
         return all(machine.is_final(state) for machine, state in zip(machines, tup))
 
+    if meter is not None:
+        meter.charge("configs", len(initial))
     hit = next((tup for tup in initial if accepted(tup)), None)
     while queue and hit is None:
         tup = queue.popleft()
         if stats is not None:
             stats.explored += 1
             stats.frontier_peak = max(stats.frontier_peak, len(queue))
+        if meter is not None:
+            meter.poll()
         for symbol in alphabet:
             successor_sets = [
-                list(machine.successor_states(state, symbol))
+                _polled(machine.successor_states(state, symbol), meter)
                 for machine, state in zip(machines, tup)
             ]
             if any(not successors for successors in successor_sets):
                 continue
             for nxt in _cartesian(successor_sets):
+                if meter is not None:
+                    meter.poll()
                 if nxt in parents:
                     continue
                 parents[nxt] = (tup, symbol)
+                if meter is not None:
+                    meter.charge("configs")
                 if max_configs is not None and len(parents) > max_configs:
                     raise SearchBudgetExceeded(
-                        f"product search exceeded {max_configs} configurations"
+                        f"product search exceeded {max_configs} configurations",
+                        resource="configs",
+                        spent=len(parents),
+                        limit=max_configs,
                     )
                 if accepted(nxt):
                     hit = nxt
@@ -156,11 +178,29 @@ def _cartesian(pools: Sequence[Sequence]) -> Iterator[tuple]:
     return itertools.product(*pools)
 
 
+def _polled(iterable: Iterable, meter: BudgetMeter | None) -> list:
+    """Materialize *iterable*, polling the deadline per element.
+
+    Lazy complement constructions can yield exponentially many successor
+    candidates for a single (state, symbol) pair; polling inside the
+    materialization keeps the wall-clock deadline cooperative even when
+    no new configuration is being discovered.
+    """
+    if meter is None:
+        return list(iterable)
+    out = []
+    for item in iterable:
+        meter.poll()
+        out.append(item)
+    return out
+
+
 def _bitset_find_accepted_word(
     first: NFA,
     rest: Sequence[ImplicitNFA],
     alphabet: Sequence[str],
     max_configs: int | None,
+    meter: BudgetMeter | None = None,
 ) -> Word | None:
     """Bitset kernel behind :func:`find_accepted_word` (same contract).
 
@@ -176,7 +216,7 @@ def _bitset_find_accepted_word(
     left = IndexedNFA.from_nfa(first, alpha)
     if not left.initial:
         return None
-    seeds = [list(machine.initial_states()) for machine in rest]
+    seeds = [_polled(machine.initial_states(), meter) for machine in rest]
     if any(not seed for seed in seeds):
         return None
     layer0: dict[tuple, int] = {
@@ -196,6 +236,8 @@ def _bitset_find_accepted_word(
             return ()
 
     total = sum(mask.bit_count() for mask in layer0.values())
+    if meter is not None:
+        meter.charge("configs", total)
     layers = [layer0]
     hit: tuple[tuple, int] | None = None
     while hit is None:
@@ -204,12 +246,14 @@ def _bitset_find_accepted_word(
             return None
         next_layer: dict[tuple, int] = {}
         for others, mask in frontier.items():
+            if meter is not None:
+                meter.poll()
             for row, symbol in enumerate(left.symbols):
                 image = left.successor_mask(mask, row)
                 if not image:
                     continue
                 successor_sets = [
-                    list(machine.successor_states(state, symbol))
+                    _polled(machine.successor_states(state, symbol), meter)
                     for machine, state in zip(rest, others)
                 ]
                 if any(not successors for successors in successor_sets):
@@ -221,9 +265,14 @@ def _bitset_find_accepted_word(
                     seen[next_others] = seen.get(next_others, 0) | fresh
                     next_layer[next_others] = next_layer.get(next_others, 0) | fresh
                     total += fresh.bit_count()
+                    if meter is not None:
+                        meter.charge("configs", fresh.bit_count())
                     if max_configs is not None and total > max_configs:
                         raise SearchBudgetExceeded(
-                            f"product search exceeded {max_configs} configurations"
+                            f"product search exceeded {max_configs} configurations",
+                            resource="configs",
+                            spent=total,
+                            limit=max_configs,
                         )
                     bit = accepting_bit(next_others, fresh)
                     if bit is not None:
@@ -267,6 +316,7 @@ def intersection_is_empty(
     machines: Sequence[ImplicitNFA],
     alphabet: Sequence[str],
     max_configs: int | None = None,
+    meter: BudgetMeter | None = None,
 ) -> bool:
     """True iff the machines' languages have empty intersection."""
-    return find_accepted_word(machines, alphabet, max_configs) is None
+    return find_accepted_word(machines, alphabet, max_configs, meter=meter) is None

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from ..budget import BudgetMeter
 from .alphabet import LEFT_MARKER, RIGHT_MARKER
 from .dfa import DFA
 from .two_nfa import TwoNFA
@@ -116,13 +117,19 @@ def _accepts_from_table(two_nfa: TwoNFA, table: Table) -> bool:
     return bool(column & two_nfa.final)
 
 
-def two_nfa_to_dfa(two_nfa: TwoNFA, max_states: int | None = None) -> DFA:
+def two_nfa_to_dfa(
+    two_nfa: TwoNFA,
+    max_states: int | None = None,
+    meter: "BudgetMeter | None" = None,
+) -> DFA:
     """Determinize a 2NFA into a complete DFA over its alphabet.
 
     Args:
         two_nfa: the automaton to convert.
         max_states: optional budget; a :class:`StateBudgetExceeded` from
             :mod:`repro.automata.complement` is raised when exceeded.
+        meter: optional :class:`repro.budget.BudgetMeter`; charges one
+            ``"states"`` unit per table and polls the deadline.
 
     Returns:
         A :class:`DFA` with ``L(DFA) = L(two_nfa)``.
@@ -131,18 +138,27 @@ def two_nfa_to_dfa(two_nfa: TwoNFA, max_states: int | None = None) -> DFA:
 
     initial = _initial_table(two_nfa)
     states: set[Table] = {initial}
+    if meter is not None:
+        meter.charge("states")
     transitions: dict[tuple[Table, str], Table] = {}
     queue = deque([initial])
     while queue:
         table = queue.popleft()
+        if meter is not None:
+            meter.poll()
         for symbol in two_nfa.alphabet:
             nxt = _step_table(two_nfa, table, symbol)
             transitions[(table, symbol)] = nxt
             if nxt not in states:
                 states.add(nxt)
+                if meter is not None:
+                    meter.charge("states")
                 if max_states is not None and len(states) > max_states:
                     raise StateBudgetExceeded(
-                        f"Shepherdson construction exceeded {max_states} states"
+                        f"Shepherdson construction exceeded {max_states} states",
+                        resource="states",
+                        spent=len(states),
+                        limit=max_states,
                     )
                 queue.append(nxt)
     final = frozenset(

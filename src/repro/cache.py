@@ -115,6 +115,17 @@ class LRUCache:
         self.stats.hits += 1
         return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up *key* without touching counters or LRU order.
+
+        For callers probing several candidate keys per logical request
+        (the engine's exact-vs-budgeted containment keys): only the
+        authoritative lookup should count toward hit/miss stats.
+        """
+        if not _CACHING_ENABLED:
+            return default
+        return self._entries.get(key, default)
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting LRU past ``maxsize``."""
         if not _CACHING_ENABLED or value is None:

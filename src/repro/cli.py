@@ -100,12 +100,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_contain(args: argparse.Namespace) -> int:
+    from .budget import Budget
+
     q1 = parse_query(args.left)
     q2 = parse_query(args.right)
     options: dict[str, Any] = {}
     if args.max_expansions is not None:
         options["max_expansions"] = args.max_expansions
-    result = check_containment(q1, q2, **options)
+    budget = None
+    if args.auto_budget:
+        budget = Budget.auto(
+            deadline_ms=args.deadline_ms
+        ) if args.deadline_ms is not None else "auto"
+    elif args.deadline_ms is not None:
+        budget = Budget(deadline_ms=args.deadline_ms)
+    result = check_containment(q1, q2, budget=budget, **options)
     print(result.describe())
     if result.counterexample is not None and args.show_witness:
         print("counterexample database:")
@@ -173,6 +182,16 @@ def build_parser() -> argparse.ArgumentParser:
     contain_p.add_argument(
         "--max-expansions", type=int, default=None,
         help="budget for expansion-based procedures",
+    )
+    contain_p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="wall-clock deadline; exhaustion reports INCONCLUSIVE "
+        "instead of running forever",
+    )
+    contain_p.add_argument(
+        "--auto-budget", action="store_true",
+        help="staged escalation: geometrically larger bounds until the "
+        "verdict is exact or the deadline is spent",
     )
     contain_p.add_argument(
         "--show-witness", action="store_true",

@@ -13,7 +13,8 @@ from .classify import (
     promote,
 )
 from .engine import check_containment, check_equivalence
-from ..report import ContainmentResult, Counterexample, Verdict
+from ..budget import Budget, BudgetExhausted, BudgetMeter
+from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from .shrink import shrink_counterexample
 from .witness import as_graph, as_instance, holds_on, verify_counterexample
 
@@ -28,8 +29,12 @@ __all__ = [
     "promote",
     "check_containment",
     "check_equivalence",
+    "Budget",
+    "BudgetExhausted",
+    "BudgetMeter",
     "ContainmentResult",
     "Counterexample",
+    "EquivalenceResult",
     "Verdict",
     "as_graph",
     "as_instance",

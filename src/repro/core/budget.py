@@ -1,0 +1,29 @@
+"""Compatibility shim: the resource governor lives in :mod:`repro.budget`.
+
+(Like :mod:`repro.core.report`, the real module sits above the automata
+kernels in the import graph — keeping it inside ``repro.core``, whose
+``__init__`` pulls in the engine and thus every query class, would
+create an import cycle when kernels charge their meters.)
+"""
+
+from ..budget import (
+    DEFAULT_AUTO_DEADLINE_MS,
+    RESOURCES,
+    UNLIMITED,
+    Budget,
+    BudgetExhausted,
+    BudgetMeter,
+    as_budget,
+    bounded_result,
+)
+
+__all__ = [
+    "DEFAULT_AUTO_DEADLINE_MS",
+    "RESOURCES",
+    "UNLIMITED",
+    "Budget",
+    "BudgetExhausted",
+    "BudgetMeter",
+    "as_budget",
+    "bounded_result",
+]

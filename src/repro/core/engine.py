@@ -19,13 +19,24 @@ Datalog               expansion semi-decision                    refutation-soun
 
 Graph queries may also be checked against Datalog programs whose EDB is
 binary: the graph query is translated through the Section 4.1 embedding.
+
+Resource governance (DESIGN.md "Resource governance"): every dispatch
+accepts an optional ``budget`` — a :class:`repro.budget.Budget` or the
+string ``"auto"`` — threaded down to the kernels.  Exhaustion never
+raises out of the engine: counter exhaustion degrades to
+``HOLDS_UP_TO_BOUND``, deadline exhaustion to ``INCONCLUSIVE``, both
+with spend accounting in ``details["budget"]``.  ``budget="auto"`` (or
+any Budget with ``escalate=True``) runs staged escalation: geometrically
+larger bounds until the verdict is exact or the deadline is spent.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Any
 
+from ..budget import Budget, deadline_scope
 from ..cache import caching_enabled, containment_cache, query_cache_key
 from ..cq.containment import ucq_contained
 from ..cq.syntax import CQ, UCQ
@@ -39,19 +50,58 @@ from ..rpq.containment import rpq_contained, two_rpq_contained
 from ..rq.containment import rq_contained
 from ..rq.syntax import RQ
 from .classify import QueryClass, classify, least_common_class, promote
-from .report import ContainmentResult, Counterexample, Verdict
+from .report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
+
+#: Every option name any dispatch target understands.  Anything else is
+#: a typo and raises TypeError at the engine boundary instead of being
+#: silently discarded.
+_OPTION_UNIVERSE = frozenset(
+    {
+        "method",
+        "stats",
+        "max_configs",
+        "max_expansions",
+        "max_total_length",
+        "max_applications",
+    }
+)
+
+#: Options that bound resources rather than select an algorithm.  They
+#: are excluded from the *exact* cache key: an exact verdict does not
+#: depend on how generous the bounds were.
+_BUDGET_OPTIONS = frozenset(
+    {"max_configs", "max_expansions", "max_total_length", "max_applications"}
+)
+
+#: Staged-escalation schedule: round k gets geometrically larger limits.
+_ESCALATION_CONFIG_BASE = 4096
+_ESCALATION_EXPANSION_BASE = 512
+_ESCALATION_LENGTH_BASE = 4
+_ESCALATION_APPLICATION_BASE = 8
+_MAX_ESCALATION_ROUNDS = 32
 
 
-def check_containment(q1: Any, q2: Any, **options: Any) -> ContainmentResult:
+def check_containment(
+    q1: Any, q2: Any, budget: Budget | str | None = None, **options: Any
+) -> ContainmentResult:
     """Decide ``Q1 ⊆ Q2`` with the strongest applicable procedure.
 
     Args:
         q1, q2: query objects (TwoRPQ/RPQ, C2RPQ/UC2RPQ, RQ, CQ, UCQ, or
             Datalog ``Program``).  Cross-tower pairs are supported when
             an embedding exists (graph queries vs binary-EDB Datalog).
+        budget: optional :class:`repro.budget.Budget` (or ``"auto"`` for
+            :meth:`Budget.auto`), threaded through the dispatched
+            procedure down to its kernels.  Budget exhaustion never
+            raises: counters degrade to ``HOLDS_UP_TO_BOUND``, a spent
+            deadline to ``INCONCLUSIVE``, both with spend accounting in
+            ``details["budget"]``.  A budget with ``escalate=True`` runs
+            staged escalation (see module docstring).
         **options: forwarded to the underlying procedure (e.g.
             ``method=`` for 2RPQs, ``max_expansions=`` for the
-            expansion-based checks).
+            expansion-based checks).  Unknown names raise TypeError;
+            names valid for *some* procedure but not the dispatched one
+            are dropped and recorded in ``details["ignored_options"]``.
 
     Returns:
         A :class:`repro.core.report.ContainmentResult`; see its module
@@ -62,32 +112,86 @@ def check_containment(q1: Any, q2: Any, **options: Any) -> ContainmentResult:
     ``details["cache"]`` records ``"hit"``, ``"miss"``, or ``"bypass"``
     (unhashable queries or options — e.g. a mutable ``stats=`` object —
     opt out of caching rather than risking a stale or shared value).
+    Caching is bound-aware: exact verdicts are stored under a key that
+    ignores budgets and serve any later budget, while bounded verdicts
+    are keyed by their budget, so a cached small-budget result never
+    shadows a larger-budget recomputation.
     """
-    key = _cache_key(q1, q2, options)
-    if key is None:
-        result = _check_containment_uncached(q1, q2, **options)
+    unknown = sorted(set(options) - _OPTION_UNIVERSE)
+    if unknown:
+        raise TypeError(
+            f"unknown option(s) {', '.join(map(repr, unknown))}; "
+            f"valid options are {', '.join(sorted(_OPTION_UNIVERSE))}"
+        )
+    budget = _normalize_budget(budget)
+    if budget is not None and budget.escalate:
+        return _escalate(q1, q2, budget, options)
+    return _check_with_cache(q1, q2, budget, options)
+
+
+def _normalize_budget(budget: Budget | str | None) -> Budget | None:
+    if budget is None or isinstance(budget, Budget):
+        return budget
+    if budget == "auto":
+        return Budget.auto()
+    raise TypeError(f"budget must be a Budget, 'auto', or None, not {budget!r}")
+
+
+def _check_with_cache(
+    q1: Any, q2: Any, budget: Budget | None, options: dict
+) -> ContainmentResult:
+    exact_key, full_key = _cache_keys(q1, q2, budget, options)
+    if exact_key is None:
+        with deadline_scope(budget):
+            result = _check_containment_uncached(q1, q2, budget, options)
         return _annotate(result, "bypass")
-    cached = containment_cache.get(key)
+    # Probe the exact key without counting: the two keys serve one
+    # logical request, and only the authoritative lookup below should
+    # move the hit/miss counters.
+    cached = containment_cache.peek(exact_key)
+    if cached is not None and cached.is_exact:
+        return _annotate(containment_cache.get(exact_key), "hit")
+    cached = containment_cache.get(full_key)
     if cached is not None:
         return _annotate(cached, "hit")
-    result = _check_containment_uncached(q1, q2, **options)
-    containment_cache.put(key, result)
+    with deadline_scope(budget):
+        result = _check_containment_uncached(q1, q2, budget, options)
+    if result.is_exact:
+        containment_cache.put(exact_key, result)
+    elif budget is None or budget.deadline_ms is None:
+        # Deadline-bounded results depend on wall-clock conditions and
+        # are not reproducible; bounded results under pure counter
+        # budgets are, and are keyed by their budget so a small-budget
+        # verdict can never shadow a larger-budget recomputation.
+        containment_cache.put(full_key, result)
     return _annotate(result, "miss")
 
 
-def _cache_key(q1: Any, q2: Any, options: dict) -> Any | None:
-    """The containment-cache key, or None when the call must not cache."""
+def _cache_keys(
+    q1: Any, q2: Any, budget: Budget | None, options: dict
+) -> tuple[Any | None, Any | None]:
+    """(exact_key, full_key) for the containment cache, or (None, None).
+
+    The exact key drops budget-ish options and the budget itself — an
+    exact verdict holds regardless of the bounds in force — and is
+    tagged so it can never collide with a full key.
+    """
     if not caching_enabled():
-        return None
+        return None, None
     left, right = query_cache_key(q1), query_cache_key(q2)
     if left is None or right is None:
-        return None
+        return None, None
     try:
-        picked = tuple(sorted(options.items()))
-        hash(picked)
+        all_options = tuple(sorted(options.items()))
+        hash(all_options)
     except TypeError:
-        return None
-    return (left, right, picked)
+        return None, None
+    exact_options = tuple(
+        item for item in all_options if item[0] not in _BUDGET_OPTIONS
+    )
+    exact_key = (left, right, exact_options, "exact")
+    full_key = (left, right, all_options, budget)
+    return exact_key, full_key
 
 
 def _annotate(result: ContainmentResult, outcome: str) -> ContainmentResult:
@@ -97,7 +201,68 @@ def _annotate(result: ContainmentResult, outcome: str) -> ContainmentResult:
     )
 
 
-def _check_containment_uncached(q1: Any, q2: Any, **options: Any) -> ContainmentResult:
+def _escalate(
+    q1: Any, q2: Any, budget: Budget, options: dict
+) -> ContainmentResult:
+    """Staged escalation: geometrically larger bounds until exact or spent.
+
+    Each round shares the overall wall-clock deadline (rounds get the
+    *remaining* time), and user-pinned limits on the escalating budget
+    stay fixed while unset ones follow the geometric schedule.
+    """
+    start = time.monotonic()
+    rounds: list[dict] = []
+    result: ContainmentResult | None = None
+    for k in range(_MAX_ESCALATION_ROUNDS):
+        remaining = None
+        if budget.deadline_ms is not None:
+            remaining = budget.deadline_ms - (time.monotonic() - start) * 1000.0
+            if remaining <= 0:
+                break
+        round_budget = dataclasses.replace(
+            budget.merged(
+                max_configs=_ESCALATION_CONFIG_BASE * 4**k,
+                max_expansions=_ESCALATION_EXPANSION_BASE * 4**k,
+                max_total_length=_ESCALATION_LENGTH_BASE + 2 * k,
+                max_applications=_ESCALATION_APPLICATION_BASE * 2**k,
+            ),
+            deadline_ms=remaining,
+            escalate=False,
+        )
+        result = _check_with_cache(q1, q2, round_budget, options)
+        rounds.append(
+            {
+                "round": k,
+                "verdict": result.verdict.value,
+                "limits": {
+                    name: round_budget.limit(name)
+                    for name in ("configs", "expansions", "total_length", "applications")
+                },
+            }
+        )
+        if result.is_exact:
+            break
+        if result.verdict is Verdict.INCONCLUSIVE:
+            break  # deadline spent mid-round; the next round has no time
+    if result is None:
+        # The deadline was already spent before the first round could run.
+        result = ContainmentResult(
+            Verdict.INCONCLUSIVE,
+            "escalation",
+            details={"budget": {"exhausted": "deadline", "spend": {}}},
+        )
+    escalation = {
+        "rounds": rounds,
+        "elapsed_ms": (time.monotonic() - start) * 1000.0,
+    }
+    return dataclasses.replace(
+        result, details={**dict(result.details), "escalation": escalation}
+    )
+
+
+def _check_containment_uncached(
+    q1: Any, q2: Any, budget: Budget | None, options: dict
+) -> ContainmentResult:
     class1, class2 = classify(q1), classify(q2)
     common = least_common_class(class1, class2)
     if common is None:
@@ -107,70 +272,131 @@ def _check_containment_uncached(q1: Any, q2: Any, **options: Any) -> Containment
         q2 = q2 if graph_side else q2
         if not graph_side:
             q2 = promote(promote(q2, QueryClass.RQ), QueryClass.DATALOG)
-        return check_containment(q1, q2, **options)
+        return check_containment(q1, q2, budget=budget, **options)
 
     if common is QueryClass.RPQ:
-        return rpq_contained(RPQ(q1.regex), RPQ(q2.regex))
+        _, ignored = _pick(options)
+        result = rpq_contained(RPQ(q1.regex), RPQ(q2.regex), budget=budget)
+        return _with_ignored(result, ignored)
     if common is QueryClass.TWO_RPQ:
-        picked = _pick(options, "method", "max_configs", "stats")
-        return two_rpq_contained(promote(q1, common), promote(q2, common), **picked)
+        picked, ignored = _pick(options, "method", "max_configs", "stats")
+        result = two_rpq_contained(
+            promote(q1, common), promote(q2, common), budget=budget, **picked
+        )
+        return _with_ignored(result, ignored)
     if common is QueryClass.UC2RPQ:
-        picked = _pick(options, "max_total_length", "max_expansions")
-        return uc2rpq_contained(promote(q1, common), promote(q2, common), **picked)
+        picked, ignored = _pick(options, "max_total_length", "max_expansions")
+        result = uc2rpq_contained(
+            promote(q1, common), promote(q2, common), budget=budget, **picked
+        )
+        return _with_ignored(result, ignored)
     if common is QueryClass.RQ:
-        picked = _pick(options, "max_applications", "max_expansions")
-        return rq_contained(promote(q1, common), promote(q2, common), **picked)
+        picked, ignored = _pick(options, "max_applications", "max_expansions")
+        result = rq_contained(
+            promote(q1, common), promote(q2, common), budget=budget, **picked
+        )
+        return _with_ignored(result, ignored)
     if common is QueryClass.CQ or common is QueryClass.UCQ:
         if isinstance(q1, Program) or isinstance(q2, Program):
-            return _nonrecursive_datalog_case(q1, q2, **options)
+            return _nonrecursive_datalog_case(q1, q2, budget, options)
+        # Chandra-Merlin is exact and terminating: no budget to thread.
+        _, ignored = _pick(options)
         result = ucq_contained(q1, q2)
         if result.holds:
-            return ContainmentResult(Verdict.HOLDS, "ucq-homomorphism")
+            return _with_ignored(
+                ContainmentResult(Verdict.HOLDS, "ucq-homomorphism"), ignored
+            )
         instance, head = result.counterexample  # type: ignore[misc]
-        return ContainmentResult(
-            Verdict.REFUTED, "ucq-homomorphism", Counterexample(instance, head)
+        return _with_ignored(
+            ContainmentResult(
+                Verdict.REFUTED, "ucq-homomorphism", Counterexample(instance, head)
+            ),
+            ignored,
         )
     if common in (QueryClass.GRQ, QueryClass.DATALOG):
         # A (U)CQ against a recursive program: the canonical-database /
         # expansion procedures are stronger than promoting the (U)CQ to
         # a one-rule-per-disjunct program (ucq_in_datalog is exact).
         if isinstance(q1, (CQ, UCQ)):
-            return ucq_in_datalog(q1, promote(q2, QueryClass.DATALOG))
+            _, ignored = _pick(options)
+            return _with_ignored(
+                ucq_in_datalog(q1, promote(q2, QueryClass.DATALOG)), ignored
+            )
         if isinstance(q2, (CQ, UCQ)):
-            picked = _pick(options, "max_applications", "max_expansions")
-            return datalog_in_ucq(promote(q1, QueryClass.DATALOG), q2, **picked)
+            picked, ignored = _pick(options, "max_applications", "max_expansions")
+            return _with_ignored(
+                datalog_in_ucq(
+                    promote(q1, QueryClass.DATALOG), q2, budget=budget, **picked
+                ),
+                ignored,
+            )
         left = promote(q1, QueryClass.DATALOG)
         right = promote(q2, QueryClass.DATALOG)
-        picked = _pick(options, "max_applications", "max_expansions")
+        picked, ignored = _pick(options, "max_applications", "max_expansions")
         if common is QueryClass.GRQ or (is_grq(left) and is_grq(right)):
-            return grq_contained(left, right, **picked)
-        return datalog_in_datalog(left, right, **picked)
+            return _with_ignored(
+                grq_contained(left, right, budget=budget, **picked), ignored
+            )
+        return _with_ignored(
+            datalog_in_datalog(left, right, budget=budget, **picked), ignored
+        )
     raise AssertionError(f"unhandled class {common}")  # pragma: no cover
 
 
-def _pick(options: dict, *allowed: str) -> dict:
-    """Keep only the options the chosen procedure understands.
+def _pick(options: dict, *allowed: str) -> tuple[dict, tuple[str, ...]]:
+    """Split options into those the chosen procedure understands and the rest.
 
     The engine's **options surface is a union across procedures; a
     bound meant for an expansion check must not crash the automata path
-    it did not end up taking.
+    it did not end up taking — but neither may it vanish silently, so
+    the dropped names are returned for ``details["ignored_options"]``.
     """
-    return {key: options[key] for key in allowed if key in options}
+    picked = {key: options[key] for key in allowed if key in options}
+    ignored = tuple(sorted(key for key in options if key not in allowed))
+    return picked, ignored
 
 
-def _nonrecursive_datalog_case(q1: Any, q2: Any, **options: Any) -> ContainmentResult:
+def _with_ignored(
+    result: ContainmentResult, ignored: tuple[str, ...]
+) -> ContainmentResult:
+    if not ignored:
+        return result
+    return dataclasses.replace(
+        result, details={**dict(result.details), "ignored_options": ignored}
+    )
+
+
+def _nonrecursive_datalog_case(
+    q1: Any, q2: Any, budget: Budget | None, options: dict
+) -> ContainmentResult:
     """UCQ-level checks where one side is a (nonrecursive) program."""
-    picked = _pick(options, "max_applications", "max_expansions")
+    picked, ignored = _pick(options, "max_applications", "max_expansions")
     if isinstance(q1, Program) and isinstance(q2, Program):
-        return datalog_in_datalog(q1, q2, **picked)
+        return _with_ignored(
+            datalog_in_datalog(q1, q2, budget=budget, **picked), ignored
+        )
     if isinstance(q1, Program):
-        return datalog_in_ucq(q1, q2, **picked)
-    return ucq_in_datalog(q1, q2)
+        return _with_ignored(datalog_in_ucq(q1, q2, budget=budget, **picked), ignored)
+    return _with_ignored(ucq_in_datalog(q1, q2), ignored)
 
 
-def check_equivalence(q1: Any, q2: Any, **options: Any) -> bool:
-    """Truthy equivalence: both directions non-refuted (see Verdict)."""
-    return (
-        check_containment(q1, q2, **options).holds
-        and check_containment(q2, q1, **options).holds
+def check_equivalence(
+    q1: Any,
+    q2: Any,
+    exact: bool = False,
+    budget: Budget | str | None = None,
+    **options: Any,
+) -> EquivalenceResult:
+    """Equivalence via both containment directions.
+
+    Returns an :class:`repro.core.report.EquivalenceResult`, truthy
+    exactly when the old bool was (both directions non-refuted) — except
+    with ``exact=True``, where a direction established only up to a
+    bound does not count as holding; ``bounded_directions`` names any
+    such direction either way.
+    """
+    return EquivalenceResult(
+        check_containment(q1, q2, budget=budget, **options),
+        check_containment(q2, q1, budget=budget, **options),
+        exact=exact,
     )

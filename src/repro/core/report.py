@@ -5,6 +5,6 @@ so keeping them inside ``repro.core`` — whose ``__init__`` pulls in the
 engine and thus every query class — would create an import cycle.)
 """
 
-from ..report import ContainmentResult, Counterexample, Verdict
+from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 
-__all__ = ["ContainmentResult", "Counterexample", "Verdict"]
+__all__ = ["ContainmentResult", "Counterexample", "EquivalenceResult", "Verdict"]

@@ -9,15 +9,23 @@ atom language is infinite.
 Contract (DESIGN.md §2): REFUTED verdicts carry a real counterexample
 database; HOLDS is only reported when the expansion space was exhausted
 (all atom languages finite, explored to their maximal total length);
-otherwise HOLDS_UP_TO_BOUND reports the explored bound.  The exact
-procedure for this class is EXPSPACE-complete (Theorem 6), so the bound
-is the calibrated substitute for an algorithm that cannot run at scale
-on any hardware.
+otherwise HOLDS_UP_TO_BOUND reports the *per-disjunct bounds actually
+used* — a disjunct with a finite expansion space has its length bound
+raised to the exhaustion bound, and the reported bound reflects that,
+not the requested ``max_total_length``.  The exact procedure for this
+class is EXPSPACE-complete (Theorem 6), so the bound is the calibrated
+substitute for an algorithm that cannot run at scale on any hardware.
+
+Budgets: an optional :class:`repro.budget.Budget` adds a wall-clock
+deadline and global caps on top of the legacy per-disjunct kwargs;
+exhaustion is caught here and reported as a bounded/inconclusive verdict
+with spend accounting — never an exception.
 """
 
 from __future__ import annotations
 
-from ..report import ContainmentResult, Counterexample, Verdict
+from ..budget import Budget, BudgetExhausted, bounded_result
+from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from .evaluation import satisfies_uc2rpq
 from .expansion import (
     enumerate_expansions,
@@ -39,6 +47,7 @@ def uc2rpq_contained(
     q2: UC2RPQ | C2RPQ,
     max_total_length: int = DEFAULT_LENGTH_BOUND,
     max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
+    budget: Budget | None = None,
 ) -> ContainmentResult:
     """Expansion-based containment check for UC2RPQs.
 
@@ -48,50 +57,99 @@ def uc2rpq_contained(
             of a Q1 disjunct; raised automatically to the exhaustion
             bound when the disjunct's expansion space is finite.
         max_expansions: per-disjunct cap on expansions examined.
+        budget: optional :class:`repro.budget.Budget`; its
+            ``max_total_length`` / ``max_expansions`` fields, when set,
+            override the legacy kwargs, and its deadline is checked
+            cooperatively.  Exhaustion yields a structured bounded or
+            inconclusive verdict, never an exception.
     """
     left, right = _as_union(q1), _as_union(q2)
     if left.arity != right.arity:
         raise ValueError(
             f"containment between arities {left.arity} and {right.arity} is ill-typed"
         )
+    length_bound = max_total_length
+    per_disjunct_cap = max_expansions
+    meter = None
+    if budget is not None and not budget.is_null:
+        if budget.max_total_length is not None:
+            length_bound = budget.max_total_length
+        if budget.max_expansions is not None:
+            per_disjunct_cap = budget.max_expansions
+        # The per-disjunct cap is enforced by the enumerator (legacy
+        # semantics); the meter enforces only the deadline, and accounts
+        # expansions for the spend report.
+        meter = Budget(deadline_ms=budget.deadline_ms).start()
     exact = True
     checked = 0
-    for disjunct in left:
-        bound = max_total_length
-        finite = expansion_space_is_finite(disjunct)
-        truncated_by_budget = False
-        if finite:
-            exhaust = exhaustive_length_bound(disjunct)
-            assert exhaust is not None
-            bound = max(bound, exhaust)
-        else:
-            exact = False
-        count_before = checked
-        for expansion in enumerate_expansions(disjunct, bound, max_expansions):
-            checked += 1
-            if not satisfies_uc2rpq(right, expansion.database, expansion.head):
-                return ContainmentResult(
-                    Verdict.REFUTED,
-                    "uc2rpq-expansion",
-                    Counterexample(expansion.database, expansion.head),
-                    details={"expansions_checked": checked, "witness_words": expansion.words},
-                )
-        if (
-            finite
-            and max_expansions is not None
-            and checked - count_before >= max_expansions
-        ):
-            # The budget, not the length bound, stopped us: not exhaustive.
-            exact = False
-    if exact:
-        return ContainmentResult(
-            Verdict.HOLDS, "uc2rpq-expansion", details={"expansions_checked": checked}
+    truncated_by_budget = False
+    bounds_used: list[int] = []
+    try:
+        for disjunct in left:
+            bound = length_bound
+            finite = expansion_space_is_finite(disjunct)
+            if finite:
+                exhaust = exhaustive_length_bound(disjunct)
+                assert exhaust is not None
+                bound = max(bound, exhaust)
+            else:
+                exact = False
+            bounds_used.append(bound)
+            count_before = checked
+            for expansion in enumerate_expansions(
+                disjunct, bound, per_disjunct_cap, meter=meter
+            ):
+                checked += 1
+                if meter is not None:
+                    meter.note("expansions")
+                if not satisfies_uc2rpq(right, expansion.database, expansion.head):
+                    return ContainmentResult(
+                        Verdict.REFUTED,
+                        "uc2rpq-expansion",
+                        Counterexample(expansion.database, expansion.head),
+                        details={
+                            "expansions_checked": checked,
+                            "witness_words": expansion.words,
+                        },
+                    )
+            if (
+                per_disjunct_cap is not None
+                and checked - count_before >= per_disjunct_cap
+            ):
+                # The expansion budget, not the length bound, stopped this
+                # disjunct: the run is not exhaustive even when finite.
+                truncated_by_budget = True
+                exact = False
+    except BudgetExhausted as exc:
+        return bounded_result(
+            "uc2rpq-expansion",
+            exc,
+            meter,
+            details={
+                "expansions_checked": checked,
+                "disjunct_bounds": tuple(bounds_used),
+            },
         )
+    details = {
+        "expansions_checked": checked,
+        "disjunct_bounds": tuple(bounds_used),
+    }
+    if meter is not None:
+        details["budget"] = {"spend": meter.spend()}
+    if exact:
+        return ContainmentResult(Verdict.HOLDS, "uc2rpq-expansion", details=details)
+    details["truncated_by_budget"] = truncated_by_budget
+    # Report the smallest bound actually applied across disjuncts: that
+    # is the largest B for which "no counterexample of total length <= B"
+    # is sound for the whole union.  A finite disjunct's bound may have
+    # been raised to its exhaustion bound, so this can exceed the
+    # requested max_total_length (the old code misreported the request);
+    # the per-disjunct bounds are in details["disjunct_bounds"].
     return ContainmentResult(
         Verdict.HOLDS_UP_TO_BOUND,
         "uc2rpq-expansion",
-        bound=max_total_length,
-        details={"expansions_checked": checked},
+        bound=min(bounds_used) if bounds_used else length_bound,
+        details=details,
     )
 
 
@@ -99,9 +157,17 @@ def uc2rpq_equivalent(
     q1: UC2RPQ | C2RPQ,
     q2: UC2RPQ | C2RPQ,
     max_total_length: int = DEFAULT_LENGTH_BOUND,
-) -> bool:
-    """Truthy equivalence (both directions non-refuted)."""
-    return (
-        uc2rpq_contained(q1, q2, max_total_length).holds
-        and uc2rpq_contained(q2, q1, max_total_length).holds
+    exact: bool = False,
+    budget: Budget | None = None,
+) -> EquivalenceResult:
+    """Equivalence via both containment directions.
+
+    Returns an :class:`repro.report.EquivalenceResult` (truthy like the
+    bool this used to return); with ``exact=True`` bounded directions do
+    not count and are surfaced via ``bounded_directions``.
+    """
+    return EquivalenceResult(
+        uc2rpq_contained(q1, q2, max_total_length, budget=budget),
+        uc2rpq_contained(q2, q1, max_total_length, budget=budget),
+        exact=exact,
     )

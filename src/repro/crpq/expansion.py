@@ -101,12 +101,18 @@ def build_expansion(query: C2RPQ, words: Sequence[Word]) -> Expansion:
     return Expansion(db, head, tuple(tuple(word) for word in words))
 
 
-def _words_by_length(query: C2RPQ, max_length: int) -> list[list[list[Word]]]:
+def _words_by_length(
+    query: C2RPQ, max_length: int, meter=None
+) -> list[list[list[Word]]]:
     """Per atom, per length, the list of words of L(kappa) of that length."""
     table: list[list[list[Word]]] = []
     for atom in query.atoms:
         nfa = atom.query.nfa
-        per_length = [list(nfa.words_of_length(length)) for length in range(max_length + 1)]
+        per_length = []
+        for length in range(max_length + 1):
+            if meter is not None:
+                meter.check_deadline()
+            per_length.append(list(nfa.words_of_length(length)))
         table.append(per_length)
     return table
 
@@ -125,6 +131,7 @@ def enumerate_expansions(
     query: C2RPQ,
     max_total_length: int,
     max_expansions: int | None = None,
+    meter=None,
 ) -> Iterator[Expansion]:
     """Expansions in order of increasing total word length.
 
@@ -132,16 +139,23 @@ def enumerate_expansions(
         query: the C2RPQ to expand.
         max_total_length: bound on the sum of chosen word lengths.
         max_expansions: overall cap (None = no cap).
+        meter: optional :class:`repro.budget.BudgetMeter`; the
+            enumeration polls its wall-clock deadline cooperatively
+            (word-table precomputation and per expansion).
     """
-    table = _words_by_length(query, max_total_length)
+    table = _words_by_length(query, max_total_length, meter=meter)
     yielded = 0
     arity = len(query.atoms)
     for total in range(max_total_length + 1):
         for split in _compositions(total, arity):
+            if meter is not None:
+                meter.poll()
             pools = [table[i][length] for i, length in enumerate(split)]
             if any(not pool for pool in pools):
                 continue
             for choice in itertools.product(*pools):
+                if meter is not None:
+                    meter.poll()
                 yield build_expansion(query, choice)
                 yielded += 1
                 if max_expansions is not None and yielded >= max_expansions:

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..budget import Budget, BudgetExhausted, bounded_result
 from ..cq.containment import ucq_contained
 from ..cq.evaluation import satisfies_ucq
 from ..cq.syntax import CQ, UCQ
-from ..report import ContainmentResult, Counterexample, Verdict
+from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from ..relational.instance import Instance
 from .analysis import is_nonrecursive
 from .evaluation import evaluate
@@ -32,6 +33,18 @@ from .syntax import Program
 from .unfolding import enumerate_expansions, unfold_nonrecursive
 
 DEFAULT_EXPANSION_BUDGET = 2000
+
+
+def _effective_bounds(budget, max_applications, max_expansions):
+    """Budget fields override the legacy kwargs; deadline gets a meter."""
+    app_bound, exp_bound, meter = max_applications, max_expansions, None
+    if budget is not None and not budget.is_null:
+        if budget.max_applications is not None:
+            app_bound = budget.max_applications
+        if budget.max_expansions is not None:
+            exp_bound = budget.max_expansions
+        meter = Budget(deadline_ms=budget.deadline_ms).start()
+    return app_bound, exp_bound, meter
 
 
 def cq_in_datalog(cq: CQ, program: Program) -> ContainmentResult:
@@ -65,12 +78,16 @@ def datalog_in_ucq(
     ucq: UCQ | CQ,
     max_applications: int | None = None,
     max_expansions: int = DEFAULT_EXPANSION_BUDGET,
+    budget: Budget | None = None,
 ) -> ContainmentResult:
     """``program ⊆ ucq`` via expansion enumeration.
 
     Exact (HOLDS/REFUTED) for nonrecursive programs; for recursive
     programs a REFUTED verdict is exact and a positive verdict is
-    ``HOLDS_UP_TO_BOUND`` over the explored expansions.
+    ``HOLDS_UP_TO_BOUND`` over the explored expansions.  An optional
+    *budget*'s ``max_applications`` / ``max_expansions`` fields override
+    the legacy kwargs; its deadline is polled cooperatively and produces
+    a structured verdict, never an exception.
     """
     union = ucq if isinstance(ucq, UCQ) else UCQ((ucq,))
     if is_nonrecursive(program):
@@ -82,24 +99,37 @@ def datalog_in_ucq(
         return ContainmentResult(
             Verdict.REFUTED, "unfold-to-ucq", Counterexample(instance, head)
         )
+    app_bound, exp_bound, meter = _effective_bounds(
+        budget, max_applications, max_expansions
+    )
     explored = 0
-    for expansion in enumerate_expansions(
-        program, max_applications=max_applications, max_expansions=max_expansions
-    ):
-        explored += 1
-        instance, head = expansion.canonical_instance()
-        if not satisfies_ucq(union, instance, head):
-            return ContainmentResult(
-                Verdict.REFUTED,
-                "expansion",
-                Counterexample(instance, head),
-                details={"expansions_checked": explored},
-            )
+    try:
+        for expansion in enumerate_expansions(
+            program, max_applications=app_bound, max_expansions=exp_bound, meter=meter
+        ):
+            explored += 1
+            if meter is not None:
+                meter.note("expansions")
+            instance, head = expansion.canonical_instance()
+            if not satisfies_ucq(union, instance, head):
+                return ContainmentResult(
+                    Verdict.REFUTED,
+                    "expansion",
+                    Counterexample(instance, head),
+                    details={"expansions_checked": explored},
+                )
+    except BudgetExhausted as exc:
+        return bounded_result(
+            "expansion", exc, meter, details={"expansions_checked": explored}
+        )
+    details = {"expansions_checked": explored}
+    if meter is not None:
+        details["budget"] = {"spend": meter.spend()}
     return ContainmentResult(
         Verdict.HOLDS_UP_TO_BOUND,
         "expansion",
-        bound=max_expansions,
-        details={"expansions_checked": explored},
+        bound=exp_bound if exp_bound is not None else -1,
+        details=details,
     )
 
 
@@ -108,6 +138,7 @@ def datalog_in_datalog(
     right: Program,
     max_applications: int | None = None,
     max_expansions: int = DEFAULT_EXPANSION_BUDGET,
+    budget: Budget | None = None,
 ) -> ContainmentResult:
     """``left ⊆ right`` for two Datalog programs.
 
@@ -116,46 +147,75 @@ def datalog_in_datalog(
     of expansions with terminating evaluation.  Undecidable in general
     [52], hence the bounded verdict; REFUTED is always exact, and a
     nonrecursive *left* exhausts its finite expansion space, upgrading
-    the positive verdict to HOLDS.
+    the positive verdict to HOLDS.  An optional *budget* overrides the
+    legacy kwargs and adds cooperative deadline polling (structured
+    verdict on exhaustion, never an exception).
     """
     if left.goal_arity != right.goal_arity:
         raise ValueError("arity mismatch between program goals")
+    app_bound, exp_bound, meter = _effective_bounds(
+        budget, max_applications, max_expansions
+    )
     explored = 0
     exhausted = is_nonrecursive(left)
     iterator = enumerate_expansions(
         left,
-        max_applications=None if exhausted else max_applications,
-        max_expansions=None if exhausted else max_expansions,
+        max_applications=None if exhausted else app_bound,
+        max_expansions=None if exhausted else exp_bound,
+        meter=meter,
     )
-    for expansion in iterator:
-        explored += 1
-        instance, head = expansion.canonical_instance()
-        if head not in evaluate(right, instance):
-            return ContainmentResult(
-                Verdict.REFUTED,
-                "expansion-vs-evaluation",
-                Counterexample(instance, head),
-                details={"expansions_checked": explored},
-            )
+    try:
+        for expansion in iterator:
+            explored += 1
+            if meter is not None:
+                meter.note("expansions")
+            instance, head = expansion.canonical_instance()
+            if head not in evaluate(right, instance):
+                return ContainmentResult(
+                    Verdict.REFUTED,
+                    "expansion-vs-evaluation",
+                    Counterexample(instance, head),
+                    details={"expansions_checked": explored},
+                )
+    except BudgetExhausted as exc:
+        return bounded_result(
+            "expansion-vs-evaluation",
+            exc,
+            meter,
+            details={"expansions_checked": explored},
+        )
     if exhausted:
         return ContainmentResult(
             Verdict.HOLDS,
             "expansion-vs-evaluation",
             details={"expansions_checked": explored},
         )
+    details = {"expansions_checked": explored}
+    if meter is not None:
+        details["budget"] = {"spend": meter.spend()}
     return ContainmentResult(
         Verdict.HOLDS_UP_TO_BOUND,
         "expansion-vs-evaluation",
-        bound=max_expansions,
-        details={"expansions_checked": explored},
+        bound=exp_bound if exp_bound is not None else -1,
+        details=details,
     )
 
 
 def datalog_equivalent_bounded(
-    left: Program, right: Program, max_expansions: int = DEFAULT_EXPANSION_BUDGET
-) -> bool:
-    """Bounded equivalence check (truthy on both directions non-refuted)."""
-    return (
-        datalog_in_datalog(left, right, max_expansions=max_expansions).holds
-        and datalog_in_datalog(right, left, max_expansions=max_expansions).holds
+    left: Program,
+    right: Program,
+    max_expansions: int = DEFAULT_EXPANSION_BUDGET,
+    exact: bool = False,
+    budget: Budget | None = None,
+) -> EquivalenceResult:
+    """Bounded equivalence check via both containment directions.
+
+    Returns an :class:`repro.report.EquivalenceResult` (truthy like the
+    bool this used to return); with ``exact=True`` bounded directions do
+    not count and are surfaced via ``bounded_directions``.
+    """
+    return EquivalenceResult(
+        datalog_in_datalog(left, right, max_expansions=max_expansions, budget=budget),
+        datalog_in_datalog(right, left, max_expansions=max_expansions, budget=budget),
+        exact=exact,
     )

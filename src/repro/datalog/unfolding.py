@@ -109,6 +109,7 @@ def enumerate_expansions(
     max_applications: int | None = None,
     max_atoms: int | None = None,
     max_expansions: int | None = None,
+    meter=None,
 ) -> Iterator[CQ]:
     """Enumerate the program's expansions breadth-first by proof size.
 
@@ -125,6 +126,9 @@ def enumerate_expansions(
             then infinite for recursive programs).
         max_atoms: prune partial expansions whose atom count exceeds this.
         max_expansions: overall cap on yielded expansions.
+        meter: optional :class:`repro.budget.BudgetMeter`; the BFS polls
+            its wall-clock deadline at every queue pop, so a deadline
+            interrupts the (possibly infinite) unfolding between yields.
     """
     idb = program.idb_predicates
     goal_arity = program.goal_arity
@@ -136,6 +140,8 @@ def enumerate_expansions(
     seen: set[tuple] = set()
     while queue:
         partial = queue.popleft()
+        if meter is not None:
+            meter.poll()
         index = partial.first_idb_index(idb)
         if index is None:
             key = (partial.atoms, partial.head)

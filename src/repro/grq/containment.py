@@ -16,7 +16,8 @@ checker refuses programs outside it rather than silently running the
 
 from __future__ import annotations
 
-from ..report import ContainmentResult, Counterexample, Verdict
+from ..budget import Budget, BudgetExhausted, bounded_result
+from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from ..datalog.analysis import is_nonrecursive
 from ..datalog.evaluation import evaluate
 from ..datalog.syntax import Program
@@ -41,11 +42,15 @@ def grq_contained(
     right: Program,
     max_applications: int | None = DEFAULT_APPLICATION_BOUND,
     max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
+    budget: Budget | None = None,
 ) -> ContainmentResult:
     """Containment between two GRQ programs.
 
     Raises :class:`NotGRQError` if either side fails the membership
-    check of :mod:`repro.grq.membership`.
+    check of :mod:`repro.grq.membership`.  An optional *budget*'s
+    ``max_applications`` / ``max_expansions`` fields override the legacy
+    kwargs; its deadline interrupts the enumeration cooperatively and is
+    reported as a structured verdict, never an exception.
     """
     for which, program in (("left", left), ("right", right)):
         report = check_grq(program)
@@ -53,35 +58,72 @@ def grq_contained(
             raise NotGRQError(which, report.violations)
     if left.goal_arity != right.goal_arity:
         raise ValueError("arity mismatch between program goals")
+    app_bound, exp_bound, meter = _effective_bounds(
+        budget, max_applications, max_expansions
+    )
     exhaustive = is_nonrecursive(left)
     iterator = enumerate_expansions(
         left,
-        max_applications=None if exhaustive else max_applications,
-        max_expansions=None if exhaustive else max_expansions,
+        max_applications=None if exhaustive else app_bound,
+        max_expansions=None if exhaustive else exp_bound,
+        meter=meter,
     )
     checked = 0
-    for expansion in iterator:
-        checked += 1
-        instance, head = expansion.canonical_instance()
-        if head not in evaluate(right, instance):
-            return ContainmentResult(
-                Verdict.REFUTED,
-                "grq-expansion",
-                Counterexample(instance, head),
-                details={"expansions_checked": checked},
-            )
+    try:
+        for expansion in iterator:
+            checked += 1
+            if meter is not None:
+                meter.note("expansions")
+            instance, head = expansion.canonical_instance()
+            if head not in evaluate(right, instance):
+                return ContainmentResult(
+                    Verdict.REFUTED,
+                    "grq-expansion",
+                    Counterexample(instance, head),
+                    details={"expansions_checked": checked},
+                )
+    except BudgetExhausted as exc:
+        return bounded_result(
+            "grq-expansion", exc, meter, details={"expansions_checked": checked}
+        )
     if exhaustive:
         return ContainmentResult(
             Verdict.HOLDS, "grq-expansion", details={"expansions_checked": checked}
         )
+    details = {"expansions_checked": checked, "max_applications": app_bound}
+    if meter is not None:
+        details["budget"] = {"spend": meter.spend()}
     return ContainmentResult(
         Verdict.HOLDS_UP_TO_BOUND,
         "grq-expansion",
-        bound=max_expansions if max_expansions is not None else -1,
-        details={"expansions_checked": checked, "max_applications": max_applications},
+        bound=exp_bound if exp_bound is not None else -1,
+        details=details,
     )
 
 
-def grq_equivalent(left: Program, right: Program) -> bool:
-    """Truthy equivalence (both directions non-refuted)."""
-    return grq_contained(left, right).holds and grq_contained(right, left).holds
+def _effective_bounds(budget, max_applications, max_expansions):
+    """Budget fields override the legacy kwargs; deadline gets a meter."""
+    app_bound, exp_bound, meter = max_applications, max_expansions, None
+    if budget is not None and not budget.is_null:
+        if budget.max_applications is not None:
+            app_bound = budget.max_applications
+        if budget.max_expansions is not None:
+            exp_bound = budget.max_expansions
+        meter = Budget(deadline_ms=budget.deadline_ms).start()
+    return app_bound, exp_bound, meter
+
+
+def grq_equivalent(
+    left: Program, right: Program, exact: bool = False, budget: Budget | None = None
+) -> EquivalenceResult:
+    """Equivalence via both containment directions.
+
+    Returns an :class:`repro.report.EquivalenceResult` (truthy like the
+    bool this used to return); with ``exact=True`` bounded directions do
+    not count and are surfaced via ``bounded_directions``.
+    """
+    return EquivalenceResult(
+        grq_contained(left, right, budget=budget),
+        grq_contained(right, left, budget=budget),
+        exact=exact,
+    )

@@ -9,10 +9,18 @@ The calibration contract from DESIGN.md, encoded in types:
 - :attr:`Verdict.HOLDS` is an exact positive verdict (automata- or
   homomorphism-based procedures, or exhausted finite expansion spaces).
 - :attr:`Verdict.HOLDS_UP_TO_BOUND` is the bounded-exact outcome of the
-  expansion procedures for UC2RPQ/RQ/GRQ/Datalog: no counterexample
-  exists among expansions within the reported bound.  The exact
-  algorithms for these classes are (2)EXPSPACE-complete (Theorems 6-8),
-  so unbounded exactness is intrinsically out of reach at scale.
+  expansion procedures for UC2RPQ/RQ/GRQ/Datalog — no counterexample
+  exists among expansions within the reported bound — and of any
+  procedure whose search exhausted a *counter* budget (configs, states,
+  expansions): the explored part of the space contains no
+  counterexample.  The exact algorithms for these classes are
+  (2)EXPSPACE-complete (Theorems 6-8), so unbounded exactness is
+  intrinsically out of reach at scale.
+- :attr:`Verdict.INCONCLUSIVE` is the no-evidence outcome: the search
+  was cut short by a *wall-clock deadline* (see :mod:`repro.budget`),
+  which bounds nothing structural about the search space.  It is falsy
+  — the conservative answer to "does containment hold?" when nothing
+  was established.
 """
 
 from __future__ import annotations
@@ -28,14 +36,23 @@ class Verdict(enum.Enum):
     HOLDS = "holds"
     REFUTED = "refuted"
     HOLDS_UP_TO_BOUND = "holds_up_to_bound"
+    INCONCLUSIVE = "inconclusive"
 
     def __bool__(self) -> bool:
-        """Truthiness: did the check fail to find a counterexample?
+        """Truthiness: is there at least bounded evidence of containment?
 
-        ``HOLDS_UP_TO_BOUND`` is truthy; callers needing unconditional
-        guarantees must inspect the verdict explicitly.
+        ``HOLDS_UP_TO_BOUND`` is truthy (no counterexample within the
+        explored bound); ``INCONCLUSIVE`` is falsy (nothing was
+        established before the deadline).  Callers needing unconditional
+        guarantees must inspect the verdict (or
+        :attr:`ContainmentResult.is_exact`) explicitly.
         """
-        return self is not Verdict.REFUTED
+        return self not in (Verdict.REFUTED, Verdict.INCONCLUSIVE)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether this verdict is unconditional (HOLDS or REFUTED)."""
+        return self in (Verdict.HOLDS, Verdict.REFUTED)
 
 
 @dataclass(frozen=True)
@@ -87,6 +104,11 @@ class ContainmentResult:
         """Truthy summary (see :meth:`Verdict.__bool__`)."""
         return bool(self.verdict)
 
+    @property
+    def is_exact(self) -> bool:
+        """Whether the verdict is unconditional (HOLDS or REFUTED)."""
+        return self.verdict.is_exact
+
     def to_dict(self) -> dict:
         """Machine-readable summary (used by EXPERIMENTS.md tooling)."""
         return {
@@ -107,4 +129,66 @@ class ContainmentResult:
             )
         if self.verdict is Verdict.HOLDS_UP_TO_BOUND:
             return f"holds up to bound {self.bound} ({self.method})"
+        if self.verdict is Verdict.INCONCLUSIVE:
+            exhausted = dict(self.details).get("budget", {})
+            return (
+                f"INCONCLUSIVE ({self.method}): "
+                f"{exhausted.get('exhausted', 'budget')} exhausted"
+            )
         return f"HOLDS ({self.method})"
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Both directions of ``Q1 ≡ Q2``, with calibrated strictness.
+
+    Truthy when both directions hold — under the default lenient reading
+    bounded directions count (matching :meth:`Verdict.__bool__`); with
+    ``exact=True`` only unconditional ``HOLDS`` verdicts count, so a
+    direction established merely up to a bound makes the result falsy.
+    :attr:`bounded_directions` surfaces which direction(s) were only
+    bounded, so callers never conflate HOLDS with HOLDS_UP_TO_BOUND
+    silently.
+    """
+
+    forward: ContainmentResult
+    backward: ContainmentResult
+    exact: bool = False
+
+    def __bool__(self) -> bool:
+        if self.exact:
+            return (
+                self.forward.verdict is Verdict.HOLDS
+                and self.backward.verdict is Verdict.HOLDS
+            )
+        return self.forward.holds and self.backward.holds
+
+    @property
+    def equivalent(self) -> bool:
+        """Explicit form of the truthiness above."""
+        return bool(self)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether both directions reached unconditional verdicts."""
+        return self.forward.is_exact and self.backward.is_exact
+
+    @property
+    def bounded_directions(self) -> tuple[str, ...]:
+        """Directions whose positive verdict was only bounded/inconclusive."""
+        return tuple(
+            name
+            for name, result in (("forward", self.forward), ("backward", self.backward))
+            if result.verdict in (Verdict.HOLDS_UP_TO_BOUND, Verdict.INCONCLUSIVE)
+        )
+
+    def describe(self) -> str:
+        if bool(self):
+            qualifier = "" if self.is_exact else (
+                f" (bounded: {', '.join(self.bounded_directions)})"
+            )
+            return f"equivalent{qualifier}"
+        return (
+            f"not established: forward {self.forward.describe()}; "
+            f"backward {self.backward.describe()}"
+        )

@@ -28,7 +28,8 @@ from ..automata.fold import fold_two_nfa
 from ..automata.nfa import NFA, Word
 from ..automata.onthefly import SearchStats, find_accepted_word
 from ..automata.shepherdson import LazyShepherdsonComplement
-from ..report import ContainmentResult, Counterexample, Verdict
+from ..budget import Budget, BudgetExhausted, as_budget, bounded_result, deadline_scope
+from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from ..graphdb.database import canonical_database_of_word
 from .rpq import RPQ, TwoRPQ
 
@@ -45,17 +46,23 @@ def word_counterexample(word: Word) -> Counterexample:
     return Counterexample(db, (source, target))
 
 
-def rpq_contained(q1: RPQ, q2: RPQ) -> ContainmentResult:
+def rpq_contained(q1: RPQ, q2: RPQ, budget: Budget | None = None) -> ContainmentResult:
     """Lemma 1 pipeline: exact, via language containment over Sigma.
 
     The witness word (if any) is materialized as a path database on
-    which ``(0, n) in Q1(D) - Q2(D)``.
+    which ``(0, n) in Q1(D) - Q2(D)``.  An optional *budget* bounds the
+    product search; exhaustion yields a structured bounded verdict
+    rather than an exception.
     """
     for query in (q1, q2):
         if not query.is_one_way():
             raise ValueError("rpq_contained expects one-way queries; use two_rpq_contained")
     alphabet = _combined_alphabet(q1, q2).symbols
-    witness = containment_counterexample(q1.nfa, q2.nfa, alphabet)
+    meter = None if budget is None or budget.is_null else budget.start()
+    try:
+        witness = containment_counterexample(q1.nfa, q2.nfa, alphabet, meter=meter)
+    except BudgetExhausted as exc:
+        return bounded_result("rpq-language", exc, meter)
     if witness is None:
         return ContainmentResult(Verdict.HOLDS, "rpq-language")
     return ContainmentResult(
@@ -69,6 +76,7 @@ def two_rpq_contained(
     method: TwoRPQMethod = "shepherdson",
     max_configs: int | None = None,
     stats: SearchStats | None = None,
+    budget: Budget | None = None,
 ) -> ContainmentResult:
     """Theorem 5 pipeline: exact 2RPQ containment via folding.
 
@@ -84,43 +92,75 @@ def two_rpq_contained(
             - ``"lemma4-materialized"``: Lemma 4 complement fully built,
               then an explicit product; only viable for tiny queries,
               used by benchmark E4/E5 as the measured upper bound.
-        max_configs: optional budget for the product search
-            (:class:`repro.automata.onthefly.SearchBudgetExceeded`).
+        max_configs: deprecated alias for ``budget=Budget(max_configs=...)``
+            (a bound on product configurations; for the materialized
+            method it also bounds the complement's state count).
         stats: optional search instrumentation.
+        budget: optional :class:`repro.budget.Budget`.  Exhaustion of
+            any resource returns a structured bounded/inconclusive
+            verdict — this procedure never raises on budget exhaustion.
     """
+    eff = as_budget(budget, max_configs=max_configs, max_states=max_configs)
+    meter = None if eff.is_null else eff.start()
+    method_name = f"2rpq-fold-{method}"
     sigma_pm = _combined_alphabet(q1, q2).two_way
-    folded = fold_two_nfa(q2.nfa, sigma_pm)
-    left = q1.nfa
-    if method == "shepherdson":
-        witness = find_accepted_word(
-            [left, LazyShepherdsonComplement(folded)],
-            sigma_pm,
-            max_configs=max_configs,
-            stats=stats,
-        )
-    elif method == "lemma4-onthefly":
-        witness = find_accepted_word(
-            [left, LazyComplement(folded)],
-            sigma_pm,
-            max_configs=max_configs,
-            stats=stats,
-        )
-    elif method == "lemma4-materialized":
-        complement = complement_two_nfa(folded, max_states=max_configs)
-        witness = left.product(complement).shortest_word()
-    else:
-        raise ValueError(f"unknown method {method!r}")
+    try:
+        with deadline_scope(eff):
+            folded = fold_two_nfa(q2.nfa, sigma_pm)
+            left = q1.nfa
+            if method == "shepherdson":
+                witness = find_accepted_word(
+                    [left, LazyShepherdsonComplement(folded)],
+                    sigma_pm,
+                    stats=stats,
+                    meter=meter,
+                )
+            elif method == "lemma4-onthefly":
+                witness = find_accepted_word(
+                    [left, LazyComplement(folded)],
+                    sigma_pm,
+                    stats=stats,
+                    meter=meter,
+                )
+            elif method == "lemma4-materialized":
+                complement = complement_two_nfa(
+                    folded, max_states=eff.max_states, meter=meter
+                )
+                if meter is not None:
+                    meter.check_deadline()
+                product = left.product(complement)
+                if meter is not None:
+                    meter.charge("configs", product.num_states)
+                witness = product.shortest_word()
+            else:
+                raise ValueError(f"unknown method {method!r}")
+    except BudgetExhausted as exc:
+        return bounded_result(method_name, exc, meter)
     if witness is None:
-        return ContainmentResult(Verdict.HOLDS, f"2rpq-fold-{method}")
+        return ContainmentResult(Verdict.HOLDS, method_name)
     return ContainmentResult(
-        Verdict.REFUTED, f"2rpq-fold-{method}", word_counterexample(witness)
+        Verdict.REFUTED, method_name, word_counterexample(witness)
     )
 
 
-def two_rpq_equivalent(q1: TwoRPQ, q2: TwoRPQ, method: TwoRPQMethod = "shepherdson") -> bool:
-    return (
-        two_rpq_contained(q1, q2, method).holds
-        and two_rpq_contained(q2, q1, method).holds
+def two_rpq_equivalent(
+    q1: TwoRPQ,
+    q2: TwoRPQ,
+    method: TwoRPQMethod = "shepherdson",
+    exact: bool = False,
+    budget: Budget | None = None,
+) -> EquivalenceResult:
+    """Equivalence of 2RPQs, both directions via :func:`two_rpq_contained`.
+
+    Returns an :class:`repro.report.EquivalenceResult` (truthy like the
+    bool this used to return).  With ``exact=True``, a direction that
+    was only established up to a bound does not count as holding; the
+    result's ``bounded_directions`` names any such direction.
+    """
+    return EquivalenceResult(
+        two_rpq_contained(q1, q2, method, budget=budget),
+        two_rpq_contained(q2, q1, method, budget=budget),
+        exact=exact,
     )
 
 

@@ -16,7 +16,8 @@ run beyond toy sizes; the bound is the calibrated substitute.
 
 from __future__ import annotations
 
-from ..report import ContainmentResult, Counterexample, Verdict
+from ..budget import Budget, BudgetExhausted, bounded_result
+from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from ..datalog.analysis import is_nonrecursive
 from ..datalog.unfolding import enumerate_expansions
 from ..relational.instance import instance_to_graph
@@ -33,6 +34,7 @@ def rq_contained(
     q2: RQ,
     max_applications: int | None = DEFAULT_APPLICATION_BOUND,
     max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
+    budget: Budget | None = None,
 ) -> ContainmentResult:
     """Expansion-based containment check for regular queries.
 
@@ -43,45 +45,83 @@ def rq_contained(
             step costs one application).  Ignored when ``q1`` is
             TC-free, whose expansion space is finite.
         max_expansions: overall cap on expansions examined.
+        budget: optional :class:`repro.budget.Budget`; its
+            ``max_applications`` / ``max_expansions`` fields, when set,
+            override the legacy kwargs, and its deadline interrupts the
+            enumeration cooperatively (structured verdict, no exception).
     """
     if q1.arity != q2.arity:
         raise ValueError(
             f"containment between arities {q1.arity} and {q2.arity} is ill-typed"
         )
+    app_bound, exp_bound, meter = _effective_bounds(
+        budget, max_applications, max_expansions
+    )
     program = rq_to_datalog(q1)
     exhaustive = is_nonrecursive(program)
     iterator = enumerate_expansions(
         program,
-        max_applications=None if exhaustive else max_applications,
-        max_expansions=None if exhaustive else max_expansions,
+        max_applications=None if exhaustive else app_bound,
+        max_expansions=None if exhaustive else exp_bound,
+        meter=meter,
     )
     checked = 0
-    for expansion in iterator:
-        checked += 1
-        instance, frozen_head = expansion.canonical_instance()
-        graph = instance_to_graph(instance)
-        if not satisfies_rq(q2, graph, frozen_head):
-            return ContainmentResult(
-                Verdict.REFUTED,
-                "rq-expansion",
-                Counterexample(graph, frozen_head),
-                details={"expansions_checked": checked},
-            )
+    try:
+        for expansion in iterator:
+            checked += 1
+            if meter is not None:
+                meter.note("expansions")
+            instance, frozen_head = expansion.canonical_instance()
+            graph = instance_to_graph(instance)
+            if not satisfies_rq(q2, graph, frozen_head):
+                return ContainmentResult(
+                    Verdict.REFUTED,
+                    "rq-expansion",
+                    Counterexample(graph, frozen_head),
+                    details={"expansions_checked": checked},
+                )
+    except BudgetExhausted as exc:
+        return bounded_result(
+            "rq-expansion", exc, meter, details={"expansions_checked": checked}
+        )
     if exhaustive:
         return ContainmentResult(
             Verdict.HOLDS, "rq-expansion", details={"expansions_checked": checked}
         )
+    details = {"expansions_checked": checked, "max_applications": app_bound}
+    if meter is not None:
+        details["budget"] = {"spend": meter.spend()}
     return ContainmentResult(
         Verdict.HOLDS_UP_TO_BOUND,
         "rq-expansion",
-        bound=max_expansions if max_expansions is not None else -1,
-        details={
-            "expansions_checked": checked,
-            "max_applications": max_applications,
-        },
+        bound=exp_bound if exp_bound is not None else -1,
+        details=details,
     )
 
 
-def rq_equivalent(q1: RQ, q2: RQ) -> bool:
-    """Truthy equivalence (both directions non-refuted)."""
-    return rq_contained(q1, q2).holds and rq_contained(q2, q1).holds
+def _effective_bounds(budget, max_applications, max_expansions):
+    """Budget fields override the legacy kwargs; deadline gets a meter."""
+    app_bound, exp_bound, meter = max_applications, max_expansions, None
+    if budget is not None and not budget.is_null:
+        if budget.max_applications is not None:
+            app_bound = budget.max_applications
+        if budget.max_expansions is not None:
+            exp_bound = budget.max_expansions
+        meter = Budget(deadline_ms=budget.deadline_ms).start()
+    return app_bound, exp_bound, meter
+
+
+def rq_equivalent(
+    q1: RQ, q2: RQ, exact: bool = False, budget: Budget | None = None
+) -> EquivalenceResult:
+    """Equivalence via both containment directions.
+
+    Returns an :class:`repro.report.EquivalenceResult` (truthy like the
+    bool this used to return); with ``exact=True`` bounded directions do
+    not count and are surfaced via ``bounded_directions``.
+    """
+    return EquivalenceResult(
+        rq_contained(q1, q2, budget=budget),
+        rq_contained(q2, q1, budget=budget),
+        exact=exact,
+    )

@@ -1,0 +1,100 @@
+"""Property-based tests for the resource governor's degradation contract.
+
+Two invariants over random query pairs:
+
+- **Monotonicity**: growing the budget never flips an exact verdict.  A
+  REFUTED stays REFUTED (the counterexample does not disappear with more
+  resources) and an exact HOLDS stays HOLDS; only bounded verdicts may
+  upgrade.
+- **Accounting**: every budget-exhausted result carries spend accounting
+  in ``details["budget"]`` — which resource ran out and what was spent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.regex import random_regex
+from repro.budget import Budget
+from repro.report import Verdict
+from repro.rpq.containment import two_rpq_contained
+from repro.rpq.rpq import TwoRPQ
+
+ALPHABET = ("a", "b")
+
+BUDGET_LADDER = (
+    Budget(max_configs=2),
+    Budget(max_configs=64),
+    Budget(max_configs=100_000),
+)
+
+
+def queries_from_seed(seed: int) -> tuple[TwoRPQ, TwoRPQ]:
+    rng = random.Random(seed)
+    return (
+        TwoRPQ(random_regex(rng, ALPHABET, 2, allow_inverse=True)),
+        TwoRPQ(random_regex(rng, ALPHABET, 2, allow_inverse=True)),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_exact_verdicts_are_monotone_under_growing_budgets(seed):
+    q1, q2 = queries_from_seed(seed)
+    verdicts = [
+        two_rpq_contained(q1, q2, budget=budget).verdict
+        for budget in BUDGET_LADDER
+    ]
+    for small, large in zip(verdicts, verdicts[1:]):
+        if small is Verdict.REFUTED:
+            assert large is Verdict.REFUTED, (q1, q2, verdicts)
+        if small is Verdict.HOLDS:
+            assert large is Verdict.HOLDS, (q1, q2, verdicts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_bounded_verdict_agrees_with_the_unbounded_one(seed):
+    """A bounded HOLDS_UP_TO_BOUND must never contradict an exact
+    REFUTED obtained with a larger budget on a *shorter* witness: the
+    bounded search explores a prefix of the same space, so any
+    refutation it finds is also found unbudgeted."""
+    q1, q2 = queries_from_seed(seed)
+    bounded = two_rpq_contained(q1, q2, budget=Budget(max_configs=8))
+    exact = two_rpq_contained(q1, q2)
+    if bounded.verdict is Verdict.REFUTED:
+        assert exact.verdict is Verdict.REFUTED, (q1, q2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_exhausted_results_always_carry_spend_accounting(seed):
+    q1, q2 = queries_from_seed(seed)
+    result = two_rpq_contained(q1, q2, budget=Budget(max_configs=2))
+    if result.verdict in (Verdict.HOLDS_UP_TO_BOUND, Verdict.INCONCLUSIVE):
+        accounting = result.details["budget"]
+        assert accounting["exhausted"] in (
+            "configs",
+            "states",
+            "deadline",
+        )
+        assert accounting["spent"] is not None
+        assert "elapsed_ms" in accounting["spend"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**9))
+def test_deadline_exhaustion_is_inconclusive_not_bounded(seed):
+    """With an already-spent deadline every non-trivial pair must come
+    back INCONCLUSIVE (never an exception, never a fake bound)."""
+    q1, q2 = queries_from_seed(seed)
+    result = two_rpq_contained(q1, q2, budget=Budget(deadline_ms=0.0))
+    assert result.verdict in (
+        Verdict.HOLDS,
+        Verdict.REFUTED,
+        Verdict.INCONCLUSIVE,
+    )
+    if result.verdict is Verdict.INCONCLUSIVE:
+        assert result.details["budget"]["exhausted"] == "deadline"

@@ -97,6 +97,16 @@ class TestTwoRPQContainment:
         assert two_rpq_equivalent(TwoRPQ.parse("a a*"), TwoRPQ.parse("a+"))
         assert not two_rpq_equivalent(TwoRPQ.parse("a"), TwoRPQ.parse("a a- a"))
 
+    @pytest.mark.parametrize("method", METHODS)
+    def test_tiny_max_configs_degrades_instead_of_raising(self, method):
+        """Regression: max_configs used to leak SearchBudgetExceeded out
+        of two_rpq_contained; it must report a bounded verdict."""
+        result = two_rpq_contained(
+            TwoRPQ.parse("p"), TwoRPQ.parse("p p- p"), method=method, max_configs=1
+        )
+        assert result.verdict is Verdict.HOLDS_UP_TO_BOUND, method
+        assert result.details["budget"]["exhausted"] in ("configs", "states")
+
     def test_refutations_agree_with_semantic_check_on_random_graphs(self, rng):
         """Soundness of HOLDS: no random graph separates the queries."""
         from repro.automata.regex import random_regex
