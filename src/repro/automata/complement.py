@@ -122,6 +122,7 @@ def complement_two_nfa(
     two_nfa: TwoNFA,
     max_states: int | None = None,
     meter: BudgetMeter | None = None,
+    tracer=None,
 ) -> NFA:
     """Materialize Lemma 4's complement NFA (reachable part only).
 
@@ -132,11 +133,28 @@ def complement_two_nfa(
         meter: optional :class:`repro.budget.BudgetMeter`; the
             construction charges one ``"states"`` unit per materialized
             state and polls the wall-clock deadline per transition.
+        tracer: optional :class:`repro.obs.trace.Tracer`; records a
+            ``lemma4-complement`` span with state/transition counts
+            (set once on exit, never inside the BFS loop).
 
     Returns:
         An :class:`NFA` with ``L = Sigma* - L(two_nfa)`` over the 2NFA's
         alphabet.
     """
+    if tracer is not None:
+        with tracer.span(
+            "lemma4-complement", two_nfa_states=two_nfa.num_states
+        ) as span:
+            return _complement_two_nfa(two_nfa, max_states, meter, span)
+    return _complement_two_nfa(two_nfa, max_states, meter, None)
+
+
+def _complement_two_nfa(
+    two_nfa: TwoNFA,
+    max_states: int | None,
+    meter: BudgetMeter | None,
+    span,
+) -> NFA:
     lazy = LazyComplement(two_nfa)
     from collections import deque
 
@@ -170,6 +188,9 @@ def complement_two_nfa(
                         )
                     queue.append(target)
     final = [state for state in states if lazy.is_final(state)]
+    if span is not None:
+        span.count("states", len(states))
+        span.count("transitions", len(transitions))
     return NFA.build(two_nfa.alphabet, states, initial, final, transitions)
 
 

@@ -146,7 +146,9 @@ class DFA:
 _SINK = ("__sink__",)
 
 
-def determinize(nfa: NFA, alphabet: Iterable[str] | None = None) -> DFA:
+def determinize(
+    nfa: NFA, alphabet: Iterable[str] | None = None, tracer=None
+) -> DFA:
     """Subset construction (the paper's step 2); result is complete.
 
     Args:
@@ -155,6 +157,9 @@ def determinize(nfa: NFA, alphabet: Iterable[str] | None = None) -> DFA:
             Supplying a larger alphabet matters for complementation,
             where "complement" must be taken relative to the full
             Sigma* (or Sigma±*) of the containment problem.
+        tracer: optional :class:`repro.obs.trace.Tracer`; records a
+            ``determinize`` span with input/output state counts and the
+            cache outcome.
 
     Repeated determinizations of the same automaton are served from the
     canonical-form-keyed cache in :mod:`repro.cache`; the subset
@@ -163,14 +168,28 @@ def determinize(nfa: NFA, alphabet: Iterable[str] | None = None) -> DFA:
     """
     from ..cache import determinize_cache, nfa_cache_key
 
-    alpha = tuple(dict.fromkeys(alphabet)) if alphabet is not None else nfa.alphabet
-    key = nfa_cache_key(nfa, alpha)
-    cached = determinize_cache.get(key)
-    if cached is not None:
-        return cached
-    result = _determinize_uncached(nfa, alpha)
-    determinize_cache.put(key, result)
-    return result
+    if tracer is None:
+        alpha = tuple(dict.fromkeys(alphabet)) if alphabet is not None else nfa.alphabet
+        key = nfa_cache_key(nfa, alpha)
+        cached = determinize_cache.get(key)
+        if cached is not None:
+            return cached
+        result = _determinize_uncached(nfa, alpha)
+        determinize_cache.put(key, result)
+        return result
+    with tracer.span("determinize", nfa_states=nfa.num_states) as span:
+        alpha = tuple(dict.fromkeys(alphabet)) if alphabet is not None else nfa.alphabet
+        key = nfa_cache_key(nfa, alpha)
+        cached = determinize_cache.get(key)
+        if cached is not None:
+            span.event("cache", outcome="hit")
+            span.annotate(dfa_states=cached.num_states)
+            return cached
+        span.event("cache", outcome="miss")
+        result = _determinize_uncached(nfa, alpha)
+        span.annotate(dfa_states=result.num_states)
+        determinize_cache.put(key, result)
+        return result
 
 
 def _determinize_uncached(nfa: NFA, alpha: tuple[str, ...]) -> DFA:
@@ -197,14 +216,16 @@ def _determinize_uncached(nfa: NFA, alpha: tuple[str, ...]) -> DFA:
     return DFA(alpha, frozenset(states), initial, final, transitions)
 
 
-def complement_nfa(nfa: NFA, alphabet: Iterable[str] | None = None) -> NFA:
+def complement_nfa(
+    nfa: NFA, alphabet: Iterable[str] | None = None, tracer=None
+) -> NFA:
     """NFA for the complement of L(nfa) relative to *alphabet*.
 
     Determinize, complete, flip finals, and return as an NFA.  This is
     the classical exponential complementation the paper contrasts with
     Lemma 4's two-way construction.
     """
-    return determinize(nfa, alphabet).complement().to_nfa()
+    return determinize(nfa, alphabet, tracer=tracer).complement().to_nfa()
 
 
 def reduce_nfa(nfa: NFA, alphabet: Iterable[str] | None = None) -> NFA:
@@ -236,7 +257,11 @@ def nfa_contains(left: NFA, right: NFA, alphabet: Iterable[str] | None = None) -
 
 
 def containment_counterexample(
-    left: NFA, right: NFA, alphabet: Iterable[str] | None = None, meter=None
+    left: NFA,
+    right: NFA,
+    alphabet: Iterable[str] | None = None,
+    meter=None,
+    tracer=None,
 ) -> Word | None:
     """A shortest word in L(left) - L(right), or None if contained.
 
@@ -249,7 +274,9 @@ def containment_counterexample(
 
     An optional :class:`repro.budget.BudgetMeter` bounds the search
     (configs budget + deadline on the indexed path; coarse deadline
-    checks between pipeline stages on the baseline path).
+    checks between pipeline stages on the baseline path).  An optional
+    :class:`repro.obs.trace.Tracer` records one span per pipeline stage
+    (complement, product, emptiness search).
     """
     from .indexed import containment_counterexample_indexed, indexed_kernels_enabled
 
@@ -257,16 +284,30 @@ def containment_counterexample(
         alphabet = tuple(dict.fromkeys(left.alphabet + right.alphabet))
     alpha = tuple(alphabet)
     if indexed_kernels_enabled():
-        return containment_counterexample_indexed(left, right, alpha, meter=meter)
+        return containment_counterexample_indexed(
+            left, right, alpha, meter=meter, tracer=tracer
+        )
     if meter is not None:
         meter.check_deadline()
-    complement = complement_nfa(right, alpha)
+    if tracer is None:
+        complement = complement_nfa(right, alpha)
+        if meter is not None:
+            meter.check_deadline()
+        product = left.product(complement)
+        if meter is not None:
+            meter.charge("configs", product.num_states)
+        return product.shortest_word()
+    with tracer.span("complement", nfa_states=right.num_states):
+        complement = complement_nfa(right, alpha, tracer=tracer)
     if meter is not None:
         meter.check_deadline()
-    product = left.product(complement)
+    with tracer.span("product") as span:
+        product = left.product(complement)
+        span.count("configs", product.num_states)
     if meter is not None:
         meter.charge("configs", product.num_states)
-    return product.shortest_word()
+    with tracer.span("emptiness-search"):
+        return product.shortest_word()
 
 
 def nfa_equivalent(left: NFA, right: NFA, alphabet: Iterable[str] | None = None) -> bool:

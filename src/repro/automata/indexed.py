@@ -515,7 +515,7 @@ def product_nfa(left: NFA, right: NFA) -> NFA:
 
 
 def containment_counterexample_indexed(
-    left: NFA, right: NFA, alphabet: Sequence[str], meter=None
+    left: NFA, right: NFA, alphabet: Sequence[str], meter=None, tracer=None
 ) -> Word | None:
     """A shortest word in ``L(left) - L(right)``, or None if contained.
 
@@ -527,8 +527,32 @@ def containment_counterexample_indexed(
     per (bitset, symbol), which is exactly incremental determinization.
 
     An optional :class:`repro.budget.BudgetMeter` is charged one
-    ``"configs"`` unit per configuration (cooperative exhaustion).
+    ``"configs"`` unit per configuration (cooperative exhaustion).  An
+    optional :class:`repro.obs.trace.Tracer` records the search as one
+    ``emptiness-search`` span (configs and memoized subset steps are
+    counted once at the end — never inside the BFS loop).
     """
+    if tracer is not None:
+        with tracer.span(
+            "emptiness-search",
+            kernel="incremental-determinization",
+            left_states=left.num_states,
+            right_states=right.num_states,
+        ) as span:
+            witness, explored, subset_steps = _containment_search(
+                left, right, alphabet, meter
+            )
+            span.count("configs", explored)
+            span.count("subset_steps", subset_steps)
+            span.annotate(witness_length=None if witness is None else len(witness))
+            return witness
+    return _containment_search(left, right, alphabet, meter)[0]
+
+
+def _containment_search(
+    left: NFA, right: NFA, alphabet: Sequence[str], meter=None
+) -> tuple[Word | None, int, int]:
+    """(witness, configurations explored, memoized subset steps)."""
     alpha = tuple(dict.fromkeys(alphabet))
     compiled_left = IndexedNFA.from_nfa(left, alpha)
     compiled_right = IndexedNFA.from_nfa(right, alpha)
@@ -576,13 +600,13 @@ def containment_counterexample_indexed(
             if hit is not None:
                 break
     if hit is None:
-        return None
+        return None, len(parents), len(subset_step)
     word: list[str] = []
     cursor: tuple[int, int] = hit
     while parents[cursor] is not None:
         cursor, row = parents[cursor]  # type: ignore[misc]
         word.append(alpha[row])
-    return tuple(reversed(word))
+    return tuple(reversed(word)), len(parents), len(subset_step)
 
 
 def minimize_dfa(dfa: "DFA") -> "DFA":

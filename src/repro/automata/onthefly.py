@@ -73,6 +73,7 @@ def find_accepted_word(
     max_configs: int | None = None,
     stats: SearchStats | None = None,
     meter: BudgetMeter | None = None,
+    tracer=None,
 ) -> Word | None:
     """Shortest word accepted by *every* machine, or None if none exists.
 
@@ -88,6 +89,10 @@ def find_accepted_word(
             charges one ``"configs"`` unit per product configuration and
             polls the wall-clock deadline, raising
             :class:`repro.budget.BudgetExhausted` cooperatively.
+        tracer: optional :class:`repro.obs.trace.Tracer`; records the
+            search as one ``product-search`` span (kernel choice and
+            witness length as tags, configurations as a counter — set
+            once on exit, never inside the BFS loop).
 
     Returns:
         The shortest word in the intersection, or None.
@@ -98,26 +103,75 @@ def find_accepted_word(
     the remaining machines — successor computations of the (expensive,
     lazily complemented) other machines then run once per configuration
     and symbol instead of once per product state.  The generic search
-    below remains the ablation baseline.
+    in :func:`_generic_find_accepted_word` remains the ablation
+    baseline.
     """
     from .indexed import indexed_kernels_enabled
 
-    if (
+    use_bitset = (
         stats is None
-        and machines
+        and bool(machines)
         and isinstance(machines[0], NFA)
         and indexed_kernels_enabled()
-    ):
-        return _bitset_find_accepted_word(
-            machines[0], list(machines[1:]), alphabet, max_configs, meter
+    )
+    if tracer is None:
+        if use_bitset:
+            return _bitset_find_accepted_word(
+                machines[0], list(machines[1:]), alphabet, max_configs, meter
+            )
+        return _generic_find_accepted_word(
+            machines, alphabet, max_configs, stats, meter
         )
+    with tracer.span(
+        "product-search",
+        machines=len(machines),
+        kernel="bitset" if use_bitset else "generic",
+    ) as span:
+        if use_bitset:
+            word = _bitset_find_accepted_word(
+                machines[0], list(machines[1:]), alphabet, max_configs, meter,
+                span=span,
+            )
+        else:
+            word = _generic_find_accepted_word(
+                machines, alphabet, max_configs, stats, meter, span=span
+            )
+        span.annotate(witness_length=None if word is None else len(word))
+        return word
+
+
+def _generic_find_accepted_word(
+    machines: Sequence[ImplicitNFA],
+    alphabet: Sequence[str],
+    max_configs: int | None = None,
+    stats: SearchStats | None = None,
+    meter: BudgetMeter | None = None,
+    span=None,
+) -> Word | None:
+    """The object-tuple BFS behind :func:`find_accepted_word`."""
+    parents: dict[tuple, tuple[tuple, str] | None] = {}
+    try:
+        return _generic_search(machines, alphabet, max_configs, stats, meter, parents)
+    finally:
+        if span is not None:
+            span.count("configs", len(parents))
+
+
+def _generic_search(
+    machines: Sequence[ImplicitNFA],
+    alphabet: Sequence[str],
+    max_configs: int | None,
+    stats: SearchStats | None,
+    meter: BudgetMeter | None,
+    parents: dict,
+) -> Word | None:
     initial: list[tuple] = []
     seeds = [_polled(machine.initial_states(), meter) for machine in machines]
     if any(not seed for seed in seeds):
         return None
     initial = list(_cartesian(seeds))
 
-    parents: dict[tuple, tuple[tuple, str] | None] = {tup: None for tup in initial}
+    parents.update({tup: None for tup in initial})
     queue: deque[tuple] = deque(initial)
 
     def accepted(tup: tuple) -> bool:
@@ -201,6 +255,7 @@ def _bitset_find_accepted_word(
     alphabet: Sequence[str],
     max_configs: int | None,
     meter: BudgetMeter | None = None,
+    span=None,
 ) -> Word | None:
     """Bitset kernel behind :func:`find_accepted_word` (same contract).
 
@@ -210,6 +265,22 @@ def _bitset_find_accepted_word(
     (bit ``l`` enters the tuple's mask once), so the budget and the
     shortest-word guarantee match the generic search exactly.
     """
+    counted = [0]
+    try:
+        return _bitset_search(first, rest, alphabet, max_configs, meter, counted)
+    finally:
+        if span is not None:
+            span.count("configs", counted[0])
+
+
+def _bitset_search(
+    first: NFA,
+    rest: Sequence[ImplicitNFA],
+    alphabet: Sequence[str],
+    max_configs: int | None,
+    meter: BudgetMeter | None,
+    counted: list,
+) -> Word | None:
     from .indexed import IndexedNFA, bits
 
     alpha = tuple(dict.fromkeys(alphabet))
@@ -235,7 +306,7 @@ def _bitset_find_accepted_word(
         if accepting_bit(others, mask) is not None:
             return ()
 
-    total = sum(mask.bit_count() for mask in layer0.values())
+    total = counted[0] = sum(mask.bit_count() for mask in layer0.values())
     if meter is not None:
         meter.charge("configs", total)
     layers = [layer0]
@@ -264,7 +335,7 @@ def _bitset_find_accepted_word(
                         continue
                     seen[next_others] = seen.get(next_others, 0) | fresh
                     next_layer[next_others] = next_layer.get(next_others, 0) | fresh
-                    total += fresh.bit_count()
+                    total = counted[0] = total + fresh.bit_count()
                     if meter is not None:
                         meter.charge("configs", fresh.bit_count())
                     if max_configs is not None and total > max_configs:

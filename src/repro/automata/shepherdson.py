@@ -121,6 +121,7 @@ def two_nfa_to_dfa(
     two_nfa: TwoNFA,
     max_states: int | None = None,
     meter: "BudgetMeter | None" = None,
+    tracer=None,
 ) -> DFA:
     """Determinize a 2NFA into a complete DFA over its alphabet.
 
@@ -130,10 +131,28 @@ def two_nfa_to_dfa(
             :mod:`repro.automata.complement` is raised when exceeded.
         meter: optional :class:`repro.budget.BudgetMeter`; charges one
             ``"states"`` unit per table and polls the deadline.
+        tracer: optional :class:`repro.obs.trace.Tracer`; records a
+            ``shepherdson-tables`` span with the table count (set once
+            on exit, never inside the construction loop).
 
     Returns:
         A :class:`DFA` with ``L(DFA) = L(two_nfa)``.
     """
+    if tracer is not None:
+        with tracer.span(
+            "shepherdson-tables", two_nfa_states=two_nfa.num_states
+        ) as span:
+            dfa = _two_nfa_to_dfa(two_nfa, max_states, meter)
+            span.count("tables", dfa.num_states)
+            return dfa
+    return _two_nfa_to_dfa(two_nfa, max_states, meter)
+
+
+def _two_nfa_to_dfa(
+    two_nfa: TwoNFA,
+    max_states: int | None,
+    meter: "BudgetMeter | None",
+) -> DFA:
     from .complement import StateBudgetExceeded
 
     initial = _initial_table(two_nfa)

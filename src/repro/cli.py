@@ -114,8 +114,21 @@ def _cmd_contain(args: argparse.Namespace) -> int:
         ) if args.deadline_ms is not None else "auto"
     elif args.deadline_ms is not None:
         budget = Budget(deadline_ms=args.deadline_ms)
-    result = check_containment(q1, q2, budget=budget, **options)
+    want_trace = args.trace or args.trace_json is not None
+    result = check_containment(q1, q2, budget=budget, trace=want_trace, **options)
     print(result.describe())
+    if want_trace:
+        from .obs.export import render_trace, trace_to_ndjson
+
+        trace = result.details.get("trace")
+        if trace is None:
+            print("(no trace recorded)", file=sys.stderr)
+        else:
+            if args.trace:
+                print(render_trace(trace))
+            if args.trace_json is not None:
+                pathlib.Path(args.trace_json).write_text(trace_to_ndjson(trace))
+                print(f"# trace written to {args.trace_json}", file=sys.stderr)
     if result.counterexample is not None and args.show_witness:
         print("counterexample database:")
         database = result.counterexample.database
@@ -196,6 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
     contain_p.add_argument(
         "--show-witness", action="store_true",
         help="print the counterexample database on refutation",
+    )
+    contain_p.add_argument(
+        "--trace", action="store_true",
+        help="record and render the pipeline-stage span tree",
+    )
+    contain_p.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="record the span tree and dump it as ndjson to PATH",
     )
     contain_p.set_defaults(func=_cmd_contain)
 

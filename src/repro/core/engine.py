@@ -38,6 +38,8 @@ from typing import Any
 
 from ..budget import Budget, deadline_scope
 from ..cache import caching_enabled, containment_cache, query_cache_key
+from ..obs.metrics import counter as _metric_counter, histogram as _metric_histogram
+from ..obs.trace import Tracer, maybe_span
 from ..cq.containment import ucq_contained
 from ..cq.syntax import CQ, UCQ
 from ..crpq.containment import uc2rpq_contained
@@ -80,9 +82,22 @@ _ESCALATION_LENGTH_BASE = 4
 _ESCALATION_APPLICATION_BASE = 8
 _MAX_ESCALATION_ROUNDS = 32
 
+#: Module-level metric handles (hoisted so the hot path pays one method
+#: call per event, never a registry lookup).
+_CHECKS = _metric_counter("engine.checks")
+_CACHE_HITS = _metric_counter("engine.cache_hits")
+_CHECK_MS = _metric_histogram("engine.check_ms")
+_VERDICT_COUNTERS = {
+    verdict: _metric_counter(f"engine.verdict.{verdict.value}") for verdict in Verdict
+}
+
 
 def check_containment(
-    q1: Any, q2: Any, budget: Budget | str | None = None, **options: Any
+    q1: Any,
+    q2: Any,
+    budget: Budget | str | None = None,
+    trace: "bool | Tracer" = False,
+    **options: Any,
 ) -> ContainmentResult:
     """Decide ``Q1 ⊆ Q2`` with the strongest applicable procedure.
 
@@ -97,6 +112,13 @@ def check_containment(
             deadline to ``INCONCLUSIVE``, both with spend accounting in
             ``details["budget"]``.  A budget with ``escalate=True`` runs
             staged escalation (see module docstring).
+        trace: ``True`` to record a span tree of the pipeline stages the
+            check ran, returned as ``details["trace"]`` (a JSON-ready
+            dict; see DESIGN.md §7 for the span taxonomy).  An existing
+            :class:`repro.obs.trace.Tracer` may be passed instead to
+            accumulate several checks into one tree.  The default
+            ``False`` costs one pointer test — tracing is strictly
+            pay-for-what-you-use.
         **options: forwarded to the underlying procedure (e.g.
             ``method=`` for 2RPQs, ``max_expansions=`` for the
             expansion-based checks).  Unknown names raise TypeError;
@@ -105,7 +127,9 @@ def check_containment(
 
     Returns:
         A :class:`repro.core.report.ContainmentResult`; see its module
-        for the exactness contract.
+        for the exactness contract.  Its ``details`` always carry a
+        ``"cache"`` key (outcome) and a ``"budget"`` key (spend
+        accounting; ``{"spend": {}}`` for unmetered runs).
 
     Repeated calls with the same queries and options are served from
     the containment cache in :mod:`repro.cache`; the returned result's
@@ -115,7 +139,8 @@ def check_containment(
     Caching is bound-aware: exact verdicts are stored under a key that
     ignores budgets and serve any later budget, while bounded verdicts
     are keyed by their budget, so a cached small-budget result never
-    shadows a larger-budget recomputation.
+    shadows a larger-budget recomputation.  Traces are never cached:
+    ``details["trace"]`` always describes the current call.
     """
     unknown = sorted(set(options) - _OPTION_UNIVERSE)
     if unknown:
@@ -124,9 +149,20 @@ def check_containment(
             f"valid options are {', '.join(sorted(_OPTION_UNIVERSE))}"
         )
     budget = _normalize_budget(budget)
-    if budget is not None and budget.escalate:
-        return _escalate(q1, q2, budget, options)
-    return _check_with_cache(q1, q2, budget, options)
+    _CHECKS.value += 1  # direct bump: inc()'s call+validation costs ~2% on warm hits
+    if not trace:
+        if budget is not None and budget.escalate:
+            return _escalate(q1, q2, budget, options, None)
+        return _check_with_cache(q1, q2, budget, options, None)
+    tracer = trace if isinstance(trace, Tracer) else Tracer()
+    with tracer.span("check-containment"):
+        if budget is not None and budget.escalate:
+            result = _escalate(q1, q2, budget, options, tracer)
+        else:
+            result = _check_with_cache(q1, q2, budget, options, tracer)
+    return dataclasses.replace(
+        result, details={**dict(result.details), "trace": tracer.to_dict()}
+    )
 
 
 def _normalize_budget(budget: Budget | str | None) -> Budget | None:
@@ -138,24 +174,31 @@ def _normalize_budget(budget: Budget | str | None) -> Budget | None:
 
 
 def _check_with_cache(
-    q1: Any, q2: Any, budget: Budget | None, options: dict
+    q1: Any, q2: Any, budget: Budget | None, options: dict, tracer
 ) -> ContainmentResult:
     exact_key, full_key = _cache_keys(q1, q2, budget, options)
     if exact_key is None:
-        with deadline_scope(budget):
-            result = _check_containment_uncached(q1, q2, budget, options)
-        return _annotate(result, "bypass")
+        if tracer is not None:
+            tracer.event("cache", outcome="bypass")
+        return _annotate(_run_uncached(q1, q2, budget, options, tracer), "bypass")
     # Probe the exact key without counting: the two keys serve one
     # logical request, and only the authoritative lookup below should
     # move the hit/miss counters.
     cached = containment_cache.peek(exact_key)
     if cached is not None and cached.is_exact:
+        _CACHE_HITS.value += 1
+        if tracer is not None:
+            tracer.event("cache", outcome="hit")
         return _annotate(containment_cache.get(exact_key), "hit")
     cached = containment_cache.get(full_key)
     if cached is not None:
+        _CACHE_HITS.value += 1
+        if tracer is not None:
+            tracer.event("cache", outcome="hit")
         return _annotate(cached, "hit")
-    with deadline_scope(budget):
-        result = _check_containment_uncached(q1, q2, budget, options)
+    if tracer is not None:
+        tracer.event("cache", outcome="miss")
+    result = _run_uncached(q1, q2, budget, options, tracer)
     if result.is_exact:
         containment_cache.put(exact_key, result)
     elif budget is None or budget.deadline_ms is None:
@@ -165,6 +208,28 @@ def _check_with_cache(
         # verdict can never shadow a larger-budget recomputation.
         containment_cache.put(full_key, result)
     return _annotate(result, "miss")
+
+
+def _run_uncached(
+    q1: Any, q2: Any, budget: Budget | None, options: dict, tracer
+) -> ContainmentResult:
+    """One fresh dispatch, with metrics and the budget-details guarantee.
+
+    Every result leaving here carries ``details["budget"]`` (spend
+    accounting, or the empty ``{"spend": {}}`` for unmetered runs) —
+    normalized *before* the caller stores it in the cache, so hits
+    inherit the key for free.
+    """
+    start = time.perf_counter()
+    with deadline_scope(budget):
+        result = _check_containment_uncached(q1, q2, budget, options, tracer)
+    if "budget" not in result.details:
+        result = dataclasses.replace(
+            result, details={**dict(result.details), "budget": {"spend": {}}}
+        )
+    _CHECK_MS.observe((time.perf_counter() - start) * 1000.0)
+    _VERDICT_COUNTERS[result.verdict].inc()
+    return result
 
 
 def _cache_keys(
@@ -202,7 +267,7 @@ def _annotate(result: ContainmentResult, outcome: str) -> ContainmentResult:
 
 
 def _escalate(
-    q1: Any, q2: Any, budget: Budget, options: dict
+    q1: Any, q2: Any, budget: Budget, options: dict, tracer
 ) -> ContainmentResult:
     """Staged escalation: geometrically larger bounds until exact or spent.
 
@@ -229,7 +294,9 @@ def _escalate(
             deadline_ms=remaining,
             escalate=False,
         )
-        result = _check_with_cache(q1, q2, round_budget, options)
+        if tracer is not None:
+            tracer.event("escalation-round", round=k)
+        result = _check_with_cache(q1, q2, round_budget, options, tracer)
         rounds.append(
             {
                 "round": k,
@@ -249,7 +316,10 @@ def _escalate(
         result = ContainmentResult(
             Verdict.INCONCLUSIVE,
             "escalation",
-            details={"budget": {"exhausted": "deadline", "spend": {}}},
+            details={
+                "budget": {"exhausted": "deadline", "spend": {}},
+                "cache": "bypass",
+            },
         )
     escalation = {
         "rounds": rounds,
@@ -261,10 +331,16 @@ def _escalate(
 
 
 def _check_containment_uncached(
-    q1: Any, q2: Any, budget: Budget | None, options: dict
+    q1: Any, q2: Any, budget: Budget | None, options: dict, tracer=None
 ) -> ContainmentResult:
     class1, class2 = classify(q1), classify(q2)
     common = least_common_class(class1, class2)
+    if tracer is not None:
+        tracer.annotate(
+            q1_class=class1.name,
+            q2_class=class2.name,
+            common_class=common.name if common is not None else "cross-tower",
+        )
     if common is None:
         # Cross-tower: route graph queries through the Datalog embedding.
         graph_side = class1 in (QueryClass.RPQ, QueryClass.TWO_RPQ, QueryClass.UC2RPQ, QueryClass.RQ)
@@ -272,36 +348,45 @@ def _check_containment_uncached(
         q2 = q2 if graph_side else q2
         if not graph_side:
             q2 = promote(promote(q2, QueryClass.RQ), QueryClass.DATALOG)
-        return check_containment(q1, q2, budget=budget, **options)
+        return check_containment(
+            q1, q2, budget=budget, trace=tracer if tracer is not None else False,
+            **options,
+        )
 
     if common is QueryClass.RPQ:
         _, ignored = _pick(options)
-        result = rpq_contained(RPQ(q1.regex), RPQ(q2.regex), budget=budget)
+        result = rpq_contained(
+            RPQ(q1.regex), RPQ(q2.regex), budget=budget, tracer=tracer
+        )
         return _with_ignored(result, ignored)
     if common is QueryClass.TWO_RPQ:
         picked, ignored = _pick(options, "method", "max_configs", "stats")
         result = two_rpq_contained(
-            promote(q1, common), promote(q2, common), budget=budget, **picked
+            promote(q1, common), promote(q2, common), budget=budget,
+            tracer=tracer, **picked,
         )
         return _with_ignored(result, ignored)
     if common is QueryClass.UC2RPQ:
         picked, ignored = _pick(options, "max_total_length", "max_expansions")
         result = uc2rpq_contained(
-            promote(q1, common), promote(q2, common), budget=budget, **picked
+            promote(q1, common), promote(q2, common), budget=budget,
+            tracer=tracer, **picked,
         )
         return _with_ignored(result, ignored)
     if common is QueryClass.RQ:
         picked, ignored = _pick(options, "max_applications", "max_expansions")
         result = rq_contained(
-            promote(q1, common), promote(q2, common), budget=budget, **picked
+            promote(q1, common), promote(q2, common), budget=budget,
+            tracer=tracer, **picked,
         )
         return _with_ignored(result, ignored)
     if common is QueryClass.CQ or common is QueryClass.UCQ:
         if isinstance(q1, Program) or isinstance(q2, Program):
-            return _nonrecursive_datalog_case(q1, q2, budget, options)
+            return _nonrecursive_datalog_case(q1, q2, budget, options, tracer)
         # Chandra-Merlin is exact and terminating: no budget to thread.
         _, ignored = _pick(options)
-        result = ucq_contained(q1, q2)
+        with maybe_span(tracer, "ucq-homomorphism"):
+            result = ucq_contained(q1, q2)
         if result.holds:
             return _with_ignored(
                 ContainmentResult(Verdict.HOLDS, "ucq-homomorphism"), ignored
@@ -320,13 +405,17 @@ def _check_containment_uncached(
         if isinstance(q1, (CQ, UCQ)):
             _, ignored = _pick(options)
             return _with_ignored(
-                ucq_in_datalog(q1, promote(q2, QueryClass.DATALOG)), ignored
+                ucq_in_datalog(
+                    q1, promote(q2, QueryClass.DATALOG), tracer=tracer
+                ),
+                ignored,
             )
         if isinstance(q2, (CQ, UCQ)):
             picked, ignored = _pick(options, "max_applications", "max_expansions")
             return _with_ignored(
                 datalog_in_ucq(
-                    promote(q1, QueryClass.DATALOG), q2, budget=budget, **picked
+                    promote(q1, QueryClass.DATALOG), q2, budget=budget,
+                    tracer=tracer, **picked,
                 ),
                 ignored,
             )
@@ -335,10 +424,12 @@ def _check_containment_uncached(
         picked, ignored = _pick(options, "max_applications", "max_expansions")
         if common is QueryClass.GRQ or (is_grq(left) and is_grq(right)):
             return _with_ignored(
-                grq_contained(left, right, budget=budget, **picked), ignored
+                grq_contained(left, right, budget=budget, tracer=tracer, **picked),
+                ignored,
             )
         return _with_ignored(
-            datalog_in_datalog(left, right, budget=budget, **picked), ignored
+            datalog_in_datalog(left, right, budget=budget, tracer=tracer, **picked),
+            ignored,
         )
     raise AssertionError(f"unhandled class {common}")  # pragma: no cover
 
@@ -367,17 +458,20 @@ def _with_ignored(
 
 
 def _nonrecursive_datalog_case(
-    q1: Any, q2: Any, budget: Budget | None, options: dict
+    q1: Any, q2: Any, budget: Budget | None, options: dict, tracer=None
 ) -> ContainmentResult:
     """UCQ-level checks where one side is a (nonrecursive) program."""
     picked, ignored = _pick(options, "max_applications", "max_expansions")
     if isinstance(q1, Program) and isinstance(q2, Program):
         return _with_ignored(
-            datalog_in_datalog(q1, q2, budget=budget, **picked), ignored
+            datalog_in_datalog(q1, q2, budget=budget, tracer=tracer, **picked),
+            ignored,
         )
     if isinstance(q1, Program):
-        return _with_ignored(datalog_in_ucq(q1, q2, budget=budget, **picked), ignored)
-    return _with_ignored(ucq_in_datalog(q1, q2), ignored)
+        return _with_ignored(
+            datalog_in_ucq(q1, q2, budget=budget, tracer=tracer, **picked), ignored
+        )
+    return _with_ignored(ucq_in_datalog(q1, q2, tracer=tracer), ignored)
 
 
 def check_equivalence(

@@ -25,6 +25,7 @@ with spend accounting — never an exception.
 from __future__ import annotations
 
 from ..budget import Budget, BudgetExhausted, bounded_result
+from ..obs.trace import maybe_span
 from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from .evaluation import satisfies_uc2rpq
 from .expansion import (
@@ -48,6 +49,7 @@ def uc2rpq_contained(
     max_total_length: int = DEFAULT_LENGTH_BOUND,
     max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
+    tracer=None,
 ) -> ContainmentResult:
     """Expansion-based containment check for UC2RPQs.
 
@@ -62,6 +64,10 @@ def uc2rpq_contained(
             override the legacy kwargs, and its deadline is checked
             cooperatively.  Exhaustion yields a structured bounded or
             inconclusive verdict, never an exception.
+        tracer: optional :class:`repro.obs.trace.Tracer`; records one
+            ``disjunct-expansions`` span per Q1 disjunct, tagged with
+            the finiteness verdict and effective length bound and
+            counting the expansions examined.
     """
     left, right = _as_union(q1), _as_union(q2)
     if left.arity != right.arity:
@@ -85,7 +91,7 @@ def uc2rpq_contained(
     truncated_by_budget = False
     bounds_used: list[int] = []
     try:
-        for disjunct in left:
+        for index, disjunct in enumerate(left):
             bound = length_bound
             finite = expansion_space_is_finite(disjunct)
             if finite:
@@ -96,22 +102,34 @@ def uc2rpq_contained(
                 exact = False
             bounds_used.append(bound)
             count_before = checked
-            for expansion in enumerate_expansions(
-                disjunct, bound, per_disjunct_cap, meter=meter
-            ):
-                checked += 1
-                if meter is not None:
-                    meter.note("expansions")
-                if not satisfies_uc2rpq(right, expansion.database, expansion.head):
-                    return ContainmentResult(
-                        Verdict.REFUTED,
-                        "uc2rpq-expansion",
-                        Counterexample(expansion.database, expansion.head),
-                        details={
-                            "expansions_checked": checked,
-                            "witness_words": expansion.words,
-                        },
-                    )
+            with maybe_span(
+                tracer,
+                "disjunct-expansions",
+                index=index,
+                finite=finite,
+                bound=bound,
+            ) as span:
+                try:
+                    for expansion in enumerate_expansions(
+                        disjunct, bound, per_disjunct_cap, meter=meter
+                    ):
+                        checked += 1
+                        if meter is not None:
+                            meter.note("expansions")
+                        if not satisfies_uc2rpq(
+                            right, expansion.database, expansion.head
+                        ):
+                            return ContainmentResult(
+                                Verdict.REFUTED,
+                                "uc2rpq-expansion",
+                                Counterexample(expansion.database, expansion.head),
+                                details={
+                                    "expansions_checked": checked,
+                                    "witness_words": expansion.words,
+                                },
+                            )
+                finally:
+                    span.count("expansions", checked - count_before)
             if (
                 per_disjunct_cap is not None
                 and checked - count_before >= per_disjunct_cap

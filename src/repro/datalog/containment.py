@@ -25,6 +25,7 @@ from ..budget import Budget, BudgetExhausted, bounded_result
 from ..cq.containment import ucq_contained
 from ..cq.evaluation import satisfies_ucq
 from ..cq.syntax import CQ, UCQ
+from ..obs.trace import maybe_span
 from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from ..relational.instance import Instance
 from .analysis import is_nonrecursive
@@ -63,13 +64,21 @@ def cq_in_datalog(cq: CQ, program: Program) -> ContainmentResult:
     )
 
 
-def ucq_in_datalog(ucq: UCQ | CQ, program: Program) -> ContainmentResult:
+def ucq_in_datalog(
+    ucq: UCQ | CQ, program: Program, tracer=None
+) -> ContainmentResult:
     """Exact: every disjunct must map into the program's answers."""
     union = ucq if isinstance(ucq, UCQ) else UCQ((ucq,))
-    for disjunct in union:
-        result = cq_in_datalog(disjunct, program)
-        if result.verdict is Verdict.REFUTED:
-            return result
+    with maybe_span(tracer, "canonical-db-evaluation") as span:
+        checked = 0
+        try:
+            for disjunct in union:
+                checked += 1
+                result = cq_in_datalog(disjunct, program)
+                if result.verdict is Verdict.REFUTED:
+                    return result
+        finally:
+            span.count("disjuncts", checked)
     return ContainmentResult(Verdict.HOLDS, "canonical-db-evaluation")
 
 
@@ -79,6 +88,7 @@ def datalog_in_ucq(
     max_applications: int | None = None,
     max_expansions: int = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
+    tracer=None,
 ) -> ContainmentResult:
     """``program ⊆ ucq`` via expansion enumeration.
 
@@ -87,12 +97,16 @@ def datalog_in_ucq(
     ``HOLDS_UP_TO_BOUND`` over the explored expansions.  An optional
     *budget*'s ``max_applications`` / ``max_expansions`` fields override
     the legacy kwargs; its deadline is polled cooperatively and produces
-    a structured verdict, never an exception.
+    a structured verdict, never an exception.  An optional *tracer*
+    records an ``unfold-to-ucq`` span (nonrecursive path) or an
+    ``expansion-loop`` span counting expansions.
     """
     union = ucq if isinstance(ucq, UCQ) else UCQ((ucq,))
     if is_nonrecursive(program):
-        unfolded = unfold_nonrecursive(program)
-        result = ucq_contained(unfolded, union)
+        with maybe_span(tracer, "unfold-to-ucq") as span:
+            unfolded = unfold_nonrecursive(program)
+            span.count("disjuncts", len(tuple(unfolded)))
+            result = ucq_contained(unfolded, union)
         if result.holds:
             return ContainmentResult(Verdict.HOLDS, "unfold-to-ucq")
         instance, head = result.counterexample  # type: ignore[misc]
@@ -104,20 +118,27 @@ def datalog_in_ucq(
     )
     explored = 0
     try:
-        for expansion in enumerate_expansions(
-            program, max_applications=app_bound, max_expansions=exp_bound, meter=meter
-        ):
-            explored += 1
-            if meter is not None:
-                meter.note("expansions")
-            instance, head = expansion.canonical_instance()
-            if not satisfies_ucq(union, instance, head):
-                return ContainmentResult(
-                    Verdict.REFUTED,
-                    "expansion",
-                    Counterexample(instance, head),
-                    details={"expansions_checked": explored},
-                )
+        with maybe_span(tracer, "expansion-loop", exhaustive=False) as span:
+            try:
+                for expansion in enumerate_expansions(
+                    program,
+                    max_applications=app_bound,
+                    max_expansions=exp_bound,
+                    meter=meter,
+                ):
+                    explored += 1
+                    if meter is not None:
+                        meter.note("expansions")
+                    instance, head = expansion.canonical_instance()
+                    if not satisfies_ucq(union, instance, head):
+                        return ContainmentResult(
+                            Verdict.REFUTED,
+                            "expansion",
+                            Counterexample(instance, head),
+                            details={"expansions_checked": explored},
+                        )
+            finally:
+                span.count("expansions", explored)
     except BudgetExhausted as exc:
         return bounded_result(
             "expansion", exc, meter, details={"expansions_checked": explored}
@@ -139,6 +160,7 @@ def datalog_in_datalog(
     max_applications: int | None = None,
     max_expansions: int = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
+    tracer=None,
 ) -> ContainmentResult:
     """``left ⊆ right`` for two Datalog programs.
 
@@ -165,18 +187,22 @@ def datalog_in_datalog(
         meter=meter,
     )
     try:
-        for expansion in iterator:
-            explored += 1
-            if meter is not None:
-                meter.note("expansions")
-            instance, head = expansion.canonical_instance()
-            if head not in evaluate(right, instance):
-                return ContainmentResult(
-                    Verdict.REFUTED,
-                    "expansion-vs-evaluation",
-                    Counterexample(instance, head),
-                    details={"expansions_checked": explored},
-                )
+        with maybe_span(tracer, "expansion-loop", exhaustive=exhausted) as span:
+            try:
+                for expansion in iterator:
+                    explored += 1
+                    if meter is not None:
+                        meter.note("expansions")
+                    instance, head = expansion.canonical_instance()
+                    if head not in evaluate(right, instance):
+                        return ContainmentResult(
+                            Verdict.REFUTED,
+                            "expansion-vs-evaluation",
+                            Counterexample(instance, head),
+                            details={"expansions_checked": explored},
+                        )
+            finally:
+                span.count("expansions", explored)
     except BudgetExhausted as exc:
         return bounded_result(
             "expansion-vs-evaluation",

@@ -17,6 +17,7 @@ checker refuses programs outside it rather than silently running the
 from __future__ import annotations
 
 from ..budget import Budget, BudgetExhausted, bounded_result
+from ..obs.trace import maybe_span
 from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from ..datalog.analysis import is_nonrecursive
 from ..datalog.evaluation import evaluate
@@ -43,6 +44,7 @@ def grq_contained(
     max_applications: int | None = DEFAULT_APPLICATION_BOUND,
     max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
+    tracer=None,
 ) -> ContainmentResult:
     """Containment between two GRQ programs.
 
@@ -50,12 +52,15 @@ def grq_contained(
     check of :mod:`repro.grq.membership`.  An optional *budget*'s
     ``max_applications`` / ``max_expansions`` fields override the legacy
     kwargs; its deadline interrupts the enumeration cooperatively and is
-    reported as a structured verdict, never an exception.
+    reported as a structured verdict, never an exception.  An optional
+    *tracer* records a ``grq-membership`` span for the fragment check
+    and an ``expansion-loop`` span counting expansions.
     """
-    for which, program in (("left", left), ("right", right)):
-        report = check_grq(program)
-        if not report.is_grq:
-            raise NotGRQError(which, report.violations)
+    with maybe_span(tracer, "grq-membership"):
+        for which, program in (("left", left), ("right", right)):
+            report = check_grq(program)
+            if not report.is_grq:
+                raise NotGRQError(which, report.violations)
     if left.goal_arity != right.goal_arity:
         raise ValueError("arity mismatch between program goals")
     app_bound, exp_bound, meter = _effective_bounds(
@@ -70,18 +75,22 @@ def grq_contained(
     )
     checked = 0
     try:
-        for expansion in iterator:
-            checked += 1
-            if meter is not None:
-                meter.note("expansions")
-            instance, head = expansion.canonical_instance()
-            if head not in evaluate(right, instance):
-                return ContainmentResult(
-                    Verdict.REFUTED,
-                    "grq-expansion",
-                    Counterexample(instance, head),
-                    details={"expansions_checked": checked},
-                )
+        with maybe_span(tracer, "expansion-loop", exhaustive=exhaustive) as span:
+            try:
+                for expansion in iterator:
+                    checked += 1
+                    if meter is not None:
+                        meter.note("expansions")
+                    instance, head = expansion.canonical_instance()
+                    if head not in evaluate(right, instance):
+                        return ContainmentResult(
+                            Verdict.REFUTED,
+                            "grq-expansion",
+                            Counterexample(instance, head),
+                            details={"expansions_checked": checked},
+                        )
+            finally:
+                span.count("expansions", checked)
     except BudgetExhausted as exc:
         return bounded_result(
             "grq-expansion", exc, meter, details={"expansions_checked": checked}

@@ -1,0 +1,57 @@
+"""Observability: span tracing, metrics, and exporters (zero-dependency).
+
+The engine's decisions — which procedure ran, where the states and
+milliseconds went, whether the cache or the budget intervened — are
+invisible from a bare :class:`repro.report.ContainmentResult`.  This
+package makes them inspectable:
+
+- :mod:`repro.obs.trace` — nested spans with monotonic timings,
+  counters, and tags (``with tracer.span("determinize", states=n):``).
+  The default is the no-op :data:`repro.obs.trace.NULL_TRACER`;
+  instrumented code pays a single ``None`` test when tracing is off.
+- :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges, and fixed-bucket histograms; :func:`metrics_snapshot` is the
+  machine-readable dump, akin to :func:`repro.cache.cache_stats`.
+- :mod:`repro.obs.export` — ndjson span dumps, flat dicts, and the
+  human tree renderer behind the CLI's ``contain --trace``.
+
+Entry point: ``check_containment(q1, q2, trace=True)`` returns the span
+tree in ``details["trace"]``; the CLI flags ``--trace`` /
+``--trace-json`` render or dump it.
+"""
+
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, as_tracer, maybe_span
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    metrics_snapshot,
+    reset_metrics,
+)
+from .export import flatten_trace, render_trace, trace_from_ndjson, trace_to_ndjson
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "as_tracer",
+    "maybe_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_snapshot",
+    "reset_metrics",
+    "flatten_trace",
+    "render_trace",
+    "trace_from_ndjson",
+    "trace_to_ndjson",
+]

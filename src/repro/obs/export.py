@@ -1,0 +1,158 @@
+"""Trace exporters: ndjson, flat dicts, and the human tree renderer.
+
+Three consumers, three shapes:
+
+- **ndjson** (:func:`trace_to_ndjson` / :func:`trace_from_ndjson`): one
+  JSON object per span with ``span_id`` / ``parent_id`` links — the
+  interchange format for offline tooling (``contain --trace-json``).
+  The pair round-trips: parsing a dump reconstructs the span tree
+  exactly (ids are depth-first positions, so dumps are deterministic).
+- **flat dict** (:func:`flatten_trace`): path-keyed durations and
+  counters (``"check/dispatch/emptiness-search": {...}``) for quick
+  assertions and spreadsheet-style diffing; sibling spans with the same
+  name are disambiguated by position (``name#2``).
+- **tree text** (:func:`render_trace`): the ``--trace`` renderer —
+  box-drawing tree with per-span duration, tags, counters, and events.
+
+All exporters accept either a :class:`repro.obs.trace.Span` or the
+``to_dict()`` form of one (which is what ``details["trace"]`` holds).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from .trace import Span
+
+__all__ = [
+    "trace_to_ndjson",
+    "trace_from_ndjson",
+    "flatten_trace",
+    "render_trace",
+]
+
+
+def _as_dict(trace: "Span | dict[str, Any]") -> dict[str, Any]:
+    return trace.to_dict() if isinstance(trace, Span) else trace
+
+
+def trace_to_ndjson(trace: "Span | dict[str, Any]") -> str:
+    """Serialize a span tree to newline-delimited JSON (one span/line).
+
+    Spans are numbered depth-first (the root is 0) and linked through
+    ``parent_id``; times stay relative to the root start, so two dumps
+    of the same check are directly comparable.
+    """
+    lines: list[str] = []
+
+    def emit(node: dict[str, Any], parent_id: int | None) -> None:
+        span_id = len(lines)
+        record = {
+            "span_id": span_id,
+            "parent_id": parent_id,
+            **{key: value for key, value in node.items() if key != "children"},
+        }
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+        for child in node.get("children", ()):
+            emit(child, span_id)
+
+    emit(_as_dict(trace), None)
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_ndjson(text: str) -> dict[str, Any]:
+    """Parse an ndjson dump back into the nested ``to_dict()`` form.
+
+    Inverse of :func:`trace_to_ndjson`: feeding its output back returns
+    an equal tree (the round-trip property tested in ``tests/obs``).
+    """
+    nodes: dict[int, dict[str, Any]] = {}
+    root: dict[str, Any] | None = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        span_id = record.pop("span_id")
+        parent_id = record.pop("parent_id")
+        record["children"] = []
+        nodes[span_id] = record
+        if parent_id is None:
+            if root is not None:
+                raise ValueError("ndjson trace has more than one root span")
+            root = record
+        else:
+            try:
+                nodes[parent_id]["children"].append(record)
+            except KeyError:
+                raise ValueError(
+                    f"span {span_id} references unknown parent {parent_id}"
+                ) from None
+    if root is None:
+        raise ValueError("ndjson trace has no root span")
+    return root
+
+
+def flatten_trace(trace: "Span | dict[str, Any]") -> dict[str, dict[str, Any]]:
+    """Path-keyed summary: ``{"a/b/c": {duration_ms, tags, counters}}``.
+
+    Repeated sibling names get ``#k`` suffixes (second occurrence and
+    later), so every span owns a unique key.
+    """
+    out: dict[str, dict[str, Any]] = {}
+
+    def visit(node: dict[str, Any], prefix: str) -> None:
+        path = f"{prefix}/{node['name']}" if prefix else node["name"]
+        if path in out:
+            ordinal = 2
+            while f"{path}#{ordinal}" in out:
+                ordinal += 1
+            path = f"{path}#{ordinal}"
+        entry: dict[str, Any] = {"duration_ms": node.get("duration_ms", 0.0)}
+        if node.get("tags"):
+            entry["tags"] = dict(node["tags"])
+        if node.get("counters"):
+            entry["counters"] = dict(node["counters"])
+        out[path] = entry
+        for child in node.get("children", ()):
+            visit(child, path)
+
+    visit(_as_dict(trace), "")
+    return out
+
+
+def _format_extras(node: dict[str, Any]) -> str:
+    parts: list[str] = []
+    for key, value in (node.get("tags") or {}).items():
+        parts.append(f"{key}={value}")
+    for key, value in (node.get("counters") or {}).items():
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        parts.append(f"{key}={rendered}")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def _render_lines(
+    node: dict[str, Any], indent: str, is_last: bool, is_root: bool
+) -> Iterator[str]:
+    connector = "" if is_root else ("└─ " if is_last else "├─ ")
+    duration = node.get("duration_ms", 0.0)
+    yield f"{indent}{connector}{node['name']}  {duration:.2f} ms{_format_extras(node)}"
+    child_indent = indent if is_root else indent + ("   " if is_last else "│  ")
+    for event in node.get("events", ()):
+        extras = {
+            key: value
+            for key, value in event.items()
+            if key not in ("name", "at_ms")
+        }
+        detail = f" {extras}" if extras else ""
+        yield f"{child_indent}· {event['name']} @ {event['at_ms']:.2f} ms{detail}"
+    children = node.get("children", ())
+    for position, child in enumerate(children):
+        yield from _render_lines(
+            child, child_indent, position == len(children) - 1, False
+        )
+
+
+def render_trace(trace: "Span | dict[str, Any]") -> str:
+    """The human tree view behind ``contain --trace`` (one span/line)."""
+    return "\n".join(_render_lines(_as_dict(trace), "", True, True)) + "\n"

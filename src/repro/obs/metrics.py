@@ -1,0 +1,244 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The aggregate side of observability — where traces answer "what did
+*this* check do", metrics answer "what has the process been doing":
+how many checks per query class, the verdict mix, the latency
+distribution.  :func:`metrics_snapshot` is the machine-readable dump,
+deliberately shaped like :func:`repro.cache.cache_stats`.
+
+Design (mirrors the cache layer's conventions):
+
+- instruments live in a :class:`MetricsRegistry`; the module-level
+  :data:`REGISTRY` is the process default, with :func:`counter` /
+  :func:`gauge` / :func:`histogram` as get-or-create accessors;
+- accessors return *stable objects*, so hot call sites hoist them to
+  module level once and pay a bare attribute increment per event
+  (``_CHECKS.inc()``), never a registry lookup;
+- :func:`reset_metrics` zeroes values **in place** — hoisted handles
+  stay valid across resets (tests and benchmarks rely on this);
+- histogram buckets are fixed at creation (cumulative upper bounds,
+  Prometheus-style, with a ``+Inf`` catch-all), so snapshots from
+  different processes aggregate by simple addition.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS_MS",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_snapshot",
+    "reset_metrics",
+]
+
+#: Default histogram boundaries, tuned for check latencies in ms
+#: (sub-ms cache hits up to multi-second escalation runs).
+DEFAULT_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (sizes, in-flight work)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary cumulative histogram (plus sum/count/min/max).
+
+    ``bucket_counts[i]`` counts observations ``<= boundaries[i]``; the
+    final slot is the ``+Inf`` catch-all.  Boundaries are fixed at
+    creation so snapshots are mergeable across processes.
+    """
+
+    __slots__ = ("name", "boundaries", "bucket_counts", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS_MS) -> None:
+        self.name = name
+        self.boundaries = tuple(sorted(set(buckets)))
+        if not self.boundaries:
+            raise ValueError("histogram needs at least one bucket boundary")
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Upper bucket boundary covering quantile *q* (None when empty).
+
+        The usual histogram-quantile estimate: the smallest boundary
+        whose cumulative count reaches ``q * count``.  Observations in
+        the ``+Inf`` bucket report the largest finite boundary.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for boundary, bucket in zip(self.boundaries, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return boundary
+        return self.boundaries[-1]
+
+    def snapshot(self) -> dict[str, Any]:
+        cumulative: dict[str, int] = {}
+        running = 0
+        for boundary, bucket in zip(self.boundaries, self.bucket_counts):
+            running += bucket
+            cumulative[repr(boundary)] = running
+        cumulative["+Inf"] = self.count
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 6),
+            "buckets": cumulative,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of instruments (one per process by default)."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as a {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS_MS
+    ) -> Histogram:
+        return self._get_or_create(name, lambda: Histogram(name, buckets), "histogram")
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Machine-readable dump of every instrument, name-sorted."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (hoisted handles stay valid)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+
+#: The process-default registry (what the engine and CLI report from).
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets: Iterable[float] = DEFAULT_BUCKETS_MS) -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return REGISTRY.histogram(name, buckets)
+
+
+def metrics_snapshot() -> dict[str, dict[str, Any]]:
+    """Snapshot of the default registry (akin to ``cache_stats()``)."""
+    return REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    """Zero the default registry in place (tests/benchmarks)."""
+    REGISTRY.reset()

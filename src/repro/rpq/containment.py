@@ -29,6 +29,7 @@ from ..automata.nfa import NFA, Word
 from ..automata.onthefly import SearchStats, find_accepted_word
 from ..automata.shepherdson import LazyShepherdsonComplement
 from ..budget import Budget, BudgetExhausted, as_budget, bounded_result, deadline_scope
+from ..obs.trace import maybe_span
 from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from ..graphdb.database import canonical_database_of_word
 from .rpq import RPQ, TwoRPQ
@@ -46,13 +47,16 @@ def word_counterexample(word: Word) -> Counterexample:
     return Counterexample(db, (source, target))
 
 
-def rpq_contained(q1: RPQ, q2: RPQ, budget: Budget | None = None) -> ContainmentResult:
+def rpq_contained(
+    q1: RPQ, q2: RPQ, budget: Budget | None = None, tracer=None
+) -> ContainmentResult:
     """Lemma 1 pipeline: exact, via language containment over Sigma.
 
     The witness word (if any) is materialized as a path database on
     which ``(0, n) in Q1(D) - Q2(D)``.  An optional *budget* bounds the
     product search; exhaustion yields a structured bounded verdict
-    rather than an exception.
+    rather than an exception.  An optional *tracer* records one span per
+    automata-pipeline stage.
     """
     for query in (q1, q2):
         if not query.is_one_way():
@@ -60,7 +64,9 @@ def rpq_contained(q1: RPQ, q2: RPQ, budget: Budget | None = None) -> Containment
     alphabet = _combined_alphabet(q1, q2).symbols
     meter = None if budget is None or budget.is_null else budget.start()
     try:
-        witness = containment_counterexample(q1.nfa, q2.nfa, alphabet, meter=meter)
+        witness = containment_counterexample(
+            q1.nfa, q2.nfa, alphabet, meter=meter, tracer=tracer
+        )
     except BudgetExhausted as exc:
         return bounded_result("rpq-language", exc, meter)
     if witness is None:
@@ -77,6 +83,7 @@ def two_rpq_contained(
     max_configs: int | None = None,
     stats: SearchStats | None = None,
     budget: Budget | None = None,
+    tracer=None,
 ) -> ContainmentResult:
     """Theorem 5 pipeline: exact 2RPQ containment via folding.
 
@@ -99,6 +106,9 @@ def two_rpq_contained(
         budget: optional :class:`repro.budget.Budget`.  Exhaustion of
             any resource returns a structured bounded/inconclusive
             verdict — this procedure never raises on budget exhaustion.
+        tracer: optional :class:`repro.obs.trace.Tracer`; records a
+            ``fold`` span plus the method-specific search/complement
+            stage spans.
     """
     eff = as_budget(budget, max_configs=max_configs, max_states=max_configs)
     meter = None if eff.is_null else eff.start()
@@ -106,7 +116,9 @@ def two_rpq_contained(
     sigma_pm = _combined_alphabet(q1, q2).two_way
     try:
         with deadline_scope(eff):
-            folded = fold_two_nfa(q2.nfa, sigma_pm)
+            with maybe_span(tracer, "fold", nfa_states=q2.nfa.num_states) as span:
+                folded = fold_two_nfa(q2.nfa, sigma_pm)
+                span.annotate(two_nfa_states=folded.num_states)
             left = q1.nfa
             if method == "shepherdson":
                 witness = find_accepted_word(
@@ -114,6 +126,7 @@ def two_rpq_contained(
                     sigma_pm,
                     stats=stats,
                     meter=meter,
+                    tracer=tracer,
                 )
             elif method == "lemma4-onthefly":
                 witness = find_accepted_word(
@@ -121,17 +134,21 @@ def two_rpq_contained(
                     sigma_pm,
                     stats=stats,
                     meter=meter,
+                    tracer=tracer,
                 )
             elif method == "lemma4-materialized":
                 complement = complement_two_nfa(
-                    folded, max_states=eff.max_states, meter=meter
+                    folded, max_states=eff.max_states, meter=meter, tracer=tracer
                 )
                 if meter is not None:
                     meter.check_deadline()
-                product = left.product(complement)
+                with maybe_span(tracer, "product") as span:
+                    product = left.product(complement)
+                    span.count("configs", product.num_states)
                 if meter is not None:
                     meter.charge("configs", product.num_states)
-                witness = product.shortest_word()
+                with maybe_span(tracer, "emptiness-search"):
+                    witness = product.shortest_word()
             else:
                 raise ValueError(f"unknown method {method!r}")
     except BudgetExhausted as exc:

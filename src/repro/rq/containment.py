@@ -17,6 +17,7 @@ run beyond toy sizes; the bound is the calibrated substitute.
 from __future__ import annotations
 
 from ..budget import Budget, BudgetExhausted, bounded_result
+from ..obs.trace import maybe_span
 from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from ..datalog.analysis import is_nonrecursive
 from ..datalog.unfolding import enumerate_expansions
@@ -35,6 +36,7 @@ def rq_contained(
     max_applications: int | None = DEFAULT_APPLICATION_BOUND,
     max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
+    tracer=None,
 ) -> ContainmentResult:
     """Expansion-based containment check for regular queries.
 
@@ -49,6 +51,9 @@ def rq_contained(
             ``max_applications`` / ``max_expansions`` fields, when set,
             override the legacy kwargs, and its deadline interrupts the
             enumeration cooperatively (structured verdict, no exception).
+        tracer: optional :class:`repro.obs.trace.Tracer`; records a
+            ``translate-datalog`` span for the Section 4.1 translation
+            and an ``expansion-loop`` span counting expansions.
     """
     if q1.arity != q2.arity:
         raise ValueError(
@@ -57,8 +62,10 @@ def rq_contained(
     app_bound, exp_bound, meter = _effective_bounds(
         budget, max_applications, max_expansions
     )
-    program = rq_to_datalog(q1)
-    exhaustive = is_nonrecursive(program)
+    with maybe_span(tracer, "translate-datalog") as span:
+        program = rq_to_datalog(q1)
+        exhaustive = is_nonrecursive(program)
+        span.annotate(rules=len(program.rules), nonrecursive=exhaustive)
     iterator = enumerate_expansions(
         program,
         max_applications=None if exhaustive else app_bound,
@@ -67,19 +74,23 @@ def rq_contained(
     )
     checked = 0
     try:
-        for expansion in iterator:
-            checked += 1
-            if meter is not None:
-                meter.note("expansions")
-            instance, frozen_head = expansion.canonical_instance()
-            graph = instance_to_graph(instance)
-            if not satisfies_rq(q2, graph, frozen_head):
-                return ContainmentResult(
-                    Verdict.REFUTED,
-                    "rq-expansion",
-                    Counterexample(graph, frozen_head),
-                    details={"expansions_checked": checked},
-                )
+        with maybe_span(tracer, "expansion-loop", exhaustive=exhaustive) as span:
+            try:
+                for expansion in iterator:
+                    checked += 1
+                    if meter is not None:
+                        meter.note("expansions")
+                    instance, frozen_head = expansion.canonical_instance()
+                    graph = instance_to_graph(instance)
+                    if not satisfies_rq(q2, graph, frozen_head):
+                        return ContainmentResult(
+                            Verdict.REFUTED,
+                            "rq-expansion",
+                            Counterexample(graph, frozen_head),
+                            details={"expansions_checked": checked},
+                        )
+            finally:
+                span.count("expansions", checked)
     except BudgetExhausted as exc:
         return bounded_result(
             "rq-expansion", exc, meter, details={"expansions_checked": checked}

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.budget import Budget
 from repro.core.engine import check_containment, check_equivalence
 from repro.core.witness import verify_counterexample
 from repro.cq.syntax import UCQ, cq_from_strings
@@ -114,3 +115,88 @@ class TestOptionsForwarding:
         tc = transitive_closure_program("e", "tc")
         result = check_containment(tc, tc, max_expansions=5)
         assert result.details["expansions_checked"] <= 5
+
+
+def _class_matrix():
+    """One containment pair per query class, with any options it needs."""
+    triangle, union = paper_example_1()
+    return {
+        "rpq": (RPQ.parse("a a"), RPQ.parse("a+"), {}),
+        "2rpq": (TwoRPQ.parse("p"), TwoRPQ.parse("p p- p"), {}),
+        "uc2rpq": (triangle, union, {}),
+        "rq": (
+            edge("e", "x", "y"),
+            TransitiveClosure(edge("e", "x", "y")),
+            {},
+        ),
+        "datalog": (
+            transitive_closure_program("e", "tc"),
+            transitive_closure_program("e", "tc", left_linear=False),
+            {"max_expansions": 25},
+        ),
+    }
+
+
+class TestDetailsNormalization:
+    """Every engine result carries both ``cache`` and ``budget`` keys."""
+
+    @pytest.mark.parametrize("label", list(_class_matrix()))
+    @pytest.mark.parametrize(
+        "budget", [None, Budget(max_expansions=50)], ids=["no-budget", "budget"]
+    )
+    def test_details_carry_cache_and_budget(self, label, budget):
+        q1, q2, options = _class_matrix()[label]
+        result = check_containment(q1, q2, budget=budget, **options)
+        assert "cache" in result.details, label
+        assert "budget" in result.details, label
+        assert "spend" in result.details["budget"], label
+
+
+class TestTracing:
+    """``trace=True`` returns a span tree covering every pipeline stage."""
+
+    STAGES = {
+        "rpq": {"emptiness-search"},
+        "2rpq": {"fold", "product-search"},
+        "uc2rpq": {"disjunct-expansions"},
+        "rq": {"translate-datalog", "expansion-loop"},
+        "datalog": {"grq-membership", "expansion-loop"},
+    }
+
+    @pytest.mark.parametrize("label", list(_class_matrix()))
+    def test_trace_covers_the_pipeline_stages(self, label):
+        from repro.cache import clear_caches
+        from repro.obs.export import flatten_trace
+
+        clear_caches()  # a cache hit would (correctly) skip the tower stages
+        q1, q2, options = _class_matrix()[label]
+        result = check_containment(q1, q2, trace=True, **options)
+        tree = result.details["trace"]
+        assert tree["name"] == "check-containment"
+        names = {key.rsplit("/", 1)[-1].split("#")[0] for key in flatten_trace(tree)}
+        assert self.STAGES[label] <= names, (label, sorted(names))
+        assert any(e["name"] == "cache" for e in tree.get("events", ()))
+        assert tree["tags"]["q1_class"]
+
+    def test_trace_is_never_cached(self):
+        from repro.cache import clear_caches
+
+        clear_caches()
+        q1, q2 = RPQ.parse("a"), RPQ.parse("a|b")
+        traced = check_containment(q1, q2, trace=True)
+        assert traced.details["trace"] is not None
+        cached = check_containment(q1, q2)
+        assert "trace" not in cached.details
+        assert cached.details["cache"] == "hit"
+
+    def test_trace_false_adds_no_trace_key(self):
+        result = check_containment(RPQ.parse("a"), RPQ.parse("a|b"))
+        assert "trace" not in result.details
+
+    def test_caller_supplied_tracer_is_reused(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        check_containment(RPQ.parse("a a"), RPQ.parse("a+"), trace=tracer)
+        assert tracer.root is not None
+        assert tracer.root.name == "check-containment"

@@ -1,0 +1,112 @@
+"""Export surface: ndjson round-trip, flat path keys, and the tree view."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    flatten_trace,
+    render_trace,
+    trace_from_ndjson,
+    trace_to_ndjson,
+)
+from repro.obs.trace import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("check-containment", q1_class="RPQ") as root:
+        root.event("cache", outcome="miss")
+        with tracer.span("complement"):
+            pass
+        with tracer.span("product") as product:
+            product.count("configs", 12)
+        with tracer.span("emptiness-search"):
+            pass
+    return tracer
+
+
+class TestNdjson:
+    def test_round_trip_reconstructs_the_tree(self):
+        tracer = _sample_tracer()
+        tree = tracer.to_dict()
+        assert trace_from_ndjson(trace_to_ndjson(tree)) == tree
+
+    def test_accepts_a_span_directly(self):
+        tracer = _sample_tracer()
+        assert trace_from_ndjson(trace_to_ndjson(tracer.root)) == tracer.to_dict()
+
+    def test_ids_are_depth_first_and_dumps_are_deterministic(self):
+        tracer = _sample_tracer()
+        dump = trace_to_ndjson(tracer.to_dict())
+        assert dump == trace_to_ndjson(tracer.root)
+        records = [json.loads(line) for line in dump.splitlines()]
+        assert [r["span_id"] for r in records] == list(range(len(records)))
+        assert records[0]["parent_id"] is None
+        assert [r["name"] for r in records] == [
+            s.name for s in tracer.root.walk()
+        ]
+
+    def test_multiple_roots_rejected(self):
+        line = json.dumps({"span_id": 0, "parent_id": None, "name": "a"})
+        other = json.dumps({"span_id": 1, "parent_id": None, "name": "b"})
+        with pytest.raises(ValueError, match="more than one root"):
+            trace_from_ndjson(line + "\n" + other + "\n")
+
+    def test_unknown_parent_rejected(self):
+        line = json.dumps({"span_id": 0, "parent_id": None, "name": "a"})
+        orphan = json.dumps({"span_id": 1, "parent_id": 99, "name": "b"})
+        with pytest.raises(ValueError, match="unknown parent"):
+            trace_from_ndjson(line + "\n" + orphan + "\n")
+
+    def test_no_root_rejected(self):
+        with pytest.raises(ValueError, match="no root"):
+            trace_from_ndjson("\n  \n")
+
+
+class TestFlatten:
+    def test_paths_key_every_span(self):
+        flat = flatten_trace(_sample_tracer().root)
+        assert set(flat) == {
+            "check-containment",
+            "check-containment/complement",
+            "check-containment/product",
+            "check-containment/emptiness-search",
+        }
+        assert flat["check-containment"]["tags"] == {"q1_class": "RPQ"}
+        assert flat["check-containment/product"]["counters"] == {"configs": 12}
+        assert "counters" not in flat["check-containment/complement"]
+
+    def test_repeated_siblings_get_ordinal_suffixes(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("round"):
+                    pass
+        flat = flatten_trace(tracer.root)
+        assert set(flat) == {
+            "root",
+            "root/round",
+            "root/round#2",
+            "root/round#3",
+        }
+
+
+class TestRender:
+    def test_tree_shows_spans_durations_and_events(self):
+        text = render_trace(_sample_tracer().root)
+        lines = text.splitlines()
+        assert lines[0].startswith("check-containment  ")
+        assert "ms" in lines[0]
+        assert "[q1_class=RPQ]" in lines[0]
+        assert any("· cache @" in line and "miss" in line for line in lines)
+        assert any("├─ complement" in line for line in lines)
+        assert any("└─ emptiness-search" in line for line in lines)
+        assert any("configs=12" in line for line in lines)
+        assert text.endswith("\n")
+
+    def test_render_accepts_the_dict_form(self):
+        tracer = _sample_tracer()
+        assert render_trace(tracer.to_dict()) == render_trace(tracer.root)
