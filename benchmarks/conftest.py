@@ -1,13 +1,19 @@
 """Shared infrastructure for the experiment benchmarks (E1-E12).
 
 Each experiment prints the rows/series DESIGN.md's experiment index
-names.  Tables are written both to the real stdout (bypassing pytest's
-capture, so ``pytest benchmarks/ --benchmark-only | tee ...`` records
-them) and to ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+names.  Every ``report(...)`` call emits twice from the one row source:
+
+- ``benchmarks/results/<experiment>.txt`` — the human table quoted in
+  EXPERIMENTS.md (also echoed in the end-of-run summary), and
+- ``benchmarks/results/<experiment>.json`` — the same rows as a JSON
+  list of ``{experiment, title, headers, rows, note}`` objects, the
+  machine-readable feed for the performance observatory
+  (``repro bench`` / ``BENCH_<runid>.json``; see DESIGN.md §7).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 from typing import Iterable, Sequence
@@ -38,8 +44,9 @@ _SESSION_TABLES: list[str] = []
 
 @pytest.fixture(scope="session")
 def report():
-    """Emit an experiment table to the results dir and the end-of-run
-    summary (pytest's capture would swallow mid-test prints)."""
+    """Emit an experiment table to the results dir (.txt + .json) and
+    the end-of-run summary (pytest's capture would swallow mid-test
+    prints)."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def emit(
@@ -49,16 +56,35 @@ def report():
         rows: Iterable[Sequence[object]],
         note: str = "",
     ) -> None:
-        text = _format_table(f"{experiment}: {title}", headers, rows)
+        materialized = [list(row) for row in rows]  # generators: consume once
+        text = _format_table(f"{experiment}: {title}", headers, materialized)
         if note:
             text += f"   note: {note}\n"
         _SESSION_TABLES.append(text)
         out = RESULTS_DIR / f"{experiment.lower()}.txt"
         with out.open("a") as handle:
             handle.write(text)
+        json_out = RESULTS_DIR / f"{experiment.lower()}.json"
+        tables = (
+            json.loads(json_out.read_text()) if json_out.exists() else []
+        )
+        tables.append(
+            {
+                "experiment": experiment,
+                "title": title,
+                "headers": list(headers),
+                "rows": materialized,
+                "note": note,
+            }
+        )
+        json_out.write_text(
+            json.dumps(tables, indent=2, default=str) + "\n"
+        )
 
     # Fresh results per session.
     for stale in RESULTS_DIR.glob("*.txt"):
+        stale.unlink()
+    for stale in RESULTS_DIR.glob("*.json"):
         stale.unlink()
     return emit
 

@@ -12,6 +12,8 @@ Examples::
     python -m repro evaluate "rpq:knows+" --database graph.edges
     python -m repro contain "rpq:knows knows" "rpq:knows+"
     python -m repro contain "datalog:@router.dl" "datalog:@policy.dl"
+    python -m repro bench run --suite smoke
+    python -m repro bench compare --baseline benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -140,6 +142,86 @@ def _cmd_contain(args: argparse.Namespace) -> int:
     return 0 if result.holds else 1
 
 
+def _latest_run(path: str | None) -> pathlib.Path:
+    """Resolve a run argument: explicit path, or the newest BENCH_*.json."""
+    if path is not None:
+        return pathlib.Path(path)
+    candidates = sorted(pathlib.Path(".").glob("BENCH_*.json"))
+    if not candidates:
+        raise SystemExit(
+            "no BENCH_*.json run documents here; record one with "
+            "`repro bench run` or name one explicitly"
+        )
+    return candidates[-1]
+
+
+def _load_run(path: pathlib.Path) -> dict:
+    import json
+
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"run document {path} does not exist") from None
+    except ValueError as error:
+        raise SystemExit(f"run document {path} is not valid JSON: {error}") from None
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from .obs.perf import run_suite, write_run
+    from .obs.profile import render_profile
+
+    document = run_suite(
+        args.suite, repeats=args.repeats, profile=not args.no_profile
+    )
+    path = write_run(document, path=args.out, directory=args.dir)
+    print(
+        f"bench run {document['run_id']} (suite {document['suite']}, "
+        f"{document['timing_repeats']} timing reps)"
+    )
+    for experiment in document["experiments"]:
+        medians = ", ".join(
+            f"{name} {timing['median_ms']:.3f}ms"
+            for name, timing in experiment["timings"].items()
+        )
+        print(f"  {experiment['id']}: exact series recorded"
+              + (f"; {medians}" if medians else ""))
+    if "profile" in document:
+        print()
+        print(render_profile(document["profile"], top=args.top), end="")
+    print(f"# run written to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .obs.perf import compare_runs, render_comparison
+
+    baseline = _load_run(pathlib.Path(args.baseline))
+    current = _load_run(_latest_run(args.run))
+    comparison = compare_runs(
+        baseline, current, tolerance_mads=args.tolerance_mads
+    )
+    print(render_comparison(comparison), end="")
+    if not comparison.ok:
+        return 1
+    if args.fail_on_timing and comparison.timing_regressions:
+        return 1
+    return 0
+
+
+def _cmd_bench_profile(args: argparse.Namespace) -> int:
+    from .obs.profile import render_profile
+
+    path = _latest_run(args.run)
+    document = _load_run(path)
+    profile = document.get("profile")
+    if not profile:
+        print(f"{path} has no profile section (recorded with --no-profile?)",
+              file=sys.stderr)
+        return 1
+    print(render_profile(profile, top=args.top), end="")
+    return 0
+
+
 def _cmd_rewrite(args: argparse.Namespace) -> int:
     from .rpq.views import answer_using_views, rewrite, view_graph
 
@@ -219,6 +301,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the span tree and dump it as ndjson to PATH",
     )
     contain_p.set_defaults(func=_cmd_contain)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="performance observatory: record, compare, profile bench runs",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+
+    bench_run_p = bench_sub.add_parser(
+        "run", help="execute a bench suite and write BENCH_<runid>.json"
+    )
+    bench_run_p.add_argument(
+        "--suite", choices=("smoke", "full"), default="smoke",
+        help="experiment tier to run (default: smoke)",
+    )
+    bench_run_p.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing samples per workload (best-of-k; default 5)",
+    )
+    bench_run_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the run document here instead of ./BENCH_<runid>.json",
+    )
+    bench_run_p.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory for the default BENCH_<runid>.json name",
+    )
+    bench_run_p.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the traced hotspot-profile section",
+    )
+    bench_run_p.add_argument(
+        "--top", type=int, default=10,
+        help="hotspot rows to print (the file keeps up to 20)",
+    )
+    bench_run_p.set_defaults(func=_cmd_bench_run)
+
+    bench_compare_p = bench_sub.add_parser(
+        "compare",
+        help="gate a run against a baseline (exact series must match "
+        "bit-for-bit; timings are MAD-gated)",
+    )
+    bench_compare_p.add_argument(
+        "run", nargs="?", default=None,
+        help="run document (default: newest ./BENCH_*.json)",
+    )
+    bench_compare_p.add_argument(
+        "--baseline", default="benchmarks/baseline.json",
+        help="baseline run document (default: benchmarks/baseline.json)",
+    )
+    bench_compare_p.add_argument(
+        "--tolerance-mads", type=float, default=4.0,
+        help="timing tolerance in baseline-MAD units (default 4.0)",
+    )
+    bench_compare_p.add_argument(
+        "--fail-on-timing", action="store_true",
+        help="exit non-zero on timing regressions too (default: warn only; "
+        "exact-series mismatches always fail)",
+    )
+    bench_compare_p.set_defaults(func=_cmd_bench_compare)
+
+    bench_profile_p = bench_sub.add_parser(
+        "profile", help="render the hotspot profile stored in a run document"
+    )
+    bench_profile_p.add_argument(
+        "run", nargs="?", default=None,
+        help="run document (default: newest ./BENCH_*.json)",
+    )
+    bench_profile_p.add_argument(
+        "--top", type=int, default=15, help="rows to show (default 15)"
+    )
+    bench_profile_p.set_defaults(func=_cmd_bench_profile)
 
     rewrite_p = sub.add_parser(
         "rewrite", help="rewrite an RPQ over views (maximally contained)"

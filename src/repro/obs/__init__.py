@@ -12,12 +12,19 @@ package makes them inspectable:
 - :mod:`repro.obs.metrics` — a process-local registry of counters,
   gauges, and fixed-bucket histograms; :func:`metrics_snapshot` is the
   machine-readable dump, akin to :func:`repro.cache.cache_stats`.
-- :mod:`repro.obs.export` — ndjson span dumps, flat dicts, and the
-  human tree renderer behind the CLI's ``contain --trace``.
+- :mod:`repro.obs.export` — ndjson span and metrics dumps, flat dicts,
+  and the human tree renderer behind the CLI's ``contain --trace``.
+- :mod:`repro.obs.profile` — span-profile aggregation: many traces
+  merged into one path-keyed hotspot table (calls, cum/self time,
+  p50/p95).
+- :mod:`repro.obs.perf` — the performance observatory: structured
+  bench runs (``BENCH_<runid>.json``) and the run-over-run regression
+  detector (exact series bit-for-bit, timing series MAD-gated).
 
-Entry point: ``check_containment(q1, q2, trace=True)`` returns the span
-tree in ``details["trace"]``; the CLI flags ``--trace`` /
-``--trace-json`` render or dump it.
+Entry points: ``check_containment(q1, q2, trace=True)`` returns the
+span tree in ``details["trace"]`` (CLI: ``contain --trace`` /
+``--trace-json``); ``repro bench run|compare|profile`` drives the
+observatory.
 """
 
 from .trace import NULL_TRACER, NullTracer, Span, Tracer, as_tracer, maybe_span
@@ -32,7 +39,23 @@ from .metrics import (
     metrics_snapshot,
     reset_metrics,
 )
-from .export import flatten_trace, render_trace, trace_from_ndjson, trace_to_ndjson
+from .export import (
+    flatten_trace,
+    metrics_from_ndjson,
+    metrics_to_ndjson,
+    render_trace,
+    trace_from_ndjson,
+    trace_to_ndjson,
+)
+from .profile import SpanProfile, aggregate_traces, render_profile
+from .perf import (
+    compare_runs,
+    environment_fingerprint,
+    render_comparison,
+    run_suite,
+    validate_run,
+    write_run,
+)
 
 __all__ = [
     "NULL_TRACER",
@@ -54,4 +77,15 @@ __all__ = [
     "render_trace",
     "trace_from_ndjson",
     "trace_to_ndjson",
+    "metrics_from_ndjson",
+    "metrics_to_ndjson",
+    "SpanProfile",
+    "aggregate_traces",
+    "render_profile",
+    "compare_runs",
+    "environment_fingerprint",
+    "render_comparison",
+    "run_suite",
+    "validate_run",
+    "write_run",
 ]

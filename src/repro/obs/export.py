@@ -1,4 +1,4 @@
-"""Trace exporters: ndjson, flat dicts, and the human tree renderer.
+"""Trace and metrics exporters: ndjson, flat dicts, the tree renderer.
 
 Three consumers, three shapes:
 
@@ -14,8 +14,11 @@ Three consumers, three shapes:
 - **tree text** (:func:`render_trace`): the ``--trace`` renderer —
   box-drawing tree with per-span duration, tags, counters, and events.
 
-All exporters accept either a :class:`repro.obs.trace.Span` or the
-``to_dict()`` form of one (which is what ``details["trace"]`` holds).
+All trace exporters accept either a :class:`repro.obs.trace.Span` or
+the ``to_dict()`` form of one (which is what ``details["trace"]``
+holds).  Metrics get the matching pair
+:func:`metrics_to_ndjson` / :func:`metrics_from_ndjson`, so bench runs
+persist both telemetry kinds through one uniform ndjson idiom.
 """
 
 from __future__ import annotations
@@ -28,6 +31,8 @@ from .trace import Span
 __all__ = [
     "trace_to_ndjson",
     "trace_from_ndjson",
+    "metrics_to_ndjson",
+    "metrics_from_ndjson",
     "flatten_trace",
     "render_trace",
 ]
@@ -91,6 +96,45 @@ def trace_from_ndjson(text: str) -> dict[str, Any]:
     if root is None:
         raise ValueError("ndjson trace has no root span")
     return root
+
+
+def metrics_to_ndjson(snapshot: dict[str, dict[str, Any]] | None = None) -> str:
+    """Serialize a metrics snapshot to ndjson (one instrument per line).
+
+    With no argument, snapshots the default registry
+    (:func:`repro.obs.metrics.metrics_snapshot`).  Each line carries the
+    instrument's name plus its snapshot fields; lines are name-sorted,
+    so dumps of equal snapshots are byte-identical.
+    """
+    if snapshot is None:
+        from .metrics import metrics_snapshot
+
+        snapshot = metrics_snapshot()
+    lines = [
+        json.dumps({"name": name, **data}, sort_keys=True)
+        for name, data in sorted(snapshot.items())
+    ]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def metrics_from_ndjson(text: str) -> dict[str, dict[str, Any]]:
+    """Parse a metrics ndjson dump back into the snapshot dict form.
+
+    Inverse of :func:`metrics_to_ndjson`: the round-trip returns an
+    equal snapshot.  Duplicate or missing names are malformed dumps.
+    """
+    snapshot: dict[str, dict[str, Any]] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        name = record.pop("name", None)
+        if not isinstance(name, str):
+            raise ValueError(f"metrics ndjson line missing a name: {line!r}")
+        if name in snapshot:
+            raise ValueError(f"metrics ndjson repeats instrument {name!r}")
+        snapshot[name] = record
+    return snapshot
 
 
 def flatten_trace(trace: "Span | dict[str, Any]") -> dict[str, dict[str, Any]]:

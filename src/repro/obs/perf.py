@@ -1,0 +1,684 @@
+"""The performance observatory: structured bench runs + regression gate.
+
+The reproduction targets are *shapes* — state blow-ups and growth rates
+from Lemmas 1-4 / Theorems 5-8 — and shapes regress silently when the
+only record is a human-readable table.  This module makes each bench
+run a machine-checkable document:
+
+- :func:`run_suite` executes a registered experiment suite (``smoke``
+  or ``full``) programmatically and returns one JSON-ready run
+  document: per-experiment **exact structural series** (state counts,
+  fold sizes, oracle agreement, cache outcomes, budget spend — values
+  that must reproduce bit-for-bit on any machine) and **timing series**
+  (best-of-k workloads summarized as median/MAD), plus an environment
+  fingerprint, a metrics/cache snapshot, and an aggregated hotspot
+  profile (:mod:`repro.obs.profile`) saying where the time went.
+- :func:`write_run` persists the document as ``BENCH_<runid>.json``
+  (the bench trajectory's native format).
+- :func:`compare_runs` is the regression detector: against a committed
+  baseline (``benchmarks/baseline.json``), exact series must match
+  **bit-for-bit** (hard gate), while timing series fail only beyond a
+  configurable MAD-based tolerance (soft gate — shared CI runners are
+  noisy, so the CLI treats timing regressions as warnings unless
+  ``--fail-on-timing``).
+
+Exactness discipline: every experiment seeds its RNG, runs a fixed
+workload in a fixed order, and reports only order-independent facts
+(reachable-set sizes, verdicts, counts), so the exact payload is
+identical across platforms and hash seeds.  Timing values never enter
+the exact payload (``elapsed_ms`` is stripped from budget spend).
+
+Regenerate the committed baseline after an intentional shape change::
+
+    PYTHONPATH=src python -m repro bench run --suite smoke \\
+        --out benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from typing import Any, Callable
+
+from .metrics import metrics_snapshot, reset_metrics
+from .profile import SpanProfile
+
+__all__ = [
+    "SCHEMA",
+    "SUITES",
+    "Experiment",
+    "RunComparison",
+    "experiments_for",
+    "time_workload",
+    "environment_fingerprint",
+    "run_suite",
+    "write_run",
+    "validate_run",
+    "compare_runs",
+    "render_comparison",
+]
+
+#: Schema identifier stamped into (and required of) every run document.
+SCHEMA = "repro-bench/1"
+
+#: Known suite tiers: ``smoke`` is the CI-sized subset, ``full`` the sweep.
+SUITES = ("smoke", "full")
+
+
+# --- registry -------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """One registered bench experiment.
+
+    ``build(suite)`` performs the exact-series work and returns
+    ``{"exact": <JSON-stable dict>, "timed": {name: thunk}}``; the
+    harness times each thunk best-of-k afterwards.
+    """
+
+    id: str
+    title: str
+    suites: tuple[str, ...]
+    build: Callable[[str], dict[str, Any]]
+
+
+_EXPERIMENTS: list[Experiment] = []
+
+
+def _experiment(id: str, title: str, suites: tuple[str, ...] = SUITES):
+    def register(fn: Callable[[str], dict[str, Any]]) -> Callable:
+        _EXPERIMENTS.append(Experiment(id, title, suites, fn))
+        return fn
+
+    return register
+
+
+def experiments_for(suite: str) -> list[Experiment]:
+    """The experiments of a suite, in registration (= execution) order."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; known suites: {SUITES}")
+    return [spec for spec in _EXPERIMENTS if suite in spec.suites]
+
+
+# --- timing ---------------------------------------------------------------------
+
+
+def time_workload(fn: Callable[[], Any], repeats: int = 5) -> dict[str, Any]:
+    """Run *fn* ``repeats`` times; report best/median/MAD over the samples.
+
+    Median+MAD (median absolute deviation) is the robust pair: one
+    scheduler hiccup shifts neither, unlike mean/stddev.  ``best_ms``
+    is kept as the low-noise "speed of light" figure.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    median = statistics.median(samples)
+    mad = statistics.median(abs(sample - median) for sample in samples)
+    return {
+        "reps": repeats,
+        "best_ms": round(min(samples), 4),
+        "median_ms": round(median, 4),
+        "mad_ms": round(mad, 4),
+        "samples_ms": [round(sample, 4) for sample in samples],
+    }
+
+
+# --- experiments ----------------------------------------------------------------
+# Each build() reuses the same library calls the pytest benchmarks make
+# (benchmarks/bench_e*.py), trimmed to suite-sized workloads.  Imports
+# are local so `import repro.obs` stays light.
+
+
+@_experiment("E1-oracle", "Lemma 1 pipeline vs brute-force word oracle")
+def _exp_e01(suite: str) -> dict[str, Any]:
+    import itertools
+    import random
+
+    from ..automata.regex import parse_regex, random_regex
+    from ..rpq.containment import rpq_contained
+    from ..rpq.rpq import RPQ
+
+    alphabet = ("a", "b")
+    atoms = ["a", "b", "a b", "a|b", "a*", "a+", "b a", "(a b)*", "a?"]
+    if suite == "smoke":
+        atoms, n_random = atoms[:6], 10
+    else:
+        n_random = 40
+    rng = random.Random(1)
+    pairs = [(parse_regex(x), parse_regex(y)) for x in atoms for y in atoms]
+    pairs += [
+        (random_regex(rng, alphabet, 3), random_regex(rng, alphabet, 3))
+        for _ in range(n_random)
+    ]
+
+    def brute_force_contained(r1, r2, max_length=5) -> bool:
+        n1, n2 = r1.to_nfa(), r2.to_nfa()
+        for length in range(max_length + 1):
+            for word in itertools.product(alphabet, repeat=length):
+                if n1.accepts(word) and not n2.accepts(word):
+                    return False
+        return True
+
+    consistent = inconsistent = positives = 0
+    for r1, r2 in pairs:
+        verdict = rpq_contained(RPQ(r1), RPQ(r2)).holds
+        if verdict and not brute_force_contained(r1, r2):
+            inconsistent += 1
+        else:
+            consistent += 1
+        positives += verdict
+    timed_pairs = pairs[:20]
+
+    def check_pairs() -> None:
+        for r1, r2 in timed_pairs:
+            rpq_contained(RPQ(r1), RPQ(r2))
+
+    return {
+        "exact": {
+            "pairs": len(pairs),
+            "consistent": consistent,
+            "inconsistent": inconsistent,
+            "containments": positives,
+        },
+        "timed": {"rpq-containment-20pairs": check_pairs},
+    }
+
+
+@_experiment("E3-fold-size", "Lemma 3 fold-2NFA state counts vs bound")
+def _exp_e03(suite: str) -> dict[str, Any]:
+    import random
+
+    from ..automata.alphabet import Alphabet
+    from ..automata.dfa import reduce_nfa
+    from ..automata.fold import fold_two_nfa, lemma3_state_bound
+    from ..automata.regex import random_regex
+
+    depths = (2, 3) if suite == "smoke" else (2, 3, 4, 5)
+    rng = random.Random(5)
+    series: list[list[int]] = []
+    largest = None
+    for sigma_size in (1, 2, 3):
+        alphabet = tuple("abc"[:sigma_size])
+        sigma_pm = Alphabet(alphabet).two_way
+        for depth in depths:
+            nfa = reduce_nfa(
+                random_regex(rng, alphabet, depth, allow_inverse=True).to_nfa()
+            )
+            if nfa.num_states == 0:
+                continue
+            folded = fold_two_nfa(nfa, sigma_pm)
+            series.append(
+                [
+                    sigma_size,
+                    nfa.num_states,
+                    folded.num_states,
+                    lemma3_state_bound(nfa, sigma_pm),
+                ]
+            )
+            largest = (nfa, sigma_pm)
+    exact = {
+        "series": series,
+        "all_within_bound": all(row[2] <= row[3] for row in series),
+        "fold_exactly_2n": all(row[2] == 2 * row[1] for row in series),
+    }
+    timed: dict[str, Callable[[], Any]] = {}
+    if largest is not None:
+        nfa, sigma_pm = largest
+
+        def fold_largest() -> None:
+            fold_two_nfa(nfa, sigma_pm)
+
+        timed["fold-largest-nfa"] = fold_largest
+    return {"exact": exact, "timed": timed}
+
+
+@_experiment("E4-complement", "Lemma 4 complement blow-up vs Shepherdson")
+def _exp_e04(suite: str) -> dict[str, Any]:
+    from ..automata.alphabet import Alphabet
+    from ..automata.complement import complement_two_nfa, lemma4_state_bound
+    from ..automata.dfa import reduce_nfa
+    from ..automata.fold import fold_two_nfa
+    from ..automata.regex import parse_regex
+    from ..automata.shepherdson import two_nfa_to_dfa
+
+    family = ["p", "p p", "p p-"]
+    if suite == "full":
+        family.append("p? p")
+    sigma_pm = Alphabet(("p",)).two_way
+    series: list[list[Any]] = []
+    timed_two = None
+    for text in family:
+        two = fold_two_nfa(reduce_nfa(parse_regex(text).to_nfa()), sigma_pm)
+        lemma4 = complement_two_nfa(two, max_states=200_000)
+        shepherdson = two_nfa_to_dfa(two, max_states=200_000)
+        series.append(
+            [
+                text,
+                two.num_states,
+                lemma4.num_states,
+                lemma4_state_bound(two),
+                shepherdson.num_states,
+            ]
+        )
+        timed_two = two
+
+    def complement_largest() -> None:
+        complement_two_nfa(timed_two, max_states=200_000)
+
+    return {
+        "exact": {
+            "series": series,
+            "all_within_bound": all(row[2] <= row[3] for row in series),
+        },
+        "timed": {"lemma4-complement-largest": complement_largest},
+    }
+
+
+@_experiment("engine-cache", "containment cache outcomes and hit accounting")
+def _exp_cache(suite: str) -> dict[str, Any]:
+    from ..automata.regex import parse_regex
+    from ..cache import cache_stats, clear_caches
+    from ..core.engine import check_containment
+    from ..rpq.rpq import RPQ
+
+    clear_caches()
+    pairs = [("a a", "a+"), ("a+", "a a"), ("(a b)+", "(a b)*")]
+    queries = [
+        (RPQ(parse_regex(left)), RPQ(parse_regex(right))) for left, right in pairs
+    ]
+    outcomes: list[list[str]] = []
+    for _ in range(2):  # cold pass then warm pass
+        for q1, q2 in queries:
+            result = check_containment(q1, q2)
+            outcomes.append([result.verdict.value, result.details["cache"]])
+    stats = cache_stats()["containment"]
+    warm_q1, warm_q2 = queries[0]
+
+    def warm_hit() -> None:
+        check_containment(warm_q1, warm_q2)
+
+    return {
+        "exact": {
+            "outcomes": outcomes,
+            "containment_hits": stats["hits"],
+            "containment_misses": stats["misses"],
+        },
+        "timed": {"engine-warm-hit": warm_hit},
+    }
+
+
+@_experiment("budget-degradation", "bounded verdict + spend accounting")
+def _exp_budget(suite: str) -> dict[str, Any]:
+    from ..budget import Budget
+    from ..core.engine import check_containment
+    from ..datalog.parser import parse_program
+
+    program = parse_program(
+        "t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z)."
+    )
+    result = check_containment(program, program, budget=Budget(max_expansions=5))
+    accounting = result.details["budget"]
+    spend = {
+        name: value
+        for name, value in accounting.get("spend", {}).items()
+        if name != "elapsed_ms"  # wall-clock: deterministic counters only
+    }
+    return {
+        "exact": {
+            "verdict": result.verdict.value,
+            "exhausted": accounting.get("exhausted"),
+            "spend": spend,
+        },
+        "timed": {},
+    }
+
+
+# --- the run harness ------------------------------------------------------------
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Where this run happened: python / platform / commit."""
+    try:
+        commit = (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "commit": commit,
+    }
+
+
+def _new_run_id() -> str:
+    return f"{time.strftime('%Y%m%d-%H%M%S')}-{os.urandom(2).hex()}"
+
+
+def _normalize(value: Any) -> Any:
+    """JSON round-trip: stable key order, and non-serializable data fails
+    at record time rather than at file-write time."""
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+#: Traced checks whose merged spans form the run's hotspot profile —
+#: one representative per pipeline family (Lemma 1 automata, Theorem 5
+#: fold, Theorem 8 expansion).
+def _profile_section(top: int = 20) -> dict[str, Any]:
+    from ..automata.regex import parse_regex
+    from ..core.engine import check_containment
+    from ..datalog.parser import parse_program
+    from ..rpq.rpq import RPQ, TwoRPQ
+
+    program = parse_program("t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z).")
+    checks = [
+        (RPQ(parse_regex("(a b)+")), RPQ(parse_regex("(a b)*"))),
+        (TwoRPQ.parse("p"), TwoRPQ.parse("p p- p")),
+        (program, program),
+    ]
+    profile = SpanProfile()
+    for q1, q2 in checks:
+        result = check_containment(q1, q2, trace=True)
+        trace = result.details.get("trace")
+        if trace is not None:
+            profile.add(trace)
+    return profile.to_dict(top)
+
+
+def run_suite(
+    suite: str = "smoke",
+    repeats: int = 5,
+    profile: bool = True,
+    run_id: str | None = None,
+) -> dict[str, Any]:
+    """Execute a suite and return the JSON-ready run document.
+
+    Resets metrics and clears caches first, so the recorded snapshots
+    (and the cache-outcome exact series) describe this run alone.
+    """
+    specs = experiments_for(suite)
+    reset_metrics()
+    from ..cache import cache_stats, clear_caches
+
+    clear_caches()
+    experiments: list[dict[str, Any]] = []
+    for spec in specs:
+        built = spec.build(suite)
+        timings = {
+            name: time_workload(fn, repeats)
+            for name, fn in sorted(built.get("timed", {}).items())
+        }
+        experiments.append(
+            {
+                "id": spec.id,
+                "title": spec.title,
+                "exact": _normalize(built["exact"]),
+                "timings": timings,
+            }
+        )
+    document: dict[str, Any] = {
+        "schema": SCHEMA,
+        "run_id": run_id if run_id is not None else _new_run_id(),
+        "suite": suite,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "timing_repeats": repeats,
+        "environment": environment_fingerprint(),
+        "experiments": experiments,
+        "metrics": metrics_snapshot(),
+        "cache": cache_stats(),
+    }
+    if profile:
+        document["profile"] = _profile_section()
+    problems = validate_run(document)
+    if problems:  # pragma: no cover - the harness emits what it validates
+        raise AssertionError(f"run document failed self-validation: {problems}")
+    return document
+
+
+def write_run(
+    document: dict[str, Any],
+    path: "str | os.PathLike[str] | None" = None,
+    directory: "str | os.PathLike[str]" = ".",
+) -> str:
+    """Persist a run as ``BENCH_<runid>.json`` (or to an explicit *path*)."""
+    import pathlib
+
+    target = (
+        pathlib.Path(path)
+        if path is not None
+        else pathlib.Path(directory) / f"BENCH_{document['run_id']}.json"
+    )
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return str(target)
+
+
+# --- schema validation ----------------------------------------------------------
+
+_TIMING_KEYS = frozenset({"reps", "best_ms", "median_ms", "mad_ms", "samples_ms"})
+
+
+def validate_run(document: Any) -> list[str]:
+    """Schema problems of a run document (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return [f"run document must be a dict, not {type(document).__name__}"]
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    if not isinstance(document.get("run_id"), str) or not document.get("run_id"):
+        problems.append("run_id must be a non-empty string")
+    if document.get("suite") not in SUITES:
+        problems.append(f"suite {document.get('suite')!r} not in {SUITES}")
+    environment = document.get("environment")
+    if not isinstance(environment, dict) or not {
+        "python",
+        "platform",
+        "commit",
+    } <= set(environment or ()):
+        problems.append("environment fingerprint missing python/platform/commit")
+    if not isinstance(document.get("metrics"), dict):
+        problems.append("metrics snapshot missing")
+    experiments = document.get("experiments")
+    if not isinstance(experiments, list) or not experiments:
+        problems.append("experiments must be a non-empty list")
+        return problems
+    for position, experiment in enumerate(experiments):
+        label = (
+            experiment.get("id", f"#{position}")
+            if isinstance(experiment, dict)
+            else f"#{position}"
+        )
+        if not isinstance(experiment, dict):
+            problems.append(f"experiment {label}: not a dict")
+            continue
+        if not isinstance(experiment.get("id"), str):
+            problems.append(f"experiment {label}: missing id")
+        if not isinstance(experiment.get("exact"), dict):
+            problems.append(f"experiment {label}: missing exact series")
+        timings = experiment.get("timings")
+        if not isinstance(timings, dict):
+            problems.append(f"experiment {label}: missing timings dict")
+            continue
+        for name, timing in timings.items():
+            if not isinstance(timing, dict) or not _TIMING_KEYS <= set(timing):
+                problems.append(
+                    f"experiment {label}: timing {name!r} missing "
+                    f"{sorted(_TIMING_KEYS - set(timing or ()))}"
+                )
+    return problems
+
+
+# --- the regression detector ----------------------------------------------------
+
+
+@dataclasses.dataclass
+class RunComparison:
+    """Outcome of :func:`compare_runs` (render with :func:`render_comparison`).
+
+    ``ok`` reflects the hard gate only: exact structural series (and
+    schema/coverage problems).  Timing regressions live in their own
+    list so callers choose the soft-gate policy (CI warns; local runs
+    may ``--fail-on-timing``).
+    """
+
+    exact_failures: list[str] = dataclasses.field(default_factory=list)
+    timing_regressions: list[dict[str, Any]] = dataclasses.field(default_factory=list)
+    timing_improvements: list[dict[str, Any]] = dataclasses.field(default_factory=list)
+    notes: list[str] = dataclasses.field(default_factory=list)
+    exact_checked: int = 0
+    timings_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.exact_failures
+
+
+def compare_runs(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tolerance_mads: float = 4.0,
+    rel_floor: float = 0.25,
+    abs_floor_ms: float = 0.05,
+) -> RunComparison:
+    """Compare *current* against *baseline*.
+
+    Exact series are compared bit-for-bit (after JSON normalization);
+    any difference, missing experiment, or schema problem is a hard
+    failure.  A timing workload regresses when its median exceeds the
+    baseline median by more than ``tolerance_mads`` times the noise
+    scale ``max(baseline MAD, rel_floor * median, abs_floor_ms)`` —
+    the floors keep a freakishly quiet baseline (MAD ~ 0) from turning
+    scheduler jitter into alarms.  Symmetric improvements are reported
+    informationally.
+    """
+    comparison = RunComparison()
+    for role, document in (("baseline", baseline), ("current", current)):
+        for problem in validate_run(document):
+            comparison.exact_failures.append(f"{role}: {problem}")
+    if comparison.exact_failures:
+        return comparison
+    if baseline["suite"] != current["suite"]:
+        comparison.exact_failures.append(
+            f"suite mismatch: baseline ran {baseline['suite']!r}, "
+            f"current ran {current['suite']!r}"
+        )
+        return comparison
+    base_by_id = {exp["id"]: exp for exp in baseline["experiments"]}
+    current_by_id = {exp["id"]: exp for exp in current["experiments"]}
+    for extra in sorted(set(current_by_id) - set(base_by_id)):
+        comparison.notes.append(
+            f"{extra}: new experiment (not in baseline; add it by regenerating)"
+        )
+    for experiment_id, base_exp in base_by_id.items():
+        current_exp = current_by_id.get(experiment_id)
+        if current_exp is None:
+            comparison.exact_failures.append(
+                f"{experiment_id}: experiment missing from current run"
+            )
+            continue
+        base_exact = _normalize(base_exp["exact"])
+        current_exact = _normalize(current_exp["exact"])
+        comparison.exact_checked += 1
+        if base_exact != current_exact:
+            for key in sorted(set(base_exact) | set(current_exact)):
+                expected = base_exact.get(key)
+                measured = current_exact.get(key)
+                if expected != measured:
+                    comparison.exact_failures.append(
+                        f"{experiment_id}: exact series {key!r} changed: "
+                        f"baseline {_shorten(expected)} != current {_shorten(measured)}"
+                    )
+        for workload, base_timing in base_exp["timings"].items():
+            current_timing = current_exp["timings"].get(workload)
+            if current_timing is None:
+                comparison.notes.append(
+                    f"{experiment_id}: timing workload {workload!r} "
+                    "missing from current run"
+                )
+                continue
+            comparison.timings_checked += 1
+            base_median = float(base_timing["median_ms"])
+            noise = max(
+                float(base_timing["mad_ms"]),
+                rel_floor * base_median,
+                abs_floor_ms,
+            )
+            delta = float(current_timing["median_ms"]) - base_median
+            record = {
+                "experiment": experiment_id,
+                "workload": workload,
+                "baseline_median_ms": base_median,
+                "current_median_ms": float(current_timing["median_ms"]),
+                "delta_ms": round(delta, 4),
+                "threshold_ms": round(tolerance_mads * noise, 4),
+            }
+            if delta > tolerance_mads * noise:
+                comparison.timing_regressions.append(record)
+            elif -delta > tolerance_mads * noise:
+                comparison.timing_improvements.append(record)
+    return comparison
+
+
+def _shorten(value: Any, limit: int = 120) -> str:
+    text = json.dumps(value, sort_keys=True, default=str)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def render_comparison(comparison: RunComparison) -> str:
+    """The human report behind ``repro bench compare``."""
+    lines: list[str] = []
+    if comparison.ok:
+        lines.append(
+            f"OK: {comparison.exact_checked} exact series match bit-for-bit, "
+            f"{comparison.timings_checked} timing series checked"
+        )
+    else:
+        lines.append(
+            f"FAIL: {len(comparison.exact_failures)} exact-series failure(s)"
+        )
+        for failure in comparison.exact_failures:
+            lines.append(f"  ! {failure}")
+    if comparison.timing_regressions:
+        lines.append(
+            f"timing regressions ({len(comparison.timing_regressions)}; "
+            "median beyond MAD tolerance):"
+        )
+        for record in comparison.timing_regressions:
+            lines.append(
+                f"  ~ {record['experiment']}/{record['workload']}: "
+                f"{record['baseline_median_ms']:.3f} -> "
+                f"{record['current_median_ms']:.3f} ms "
+                f"(+{record['delta_ms']:.3f}, tolerance {record['threshold_ms']:.3f})"
+            )
+    else:
+        lines.append("timing: no regressions beyond tolerance")
+    for record in comparison.timing_improvements:
+        lines.append(
+            f"  + improvement {record['experiment']}/{record['workload']}: "
+            f"{record['baseline_median_ms']:.3f} -> "
+            f"{record['current_median_ms']:.3f} ms"
+        )
+    for note in comparison.notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines) + "\n"

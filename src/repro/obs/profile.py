@@ -1,0 +1,172 @@
+"""Span-profile aggregation: many traces in, one hotspot table out.
+
+A single trace (:mod:`repro.obs.trace`) answers "where did *this* check
+spend its time"; the performance observatory needs the same answer for
+a *population* of checks — the bench harness runs an experiment dozens
+of times and wants one path-keyed profile saying which stages are hot.
+:class:`SpanProfile` is that accumulator:
+
+- **keys** are span-name paths from the root (``"check-containment/
+  fold"``).  Same-named siblings merge (unlike
+  :func:`repro.obs.export.flatten_trace`, which disambiguates them —
+  flattening preserves a tree, profiling aggregates one).
+- **recursive spans fold**: a span whose name already appears among its
+  ancestors is charged to the *nearest* ancestor's key, so recursion
+  of any depth yields one stable key instead of an unbounded family
+  (``a/b/b/b`` profiles as ``a/b``), and its cumulative time is not
+  double-counted (only top-most occurrences of a key add to
+  ``cum_ms`` and the per-call samples).
+- **self time** is a span's duration minus its direct children's
+  (clamped at zero — clock jitter can make children sum slightly past
+  the parent), summed over every occurrence.  Self times partition the
+  root's duration, so the profile's self column is where optimization
+  effort should go.
+- **percentiles** (p50/p95) are nearest-rank over the per-call
+  durations of top-most occurrences.
+
+The aggregate attaches to each recorded bench run (``profile`` section
+of ``BENCH_<runid>.json``) and renders as a top-N table via
+:func:`render_profile` (the ``repro bench profile`` command).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from .trace import Span
+
+__all__ = [
+    "SpanProfile",
+    "aggregate_traces",
+    "render_profile",
+]
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample list (0 if empty)."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
+class _Entry:
+    __slots__ = ("path", "calls", "cum_ms", "self_ms", "samples")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.calls = 0
+        self.cum_ms = 0.0
+        self.self_ms = 0.0
+        self.samples: list[float] = []  # per-call durations, top-most only
+
+    def row(self) -> dict[str, Any]:
+        ordered = sorted(self.samples)
+        return {
+            "path": self.path,
+            "calls": self.calls,
+            "cum_ms": round(self.cum_ms, 4),
+            "self_ms": round(self.self_ms, 4),
+            "p50_ms": round(_percentile(ordered, 0.50), 4),
+            "p95_ms": round(_percentile(ordered, 0.95), 4),
+            "max_ms": round(max(ordered, default=0.0), 4),
+        }
+
+
+class SpanProfile:
+    """Accumulates span trees into a path-keyed hotspot profile."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+        self.traces = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def add(self, trace: "Span | dict[str, Any]") -> None:
+        """Merge one trace (a Span or its ``to_dict()`` form) into the profile."""
+        root = trace.to_dict() if isinstance(trace, Span) else trace
+        self.traces += 1
+        self._visit(root, "")
+
+    def add_many(self, traces: Iterable["Span | dict[str, Any]"]) -> None:
+        for trace in traces:
+            self.add(trace)
+
+    def _visit(self, node: dict[str, Any], parent_key: str) -> None:
+        name = node["name"]
+        segments = parent_key.split("/") if parent_key else []
+        if name in segments:
+            # Recursive frame: charge the nearest ancestor with this name
+            # (stable key, and cum_ms counted once at the top-most frame).
+            cut = len(segments) - 1 - segments[::-1].index(name)
+            key = "/".join(segments[: cut + 1])
+            top_most = False
+        else:
+            key = f"{parent_key}/{name}" if parent_key else name
+            top_most = True
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = _Entry(key)
+        duration = float(node.get("duration_ms", 0.0))
+        children = node.get("children", ())
+        child_total = sum(float(c.get("duration_ms", 0.0)) for c in children)
+        entry.calls += 1
+        entry.self_ms += max(0.0, duration - child_total)
+        if top_most:
+            entry.cum_ms += duration
+            entry.samples.append(duration)
+        for child in children:
+            self._visit(child, key)
+
+    # -- reading ---------------------------------------------------------------
+
+    def rows(self, top: int | None = None) -> list[dict[str, Any]]:
+        """Profile rows, hottest self-time first (ties break on path)."""
+        ordered = sorted(
+            (entry.row() for entry in self._entries.values()),
+            key=lambda row: (-row["self_ms"], row["path"]),
+        )
+        return ordered[:top] if top is not None else ordered
+
+    def to_dict(self, top: int | None = None) -> dict[str, Any]:
+        """JSON-ready form: the shape stored in ``BENCH_<runid>.json``."""
+        return {"traces": self.traces, "entries": self.rows(top)}
+
+
+def aggregate_traces(traces: Iterable["Span | dict[str, Any]"]) -> SpanProfile:
+    """Build a :class:`SpanProfile` from an iterable of traces."""
+    profile = SpanProfile()
+    profile.add_many(traces)
+    return profile
+
+
+_COLUMNS = ("path", "calls", "cum_ms", "self_ms", "p50_ms", "p95_ms", "max_ms")
+
+
+def render_profile(
+    profile: "SpanProfile | dict[str, Any]", top: int = 15
+) -> str:
+    """Top-N hotspot table (accepts a profile or its ``to_dict()`` form)."""
+    data = profile.to_dict(top) if isinstance(profile, SpanProfile) else profile
+    rows = data.get("entries", [])[:top]
+    traces = data.get("traces", 0)
+    rendered = [
+        [
+            str(row["path"]),
+            str(row["calls"]),
+            *(f"{float(row[col]):.3f}" for col in _COLUMNS[2:]),
+        ]
+        for row in rows
+    ]
+    headers = ["span path", "calls", "cum ms", "self ms", "p50 ms", "p95 ms", "max ms"]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"hotspot profile ({traces} traces, top {len(rendered)} by self time)"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"

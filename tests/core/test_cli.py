@@ -140,3 +140,143 @@ class TestLoadDatabase:
         from repro.graphdb.database import GraphDatabase
 
         assert isinstance(load_database(graph_file), GraphDatabase)
+
+
+class TestTraceFlags:
+    def test_contain_trace_renders_span_tree(self, capsys):
+        assert main(["contain", "rpq:a a", "rpq:a+", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "check-containment" in out
+        assert "ms" in out
+
+    def test_contain_trace_json_round_trips(self, capsys, tmp_path):
+        from repro.obs.export import trace_from_ndjson, trace_to_ndjson
+
+        target = tmp_path / "trace.ndjson"
+        assert main(
+            ["contain", "rpq:a a", "rpq:a+", "--trace-json", str(target)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert str(target) in err
+        text = target.read_text()
+        tree = trace_from_ndjson(text)
+        assert tree["name"] == "check-containment"
+        assert trace_to_ndjson(tree) == text  # exact ndjson round-trip
+
+    def test_trace_json_implies_tracing_without_rendering(self, capsys, tmp_path):
+        target = tmp_path / "t.ndjson"
+        main(["contain", "rpq:a a", "rpq:a+", "--trace-json", str(target)])
+        out = capsys.readouterr().out
+        # verdict line yes, rendered tree no
+        assert "HOLDS" in out
+        assert "└─" not in out
+        assert target.exists()
+
+    def test_trace_json_on_refuted_check(self, tmp_path):
+        from repro.obs.export import trace_from_ndjson
+
+        target = tmp_path / "refuted.ndjson"
+        assert main(
+            ["contain", "rpq:a+", "rpq:a a", "--trace-json", str(target)]
+        ) == 1
+        assert trace_from_ndjson(target.read_text())["name"] == (
+            "check-containment"
+        )
+
+
+class TestBenchCommands:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        """One recorded smoke run shared by the class (bench runs cost ~1s)."""
+        directory = tmp_path_factory.mktemp("bench")
+        import contextlib
+        import os
+
+        @contextlib.contextmanager
+        def chdir(path):
+            previous = os.getcwd()
+            os.chdir(path)
+            try:
+                yield
+            finally:
+                os.chdir(previous)
+
+        with chdir(directory):
+            assert main(["bench", "run", "--suite", "smoke", "--repeats", "1"]) == 0
+        return directory
+
+    def _run_file(self, run_dir):
+        candidates = sorted(run_dir.glob("BENCH_*.json"))
+        assert len(candidates) == 1
+        return candidates[0]
+
+    def test_run_writes_schema_valid_document(self, run_dir):
+        import json
+
+        from repro.obs.perf import validate_run
+
+        document = json.loads(self._run_file(run_dir).read_text())
+        assert validate_run(document) == []
+        assert document["suite"] == "smoke"
+        assert "profile" in document
+
+    def test_compare_identical_exits_zero(self, run_dir, capsys):
+        path = str(self._run_file(run_dir))
+        assert main(["bench", "compare", path, "--baseline", path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_perturbed_exact_exits_nonzero(self, run_dir, tmp_path, capsys):
+        import json
+
+        document = json.loads(self._run_file(run_dir).read_text())
+        document["experiments"][0]["exact"]["pairs"] = 99999
+        perturbed = tmp_path / "perturbed.json"
+        perturbed.write_text(json.dumps(document))
+        code = main(
+            ["bench", "compare", str(perturbed),
+             "--baseline", str(self._run_file(run_dir))]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_fail_on_timing_flag(self, run_dir, tmp_path):
+        import json
+
+        document = json.loads(self._run_file(run_dir).read_text())
+        for experiment in document["experiments"]:
+            for timing in experiment["timings"].values():
+                timing["median_ms"] = timing["median_ms"] * 1000 + 100
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(document))
+        base = str(self._run_file(run_dir))
+        assert main(["bench", "compare", str(slow), "--baseline", base]) == 0
+        assert main(
+            ["bench", "compare", str(slow), "--baseline", base,
+             "--fail-on-timing"]
+        ) == 1
+
+    def test_compare_missing_baseline_errors(self, run_dir):
+        with pytest.raises(SystemExit):
+            main(
+                ["bench", "compare", str(self._run_file(run_dir)),
+                 "--baseline", "/nonexistent/baseline.json"]
+            )
+
+    def test_profile_renders_hotspots(self, run_dir, capsys):
+        assert main(
+            ["bench", "profile", str(self._run_file(run_dir)), "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hotspot profile" in out
+        assert "check-containment" in out
+
+    def test_profile_without_section_exits_one(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.perf import run_suite
+
+        document = run_suite("smoke", repeats=1, profile=False)
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(document))
+        assert main(["bench", "profile", str(bare)]) == 1
+        assert "no profile" in capsys.readouterr().err

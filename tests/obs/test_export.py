@@ -8,10 +8,13 @@ import pytest
 
 from repro.obs.export import (
     flatten_trace,
+    metrics_from_ndjson,
+    metrics_to_ndjson,
     render_trace,
     trace_from_ndjson,
     trace_to_ndjson,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
 
@@ -110,3 +113,50 @@ class TestRender:
     def test_render_accepts_the_dict_form(self):
         tracer = _sample_tracer()
         assert render_trace(tracer.to_dict()) == render_trace(tracer.root)
+
+
+class TestMetricsNdjson:
+    def _sample_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.checks").inc(5)
+        registry.gauge("pool.size").set(3)
+        histogram = registry.histogram("engine.check_ms", buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(25.0)
+        return registry.snapshot()
+
+    def test_round_trip(self):
+        snapshot = self._sample_snapshot()
+        assert metrics_from_ndjson(metrics_to_ndjson(snapshot)) == snapshot
+
+    def test_one_instrument_per_line_name_sorted(self):
+        lines = metrics_to_ndjson(self._sample_snapshot()).splitlines()
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == sorted(names)
+        assert len(names) == 3
+
+    def test_default_registry_snapshot(self):
+        # No argument: dumps the process registry (engine metrics exist
+        # once the engine module has been imported anywhere).
+        from repro.core.engine import check_containment  # noqa: F401
+
+        dump = metrics_to_ndjson()
+        assert "engine.checks" in dump
+
+    def test_empty_snapshot_round_trips(self):
+        assert metrics_to_ndjson({}) == ""
+        assert metrics_from_ndjson("") == {}
+
+    def test_blank_lines_skipped(self):
+        snapshot = self._sample_snapshot()
+        text = metrics_to_ndjson(snapshot).replace("\n", "\n\n")
+        assert metrics_from_ndjson(text) == snapshot
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ValueError, match="missing a name"):
+            metrics_from_ndjson('{"type": "counter", "value": 1}\n')
+
+    def test_duplicate_name_rejected(self):
+        line = '{"name": "x", "type": "counter", "value": 1}\n'
+        with pytest.raises(ValueError, match="repeats"):
+            metrics_from_ndjson(line + line)

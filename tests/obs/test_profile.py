@@ -1,0 +1,165 @@
+"""Tests for the span-profile aggregator (repro.obs.profile)."""
+
+import pytest
+
+from repro.obs.profile import SpanProfile, aggregate_traces, render_profile
+from repro.obs.trace import Tracer
+
+
+def span(name, duration, children=()):
+    """A minimal to_dict()-shaped span node."""
+    return {
+        "name": name,
+        "start_ms": 0.0,
+        "duration_ms": duration,
+        "children": list(children),
+    }
+
+
+def entries_by_path(profile, top=None):
+    return {row["path"]: row for row in profile.rows(top)}
+
+
+class TestMerging:
+    def trace_one(self):
+        #  check(10) -> fold(2), search(6)
+        return span("check", 10.0, [span("fold", 2.0), span("search", 6.0)])
+
+    def trace_two(self):
+        #  check(20) -> fold(4), search(10), render(1)
+        return span(
+            "check",
+            20.0,
+            [span("fold", 4.0), span("search", 10.0), span("render", 1.0)],
+        )
+
+    def test_call_counts_across_traces(self):
+        profile = aggregate_traces([self.trace_one(), self.trace_two()])
+        rows = entries_by_path(profile)
+        assert profile.traces == 2
+        assert rows["check"]["calls"] == 2
+        assert rows["check/fold"]["calls"] == 2
+        assert rows["check/search"]["calls"] == 2
+        assert rows["check/render"]["calls"] == 1
+
+    def test_cumulative_and_self_time(self):
+        profile = aggregate_traces([self.trace_one(), self.trace_two()])
+        rows = entries_by_path(profile)
+        assert rows["check"]["cum_ms"] == pytest.approx(30.0)
+        # self = cumulative - direct children, per occurrence, summed:
+        # (10 - 8) + (20 - 15) = 7
+        assert rows["check"]["self_ms"] == pytest.approx(7.0)
+        # leaves: self == cum
+        assert rows["check/fold"]["self_ms"] == pytest.approx(6.0)
+        assert rows["check/fold"]["cum_ms"] == pytest.approx(6.0)
+
+    def test_same_named_siblings_merge(self):
+        trace = span("check", 9.0, [span("step", 3.0), span("step", 4.0)])
+        rows = entries_by_path(aggregate_traces([trace]))
+        assert rows["check/step"]["calls"] == 2
+        assert rows["check/step"]["cum_ms"] == pytest.approx(7.0)
+
+    def test_self_time_clamped_at_zero(self):
+        # Clock jitter: children can sum past the parent duration.
+        trace = span("check", 1.0, [span("step", 1.2)])
+        rows = entries_by_path(aggregate_traces([trace]))
+        assert rows["check"]["self_ms"] == 0.0
+
+
+class TestRecursion:
+    def test_recursive_spans_fold_to_stable_key(self):
+        # expand -> expand -> expand: one key no matter the depth.
+        trace = span(
+            "check",
+            10.0,
+            [span("expand", 8.0, [span("expand", 5.0, [span("expand", 2.0)])])],
+        )
+        rows = entries_by_path(aggregate_traces([trace]))
+        assert set(rows) == {"check", "check/expand"}
+        assert rows["check/expand"]["calls"] == 3
+
+    def test_recursive_cum_counts_topmost_only(self):
+        trace = span(
+            "check", 10.0, [span("expand", 8.0, [span("expand", 5.0)])]
+        )
+        rows = entries_by_path(aggregate_traces([trace]))
+        # cum charges the outermost frame once (8), not 8 + 5.
+        assert rows["check/expand"]["cum_ms"] == pytest.approx(8.0)
+        # self still accumulates per frame: (8 - 5) + 5 = 8.
+        assert rows["check/expand"]["self_ms"] == pytest.approx(8.0)
+
+    def test_mutual_recursion_folds_to_nearest_ancestor(self):
+        # a/b/a: inner "a" charges the root "a" key, children hang below it.
+        trace = span(
+            "a", 10.0, [span("b", 8.0, [span("a", 4.0, [span("c", 1.0)])])]
+        )
+        rows = entries_by_path(aggregate_traces([trace]))
+        assert set(rows) == {"a", "a/b", "a/c"}
+        assert rows["a"]["calls"] == 2
+        assert rows["a"]["cum_ms"] == pytest.approx(10.0)
+
+    def test_child_of_recursive_frame_keys_under_folded_path(self):
+        trace = span(
+            "check",
+            10.0,
+            [span("expand", 8.0, [span("expand", 5.0, [span("leaf", 1.0)])])],
+        )
+        rows = entries_by_path(aggregate_traces([trace]))
+        assert "check/expand/leaf" in rows
+
+
+class TestStats:
+    def test_percentiles_nearest_rank(self):
+        profile = SpanProfile()
+        for duration in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0):
+            profile.add(span("check", duration))
+        row = entries_by_path(profile)["check"]
+        assert row["p50_ms"] == pytest.approx(5.0)
+        assert row["p95_ms"] == pytest.approx(10.0)
+        assert row["max_ms"] == pytest.approx(10.0)
+        assert row["calls"] == 10
+
+    def test_rows_sorted_by_self_time_with_top(self):
+        trace = span(
+            "check", 100.0, [span("hot", 60.0), span("cold", 1.0)]
+        )
+        profile = aggregate_traces([trace])
+        ordered = [row["path"] for row in profile.rows()]
+        assert ordered == ["check/hot", "check", "check/cold"]
+        assert [row["path"] for row in profile.rows(top=1)] == ["check/hot"]
+
+    def test_to_dict_shape(self):
+        profile = aggregate_traces([span("check", 1.0)])
+        data = profile.to_dict(top=5)
+        assert data["traces"] == 1
+        assert data["entries"][0]["path"] == "check"
+
+
+class TestInputsAndRendering:
+    def test_accepts_live_tracer_spans(self):
+        tracer = Tracer()
+        with tracer.span("check"):
+            with tracer.span("fold"):
+                pass
+        profile = SpanProfile()
+        profile.add(tracer.root)  # a Span object, not a dict
+        assert "check/fold" in entries_by_path(profile)
+
+    def test_render_contains_paths_and_counts(self):
+        profile = aggregate_traces(
+            [span("check", 10.0, [span("fold", 2.0)])] * 2
+        )
+        text = render_profile(profile, top=10)
+        assert "check/fold" in text
+        assert "2 traces" in text
+        assert "self ms" in text
+
+    def test_render_accepts_dict_form(self):
+        profile = aggregate_traces([span("check", 1.0)])
+        assert render_profile(profile.to_dict()) == render_profile(profile)
+
+    def test_render_respects_top(self):
+        trace = span("check", 10.0, [span(f"s{i}", 1.0) for i in range(9)])
+        text = render_profile(aggregate_traces([trace]), top=3)
+        assert "top 3" in text
+        assert len(text.strip().splitlines()) == 3 + 3  # header block + 3 rows
