@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import contextlib
 import gc
+import threading
 import time
 from dataclasses import dataclass, fields
 from typing import Any, Iterator, Mapping
@@ -194,6 +195,12 @@ class BudgetMeter:
     :meth:`check_deadline` (wall clock) at loop heads.  All raise
     :class:`BudgetExhausted` on exhaustion — cooperatively, so a caller
     can catch the signal at a clean point and report how far it got.
+
+    Ownership: a meter belongs to the single check that started it —
+    each worker in a batch runs its own meter (meters are created
+    inside the dispatched procedure, per call, never shared).  The
+    frozen :class:`Budget` *specification* is safely shared across
+    threads; the mutable meter is not.
     """
 
     __slots__ = ("budget", "spent", "_start", "_deadline", "_events")
@@ -252,6 +259,16 @@ class BudgetMeter:
         return {**self.spent, "elapsed_ms": round(self.elapsed_ms(), 3)}
 
 
+#: Refcount for nested/concurrent :func:`deadline_scope` entries.  The
+#: cyclic collector is a process-global switch, so concurrent deadline
+#: checks (the batch layer's worker threads) must not re-enable it
+#: while a sibling check is still inside its scope: the first scope in
+#: disables GC, the last one out restores it.
+_GC_SCOPE_LOCK = threading.Lock()
+_gc_scope_depth = 0
+_gc_was_enabled = False
+
+
 @contextlib.contextmanager
 def deadline_scope(budget: Budget | None) -> Iterator[None]:
     """Suppress cyclic-GC pauses while a deadline-bearing check runs.
@@ -264,15 +281,29 @@ def deadline_scope(budget: Budget | None) -> Iterator[None]:
     polls.  Within this scope the cyclic collector is paused (and
     restored on exit, including on :class:`BudgetExhausted` unwinds).
     No-op when *budget* has no deadline or GC is already disabled.
+
+    Thread-safe and re-entrant: overlapping scopes (concurrent batch
+    workers, escalation rounds inside an outer scope) refcount the
+    toggle, so GC is re-enabled only when the outermost scope exits —
+    never mid-flight under a sibling thread's deadline check.
     """
-    if budget is None or budget.deadline_ms is None or not gc.isenabled():
+    global _gc_scope_depth, _gc_was_enabled
+    if budget is None or budget.deadline_ms is None:
         yield
         return
-    gc.disable()
+    with _GC_SCOPE_LOCK:
+        if _gc_scope_depth == 0:
+            _gc_was_enabled = gc.isenabled()
+            if _gc_was_enabled:
+                gc.disable()
+        _gc_scope_depth += 1
     try:
         yield
     finally:
-        gc.enable()
+        with _GC_SCOPE_LOCK:
+            _gc_scope_depth -= 1
+            if _gc_scope_depth == 0 and _gc_was_enabled:
+                gc.enable()
 
 
 def as_budget(budget: Budget | None, **legacy: Any) -> Budget:

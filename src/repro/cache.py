@@ -26,11 +26,21 @@ Canonical-key rules (see DESIGN.md "Performance architecture"):
 
 :func:`clear_caches` resets contents (benchmarks call it between
 ablation arms so both arms compile from cold).
+
+Concurrency (DESIGN.md "Concurrency architecture"): every cache is
+thread-safe.  A per-cache re-entrant lock guards the entry table and
+the counters, and :meth:`LRUCache.get_or_compute` is **single-flight**:
+concurrent misses on the same key run ``compute()`` exactly once — the
+first caller computes while the rest wait on the in-flight entry and
+are then served (and counted) as hits.  Stats therefore stay exact
+under the batch layer's worker pools: one cold key costs one miss and
+one compute no matter how many workers race on it.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterator, Mapping
@@ -68,7 +78,14 @@ def use_caching(enabled: bool = True) -> Iterator[None]:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache (surfaced to benchmarks)."""
+    """Hit/miss/eviction counters for one cache (surfaced to benchmarks).
+
+    The object identity is part of the contract: resets happen **in
+    place** (:meth:`reset`), so a handle hoisted once (``stats =
+    cache.stats``) keeps reporting the live counters across
+    :func:`clear_caches` — the same convention as
+    :meth:`repro.obs.metrics.MetricsRegistry.reset`.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -83,6 +100,24 @@ class CacheStats:
         """Fraction of requests served from cache (0.0 when unused)."""
         return self.hits / self.requests if self.requests else 0.0
 
+    def reset(self) -> None:
+        """Zero the counters in place (hoisted handles stay valid)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class _InFlight:
+    """One in-progress ``get_or_compute`` computation (single-flight)."""
+
+    __slots__ = ("event", "owner", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.owner = threading.get_ident()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
 
 class LRUCache:
     """A bounded least-recently-used cache with instrumentation.
@@ -90,6 +125,11 @@ class LRUCache:
     ``None`` is not a legal cached value (:meth:`get` uses it as the
     miss sentinel); every value in this package is a result object, so
     the restriction costs nothing.
+
+    Thread-safe: a re-entrant lock guards the entry table and counters,
+    and :meth:`get_or_compute` is single-flight (see module docstring).
+    ``compute()`` itself always runs outside the lock, so a computation
+    may recurse into the same cache freely.
     """
 
     def __init__(self, name: str, maxsize: int = 1024) -> None:
@@ -97,6 +137,8 @@ class LRUCache:
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self._inflight: dict[Hashable, _InFlight] = {}
         _REGISTRY[name] = self
 
     def __len__(self) -> int:
@@ -106,14 +148,15 @@ class LRUCache:
         """Look up *key*, counting a hit or miss; no-op when disabled."""
         if not _CACHING_ENABLED:
             return default
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Look up *key* without touching counters or LRU order.
@@ -124,30 +167,91 @@ class LRUCache:
         """
         if not _CACHING_ENABLED:
             return default
-        return self._entries.get(key, default)
+        with self._lock:
+            return self._entries.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting LRU past ``maxsize``."""
         if not _CACHING_ENABLED or value is None:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """``get`` falling back to ``compute()`` (whose result is stored)."""
-        value = self.get(key)
-        if value is None:
+        """``get`` falling back to ``compute()`` — run exactly once per key.
+
+        Single-flight: when several threads miss the same cold key
+        concurrently, one (the *leader*) runs ``compute()`` while the
+        rest block on the in-flight entry and receive the leader's
+        value.  Exactly one miss is counted (the leader's); followers
+        count as hits, because they were served without computing —
+        so the counters match what a sequential interleaving of the
+        same requests would have recorded.  If the leader's compute
+        raises, followers re-raise the same exception and nothing is
+        cached.  A re-entrant call from the leader's own ``compute()``
+        on the same key (pathological but possible) computes directly
+        instead of deadlocking.
+        """
+        if not _CACHING_ENABLED:
+            return compute()
+        while True:
+            with self._lock:
+                value = self._entries.get(key)
+                if value is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return value
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    self.stats.misses += 1
+                    break  # this thread is the leader
+                if flight.owner == threading.get_ident():
+                    # Re-entrant same-key compute: fall back to direct
+                    # computation rather than waiting on ourselves.
+                    self.stats.misses += 1
+                    value = compute()
+                    self.put(key, value)
+                    return value
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            if flight.value is not None:
+                with self._lock:
+                    self.stats.hits += 1
+                return flight.value
+            # Leader computed None (uncacheable): loop and retry fresh.
+        try:
             value = compute()
-            self.put(key, value)
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        self.put(key, value)
+        flight.value = value
+        with self._lock:
+            self._inflight.pop(key, None)
+        flight.event.set()
         return value
 
     def clear(self, reset_stats: bool = False) -> None:
-        self._entries.clear()
-        if reset_stats:
-            self.stats = CacheStats()
+        """Empty the cache; optionally zero the counters **in place**.
+
+        The stats object is never rebound: hoisted ``cache.stats``
+        handles keep observing the live counters after a clear (the
+        contract :mod:`repro.obs.metrics` documents for its registry).
+        """
+        with self._lock:
+            self._entries.clear()
+            if reset_stats:
+                self.stats.reset()
 
 
 # --- registry -------------------------------------------------------------------

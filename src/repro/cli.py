@@ -12,8 +12,15 @@ Examples::
     python -m repro evaluate "rpq:knows+" --database graph.edges
     python -m repro contain "rpq:knows knows" "rpq:knows+"
     python -m repro contain "datalog:@router.dl" "datalog:@policy.dl"
+    python -m repro batch workload.ndjson --workers 4 --backend thread
     python -m repro bench run --suite smoke
     python -m repro bench compare --baseline benchmarks/baseline.json
+
+The ``batch`` subcommand reads an NDJSON workload — one JSON object per
+line, ``{"id": "p1", "left": "rpq:a a", "right": "rpq:a+"}`` (``id``
+optional; ``left``/``right`` use the same ``kind:spec`` syntax as
+``contain``, including ``@file``) — runs all pairs on a worker pool,
+and emits one NDJSON result line per pair, in input order.
 """
 
 from __future__ import annotations
@@ -140,6 +147,90 @@ def _cmd_contain(args: argparse.Namespace) -> int:
             print(relational_io.to_fact_text(database), end="")
         print(f"distinguishing output: {result.counterexample.output}")
     return 0 if result.holds else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .budget import Budget
+    from .core.batch import BatchItem, check_containment_many
+    from .core.batch import _error_result  # the same failure-isolation shape
+
+    budget = None
+    if args.auto_budget:
+        budget = Budget.auto(
+            deadline_ms=args.deadline_ms
+        ) if args.deadline_ms is not None else "auto"
+    elif args.deadline_ms is not None:
+        budget = Budget(deadline_ms=args.deadline_ms)
+    options: dict[str, Any] = {}
+    if args.max_expansions is not None:
+        options["max_expansions"] = args.max_expansions
+
+    # Parse the workload, isolating malformed lines exactly like item
+    # failures: a bad line yields an ERROR result line, not an abort.
+    pairs: list[tuple[Any, Any]] = []
+    pair_ids: dict[int, Any] = {}          # submitted-pair position -> id
+    parse_failures: dict[int, BatchItem] = {}  # input line -> ERROR item
+    line_ids: list[Any] = []               # input line -> id (output order)
+    text = pathlib.Path(args.workload).read_text()
+    lines = [line for line in text.splitlines() if line.strip()]
+    for line_no, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("workload line must be a JSON object")
+            left = parse_query(record["left"])
+            right = parse_query(record["right"])
+        except (SystemExit, Exception) as exc:  # parse_query raises SystemExit
+            error = exc if isinstance(exc, Exception) else RuntimeError(str(exc))
+            parse_failures[line_no] = BatchItem(
+                line_no, _error_result(line_no, error), 0.0, None
+            )
+            line_ids.append(None)
+            continue
+        pair_ids[len(pairs)] = record.get("id", line_no)
+        line_ids.append(record.get("id", line_no))
+        pairs.append((left, right))
+
+    batch = check_containment_many(
+        pairs,
+        workers=args.workers,
+        backend=args.backend,
+        budget=budget,
+        trace=args.trace,
+        pool_deadline_ms=args.pool_deadline_ms,
+        **options,
+    )
+
+    # Re-interleave parse failures at their original line positions.
+    merged: list[tuple[Any, BatchItem]] = []
+    run_iter = iter(batch.items)
+    for line_no in range(len(lines)):
+        if line_no in parse_failures:
+            merged.append((line_no, parse_failures[line_no]))
+        else:
+            item = next(run_iter)
+            merged.append((pair_ids[item.index], item))
+
+    out_lines = []
+    for line_no, (identifier, item) in enumerate(merged):
+        payload = {"id": identifier, **item.to_dict(), "index": line_no}
+        if args.trace and "trace" in dict(item.result.details):
+            payload["trace"] = dict(item.result.details)["trace"]
+        out_lines.append(json.dumps(payload, sort_keys=True))
+    output = "\n".join(out_lines) + "\n"
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(output)
+        print(f"# results written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(output)
+    summary = batch.describe()
+    if parse_failures:
+        summary += f"; {len(parse_failures)} line(s) failed to parse"
+    print(f"# {summary}", file=sys.stderr)
+    had_errors = bool(batch.errors) or bool(parse_failures)
+    return 1 if had_errors else 0
 
 
 def _latest_run(path: str | None) -> pathlib.Path:
@@ -301,6 +392,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the span tree and dump it as ndjson to PATH",
     )
     contain_p.set_defaults(func=_cmd_contain)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="check an NDJSON workload of query pairs on a worker pool "
+        "(exit 0 = every pair produced a verdict, 1 = some errored)",
+    )
+    batch_p.add_argument(
+        "workload",
+        help="NDJSON file: one {\"id\", \"left\": \"kind:spec\", "
+        "\"right\": \"kind:spec\"} object per line",
+    )
+    batch_p.add_argument(
+        "--workers", type=int, default=4,
+        help="worker-pool width (default 4)",
+    )
+    batch_p.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="thread pool (shared caches) or process pool "
+        "(true parallelism; per-process caches)",
+    )
+    batch_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write NDJSON results here instead of stdout",
+    )
+    batch_p.add_argument(
+        "--max-expansions", type=int, default=None,
+        help="per-item budget for expansion-based procedures",
+    )
+    batch_p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-item wall-clock deadline (INCONCLUSIVE on exhaustion)",
+    )
+    batch_p.add_argument(
+        "--pool-deadline-ms", type=float, default=None,
+        help="whole-batch deadline; unstarted items degrade to "
+        "INCONCLUSIVE with budget accounting",
+    )
+    batch_p.add_argument(
+        "--auto-budget", action="store_true",
+        help="staged escalation per item (see `contain --auto-budget`)",
+    )
+    batch_p.add_argument(
+        "--trace", action="store_true",
+        help="attach each item's span tree to its result line",
+    )
+    batch_p.set_defaults(func=_cmd_batch)
 
     bench_p = sub.add_parser(
         "bench",

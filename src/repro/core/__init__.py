@@ -13,6 +13,7 @@ from .classify import (
     promote,
 )
 from .engine import check_containment, check_equivalence
+from .batch import BatchItem, BatchResult, check_containment_many
 from ..budget import Budget, BudgetExhausted, BudgetMeter
 from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
 from .shrink import shrink_counterexample
@@ -28,7 +29,10 @@ __all__ = [
     "least_common_class",
     "promote",
     "check_containment",
+    "check_containment_many",
     "check_equivalence",
+    "BatchItem",
+    "BatchResult",
     "Budget",
     "BudgetExhausted",
     "BudgetMeter",

@@ -1,0 +1,390 @@
+"""Concurrent batch containment: the engine's thread-safe front door.
+
+Containment workloads are embarrassingly parallel across query pairs —
+each ``check(Q1, Q2)`` is an independent run of the per-pair automata
+products of the Lemma 1 / Theorem 5 pipelines — so the batch layer is a
+worker pool in front of :func:`repro.core.engine.check_containment`:
+
+    >>> from repro.core.batch import check_containment_many
+    >>> batch = check_containment_many(pairs, workers=4)
+    >>> [item.result.verdict.value for item in batch.items]
+
+Semantics (DESIGN.md "Concurrency architecture"):
+
+- **Order.** Results come back in input order regardless of completion
+  order; ``batch.items[i]`` always answers ``pairs[i]``.
+- **Determinism.** Verdicts are identical to the sequential loop
+  ``[check_containment(q1, q2, ...) for q1, q2 in pairs]`` at any
+  worker count and on either backend — the engine's procedures are
+  deterministic and all shared substrate (caches, metrics) is
+  thread-safe with single-flight computation, so concurrency changes
+  wall-clock, never answers.
+- **Failure isolation.** One item's exception becomes a
+  ``Verdict.ERROR`` result for that item, with the exception type,
+  message, and traceback in ``details["error"]`` — never a batch
+  abort.  Budget exhaustion is *not* an error: it degrades inside the
+  engine exactly as in sequential use.
+- **Pool deadline.** ``pool_deadline_ms`` bounds the whole batch:
+  when it expires, items that have not started are degraded to
+  ``Verdict.INCONCLUSIVE`` with ``details["budget"]`` recording the
+  pool deadline as the exhausted resource.  Items already running
+  finish (their own per-item ``budget`` bounds them cooperatively —
+  pass one if individual checks may be long).
+- **Tracing.** ``trace=True`` gives every *item* its own
+  :class:`repro.obs.trace.Tracer` (tracers are single-check objects by
+  contract), so concurrent span trees never interleave; each item's
+  tree is in its result's ``details["trace"]``.
+
+Backends:
+
+- ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Workers share the process-wide caches (a pair computed by one worker
+  is a hit for every other) and the metrics registry.  Under a GIL
+  build the speedup on pure-Python checks is bounded; it is the right
+  backend when checks hit caches, block on I/O, or run on free-threaded
+  builds.
+- ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`.
+  True parallelism on multi-core machines; queries and results cross
+  the process boundary by pickling, and each worker process has its
+  *own* caches and metrics (child-side counters are not merged back —
+  the parent still records the batch-level metrics below).
+
+Batch metrics (parent process): ``batch.items`` (counter),
+``batch.wall_ms`` (histogram), ``batch.workers`` and
+``batch.worker_utilization`` (gauges; utilization is the mean fraction
+of the pool's worker-seconds spent inside checks).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+import threading
+import time
+import traceback
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..budget import Budget
+from ..obs.metrics import counter as _metric_counter, gauge as _metric_gauge, \
+    histogram as _metric_histogram
+from ..obs.trace import Tracer
+from ..report import ContainmentResult, Verdict
+from .engine import _OPTION_UNIVERSE, check_containment
+
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "check_containment_many",
+    "DEFAULT_WORKERS",
+    "BACKENDS",
+]
+
+#: Supported worker-pool backends.
+BACKENDS = ("thread", "process")
+
+#: Default pool width: the machine's cores, capped — containment checks
+#: are CPU-bound, so oversubscribing past the core count only adds
+#: scheduling noise (floor of 1 worker keeps 1-core boxes working).
+DEFAULT_WORKERS = max(1, min(8, os.cpu_count() or 1))
+
+_BATCH_ITEMS = _metric_counter("batch.items")
+_BATCH_ERRORS = _metric_counter("batch.errors")
+_BATCH_DEGRADED = _metric_counter("batch.degraded")
+_BATCH_WALL_MS = _metric_histogram("batch.wall_ms")
+_BATCH_WORKERS = _metric_gauge("batch.workers")
+_BATCH_UTILIZATION = _metric_gauge("batch.worker_utilization")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchItem:
+    """One pair's outcome within a batch.
+
+    Attributes:
+        index: position of the pair in the input sequence.
+        result: the :class:`ContainmentResult` — from the engine, or a
+            synthesized ``ERROR`` / pool-degraded ``INCONCLUSIVE``.
+        wall_ms: wall-clock the item spent inside its worker
+            (0.0 for items the pool deadline degraded before starting).
+        worker: label of the worker that ran the item (thread name or
+            ``pid:<n>``), or ``None`` for degraded items.
+    """
+
+    index: int
+    result: ContainmentResult
+    wall_ms: float
+    worker: str | None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary — the NDJSON result-line payload."""
+        out: dict[str, Any] = {
+            "index": self.index,
+            "verdict": self.result.verdict.value,
+            "method": self.result.method,
+            "holds": self.result.holds,
+            "bound": self.result.bound,
+            "wall_ms": round(self.wall_ms, 3),
+            "worker": self.worker,
+        }
+        details = dict(self.result.details)
+        if "error" in details:
+            out["error"] = details["error"]
+        if "budget" in details:
+            out["budget"] = details["budget"]
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResult:
+    """The whole batch: per-item outcomes (input order) plus pool facts."""
+
+    items: tuple[BatchItem, ...]
+    wall_ms: float
+    workers: int
+    backend: str
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[BatchItem]:
+        return iter(self.items)
+
+    @property
+    def results(self) -> tuple[ContainmentResult, ...]:
+        """Just the :class:`ContainmentResult` objects, input order."""
+        return tuple(item.result for item in self.items)
+
+    @property
+    def errors(self) -> tuple[BatchItem, ...]:
+        """Items whose check raised (isolated as ``ERROR`` verdicts)."""
+        return tuple(
+            item for item in self.items if item.result.verdict is Verdict.ERROR
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's worker-time spent inside checks."""
+        if not self.items or self.wall_ms <= 0 or self.workers <= 0:
+            return 0.0
+        busy = sum(item.wall_ms for item in self.items)
+        return min(1.0, busy / (self.workers * self.wall_ms))
+
+    def counts(self) -> dict[str, int]:
+        """Verdict histogram, e.g. ``{"holds": 12, "refuted": 8}``."""
+        out: dict[str, int] = {}
+        for item in self.items:
+            name = item.result.verdict.value
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        """One-line human summary (the CLI's stderr report)."""
+        counts = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.counts().items())
+        )
+        return (
+            f"{len(self.items)} items in {self.wall_ms:.1f} ms "
+            f"({self.backend} x{self.workers}, "
+            f"utilization {self.utilization:.0%}): {counts}"
+        )
+
+
+def _error_result(index: int, exc: BaseException) -> ContainmentResult:
+    """Failure isolation: the structured ERROR verdict for one item."""
+    return ContainmentResult(
+        Verdict.ERROR,
+        "batch-isolated",
+        details={
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": "".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+                "index": index,
+            },
+            "budget": {"spend": {}},
+            "cache": "bypass",
+        },
+    )
+
+
+def _degraded_result(pool_deadline_ms: float, elapsed_ms: float) -> ContainmentResult:
+    """The INCONCLUSIVE verdict for an item the pool deadline starved."""
+    return ContainmentResult(
+        Verdict.INCONCLUSIVE,
+        "batch-pool-deadline",
+        details={
+            "budget": {
+                "exhausted": "pool_deadline",
+                "spent": round(elapsed_ms, 3),
+                "limit": pool_deadline_ms,
+                "spend": {},
+            },
+            "cache": "bypass",
+        },
+    )
+
+
+def _run_one(
+    index: int,
+    q1: Any,
+    q2: Any,
+    budget: Budget | None,
+    trace: bool,
+    options: dict[str, Any],
+) -> tuple[int, ContainmentResult, float, str]:
+    """One worker-side check: isolate failures, label the worker.
+
+    Module-level (not a closure) so the process backend can pickle it.
+    Each traced item gets its *own* Tracer — the tracer contract is one
+    tracer per check, which is what keeps concurrent span trees from
+    interleaving.
+    """
+    worker = f"pid:{os.getpid()}/{threading.current_thread().name}"
+    start = time.monotonic()
+    try:
+        if trace:
+            result = check_containment(
+                q1, q2, budget=budget, trace=Tracer(), **options
+            )
+        else:
+            result = check_containment(q1, q2, budget=budget, **options)
+    except Exception as exc:
+        result = _error_result(index, exc)
+    wall_ms = (time.monotonic() - start) * 1000.0
+    return index, result, wall_ms, worker
+
+
+def check_containment_many(
+    pairs: Iterable[tuple[Any, Any]],
+    *,
+    workers: int = DEFAULT_WORKERS,
+    backend: str = "thread",
+    budget: Budget | str | None = None,
+    trace: bool = False,
+    pool_deadline_ms: float | None = None,
+    **options: Any,
+) -> BatchResult:
+    """Check ``Q1 ⊆ Q2`` for every pair concurrently; see module docstring.
+
+    Args:
+        pairs: an iterable of ``(q1, q2)`` query pairs (materialized up
+            front; results preserve this order).
+        workers: pool width (default: core count, capped at 8).
+        backend: ``"thread"`` or ``"process"`` (see module docstring
+            for the sharing/parallelism trade-off).
+        budget: per-item :class:`Budget` (or ``"auto"``), forwarded to
+            every check — the cooperative bound on *individual* items.
+        trace: record a span tree per item into its
+            ``details["trace"]`` (one tracer per item, never shared).
+        pool_deadline_ms: wall-clock bound on the whole batch; items
+            not started when it expires come back ``INCONCLUSIVE``
+            (method ``"batch-pool-deadline"``).
+        **options: forwarded to every check (same surface as
+            :func:`~repro.core.engine.check_containment`; unknown names
+            raise TypeError from the first item that runs).
+
+    Returns:
+        A :class:`BatchResult` with one :class:`BatchItem` per input
+        pair, in input order.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; use one of {BACKENDS}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, not {workers}")
+    if pool_deadline_ms is not None and pool_deadline_ms < 0:
+        raise ValueError("pool_deadline_ms must be >= 0")
+    unknown = sorted(set(options) - _OPTION_UNIVERSE)
+    if unknown:
+        # Fail fast in the caller's frame, exactly as the sequential
+        # loop would on its first item — a typo is not an item failure.
+        raise TypeError(
+            f"unknown option(s) {', '.join(map(repr, unknown))}; "
+            f"valid options are {', '.join(sorted(_OPTION_UNIVERSE))}"
+        )
+    items = list(pairs)
+    start = time.monotonic()
+    if not items:
+        return BatchResult(items=(), wall_ms=0.0, workers=workers, backend=backend)
+
+    if backend == "process":
+        executor: concurrent.futures.Executor = (
+            concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        )
+    else:
+        executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="batch-worker"
+        )
+
+    slots: list[BatchItem | None] = [None] * len(items)
+    try:
+        futures: dict[concurrent.futures.Future, int] = {}
+        for index, (q1, q2) in enumerate(items):
+            try:
+                future = executor.submit(
+                    _run_one, index, q1, q2, budget, trace, dict(options)
+                )
+            except Exception as exc:  # e.g. unpicklable query at submit
+                slots[index] = BatchItem(index, _error_result(index, exc), 0.0, None)
+                continue
+            futures[future] = index
+        if pool_deadline_ms is not None:
+            remaining = pool_deadline_ms / 1000.0 - (time.monotonic() - start)
+            concurrent.futures.wait(futures, timeout=max(0.0, remaining))
+            for future, index in futures.items():
+                if future.cancel():
+                    # Never started: degrade, with honest accounting.
+                    elapsed_ms = (time.monotonic() - start) * 1000.0
+                    slots[index] = BatchItem(
+                        index,
+                        _degraded_result(pool_deadline_ms, elapsed_ms),
+                        0.0,
+                        None,
+                    )
+        for future, index in futures.items():
+            if slots[index] is not None:
+                continue  # degraded above
+            try:
+                item_index, result, wall_ms, worker = future.result()
+            except Exception as exc:
+                # Worker-side infrastructure failure the in-worker
+                # isolation could not catch (e.g. a result that fails
+                # to pickle back, or a crashed worker process).
+                slots[index] = BatchItem(index, _error_result(index, exc), 0.0, None)
+                continue
+            slots[index] = BatchItem(item_index, result, wall_ms, worker)
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+
+    wall_ms = (time.monotonic() - start) * 1000.0
+    batch = BatchResult(
+        items=tuple(slot for slot in slots if slot is not None),
+        wall_ms=wall_ms,
+        workers=workers,
+        backend=backend,
+    )
+    _BATCH_ITEMS.inc(len(batch.items))
+    _BATCH_ERRORS.inc(len(batch.errors))
+    _BATCH_DEGRADED.inc(
+        sum(1 for item in batch.items if item.result.method == "batch-pool-deadline")
+    )
+    _BATCH_WALL_MS.observe(wall_ms)
+    _BATCH_WORKERS.set(workers)
+    _BATCH_UTILIZATION.set(round(batch.utilization, 4))
+    return batch
+
+
+def sequential_baseline(
+    pairs: Sequence[tuple[Any, Any]],
+    budget: Budget | str | None = None,
+    **options: Any,
+) -> list[ContainmentResult]:
+    """The plain sequential loop the batch must agree with, verbatim.
+
+    Exists so differential tests and the scaling benchmark compare
+    against one canonical implementation instead of re-spelling it.
+    """
+    return [
+        check_containment(q1, q2, budget=budget, **options) for q1, q2 in pairs
+    ]

@@ -149,7 +149,7 @@ def check_containment(
             f"valid options are {', '.join(sorted(_OPTION_UNIVERSE))}"
         )
     budget = _normalize_budget(budget)
-    _CHECKS.value += 1  # direct bump: inc()'s call+validation costs ~2% on warm hits
+    _CHECKS.inc()  # locked: unsynchronized += loses events under batch workers
     if not trace:
         if budget is not None and budget.escalate:
             return _escalate(q1, q2, budget, options, None)
@@ -186,13 +186,13 @@ def _check_with_cache(
     # move the hit/miss counters.
     cached = containment_cache.peek(exact_key)
     if cached is not None and cached.is_exact:
-        _CACHE_HITS.value += 1
+        _CACHE_HITS.inc()
         if tracer is not None:
             tracer.event("cache", outcome="hit")
         return _annotate(containment_cache.get(exact_key), "hit")
     cached = containment_cache.get(full_key)
     if cached is not None:
-        _CACHE_HITS.value += 1
+        _CACHE_HITS.inc()
         if tracer is not None:
             tracer.event("cache", outcome="hit")
         return _annotate(cached, "hit")
@@ -220,14 +220,17 @@ def _run_uncached(
     normalized *before* the caller stores it in the cache, so hits
     inherit the key for free.
     """
-    start = time.perf_counter()
+    # time.monotonic throughout: the same clock BudgetMeter and the
+    # escalation loop read, so details["budget"]["elapsed_ms"], the
+    # remaining-deadline math, and the check_ms histogram can't drift.
+    start = time.monotonic()
     with deadline_scope(budget):
         result = _check_containment_uncached(q1, q2, budget, options, tracer)
     if "budget" not in result.details:
         result = dataclasses.replace(
             result, details={**dict(result.details), "budget": {"spend": {}}}
         )
-    _CHECK_MS.observe((time.perf_counter() - start) * 1000.0)
+    _CHECK_MS.observe((time.monotonic() - start) * 1000.0)
     _VERDICT_COUNTERS[result.verdict].inc()
     return result
 

@@ -18,12 +18,18 @@ Design (mirrors the cache layer's conventions):
   stay valid across resets (tests and benchmarks rely on this);
 - histogram buckets are fixed at creation (cumulative upper bounds,
   Prometheus-style, with a ``+Inf`` catch-all), so snapshots from
-  different processes aggregate by simple addition.
+  different processes aggregate by simple addition;
+- instruments are **thread-safe**: each carries a lock taken around
+  every mutation (and around multi-field histogram reads), so counter
+  sums stay exact under the batch layer's worker pools.  Registry
+  get-or-create is likewise locked, so two threads asking for the same
+  name always receive the same instrument.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Iterable
 
 __all__ = [
@@ -49,50 +55,58 @@ DEFAULT_BUCKETS_MS = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     kind = "counter"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge for deltas")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> dict[str, Any]:
         return {"type": self.kind, "value": self.value}
 
 
 class Gauge:
-    """A value that can go up and down (sizes, in-flight work)."""
+    """A value that can go up and down (sizes, in-flight work); thread-safe."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     kind = "gauge"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> dict[str, Any]:
         return {"type": self.kind, "value": self.value}
@@ -106,7 +120,10 @@ class Histogram:
     creation so snapshots are mergeable across processes.
     """
 
-    __slots__ = ("name", "boundaries", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "boundaries", "bucket_counts", "count", "total", "min", "max",
+        "_lock",
+    )
 
     kind = "histogram"
 
@@ -115,23 +132,26 @@ class Histogram:
         self.boundaries = tuple(sorted(set(buckets)))
         if not self.boundaries:
             raise ValueError("histogram needs at least one bucket boundary")
+        self._lock = threading.Lock()
         self.reset()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * (len(self.boundaries) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min: float | None = None
-        self.max: float | None = None
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.boundaries) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.min: float | None = None
+            self.max: float | None = None
 
     @property
     def mean(self) -> float:
@@ -146,32 +166,34 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
-        if not self.count:
-            return None
-        target = q * self.count
-        cumulative = 0
-        for boundary, bucket in zip(self.boundaries, self.bucket_counts):
-            cumulative += bucket
-            if cumulative >= target:
-                return boundary
-        return self.boundaries[-1]
+        with self._lock:
+            if not self.count:
+                return None
+            target = q * self.count
+            cumulative = 0
+            for boundary, bucket in zip(self.boundaries, self.bucket_counts):
+                cumulative += bucket
+                if cumulative >= target:
+                    return boundary
+            return self.boundaries[-1]
 
     def snapshot(self) -> dict[str, Any]:
-        cumulative: dict[str, int] = {}
-        running = 0
-        for boundary, bucket in zip(self.boundaries, self.bucket_counts):
-            running += bucket
-            cumulative[repr(boundary)] = running
-        cumulative["+Inf"] = self.count
-        return {
-            "type": self.kind,
-            "count": self.count,
-            "sum": round(self.total, 6),
-            "min": self.min,
-            "max": self.max,
-            "mean": round(self.mean, 6),
-            "buckets": cumulative,
-        }
+        with self._lock:
+            cumulative: dict[str, int] = {}
+            running = 0
+            for boundary, bucket in zip(self.boundaries, self.bucket_counts):
+                running += bucket
+                cumulative[repr(boundary)] = running
+            cumulative["+Inf"] = self.count
+            return {
+                "type": self.kind,
+                "count": self.count,
+                "sum": round(self.total, 6),
+                "min": self.min,
+                "max": self.max,
+                "mean": round(self.mean, 6),
+                "buckets": cumulative,
+            }
 
 
 class MetricsRegistry:
@@ -179,17 +201,19 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, factory, kind: str):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif instrument.kind != kind:
-            raise TypeError(
-                f"metric {name!r} already registered as a {instrument.kind}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif instrument.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as a {instrument.kind}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, lambda: Counter(name), "counter")
@@ -204,14 +228,17 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Machine-readable dump of every instrument, name-sorted."""
+        with self._lock:
+            instruments = dict(self._instruments)
         return {
-            name: self._instruments[name].snapshot()
-            for name in sorted(self._instruments)
+            name: instruments[name].snapshot() for name in sorted(instruments)
         }
 
     def reset(self) -> None:
         """Zero every instrument in place (hoisted handles stay valid)."""
-        for instrument in self._instruments.values():
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
             instrument.reset()
 
 

@@ -319,6 +319,70 @@ def _exp_cache(suite: str) -> dict[str, Any]:
     }
 
 
+@_experiment("batch-scaling", "batch front door: worker-count scaling on E1 pairs")
+def _exp_batch(suite: str) -> dict[str, Any]:
+    import random
+
+    from ..automata.regex import parse_regex, random_regex
+    from ..cache import clear_caches
+    from ..core.batch import check_containment_many, sequential_baseline
+    from ..rpq.rpq import RPQ
+
+    alphabet = ("a", "b")
+    atoms = ["a", "b", "a b", "a|b", "a*", "a+"]
+    n_random = 10 if suite == "smoke" else 40
+    rng = random.Random(1)
+    pairs = [
+        (RPQ(parse_regex(x)), RPQ(parse_regex(y))) for x in atoms for y in atoms
+    ]
+    pairs += [
+        (RPQ(random_regex(rng, alphabet, 3)), RPQ(random_regex(rng, alphabet, 3)))
+        for _ in range(n_random)
+    ]
+
+    # Exact series: the differential oracle.  Concurrency may change
+    # wall-clock, never answers — batch verdicts at workers ∈ {1, 4} on
+    # both backends must equal the sequential loop's, bit-for-bit.
+    expected = [result.verdict.value for result in sequential_baseline(pairs)]
+    agreement: dict[str, bool] = {}
+    for backend, workers in (("thread", 1), ("thread", 4), ("process", 4)):
+        clear_caches()
+        batch = check_containment_many(pairs, workers=workers, backend=backend)
+        verdicts = [item.result.verdict.value for item in batch.items]
+        agreement[f"{backend}-{workers}"] = verdicts == expected
+    counts: dict[str, int] = {}
+    for verdict in expected:
+        counts[verdict] = counts.get(verdict, 0) + 1
+
+    # Timed series: cold-cache wall-clock of the sequential loop vs the
+    # thread pool, so the medians expose real scaling (or, on a single
+    # core under the GIL, the honest absence of it — see EXPERIMENTS.md).
+    def run_sequential() -> None:
+        clear_caches()
+        sequential_baseline(pairs)
+
+    def run_thread_1() -> None:
+        clear_caches()
+        check_containment_many(pairs, workers=1, backend="thread")
+
+    def run_thread_4() -> None:
+        clear_caches()
+        check_containment_many(pairs, workers=4, backend="thread")
+
+    return {
+        "exact": {
+            "pairs": len(pairs),
+            "agreement": agreement,
+            "verdict_counts": counts,
+        },
+        "timed": {
+            "batch-sequential": run_sequential,
+            "batch-thread-1worker": run_thread_1,
+            "batch-thread-4workers": run_thread_4,
+        },
+    }
+
+
 @_experiment("budget-degradation", "bounded verdict + spend accounting")
 def _exp_budget(suite: str) -> dict[str, Any]:
     from ..budget import Budget

@@ -21,6 +21,12 @@ The calibration contract from DESIGN.md, encoded in types:
   which bounds nothing structural about the search space.  It is falsy
   — the conservative answer to "does containment hold?" when nothing
   was established.
+- :attr:`Verdict.ERROR` is the failure-isolation outcome of the batch
+  layer (:mod:`repro.core.batch`): the check for this item raised
+  instead of deciding anything, and ``details["error"]`` carries the
+  exception type, message, and traceback.  Like ``INCONCLUSIVE`` it is
+  falsy and inexact; unlike it, it signals a defect (in the query or
+  the procedure), not an exhausted budget.
 """
 
 from __future__ import annotations
@@ -37,17 +43,18 @@ class Verdict(enum.Enum):
     REFUTED = "refuted"
     HOLDS_UP_TO_BOUND = "holds_up_to_bound"
     INCONCLUSIVE = "inconclusive"
+    ERROR = "error"
 
     def __bool__(self) -> bool:
         """Truthiness: is there at least bounded evidence of containment?
 
         ``HOLDS_UP_TO_BOUND`` is truthy (no counterexample within the
         explored bound); ``INCONCLUSIVE`` is falsy (nothing was
-        established before the deadline).  Callers needing unconditional
-        guarantees must inspect the verdict (or
-        :attr:`ContainmentResult.is_exact`) explicitly.
+        established before the deadline), as is ``ERROR`` (the check
+        crashed).  Callers needing unconditional guarantees must inspect
+        the verdict (or :attr:`ContainmentResult.is_exact`) explicitly.
         """
-        return self not in (Verdict.REFUTED, Verdict.INCONCLUSIVE)
+        return self not in (Verdict.REFUTED, Verdict.INCONCLUSIVE, Verdict.ERROR)
 
     @property
     def is_exact(self) -> bool:
@@ -134,6 +141,12 @@ class ContainmentResult:
             return (
                 f"INCONCLUSIVE ({self.method}): "
                 f"{exhausted.get('exhausted', 'budget')} exhausted"
+            )
+        if self.verdict is Verdict.ERROR:
+            error = dict(self.details).get("error", {})
+            return (
+                f"ERROR ({self.method}): "
+                f"{error.get('type', 'Exception')}: {error.get('message', '')}"
             )
         return f"HOLDS ({self.method})"
 

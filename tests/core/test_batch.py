@@ -1,0 +1,322 @@
+"""Concurrency regression suite for the batch containment front door.
+
+Three pillars (ISSUE: concurrent batch containment):
+
+- **Differential oracle**: the worker-pool batch must return verdicts
+  identical to the sequential loop on a seeded E1-style workload, at
+  ``workers ∈ {1, 4}`` on both backends — concurrency may change
+  wall-clock, never answers.
+- **Trace isolation**: traced concurrent checks never interleave spans
+  across workers (each item owns its tracer and yields one well-formed
+  single-root tree).
+- **Counter exactness**: cache and metrics counters sum correctly
+  across threads — N cold checks are N engine.checks and N cache
+  misses, no lost increments, and single-flight keeps one miss + one
+  compute per cold key no matter how many threads race.
+
+Each test carries a ``pytest.mark.timeout`` so a deadlock shows up as
+a failure, not a hung CI job (active when pytest-timeout is installed,
+as in the concurrency CI job).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.automata.regex import parse_regex, random_regex
+from repro.budget import Budget
+from repro.cache import cache_stats, clear_caches, containment_cache
+from repro.core.batch import (
+    BatchResult,
+    check_containment_many,
+    sequential_baseline,
+)
+from repro.obs.metrics import REGISTRY, reset_metrics
+from repro.report import Verdict
+from repro.rpq.rpq import RPQ
+
+pytestmark = pytest.mark.timeout(120)
+
+BACKENDS = ("thread", "process")
+WORKER_COUNTS = (1, 4)
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    clear_caches(reset_stats=True)
+    reset_metrics()
+    yield
+    clear_caches(reset_stats=True)
+    reset_metrics()
+
+
+def e1_workload(n_random: int = 12) -> list[tuple[RPQ, RPQ]]:
+    """A seeded E1-style workload: atom pairs plus random regex pairs.
+
+    The same generator family as the E1 oracle experiment in
+    :mod:`repro.obs.perf` — deterministic, so the expected verdicts
+    are fixed across runs and machines.
+    """
+    atoms = ["a", "b", "a b", "a|b", "a*", "a+"]
+    alphabet = ("a", "b")
+    rng = random.Random(1)
+    pairs = [
+        (RPQ(parse_regex(x)), RPQ(parse_regex(y))) for x in atoms for y in atoms
+    ]
+    pairs += [
+        (RPQ(random_regex(rng, alphabet, 3)), RPQ(random_regex(rng, alphabet, 3)))
+        for _ in range(n_random)
+    ]
+    return pairs
+
+
+class TestDifferentialOracle:
+    """Batch verdicts are bit-identical to the sequential loop."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_matches_sequential_loop(self, backend, workers):
+        pairs = e1_workload()
+        expected = [r.verdict for r in sequential_baseline(pairs)]
+        clear_caches(reset_stats=True)  # batch recomputes from cold
+        batch = check_containment_many(pairs, workers=workers, backend=backend)
+        assert [item.result.verdict for item in batch.items] == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_preserves_input_order_and_length(self, backend):
+        pairs = e1_workload()
+        batch = check_containment_many(pairs, workers=4, backend=backend)
+        assert len(batch) == len(pairs)
+        assert [item.index for item in batch.items] == list(range(len(pairs)))
+
+    def test_budget_threads_through_to_items(self):
+        from repro.datalog.parser import parse_program
+
+        program = parse_program("t(x,y) :- e(x,y). t(x,z) :- t(x,y), e(y,z).")
+        pairs = [(program, program)] * 3
+        budget = Budget(max_expansions=5)
+        batch = check_containment_many(pairs, workers=3, budget=budget)
+        for item in batch.items:
+            assert item.result.verdict is Verdict.HOLDS_UP_TO_BOUND
+            assert item.result.details["budget"]["spend"]["expansions"] == 5
+
+    def test_empty_batch(self):
+        batch = check_containment_many([], workers=4)
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 0
+        assert batch.results == ()
+
+
+class TestFailureIsolation:
+    """One item's exception is that item's ERROR, never a batch abort."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_poisoned_item_is_isolated(self, backend):
+        good = (RPQ(parse_regex("a a")), RPQ(parse_regex("a+")))
+        poisoned = ("not a query", RPQ(parse_regex("a")))
+        batch = check_containment_many(
+            [good, poisoned, good], workers=2, backend=backend
+        )
+        verdicts = [item.result.verdict for item in batch.items]
+        assert verdicts == [Verdict.HOLDS, Verdict.ERROR, Verdict.HOLDS]
+        error = batch.items[1].result.details["error"]
+        assert error["type"] == "TypeError"
+        assert "Traceback" in error["traceback"]
+        assert batch.errors == (batch.items[1],)
+
+    def test_error_results_are_falsy_and_inexact(self):
+        poisoned = [(object(), object())]
+        batch = check_containment_many(poisoned, workers=1)
+        result = batch.items[0].result
+        assert not result.holds
+        assert not result.is_exact
+        assert result.method == "batch-isolated"
+        assert result.details["budget"] == {"spend": {}}
+
+    def test_unknown_option_raises_eagerly(self):
+        # A typo is caller error, exactly as in the sequential loop —
+        # not something to bury in per-item ERROR results.
+        with pytest.raises(TypeError, match="unknown option"):
+            check_containment_many(e1_workload()[:2], workers=1, bogus=1)
+
+    def test_bad_backend_and_workers_raise(self):
+        with pytest.raises(ValueError, match="backend"):
+            check_containment_many([], backend="greenlet")
+        with pytest.raises(ValueError, match="workers"):
+            check_containment_many([], workers=0)
+
+
+class TestPoolDeadline:
+    """Expired pool deadlines degrade unstarted items to INCONCLUSIVE."""
+
+    def test_tiny_deadline_degrades_tail(self):
+        pairs = e1_workload()
+        batch = check_containment_many(
+            pairs, workers=1, pool_deadline_ms=0.01
+        )
+        assert len(batch) == len(pairs)
+        degraded = [
+            item for item in batch.items
+            if item.result.method == "batch-pool-deadline"
+        ]
+        assert degraded, "a 0.01ms deadline must starve most of the batch"
+        for item in degraded:
+            accounting = item.result.details["budget"]
+            assert item.result.verdict is Verdict.INCONCLUSIVE
+            assert accounting["exhausted"] == "pool_deadline"
+            assert accounting["limit"] == 0.01
+            assert accounting["spent"] >= 0
+            assert item.wall_ms == 0.0
+            assert item.worker is None
+
+    def test_generous_deadline_degrades_nothing(self):
+        pairs = e1_workload()[:6]
+        batch = check_containment_many(
+            pairs, workers=4, pool_deadline_ms=120_000.0
+        )
+        assert all(
+            item.result.method != "batch-pool-deadline" for item in batch.items
+        )
+
+
+class TestTraceIsolation:
+    """Per-item tracers: concurrent span trees never interleave."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_each_item_gets_one_single_root_tree(self, backend):
+        pairs = e1_workload()[:8]
+        batch = check_containment_many(
+            pairs, workers=4, backend=backend, trace=True
+        )
+        for item in batch.items:
+            trace = dict(item.result.details)["trace"]
+            # One root named for the engine's own span: a shared tracer
+            # would have accumulated sibling roots / foreign children.
+            assert trace["name"] == "check-containment"
+            for child in trace["children"]:
+                assert child["start_ms"] >= 0
+                assert child["duration_ms"] <= trace["duration_ms"] + 1.0
+
+    def test_trace_spans_cover_only_own_check(self):
+        # Cold distinct pairs, 4 workers: every trace must contain at
+        # most one cache event (its own), proving no cross-talk.
+        pairs = e1_workload()[:8]
+        batch = check_containment_many(pairs, workers=4, trace=True)
+        for item in batch.items:
+            trace = dict(item.result.details)["trace"]
+            events = [
+                event
+                for event in trace.get("events", [])
+                if event["name"] == "cache"
+            ]
+            assert len(events) == 1
+
+
+class TestCounterExactness:
+    """Metrics and cache stats sum exactly across worker threads."""
+
+    def test_engine_checks_counter_sums(self):
+        pairs = e1_workload()
+        check_containment_many(pairs, workers=4, backend="thread")
+        assert REGISTRY.counter("engine.checks").value == len(pairs)
+        assert REGISTRY.counter("batch.items").value == len(pairs)
+        assert REGISTRY.histogram("batch.wall_ms").count == 1
+
+    def test_cache_stats_sum_over_cold_distinct_pairs(self):
+        pairs = e1_workload()
+        # Dedupe: distinct pairs only, so the expected miss count is exact.
+        seen, distinct = set(), []
+        for q1, q2 in pairs:
+            key = (repr(q1), repr(q2))
+            if key not in seen:
+                seen.add(key)
+                distinct.append((q1, q2))
+        check_containment_many(distinct, workers=4, backend="thread")
+        stats = cache_stats()["containment"]
+        assert stats["hits"] + stats["misses"] == len(distinct)
+        assert stats["misses"] == len(distinct)
+
+    def test_repeated_pair_hits_cache_across_workers(self):
+        pair = (RPQ(parse_regex("a a")), RPQ(parse_regex("a+")))
+        batch = check_containment_many([pair] * 12, workers=4, backend="thread")
+        outcomes = [dict(item.result.details)["cache"] for item in batch.items]
+        assert all(outcome in ("hit", "miss") for outcome in outcomes)
+        # All verdicts identical regardless of who computed first.
+        assert len({item.result.verdict for item in batch.items}) == 1
+        stats = containment_cache.stats
+        assert stats.hits + stats.misses == 12
+
+    def test_worker_utilization_gauge_in_unit_range(self):
+        check_containment_many(e1_workload()[:6], workers=2)
+        utilization = REGISTRY.gauge("batch.worker_utilization").value
+        assert 0.0 <= utilization <= 1.0
+
+
+class TestSingleFlight:
+    """Concurrent misses on one cold key compute once (tentpole fix
+    folded back into the sequential path — see repro.cache)."""
+
+    def test_one_miss_one_compute_under_concurrent_callers(self):
+        from repro.cache import LRUCache
+
+        cache = LRUCache("test-single-flight", maxsize=8)
+        computes = []
+        barrier = threading.Barrier(8)
+        release = threading.Event()
+
+        def compute():
+            computes.append(threading.get_ident())
+            release.wait(timeout=30)
+            return "value"
+
+        def caller():
+            barrier.wait(timeout=30)
+            return cache.get_or_compute("cold-key", compute)
+
+        threads = [threading.Thread(target=caller) for _ in range(7)]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=30)  # all callers racing on the same key
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        # Straggler call after the flight resolves: a plain hit.
+        assert cache.get_or_compute("cold-key", compute) == "value"
+        assert len(computes) == 1, "single-flight: compute ran once"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 7
+
+    def test_leader_failure_propagates_to_followers_and_caches_nothing(self):
+        from repro.cache import LRUCache
+
+        cache = LRUCache("test-single-flight-error", maxsize=8)
+        barrier = threading.Barrier(4)
+        release = threading.Event()
+        failures = []
+
+        def compute():
+            # Hold the flight open until main releases it, so the other
+            # callers are provably enqueued as followers when it fails.
+            release.wait(timeout=30)
+            raise RuntimeError("compute exploded")
+
+        def caller():
+            barrier.wait(timeout=30)
+            try:
+                cache.get_or_compute("bad-key", compute)
+            except RuntimeError as exc:
+                failures.append(str(exc))
+
+        threads = [threading.Thread(target=caller) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=30)  # all callers racing on the same key
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        # Every caller sees the leader's exception; errors are not cached.
+        assert failures == ["compute exploded"] * 3
+        assert len(cache) == 0

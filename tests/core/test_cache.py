@@ -78,6 +78,32 @@ class TestLRUCache:
         cache.clear(reset_stats=True)
         assert cache.stats.hits == 0
 
+    def test_held_stats_handle_survives_clear(self):
+        # Regression: clear(reset_stats=True) used to rebind self.stats
+        # to a fresh CacheStats, silently orphaning any handle a metrics
+        # exporter (or batch worker) grabbed earlier. The contract is now
+        # reset-in-place: the held object keeps reporting live counters.
+        cache = LRUCache("test-stats-handle", maxsize=4)
+        handle = cache.stats
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear(reset_stats=True)
+        assert cache.stats is handle
+        assert handle.hits == 0
+        cache.put("k", 2)
+        cache.get("k")
+        assert handle.hits == 1  # live counters, not a stale snapshot
+
+    def test_held_stats_handle_survives_global_clear_caches(self):
+        handle = containment_cache.stats
+        check_containment(RPQ.parse("a"), RPQ.parse("a|b"))
+        assert handle.misses >= 1
+        clear_caches(reset_stats=True)
+        assert containment_cache.stats is handle
+        assert handle.misses == 0 and handle.hits == 0
+        check_containment(RPQ.parse("a"), RPQ.parse("a|b"))
+        assert handle.misses == 1
+
 
 class TestQueryCacheKey:
     def test_hashable_queries_key_by_type_and_value(self):
