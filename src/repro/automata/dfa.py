@@ -262,6 +262,8 @@ def containment_counterexample(
     alphabet: Iterable[str] | None = None,
     meter=None,
     tracer=None,
+    kernel: str = "auto",
+    kernel_stats: dict | None = None,
 ) -> Word | None:
     """A shortest word in L(left) - L(right), or None if contained.
 
@@ -270,7 +272,11 @@ def containment_counterexample(
     subset bitset)`` configurations, determinizing the right side
     incrementally (see
     :func:`repro.automata.indexed.containment_counterexample_indexed`).
-    The materializing pipeline below stays as the ablation baseline.
+    *kernel* (``"subset" | "antichain" | "auto"``) selects between the
+    plain visited-set search and the simulation-subsumption antichain
+    search; the materializing pipeline below stays as the ablation
+    baseline when the indexed kernels are switched off (and then runs
+    regardless of *kernel*, recorded honestly in *kernel_stats*).
 
     An optional :class:`repro.budget.BudgetMeter` bounds the search
     (configs budget + deadline on the indexed path; coarse deadline
@@ -278,15 +284,20 @@ def containment_counterexample(
     :class:`repro.obs.trace.Tracer` records one span per pipeline stage
     (complement, product, emptiness search).
     """
+    from .antichain import resolve_kernel
     from .indexed import containment_counterexample_indexed, indexed_kernels_enabled
 
+    resolve_kernel(kernel)  # reject typos before any work
     if alphabet is None:
         alphabet = tuple(dict.fromkeys(left.alphabet + right.alphabet))
     alpha = tuple(alphabet)
     if indexed_kernels_enabled():
         return containment_counterexample_indexed(
-            left, right, alpha, meter=meter, tracer=tracer
+            left, right, alpha, meter=meter, tracer=tracer,
+            kernel=kernel, kernel_stats=kernel_stats,
         )
+    if kernel_stats is not None:
+        kernel_stats.update(selected="subset", pipeline="materialized")
     if meter is not None:
         meter.check_deadline()
     if tracer is None:

@@ -515,7 +515,13 @@ def product_nfa(left: NFA, right: NFA) -> NFA:
 
 
 def containment_counterexample_indexed(
-    left: NFA, right: NFA, alphabet: Sequence[str], meter=None, tracer=None
+    left: NFA,
+    right: NFA,
+    alphabet: Sequence[str],
+    meter=None,
+    tracer=None,
+    kernel: str = "auto",
+    kernel_stats: dict | None = None,
 ) -> Word | None:
     """A shortest word in ``L(left) - L(right)``, or None if contained.
 
@@ -526,12 +532,31 @@ def containment_counterexample_indexed(
     beyond its reachable-under-``left`` part.  Subset steps are memoized
     per (bitset, symbol), which is exactly incremental determinization.
 
+    *kernel* selects the search strategy: ``"antichain"`` (and the
+    default ``"auto"``) dispatches to the subsumption-pruned frontier in
+    :mod:`repro.automata.antichain`; ``"subset"`` keeps the plain
+    visited-set BFS below as the ablation baseline.  Both return
+    shortest witnesses, so verdicts *and* witness lengths agree bit for
+    bit.  *kernel_stats* (if given) is filled with the selected kernel
+    and its frontier statistics.
+
     An optional :class:`repro.budget.BudgetMeter` is charged one
     ``"configs"`` unit per configuration (cooperative exhaustion).  An
     optional :class:`repro.obs.trace.Tracer` records the search as one
     ``emptiness-search`` span (configs and memoized subset steps are
-    counted once at the end — never inside the BFS loop).
+    counted once at the end — never inside the BFS loop; the antichain
+    path nests ``simulation`` and ``antichain-search`` child spans).
     """
+    from .antichain import antichain_containment_search, record_search, resolve_kernel
+
+    if resolve_kernel(kernel) == "antichain":
+        return antichain_containment_search(
+            left, right, alphabet, meter=meter, tracer=tracer, stats=kernel_stats
+        )
+    if kernel_stats is not None:
+        # Set eagerly so a BudgetExhausted unwind still reports the
+        # kernel that was actually running.
+        kernel_stats["selected"] = "subset"
     if tracer is not None:
         with tracer.span(
             "emptiness-search",
@@ -545,8 +570,19 @@ def containment_counterexample_indexed(
             span.count("configs", explored)
             span.count("subset_steps", subset_steps)
             span.annotate(witness_length=None if witness is None else len(witness))
+            record_search("subset")
+            if kernel_stats is not None:
+                kernel_stats.update(
+                    selected="subset", configs=explored, subset_steps=subset_steps
+                )
             return witness
-    return _containment_search(left, right, alphabet, meter)[0]
+    witness, explored, subset_steps = _containment_search(left, right, alphabet, meter)
+    record_search("subset")
+    if kernel_stats is not None:
+        kernel_stats.update(
+            selected="subset", configs=explored, subset_steps=subset_steps
+        )
+    return witness
 
 
 def _containment_search(

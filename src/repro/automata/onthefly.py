@@ -74,6 +74,8 @@ def find_accepted_word(
     stats: SearchStats | None = None,
     meter: BudgetMeter | None = None,
     tracer=None,
+    kernel: str = "auto",
+    kernel_stats: dict | None = None,
 ) -> Word | None:
     """Shortest word accepted by *every* machine, or None if none exists.
 
@@ -93,6 +95,17 @@ def find_accepted_word(
             search as one ``product-search`` span (kernel choice and
             witness length as tags, configurations as a counter — set
             once on exit, never inside the BFS loop).
+        kernel: ``"subset" | "antichain" | "auto"``.  On the bitset
+            path, ``"antichain"`` (and the default ``"auto"``) quotients
+            the first machine by simulation equivalence and prunes
+            freshly discovered first-machine states that are simulated
+            by an already-seen sibling at the same rest-configuration —
+            a simulator accepts every suffix the pruned state would, so
+            verdicts and shortest-witness lengths are unchanged.  The
+            generic fallback ignores the option (recorded honestly in
+            *kernel_stats*).
+        kernel_stats: optional dict filled with the selected kernel and
+            its pruning statistics.
 
     Returns:
         The shortest word in the intersection, or None.
@@ -106,18 +119,29 @@ def find_accepted_word(
     in :func:`_generic_find_accepted_word` remains the ablation
     baseline.
     """
+    from .antichain import resolve_kernel
     from .indexed import indexed_kernels_enabled
 
+    resolved = resolve_kernel(kernel)
     use_bitset = (
         stats is None
         and bool(machines)
         and isinstance(machines[0], NFA)
         and indexed_kernels_enabled()
     )
+    if not use_bitset:
+        # The generic object-tuple search has no macrostate to subsume
+        # against; record the honest fallback.
+        resolved = "subset"
+        if kernel_stats is not None:
+            kernel_stats.update(selected="subset", search="generic")
+    elif kernel_stats is not None:
+        kernel_stats["selected"] = resolved
     if tracer is None:
         if use_bitset:
             return _bitset_find_accepted_word(
-                machines[0], list(machines[1:]), alphabet, max_configs, meter
+                machines[0], list(machines[1:]), alphabet, max_configs, meter,
+                kernel=resolved, kernel_stats=kernel_stats,
             )
         return _generic_find_accepted_word(
             machines, alphabet, max_configs, stats, meter
@@ -125,12 +149,13 @@ def find_accepted_word(
     with tracer.span(
         "product-search",
         machines=len(machines),
-        kernel="bitset" if use_bitset else "generic",
+        kernel=f"bitset-{resolved}" if use_bitset else "generic",
     ) as span:
         if use_bitset:
             word = _bitset_find_accepted_word(
                 machines[0], list(machines[1:]), alphabet, max_configs, meter,
-                span=span,
+                span=span, tracer=tracer, kernel=resolved,
+                kernel_stats=kernel_stats,
             )
         else:
             word = _generic_find_accepted_word(
@@ -256,6 +281,9 @@ def _bitset_find_accepted_word(
     max_configs: int | None,
     meter: BudgetMeter | None = None,
     span=None,
+    tracer=None,
+    kernel: str = "antichain",
+    kernel_stats: dict | None = None,
 ) -> Word | None:
     """Bitset kernel behind :func:`find_accepted_word` (same contract).
 
@@ -265,12 +293,23 @@ def _bitset_find_accepted_word(
     (bit ``l`` enters the tuple's mask once), so the budget and the
     shortest-word guarantee match the generic search exactly.
     """
-    counted = [0]
+    from .antichain import record_search
+
+    counted = [0, 0]  # configs, subsumption hits
     try:
-        return _bitset_search(first, rest, alphabet, max_configs, meter, counted)
+        return _bitset_search(
+            first, rest, alphabet, max_configs, meter, counted, tracer, kernel
+        )
     finally:
+        record_search(kernel, counted[1])
+        if kernel_stats is not None:
+            kernel_stats["configs"] = counted[0]
+            if kernel == "antichain":
+                kernel_stats["subsumption_hits"] = counted[1]
         if span is not None:
             span.count("configs", counted[0])
+            if kernel == "antichain":
+                span.count("subsumption_hits", counted[1])
 
 
 def _bitset_search(
@@ -280,11 +319,27 @@ def _bitset_search(
     max_configs: int | None,
     meter: BudgetMeter | None,
     counted: list,
+    tracer=None,
+    kernel: str = "antichain",
 ) -> Word | None:
     from .indexed import IndexedNFA, bits
 
     alpha = tuple(dict.fromkeys(alphabet))
     left = IndexedNFA.from_nfa(first, alpha)
+    simulated_by: list[int] | None = None
+    if kernel == "antichain":
+        from .antichain import simulation_preorder, simulation_quotient
+        from ..obs.trace import maybe_span
+
+        with maybe_span(tracer, "simulation", side="left", states=left.num_states) as sp:
+            info = simulation_preorder(left, meter)
+            quotient = simulation_quotient(left, info, meter)
+            if quotient.num_states < left.num_states:
+                left = quotient
+                info = simulation_preorder(left, meter)
+            if not info.is_identity:
+                simulated_by = info.sim_by
+            sp.annotate(quotient_states=left.num_states, passes=info.passes)
     if not left.initial:
         return None
     seeds = [_polled(machine.initial_states(), meter) for machine in rest]
@@ -330,10 +385,30 @@ def _bitset_search(
                 if any(not successors for successors in successor_sets):
                     continue
                 for next_others in _cartesian(successor_sets):
-                    fresh = image & ~seen.get(next_others, 0)
+                    base = seen.get(next_others, 0)
+                    fresh = image & ~base
                     if not fresh:
                         continue
-                    seen[next_others] = seen.get(next_others, 0) | fresh
+                    if simulated_by is not None:
+                        # Drop a fresh first-machine state when a sibling
+                        # (seen earlier, or kept in this very step) at the
+                        # same rest-configuration simulates it: the
+                        # simulator accepts every suffix it would, at a
+                        # depth no greater, so verdict and shortest-witness
+                        # length are unchanged.  Mutually-simulating pairs
+                        # keep the smaller index.
+                        for state in bits(fresh):
+                            dominators = (
+                                (base | fresh) & simulated_by[state] & ~(1 << state)
+                            )
+                            for dom in bits(dominators):
+                                if not ((simulated_by[dom] >> state) & 1) or dom < state:
+                                    fresh &= ~(1 << state)
+                                    counted[1] += 1
+                                    break
+                        if not fresh:
+                            continue
+                    seen[next_others] = base | fresh
                     next_layer[next_others] = next_layer.get(next_others, 0) | fresh
                     total = counted[0] = total + fresh.bit_count()
                     if meter is not None:

@@ -116,6 +116,8 @@ def _cmd_contain(args: argparse.Namespace) -> int:
     options: dict[str, Any] = {}
     if args.max_expansions is not None:
         options["max_expansions"] = args.max_expansions
+    if args.kernel is not None:
+        options["kernel"] = args.kernel
     budget = None
     if args.auto_budget:
         budget = Budget.auto(
@@ -166,6 +168,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     options: dict[str, Any] = {}
     if args.max_expansions is not None:
         options["max_expansions"] = args.max_expansions
+    if args.kernel is not None:
+        options["kernel"] = args.kernel
 
     # Parse the workload, isolating malformed lines exactly like item
     # failures: a bad line yields an ERROR result line, not an abort.
@@ -370,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget for expansion-based procedures",
     )
     contain_p.add_argument(
+        "--kernel", choices=("subset", "antichain", "auto"), default=None,
+        help="language-inclusion search kernel for automata-backed "
+        "procedures (default auto = antichain; subset is the ablation "
+        "baseline)",
+    )
+    contain_p.add_argument(
         "--deadline-ms", type=float, default=None,
         help="wall-clock deadline; exhaustion reports INCONCLUSIVE "
         "instead of running forever",
@@ -419,6 +429,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument(
         "--max-expansions", type=int, default=None,
         help="per-item budget for expansion-based procedures",
+    )
+    batch_p.add_argument(
+        "--kernel", choices=("subset", "antichain", "auto"), default=None,
+        help="per-item language-inclusion kernel (see `contain --kernel`)",
     )
     batch_p.add_argument(
         "--deadline-ms", type=float, default=None,

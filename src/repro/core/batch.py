@@ -65,6 +65,7 @@ import time
 import traceback
 from typing import Any, Iterable, Iterator, Sequence
 
+from ..automata.antichain import resolve_kernel
 from ..budget import Budget
 from ..obs.metrics import counter as _metric_counter, gauge as _metric_gauge, \
     histogram as _metric_histogram
@@ -131,6 +132,8 @@ class BatchItem:
             out["error"] = details["error"]
         if "budget" in details:
             out["budget"] = details["budget"]
+        if "kernel" in details:
+            out["kernel"] = details["kernel"]
         return out
 
 
@@ -189,7 +192,9 @@ class BatchResult:
         )
 
 
-def _error_result(index: int, exc: BaseException) -> ContainmentResult:
+def _error_result(
+    index: int, exc: BaseException, kernel: str = "auto"
+) -> ContainmentResult:
     """Failure isolation: the structured ERROR verdict for one item."""
     return ContainmentResult(
         Verdict.ERROR,
@@ -205,11 +210,14 @@ def _error_result(index: int, exc: BaseException) -> ContainmentResult:
             },
             "budget": {"spend": {}},
             "cache": "bypass",
+            "kernel": {"requested": kernel, "selected": None},
         },
     )
 
 
-def _degraded_result(pool_deadline_ms: float, elapsed_ms: float) -> ContainmentResult:
+def _degraded_result(
+    pool_deadline_ms: float, elapsed_ms: float, kernel: str = "auto"
+) -> ContainmentResult:
     """The INCONCLUSIVE verdict for an item the pool deadline starved."""
     return ContainmentResult(
         Verdict.INCONCLUSIVE,
@@ -222,6 +230,7 @@ def _degraded_result(pool_deadline_ms: float, elapsed_ms: float) -> ContainmentR
                 "spend": {},
             },
             "cache": "bypass",
+            "kernel": {"requested": kernel, "selected": None},
         },
     )
 
@@ -251,7 +260,7 @@ def _run_one(
         else:
             result = check_containment(q1, q2, budget=budget, **options)
     except Exception as exc:
-        result = _error_result(index, exc)
+        result = _error_result(index, exc, kernel=options.get("kernel", "auto"))
     wall_ms = (time.monotonic() - start) * 1000.0
     return index, result, wall_ms, worker
 
@@ -303,6 +312,10 @@ def check_containment_many(
             f"unknown option(s) {', '.join(map(repr, unknown))}; "
             f"valid options are {', '.join(sorted(_OPTION_UNIVERSE))}"
         )
+    if "kernel" in options:
+        # Same fail-fast contract: a bad kernel value is a caller typo,
+        # not a per-item failure to isolate as an ERROR verdict.
+        resolve_kernel(options["kernel"])
     items = list(pairs)
     start = time.monotonic()
     if not items:
@@ -326,7 +339,12 @@ def check_containment_many(
                     _run_one, index, q1, q2, budget, trace, dict(options)
                 )
             except Exception as exc:  # e.g. unpicklable query at submit
-                slots[index] = BatchItem(index, _error_result(index, exc), 0.0, None)
+                slots[index] = BatchItem(
+                    index,
+                    _error_result(index, exc, kernel=options.get("kernel", "auto")),
+                    0.0,
+                    None,
+                )
                 continue
             futures[future] = index
         if pool_deadline_ms is not None:
@@ -338,7 +356,11 @@ def check_containment_many(
                     elapsed_ms = (time.monotonic() - start) * 1000.0
                     slots[index] = BatchItem(
                         index,
-                        _degraded_result(pool_deadline_ms, elapsed_ms),
+                        _degraded_result(
+                            pool_deadline_ms,
+                            elapsed_ms,
+                            kernel=options.get("kernel", "auto"),
+                        ),
                         0.0,
                         None,
                     )
@@ -351,7 +373,12 @@ def check_containment_many(
                 # Worker-side infrastructure failure the in-worker
                 # isolation could not catch (e.g. a result that fails
                 # to pickle back, or a crashed worker process).
-                slots[index] = BatchItem(index, _error_result(index, exc), 0.0, None)
+                slots[index] = BatchItem(
+                    index,
+                    _error_result(index, exc, kernel=options.get("kernel", "auto")),
+                    0.0,
+                    None,
+                )
                 continue
             slots[index] = BatchItem(item_index, result, wall_ms, worker)
     finally:

@@ -36,6 +36,7 @@ import dataclasses
 import time
 from typing import Any
 
+from ..automata.antichain import resolve_kernel
 from ..budget import Budget, deadline_scope
 from ..cache import caching_enabled, containment_cache, query_cache_key
 from ..obs.metrics import counter as _metric_counter, histogram as _metric_histogram
@@ -61,6 +62,7 @@ _OPTION_UNIVERSE = frozenset(
     {
         "method",
         "stats",
+        "kernel",
         "max_configs",
         "max_expansions",
         "max_total_length",
@@ -148,6 +150,11 @@ def check_containment(
             f"unknown option(s) {', '.join(map(repr, unknown))}; "
             f"valid options are {', '.join(sorted(_OPTION_UNIVERSE))}"
         )
+    if "kernel" in options:
+        # Reject bad kernel values at the boundary, before classification
+        # or caching can swallow them (a typo must never silently fall
+        # back to the default kernel).
+        resolve_kernel(options["kernel"])
     budget = _normalize_budget(budget)
     _CHECKS.inc()  # locked: unsynchronized += loses events under batch workers
     if not trace:
@@ -229,6 +236,21 @@ def _run_uncached(
     if "budget" not in result.details:
         result = dataclasses.replace(
             result, details={**dict(result.details), "budget": {"spend": {}}}
+        )
+    if "kernel" not in result.details:
+        # Procedures that run no language-inclusion search (expansion
+        # towers, homomorphism checks) select no kernel; record that
+        # honestly so every engine result carries the key — normalized
+        # before caching, so hits inherit it for free.
+        result = dataclasses.replace(
+            result,
+            details={
+                **dict(result.details),
+                "kernel": {
+                    "requested": options.get("kernel", "auto"),
+                    "selected": None,
+                },
+            },
         )
     _CHECK_MS.observe((time.monotonic() - start) * 1000.0)
     _VERDICT_COUNTERS[result.verdict].inc()
@@ -322,6 +344,10 @@ def _escalate(
             details={
                 "budget": {"exhausted": "deadline", "spend": {}},
                 "cache": "bypass",
+                "kernel": {
+                    "requested": options.get("kernel", "auto"),
+                    "selected": None,
+                },
             },
         )
     escalation = {
@@ -357,27 +383,27 @@ def _check_containment_uncached(
         )
 
     if common is QueryClass.RPQ:
-        _, ignored = _pick(options)
+        picked, ignored = _pick(options, "kernel")
         result = rpq_contained(
-            RPQ(q1.regex), RPQ(q2.regex), budget=budget, tracer=tracer
+            RPQ(q1.regex), RPQ(q2.regex), budget=budget, tracer=tracer, **picked
         )
         return _with_ignored(result, ignored)
     if common is QueryClass.TWO_RPQ:
-        picked, ignored = _pick(options, "method", "max_configs", "stats")
+        picked, ignored = _pick(options, "method", "max_configs", "stats", "kernel")
         result = two_rpq_contained(
             promote(q1, common), promote(q2, common), budget=budget,
             tracer=tracer, **picked,
         )
         return _with_ignored(result, ignored)
     if common is QueryClass.UC2RPQ:
-        picked, ignored = _pick(options, "max_total_length", "max_expansions")
+        picked, ignored = _pick(options, "max_total_length", "max_expansions", "kernel")
         result = uc2rpq_contained(
             promote(q1, common), promote(q2, common), budget=budget,
             tracer=tracer, **picked,
         )
         return _with_ignored(result, ignored)
     if common is QueryClass.RQ:
-        picked, ignored = _pick(options, "max_applications", "max_expansions")
+        picked, ignored = _pick(options, "max_applications", "max_expansions", "kernel")
         result = rq_contained(
             promote(q1, common), promote(q2, common), budget=budget,
             tracer=tracer, **picked,
@@ -387,7 +413,10 @@ def _check_containment_uncached(
         if isinstance(q1, Program) or isinstance(q2, Program):
             return _nonrecursive_datalog_case(q1, q2, budget, options, tracer)
         # Chandra-Merlin is exact and terminating: no budget to thread.
-        _, ignored = _pick(options)
+        # "kernel" is picked (and recorded via details["kernel"]
+        # normalization) rather than reported as ignored: it is a
+        # universal engine option, not a procedure-specific bound.
+        picked, ignored = _pick(options, "kernel")
         with maybe_span(tracer, "ucq-homomorphism"):
             result = ucq_contained(q1, q2)
         if result.holds:
@@ -406,15 +435,17 @@ def _check_containment_uncached(
         # expansion procedures are stronger than promoting the (U)CQ to
         # a one-rule-per-disjunct program (ucq_in_datalog is exact).
         if isinstance(q1, (CQ, UCQ)):
-            _, ignored = _pick(options)
+            picked, ignored = _pick(options, "kernel")
             return _with_ignored(
                 ucq_in_datalog(
-                    q1, promote(q2, QueryClass.DATALOG), tracer=tracer
+                    q1, promote(q2, QueryClass.DATALOG), tracer=tracer, **picked
                 ),
                 ignored,
             )
         if isinstance(q2, (CQ, UCQ)):
-            picked, ignored = _pick(options, "max_applications", "max_expansions")
+            picked, ignored = _pick(
+                options, "max_applications", "max_expansions", "kernel"
+            )
             return _with_ignored(
                 datalog_in_ucq(
                     promote(q1, QueryClass.DATALOG), q2, budget=budget,
@@ -424,7 +455,9 @@ def _check_containment_uncached(
             )
         left = promote(q1, QueryClass.DATALOG)
         right = promote(q2, QueryClass.DATALOG)
-        picked, ignored = _pick(options, "max_applications", "max_expansions")
+        picked, ignored = _pick(
+            options, "max_applications", "max_expansions", "kernel"
+        )
         if common is QueryClass.GRQ or (is_grq(left) and is_grq(right)):
             return _with_ignored(
                 grq_contained(left, right, budget=budget, tracer=tracer, **picked),
@@ -464,7 +497,7 @@ def _nonrecursive_datalog_case(
     q1: Any, q2: Any, budget: Budget | None, options: dict, tracer=None
 ) -> ContainmentResult:
     """UCQ-level checks where one side is a (nonrecursive) program."""
-    picked, ignored = _pick(options, "max_applications", "max_expansions")
+    picked, ignored = _pick(options, "max_applications", "max_expansions", "kernel")
     if isinstance(q1, Program) and isinstance(q2, Program):
         return _with_ignored(
             datalog_in_datalog(q1, q2, budget=budget, tracer=tracer, **picked),
@@ -474,7 +507,8 @@ def _nonrecursive_datalog_case(
         return _with_ignored(
             datalog_in_ucq(q1, q2, budget=budget, tracer=tracer, **picked), ignored
         )
-    return _with_ignored(ucq_in_datalog(q1, q2, tracer=tracer), ignored)
+    kernel_only, _ = _pick(picked, "kernel")
+    return _with_ignored(ucq_in_datalog(q1, q2, tracer=tracer, **kernel_only), ignored)
 
 
 def check_equivalence(

@@ -24,6 +24,7 @@ with spend accounting — never an exception.
 
 from __future__ import annotations
 
+from ..automata.antichain import resolve_kernel
 from ..budget import Budget, BudgetExhausted, bounded_result
 from ..obs.trace import maybe_span
 from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
@@ -50,6 +51,7 @@ def uc2rpq_contained(
     max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
     tracer=None,
+    kernel: str = "auto",
 ) -> ContainmentResult:
     """Expansion-based containment check for UC2RPQs.
 
@@ -68,7 +70,12 @@ def uc2rpq_contained(
             ``disjunct-expansions`` span per Q1 disjunct, tagged with
             the finiteness verdict and effective length bound and
             counting the expansions examined.
+        kernel: accepted for engine-wide option uniformity and
+            validated eagerly; the expansion procedure runs no
+            language-inclusion search, so the value selects nothing
+            here (the engine records ``selected: None``).
     """
+    resolve_kernel(kernel)
     left, right = _as_union(q1), _as_union(q2)
     if left.arity != right.arity:
         raise ValueError(

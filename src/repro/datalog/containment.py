@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..automata.antichain import resolve_kernel
 from ..budget import Budget, BudgetExhausted, bounded_result
 from ..cq.containment import ucq_contained
 from ..cq.evaluation import satisfies_ucq
@@ -65,9 +66,15 @@ def cq_in_datalog(cq: CQ, program: Program) -> ContainmentResult:
 
 
 def ucq_in_datalog(
-    ucq: UCQ | CQ, program: Program, tracer=None
+    ucq: UCQ | CQ, program: Program, tracer=None, kernel: str = "auto"
 ) -> ContainmentResult:
-    """Exact: every disjunct must map into the program's answers."""
+    """Exact: every disjunct must map into the program's answers.
+
+    *kernel* is accepted for engine-wide option uniformity and validated
+    eagerly; canonical-database evaluation runs no language-inclusion
+    search (the engine records ``selected: None``).
+    """
+    resolve_kernel(kernel)
     union = ucq if isinstance(ucq, UCQ) else UCQ((ucq,))
     with maybe_span(tracer, "canonical-db-evaluation") as span:
         checked = 0
@@ -89,6 +96,7 @@ def datalog_in_ucq(
     max_expansions: int = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
     tracer=None,
+    kernel: str = "auto",
 ) -> ContainmentResult:
     """``program ⊆ ucq`` via expansion enumeration.
 
@@ -99,8 +107,12 @@ def datalog_in_ucq(
     the legacy kwargs; its deadline is polled cooperatively and produces
     a structured verdict, never an exception.  An optional *tracer*
     records an ``unfold-to-ucq`` span (nonrecursive path) or an
-    ``expansion-loop`` span counting expansions.
+    ``expansion-loop`` span counting expansions.  *kernel* is accepted
+    for engine-wide option uniformity and validated eagerly; the
+    expansion procedure runs no language-inclusion search (the engine
+    records ``selected: None``).
     """
+    resolve_kernel(kernel)
     union = ucq if isinstance(ucq, UCQ) else UCQ((ucq,))
     if is_nonrecursive(program):
         with maybe_span(tracer, "unfold-to-ucq") as span:
@@ -161,6 +173,7 @@ def datalog_in_datalog(
     max_expansions: int = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
     tracer=None,
+    kernel: str = "auto",
 ) -> ContainmentResult:
     """``left ⊆ right`` for two Datalog programs.
 
@@ -171,8 +184,12 @@ def datalog_in_datalog(
     nonrecursive *left* exhausts its finite expansion space, upgrading
     the positive verdict to HOLDS.  An optional *budget* overrides the
     legacy kwargs and adds cooperative deadline polling (structured
-    verdict on exhaustion, never an exception).
+    verdict on exhaustion, never an exception).  *kernel* is accepted
+    for engine-wide option uniformity and validated eagerly; the
+    expansion procedure runs no language-inclusion search (the engine
+    records ``selected: None``).
     """
+    resolve_kernel(kernel)
     if left.goal_arity != right.goal_arity:
         raise ValueError("arity mismatch between program goals")
     app_bound, exp_bound, meter = _effective_bounds(

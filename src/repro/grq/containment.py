@@ -16,6 +16,7 @@ checker refuses programs outside it rather than silently running the
 
 from __future__ import annotations
 
+from ..automata.antichain import resolve_kernel
 from ..budget import Budget, BudgetExhausted, bounded_result
 from ..obs.trace import maybe_span
 from ..report import ContainmentResult, Counterexample, EquivalenceResult, Verdict
@@ -45,6 +46,7 @@ def grq_contained(
     max_expansions: int | None = DEFAULT_EXPANSION_BUDGET,
     budget: Budget | None = None,
     tracer=None,
+    kernel: str = "auto",
 ) -> ContainmentResult:
     """Containment between two GRQ programs.
 
@@ -54,8 +56,12 @@ def grq_contained(
     kwargs; its deadline interrupts the enumeration cooperatively and is
     reported as a structured verdict, never an exception.  An optional
     *tracer* records a ``grq-membership`` span for the fragment check
-    and an ``expansion-loop`` span counting expansions.
+    and an ``expansion-loop`` span counting expansions.  *kernel* is
+    accepted for engine-wide option uniformity and validated eagerly;
+    the expansion procedure runs no language-inclusion search (the
+    engine records ``selected: None``).
     """
+    resolve_kernel(kernel)
     with maybe_span(tracer, "grq-membership"):
         for which, program in (("left", left), ("right", right)):
             report = check_grq(program)

@@ -409,6 +409,136 @@ def _exp_budget(suite: str) -> dict[str, Any]:
     }
 
 
+@_experiment("antichain-ablation", "antichain vs subset containment kernel")
+def _exp_antichain(suite: str) -> dict[str, Any]:
+    import random
+
+    from ..automata.dfa import containment_counterexample
+    from ..automata.regex import parse_regex, random_regex
+    from ..cache import clear_caches
+    from ..rpq.containment import two_rpq_contained
+    from ..rpq.rpq import TwoRPQ
+
+    alphabet = ("a", "b")
+
+    # E1-style family: seeded random regex pairs, checked with both
+    # kernels through the same public entry point.  Hard gate: verdicts
+    # agree, witnesses have equal (shortest) length, and every witness
+    # actually separates the languages.
+    atoms = ["a", "b", "a b", "a|b", "a*", "a+", "b a", "(a b)*", "a?"]
+    if suite == "smoke":
+        atoms, n_random = atoms[:6], 10
+    else:
+        n_random = 30
+    rng = random.Random(11)
+    nfa_pairs = [
+        (parse_regex(x).to_nfa().trim().renumber(),
+         parse_regex(y).to_nfa().trim().renumber())
+        for x in atoms for y in atoms
+    ]
+    nfa_pairs += [
+        (random_regex(rng, alphabet, 3).to_nfa().trim().renumber(),
+         random_regex(rng, alphabet, 3).to_nfa().trim().renumber())
+        for _ in range(n_random)
+    ]
+    agreements = disagreements = refuted = 0
+    for left, right in nfa_pairs:
+        witnesses = {}
+        for kernel in ("subset", "antichain"):
+            clear_caches()
+            witnesses[kernel] = containment_counterexample(
+                left, right, alphabet, kernel=kernel
+            )
+        sub, anti = witnesses["subset"], witnesses["antichain"]
+        same_verdict = (sub is None) == (anti is None)
+        valid = True
+        if anti is not None:
+            valid = (
+                len(sub) == len(anti)
+                and left.accepts(anti)
+                and not right.accepts(anti)
+            )
+            refuted += 1
+        if same_verdict and valid:
+            agreements += 1
+        else:
+            disagreements += 1
+
+    # E4-style family: Theorem 5 fold pipelines (including the paper's
+    # divergence example) through both kernels of the on-the-fly search.
+    tworpq_family = [("p", "p p-"), ("p", "p p- p")]
+    if suite == "full":
+        tworpq_family.append(("a a", "a a-"))
+    tworpq_rows: list[list[Any]] = []
+    for left_text, right_text in tworpq_family:
+        q1, q2 = TwoRPQ.parse(left_text), TwoRPQ.parse(right_text)
+        row: list[Any] = [f"{left_text} <= {right_text}"]
+        for kernel in ("subset", "antichain"):
+            clear_caches()
+            result = two_rpq_contained(q1, q2, kernel=kernel)
+            row.append(result.verdict.value)
+        tworpq_rows.append(row)
+
+    # Blow-up family (a|b)* a (a|b)^n vs the n+1 suffix: the right-hand
+    # determinization is the classic 2^n subset blow-up; the frontier
+    # counts (subset configs vs antichain kept configs + peak) are the
+    # structural fact the speedup rests on, gated bit-for-bit.
+    sizes = (6, 8) if suite == "smoke" else (6, 8, 10, 12)
+    frontier: list[list[int]] = []
+    timed_pair = None
+    for n in sizes:
+        suffix = " ".join(["(a|b)"] * n)
+        left = parse_regex(f"(a|b)* a {suffix}").to_nfa().trim().renumber()
+        right = (
+            parse_regex(f"(a|b)* a (a|b) {suffix}").to_nfa().trim().renumber()
+        )
+        counts = {}
+        for kernel in ("subset", "antichain"):
+            clear_caches()
+            stats: dict[str, Any] = {}
+            containment_counterexample(
+                left, right, alphabet, kernel=kernel, kernel_stats=stats
+            )
+            counts[kernel] = stats
+        frontier.append(
+            [
+                n,
+                counts["subset"]["configs"],
+                counts["antichain"]["configs"],
+                counts["antichain"]["antichain_peak"],
+                counts["antichain"]["subsumption_hits"],
+            ]
+        )
+        timed_pair = (left, right)
+
+    assert timed_pair is not None
+    timed_left, timed_right = timed_pair
+
+    def run_kernel(kernel: str) -> Callable[[], Any]:
+        def thunk() -> None:
+            clear_caches()
+            containment_counterexample(
+                timed_left, timed_right, alphabet, kernel=kernel
+            )
+
+        return thunk
+
+    return {
+        "exact": {
+            "pairs": len(nfa_pairs),
+            "agreements": agreements,
+            "disagreements": disagreements,
+            "refuted": refuted,
+            "tworpq": tworpq_rows,
+            "frontier": frontier,
+        },
+        "timed": {
+            "blowup-subset": run_kernel("subset"),
+            "blowup-antichain": run_kernel("antichain"),
+        },
+    }
+
+
 # --- the run harness ------------------------------------------------------------
 
 

@@ -48,7 +48,11 @@ def word_counterexample(word: Word) -> Counterexample:
 
 
 def rpq_contained(
-    q1: RPQ, q2: RPQ, budget: Budget | None = None, tracer=None
+    q1: RPQ,
+    q2: RPQ,
+    budget: Budget | None = None,
+    tracer=None,
+    kernel: str = "auto",
 ) -> ContainmentResult:
     """Lemma 1 pipeline: exact, via language containment over Sigma.
 
@@ -56,23 +60,33 @@ def rpq_contained(
     which ``(0, n) in Q1(D) - Q2(D)``.  An optional *budget* bounds the
     product search; exhaustion yields a structured bounded verdict
     rather than an exception.  An optional *tracer* records one span per
-    automata-pipeline stage.
+    automata-pipeline stage.  *kernel* selects the language-inclusion
+    search (``"subset" | "antichain" | "auto"``); the choice and its
+    frontier statistics are reported in ``details["kernel"]`` on every
+    return path.
     """
     for query in (q1, q2):
         if not query.is_one_way():
             raise ValueError("rpq_contained expects one-way queries; use two_rpq_contained")
     alphabet = _combined_alphabet(q1, q2).symbols
     meter = None if budget is None or budget.is_null else budget.start()
+    kstats: dict = {"requested": kernel}
     try:
         witness = containment_counterexample(
-            q1.nfa, q2.nfa, alphabet, meter=meter, tracer=tracer
+            q1.nfa, q2.nfa, alphabet, meter=meter, tracer=tracer,
+            kernel=kernel, kernel_stats=kstats,
         )
     except BudgetExhausted as exc:
-        return bounded_result("rpq-language", exc, meter)
+        return bounded_result("rpq-language", exc, meter, details={"kernel": kstats})
     if witness is None:
-        return ContainmentResult(Verdict.HOLDS, "rpq-language")
+        return ContainmentResult(
+            Verdict.HOLDS, "rpq-language", details={"kernel": kstats}
+        )
     return ContainmentResult(
-        Verdict.REFUTED, "rpq-language", word_counterexample(witness)
+        Verdict.REFUTED,
+        "rpq-language",
+        word_counterexample(witness),
+        details={"kernel": kstats},
     )
 
 
@@ -84,6 +98,7 @@ def two_rpq_contained(
     stats: SearchStats | None = None,
     budget: Budget | None = None,
     tracer=None,
+    kernel: str = "auto",
 ) -> ContainmentResult:
     """Theorem 5 pipeline: exact 2RPQ containment via folding.
 
@@ -109,11 +124,19 @@ def two_rpq_contained(
         tracer: optional :class:`repro.obs.trace.Tracer`; records a
             ``fold`` span plus the method-specific search/complement
             stage spans.
+        kernel: the product-search kernel (``"subset" | "antichain" |
+            "auto"``) for the on-the-fly methods; the materialized
+            method ignores it (recorded honestly in
+            ``details["kernel"]``).
     """
+    from ..automata.antichain import resolve_kernel
+
+    resolve_kernel(kernel)  # reject typos before any automata work
     eff = as_budget(budget, max_configs=max_configs, max_states=max_configs)
     meter = None if eff.is_null else eff.start()
     method_name = f"2rpq-fold-{method}"
     sigma_pm = _combined_alphabet(q1, q2).two_way
+    kstats: dict = {"requested": kernel}
     try:
         with deadline_scope(eff):
             with maybe_span(tracer, "fold", nfa_states=q2.nfa.num_states) as span:
@@ -127,6 +150,8 @@ def two_rpq_contained(
                     stats=stats,
                     meter=meter,
                     tracer=tracer,
+                    kernel=kernel,
+                    kernel_stats=kstats,
                 )
             elif method == "lemma4-onthefly":
                 witness = find_accepted_word(
@@ -135,8 +160,11 @@ def two_rpq_contained(
                     stats=stats,
                     meter=meter,
                     tracer=tracer,
+                    kernel=kernel,
+                    kernel_stats=kstats,
                 )
             elif method == "lemma4-materialized":
+                kstats.update(selected="subset", pipeline="materialized")
                 complement = complement_two_nfa(
                     folded, max_states=eff.max_states, meter=meter, tracer=tracer
                 )
@@ -152,11 +180,16 @@ def two_rpq_contained(
             else:
                 raise ValueError(f"unknown method {method!r}")
     except BudgetExhausted as exc:
-        return bounded_result(method_name, exc, meter)
+        return bounded_result(method_name, exc, meter, details={"kernel": kstats})
     if witness is None:
-        return ContainmentResult(Verdict.HOLDS, method_name)
+        return ContainmentResult(
+            Verdict.HOLDS, method_name, details={"kernel": kstats}
+        )
     return ContainmentResult(
-        Verdict.REFUTED, method_name, word_counterexample(witness)
+        Verdict.REFUTED,
+        method_name,
+        word_counterexample(witness),
+        details={"kernel": kstats},
     )
 
 

@@ -182,6 +182,59 @@ class TestPoolDeadline:
         )
 
 
+class TestKernelOption:
+    """The ``kernel`` option threads through the pool to every item."""
+
+    def test_kernels_agree_on_batch_verdicts(self):
+        pairs = e1_workload()
+        verdicts = {}
+        for kernel in ("subset", "antichain"):
+            clear_caches(reset_stats=True)
+            batch = check_containment_many(pairs, workers=4, kernel=kernel)
+            verdicts[kernel] = [item.result.verdict for item in batch.items]
+            for item in batch.items:
+                info = item.result.details["kernel"]
+                assert info["requested"] == kernel
+                assert info["selected"] == kernel  # RPQ pairs all search
+        assert verdicts["subset"] == verdicts["antichain"]
+
+    def test_to_dict_carries_kernel_details(self):
+        batch = check_containment_many(
+            e1_workload()[:3], workers=1, kernel="antichain"
+        )
+        for item in batch.items:
+            payload = item.to_dict()
+            assert payload["kernel"]["requested"] == "antichain"
+
+    def test_unknown_kernel_raises_in_caller_frame(self):
+        # A bad kernel value is caller error like any unknown option —
+        # rejected before the pool spins up, not buried per-item.
+        with pytest.raises(ValueError, match="unknown kernel"):
+            check_containment_many(e1_workload()[:2], workers=1, kernel="bogus")
+
+    def test_error_items_carry_requested_kernel(self):
+        poisoned = [("not a query", RPQ(parse_regex("a")))]
+        batch = check_containment_many(poisoned, workers=1, kernel="subset")
+        details = batch.items[0].result.details
+        assert batch.items[0].result.verdict is Verdict.ERROR
+        assert details["kernel"] == {"requested": "subset", "selected": None}
+
+    def test_pool_deadline_items_carry_requested_kernel(self):
+        batch = check_containment_many(
+            e1_workload(), workers=1, pool_deadline_ms=0.01, kernel="antichain"
+        )
+        degraded = [
+            item for item in batch.items
+            if item.result.method == "batch-pool-deadline"
+        ]
+        assert degraded
+        for item in degraded:
+            assert item.result.details["kernel"] == {
+                "requested": "antichain",
+                "selected": None,
+            }
+
+
 class TestTraceIsolation:
     """Per-item tracers: concurrent span trees never interleave."""
 

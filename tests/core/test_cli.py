@@ -100,6 +100,19 @@ class TestCommands:
         assert code == 0
         assert "bound" in capsys.readouterr().out
 
+    def test_contain_kernel_flag_agreement(self, capsys):
+        for kernel in ("subset", "antichain", "auto"):
+            assert main(["contain", "rpq:a a", "rpq:a+", "--kernel", kernel]) == 0
+            assert "HOLDS" in capsys.readouterr().out
+            assert main(["contain", "rpq:a+", "rpq:a a", "--kernel", kernel]) == 1
+            assert "REFUTED" in capsys.readouterr().out
+
+    def test_contain_kernel_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["contain", "rpq:a", "rpq:a", "--kernel", "bogus"])
+        assert excinfo.value.code == 2  # argparse choices rejection
+        assert "invalid choice" in capsys.readouterr().err
+
 
 class TestRewriteCommand:
     def test_exact_rewriting(self, capsys, tmp_path):

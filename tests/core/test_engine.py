@@ -152,6 +152,101 @@ class TestDetailsNormalization:
         assert "spend" in result.details["budget"], label
 
 
+class TestKernelDetails:
+    """Every engine result reports the requested/selected kernel."""
+
+    #: Classes whose dispatch actually runs a language-inclusion search;
+    #: the rest accept the option for uniformity and select nothing.
+    SEARCHING = {"rpq", "2rpq"}
+
+    @pytest.mark.parametrize("label", list(_class_matrix()))
+    @pytest.mark.parametrize("kernel", ["subset", "antichain", "auto"])
+    def test_kernel_details_matrix(self, label, kernel):
+        from repro.cache import clear_caches
+
+        clear_caches()
+        q1, q2, options = _class_matrix()[label]
+        result = check_containment(q1, q2, kernel=kernel, **options)
+        info = result.details["kernel"]
+        assert info["requested"] == kernel, label
+        if label in self.SEARCHING:
+            expected = "antichain" if kernel == "auto" else kernel
+            assert info["selected"] == expected, label
+            assert info["configs"] >= 0, label
+        else:
+            assert info["selected"] is None, label
+
+    @pytest.mark.parametrize("label", list(_class_matrix()))
+    def test_kernel_defaults_to_auto(self, label):
+        from repro.cache import clear_caches
+
+        clear_caches()
+        q1, q2, options = _class_matrix()[label]
+        result = check_containment(q1, q2, **options)
+        assert result.details["kernel"]["requested"] == "auto", label
+
+    def test_cache_hits_inherit_kernel_details(self):
+        from repro.cache import clear_caches
+
+        clear_caches()
+        q1, q2 = RPQ.parse("a a"), RPQ.parse("a+")
+        cold = check_containment(q1, q2, kernel="antichain")
+        warm = check_containment(q1, q2, kernel="antichain")
+        assert cold.details["cache"] == "miss"
+        assert warm.details["cache"] == "hit"
+        assert warm.details["kernel"] == cold.details["kernel"]
+
+    def test_cached_results_are_keyed_by_kernel(self):
+        from repro.cache import clear_caches
+
+        clear_caches()
+        q1, q2 = RPQ.parse("a a"), RPQ.parse("a+")
+        anti = check_containment(q1, q2, kernel="antichain")
+        sub = check_containment(q1, q2, kernel="subset")
+        assert anti.verdict == sub.verdict
+        # A subset request must never be served a cached antichain
+        # result (its kernel stats would lie about what ran).
+        assert sub.details["kernel"]["selected"] == "subset"
+
+    def test_unknown_kernel_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            check_containment(RPQ.parse("a"), RPQ.parse("a"), kernel="bogus")
+
+    def test_subset_and_antichain_verdicts_agree_across_matrix(self):
+        from repro.cache import clear_caches
+
+        for label, (q1, q2, options) in _class_matrix().items():
+            verdicts = {}
+            for kernel in ("subset", "antichain"):
+                clear_caches()
+                verdicts[kernel] = check_containment(
+                    q1, q2, kernel=kernel, **options
+                ).verdict
+            assert verdicts["subset"] == verdicts["antichain"], label
+
+    def test_inconclusive_escalation_result_carries_kernel(self):
+        # A zero deadline spends the escalation budget before round 0:
+        # the engine fabricates the INCONCLUSIVE result itself, which
+        # must carry the kernel key like every other result.
+        tc = transitive_closure_program("e", "tc")
+        result = check_containment(
+            tc, tc, budget=Budget.auto(deadline_ms=0.0), kernel="antichain"
+        )
+        assert result.verdict is Verdict.INCONCLUSIVE
+        assert result.details["kernel"]["requested"] == "antichain"
+        assert result.details["kernel"]["selected"] is None
+
+    def test_bounded_rpq_result_carries_kernel(self):
+        q1 = RPQ.parse("(a|b)* a (a|b) (a|b) (a|b)")
+        q2 = RPQ.parse("(a|b)* a (a|b) (a|b) (a|b) (a|b)")
+        result = check_containment(
+            q1, q2, budget=Budget(max_configs=2), kernel="antichain"
+        )
+        info = result.details["kernel"]
+        assert info["requested"] == "antichain"
+        assert info["selected"] == "antichain"
+
+
 class TestTracing:
     """``trace=True`` returns a span tree covering every pipeline stage."""
 
