@@ -291,6 +291,23 @@ determinize_cache = LRUCache("determinize", maxsize=512)
 #: (Q1 key, Q2 key, options) -> ContainmentResult (the engine front door).
 containment_cache = LRUCache("containment", maxsize=2048)
 
+#: ("ctx", NFA canonical key, snapshot fingerprint) -> compiled evaluation
+#: context (IndexedNFA + per-symbol adjacency rows resolved against one
+#: GraphSnapshot).  Values are immutable after construction; the
+#: fingerprint component makes entries for a mutated database
+#: unreachable (DESIGN.md "Evaluation architecture").
+eval_context_cache = LRUCache("eval-context", maxsize=256)
+
+#: ("pairs", NFA canonical key, snapshot fingerprint) -> frozenset of
+#: (source, target) answer pairs — the set-at-a-time RPQ/2RPQ result.
+evaluation_cache = LRUCache("evaluation", maxsize=1024)
+
+#: (C2RPQ canonical key, snapshot fingerprint) -> (CQ, Instance): each
+#: distinct regular atom instantiated once per snapshot, shared by every
+#: membership test the expansion-based containment loops run.  The
+#: Instance is treated as frozen after construction (readers only).
+instantiate_cache = LRUCache("instantiate", maxsize=512)
+
 
 # --- canonical keys ----------------------------------------------------------------
 

@@ -94,8 +94,23 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .rq.evaluation import evaluate_rq
     from .rq.syntax import RQ
 
+    want_stats = getattr(args, "stats", False)
+    tracer = None
+    if want_stats:
+        from .cache import clear_caches
+        from .obs.metrics import reset_metrics
+        from .obs.trace import Tracer
+
+        # Start from a clean slate so the report describes this run only.
+        clear_caches(reset_stats=True)
+        reset_metrics()
+        tracer = Tracer()
+
     if isinstance(query, TwoRPQ):
-        answers = query.evaluate(as_graph(database))
+        from .obs.trace import maybe_span
+
+        with maybe_span(tracer, "evaluate", query=str(query)):
+            answers = query.evaluate(as_graph(database), tracer=tracer)
     elif isinstance(query, RQ):
         answers = evaluate_rq(query, as_graph(database))
     elif isinstance(query, Program):
@@ -105,7 +120,33 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     for row in sorted(answers, key=repr):
         print("\t".join(str(value) for value in row))
     print(f"# {len(answers)} answers", file=sys.stderr)
+    if want_stats:
+        _print_evaluation_stats(tracer)
     return 0
+
+
+def _print_evaluation_stats(tracer) -> None:
+    """Render the ``evaluate --stats`` report (metrics, caches, spans)."""
+    from .cache import cache_stats
+    from .obs.metrics import metrics_snapshot
+
+    print("# evaluation stats", file=sys.stderr)
+    for name, data in sorted(metrics_snapshot().items()):
+        if name.startswith("evaluation."):
+            print(f"#   {name} = {data.get('value', 0)}", file=sys.stderr)
+    for name in ("eval-context", "evaluation", "instantiate", "regex-nfa"):
+        stats = cache_stats().get(name)
+        if stats is not None:
+            print(
+                f"#   cache {name}: hits={stats['hits']} misses={stats['misses']} "
+                f"size={stats['size']}",
+                file=sys.stderr,
+            )
+    if tracer is not None and tracer.roots:
+        from .obs.export import render_trace
+
+        for root in tracer.roots:
+            print(render_trace(root.to_dict()), file=sys.stderr)
 
 
 def _cmd_contain(args: argparse.Namespace) -> int:
@@ -362,6 +403,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_p = sub.add_parser("evaluate", help="run a query on a database")
     evaluate_p.add_argument("query", help="kind:spec")
     evaluate_p.add_argument("--database", required=True, help="database file")
+    evaluate_p.add_argument(
+        "--stats", action="store_true",
+        help="report evaluation metrics, cache hit rates, and the span tree "
+        "(snapshot-build / eval-bfs) on stderr",
+    )
     evaluate_p.set_defaults(func=_cmd_evaluate)
 
     contain_p = sub.add_parser(

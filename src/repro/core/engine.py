@@ -116,7 +116,7 @@ def check_containment(
             staged escalation (see module docstring).
         trace: ``True`` to record a span tree of the pipeline stages the
             check ran, returned as ``details["trace"]`` (a JSON-ready
-            dict; see DESIGN.md §7 for the span taxonomy).  An existing
+            dict; see DESIGN.md §8 for the span taxonomy).  An existing
             :class:`repro.obs.trace.Tracer` may be passed instead to
             accumulate several checks into one tree.  The default
             ``False`` costs one pointer test — tracing is strictly

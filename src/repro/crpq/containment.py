@@ -124,7 +124,11 @@ def uc2rpq_contained(
                         if meter is not None:
                             meter.note("expansions")
                         if not satisfies_uc2rpq(
-                            right, expansion.database, expansion.head
+                            right,
+                            expansion.database,
+                            expansion.head,
+                            tracer=tracer,
+                            meter=meter,
                         ):
                             return ContainmentResult(
                                 Verdict.REFUTED,

@@ -3,6 +3,7 @@
 from . import io
 
 from .database import GraphDatabase, canonical_database_of_word
+from .snapshot import GraphSnapshot
 from .generators import (
     cycle_graph,
     grid_graph,
@@ -17,6 +18,7 @@ from .generators import (
 __all__ = [
     "io",
     "GraphDatabase",
+    "GraphSnapshot",
     "canonical_database_of_word",
     "cycle_graph",
     "grid_graph",

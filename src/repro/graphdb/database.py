@@ -8,15 +8,24 @@ the (flexible) schema — it is derived from the data, never declared.
 Besides storage and indexing, this module implements the *semipath*
 machinery of Section 3.1: navigation along edges in both directions,
 where traversing an edge backwards reads its inverse letter.
+
+Nodes are kept in **insertion order** (the stable total order every
+compiled artifact uses — see :mod:`repro.graphdb.snapshot`), and every
+structural mutation bumps a **revision counter** so snapshots and the
+evaluation caches keyed on them invalidate precisely when the data
+changes.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator
 
 from ..automata.alphabet import Alphabet, base_symbol, inverse, is_inverse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (snapshot imports us)
+    from .snapshot import GraphSnapshot
 
 Node = Hashable
 Edge = tuple[Node, str, Node]
@@ -36,9 +45,12 @@ class GraphDatabase:
     def __init__(self) -> None:
         self._forward: dict[tuple[Node, str], set] = defaultdict(set)
         self._backward: dict[tuple[Node, str], set] = defaultdict(set)
-        self._nodes: set = set()
+        # dict-as-ordered-set: insertion order is the stable node order.
+        self._nodes: dict[Node, None] = {}
         self._labels: set[str] = set()
         self._edge_count = 0
+        self._revision = 0
+        self._snapshot: "GraphSnapshot | None" = None
 
     # -- construction ----------------------------------------------------------
 
@@ -58,7 +70,9 @@ class GraphDatabase:
         return db
 
     def add_node(self, node: Node) -> None:
-        self._nodes.add(node)
+        if node not in self._nodes:
+            self._nodes[node] = None
+            self._touch()
 
     def add_edge(self, source: Node, label: str, target: Node) -> None:
         """Insert edge ``label(source, target)``; labels must be base symbols."""
@@ -68,17 +82,49 @@ class GraphDatabase:
             )
         if (source, label) not in self._forward or target not in self._forward[(source, label)]:
             self._edge_count += 1
+            self._touch()
         self._forward[(source, label)].add(target)
         self._backward[(target, label)].add(source)
-        self._nodes.add(source)
-        self._nodes.add(target)
+        self._nodes.setdefault(source)
+        self._nodes.setdefault(target)
         self._labels.add(label)
+
+    def _touch(self) -> None:
+        """Record a structural mutation: bump the revision, drop the snapshot."""
+        self._revision += 1
+        self._snapshot = None
 
     # -- inspection --------------------------------------------------------------
 
     @property
     def nodes(self) -> frozenset:
         return frozenset(self._nodes)
+
+    def nodes_in_order(self) -> tuple:
+        """All nodes in insertion order — the stable total order compiled
+        artifacts (snapshots, IO serializations) index nodes by.  Unlike
+        ``sorted(key=repr)`` it does not depend on memory addresses, so
+        it is identical across runs for the same construction sequence.
+        """
+        return tuple(self._nodes)
+
+    @property
+    def revision(self) -> int:
+        """Monotone counter of structural mutations (snapshot invalidation)."""
+        return self._revision
+
+    def snapshot(self, tracer=None) -> "GraphSnapshot":
+        """The compiled :class:`~repro.graphdb.snapshot.GraphSnapshot`.
+
+        Built at most once per revision: mutations (:meth:`add_edge` /
+        :meth:`add_node`) drop the cached snapshot, so a stale snapshot
+        can never be observed through this accessor.
+        """
+        if self._snapshot is None:
+            from .snapshot import GraphSnapshot
+
+            self._snapshot = GraphSnapshot.from_database(self, tracer=tracer)
+        return self._snapshot
 
     @property
     def labels(self) -> frozenset[str]:
@@ -172,8 +218,9 @@ class GraphDatabase:
         """The induced subdatabase on *nodes*."""
         keep = set(nodes)
         sub = GraphDatabase()
-        for node in keep & self._nodes:
-            sub.add_node(node)
+        for node in self._nodes:  # insertion order: keeps sub-db ids stable
+            if node in keep:
+                sub.add_node(node)
         for source, label, target in self.edges():
             if source in keep and target in keep:
                 sub.add_edge(source, label, target)

@@ -4,28 +4,77 @@ Two interchange formats:
 
 - **edge-list text** — one ``source label target`` triple per line
   (whitespace-separated; ``#`` comments; isolated nodes as single-token
-  lines).  The format most graph tools can produce.
+  lines).  The format most graph tools can produce.  Names whose string
+  form the format cannot represent (embedded whitespace, ``#``, empty)
+  are **rejected** with a :class:`ValueError` rather than silently
+  written and re-parsed as garbage — use the JSON format for those.
 - **JSON** — ``{"nodes": [...], "edges": [[source, label, target], ...]}``,
   round-tripping arbitrary JSON-representable node names.
+
+Both serializers order nodes by the database's **insertion order**
+(:meth:`GraphDatabase.nodes_in_order`) and edges by the induced
+``(source id, label, target id)`` key.  That order is a function of the
+construction sequence alone — unlike the former ``sorted(key=repr)``,
+which for nodes with default ``object.__repr__`` sorted by memory
+address and therefore differed run to run.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import IO
 
 from .database import GraphDatabase
 
 
+def _edge_list_token(value, kind: str) -> str:
+    """The string token for a node or label, or raise if unserializable.
+
+    The edge-list grammar splits on whitespace and truncates at ``#``,
+    so any name whose ``str()`` contains either (or is empty) cannot
+    round-trip through the format.
+    """
+    token = str(value)
+    if not token or "#" in token or any(ch.isspace() for ch in token):
+        raise ValueError(
+            f"{kind} {value!r} cannot be written to the edge-list format "
+            f"(str() form {token!r} is empty or contains whitespace/'#'); "
+            "use the JSON format (to_json/save as .json), which round-trips "
+            "arbitrary JSON-representable names"
+        )
+    return token
+
+
+def _ordered_edges(db: GraphDatabase) -> list[tuple]:
+    """Edges sorted by ``(source id, label, target id)`` — deterministic
+    for any node type because ids come from insertion order."""
+    index = {node: i for i, node in enumerate(db.nodes_in_order())}
+    return sorted(db.edges(), key=lambda e: (index[e[0]], e[1], index[e[2]]))
+
+
 def to_edge_list(db: GraphDatabase) -> str:
-    """Serialize to the edge-list text format (sorted, deterministic)."""
+    """Serialize to the edge-list text format (insertion-order deterministic).
+
+    Raises:
+        ValueError: when a node name or label cannot be represented in
+            the whitespace-separated format (see :func:`_edge_list_token`).
+    """
     lines = [
-        f"{source} {label} {target}"
-        for source, label, target in sorted(db.edges(), key=repr)
+        " ".join(
+            (
+                _edge_list_token(source, "node name"),
+                _edge_list_token(label, "label"),
+                _edge_list_token(target, "node name"),
+            )
+        )
+        for source, label, target in _ordered_edges(db)
     ]
     touched = {n for edge in db.edges() for n in (edge[0], edge[2])}
-    lines += [str(node) for node in sorted(db.nodes - touched, key=repr)]
+    lines += [
+        _edge_list_token(node, "node name")
+        for node in db.nodes_in_order()
+        if node not in touched
+    ]
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -50,11 +99,11 @@ def from_edge_list(text: str) -> GraphDatabase:
 
 
 def to_json(db: GraphDatabase) -> str:
-    """Serialize to the JSON format (sorted, deterministic)."""
+    """Serialize to the JSON format (insertion-order deterministic)."""
     return json.dumps(
         {
-            "nodes": sorted(db.nodes, key=repr),
-            "edges": sorted(([s, l, t] for s, l, t in db.edges()), key=repr),
+            "nodes": list(db.nodes_in_order()),
+            "edges": [[s, l, t] for s, l, t in _ordered_edges(db)],
         },
         default=list,
     )

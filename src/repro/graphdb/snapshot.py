@@ -1,0 +1,356 @@
+"""Compiled graph snapshots: the set-at-a-time evaluation substrate.
+
+Query evaluation used to recompile the world on every call: each
+``evaluate()`` re-interned the graph's nodes, re-resolved every inverse
+letter through the backward index, and rebuilt a per-symbol adjacency
+table — then threw all of it away.  A :class:`GraphSnapshot` is that
+compilation done **once per database revision**: stable insertion-order
+node ids, per-label forward/backward adjacency as bitset rows, and a
+cheap structural fingerprint so the caches in :mod:`repro.cache` can key
+evaluation results on ``(query canonical form, snapshot fingerprint)``.
+
+The module also hosts the evaluation kernels that run against a
+snapshot (the counterparts of the containment kernels in
+:mod:`repro.automata.indexed`):
+
+- :func:`reach_all_sources` — the **multi-source frontier BFS**: one
+  product search answers the query for *every* source simultaneously by
+  propagating per-configuration *source bitsets* instead of replaying a
+  scalar BFS per source (set-at-a-time in the Section 3.3 sense);
+- :func:`reach_from_source` — the single-source product BFS for
+  ``targets``/``matches`` when no all-pairs result is cached;
+- :func:`witness_path` — shortest-witness extraction with parent
+  backtracking, the same scheme as the antichain kernel, so witness
+  search shares the compiled context with answering.
+
+Invalidation contract: :meth:`repro.graphdb.database.GraphDatabase.snapshot`
+rebuilds on mutation (the revision counter), and the fingerprint binds
+node identities, labels, and the full adjacency structure, so a cache
+entry keyed on a fingerprint can never serve answers for a database
+that has since changed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..automata.alphabet import base_symbol, is_inverse
+from ..automata.indexed import IndexedNFA, bits
+from ..obs.metrics import counter
+from ..obs.trace import maybe_span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database import GraphDatabase, Node
+
+__all__ = [
+    "GraphSnapshot",
+    "reach_all_sources",
+    "reach_from_source",
+    "witness_path",
+]
+
+_SNAPSHOT_BUILDS = counter("evaluation.snapshot_builds")
+
+
+class GraphSnapshot:
+    """A graph database compiled to dense integer node ids + bitset rows.
+
+    Attributes:
+        nodes: the node objects, ``nodes[i]`` for node id ``i`` —
+            **insertion order** of the source database, so ids are
+            stable across runs for the same construction sequence
+            (never ``sorted(key=repr)``, which is memory-address
+            nondeterministic for default-``repr`` objects).
+        node_index: node object -> node id.
+        labels: the base-label alphabet, sorted (label id = index).
+        forward: ``forward[label_id][node_id]`` — successor bitset.
+        backward: ``backward[label_id][node_id]`` — predecessor bitset.
+        fingerprint: ``(num_nodes, num_edges, content_hash)`` — the
+            hashable cache-key component binding node identities,
+            labels, and the whole adjacency structure.
+    """
+
+    __slots__ = (
+        "nodes",
+        "node_index",
+        "labels",
+        "label_index",
+        "forward",
+        "backward",
+        "num_nodes",
+        "num_edges",
+        "fingerprint",
+        "_relations",
+        "_zeros",
+    )
+
+    def __init__(
+        self,
+        nodes: tuple,
+        labels: tuple[str, ...],
+        forward: list[list[int]],
+        backward: list[list[int]],
+        num_edges: int,
+    ) -> None:
+        self.nodes = nodes
+        self.node_index = {node: i for i, node in enumerate(nodes)}
+        self.labels = labels
+        self.label_index = {label: i for i, label in enumerate(labels)}
+        self.forward = forward
+        self.backward = backward
+        self.num_nodes = len(nodes)
+        self.num_edges = num_edges
+        content = hash(
+            (
+                nodes,
+                labels,
+                tuple(tuple(row) for row in forward),
+            )
+        )
+        self.fingerprint = (self.num_nodes, num_edges, content)
+        self._relations: dict[str, frozenset] = {}
+        self._zeros = [0] * self.num_nodes  # shared empty row; never mutated
+
+    @classmethod
+    def from_database(cls, db: "GraphDatabase", tracer=None) -> "GraphSnapshot":
+        """Compile *db* (one ``snapshot-build`` span, one counter bump)."""
+        with maybe_span(
+            tracer, "snapshot-build", nodes=db.num_nodes, edges=db.num_edges
+        ):
+            nodes = db.nodes_in_order()
+            index = {node: i for i, node in enumerate(nodes)}
+            labels = tuple(sorted(db.labels))
+            label_index = {label: i for i, label in enumerate(labels)}
+            n = len(nodes)
+            forward = [[0] * n for _ in labels]
+            backward = [[0] * n for _ in labels]
+            for source, label, target in db.edges():
+                row = label_index[label]
+                s, t = index[source], index[target]
+                forward[row][s] |= 1 << t
+                backward[row][t] |= 1 << s
+            _SNAPSHOT_BUILDS.inc()
+            return cls(nodes, labels, forward, backward, db.num_edges)
+
+    # -- symbol resolution -------------------------------------------------------
+
+    def rows_for(self, symbol: str) -> Sequence[int]:
+        """The adjacency bitset rows one navigation step of *symbol* reads.
+
+        Inverse letters resolve through the backward index; symbols the
+        database never mentions get a shared all-zeros row (do not
+        mutate the returned list).
+        """
+        if is_inverse(symbol):
+            row = self.label_index.get(base_symbol(symbol))
+            return self.backward[row] if row is not None else self._zeros
+        row = self.label_index.get(symbol)
+        return self.forward[row] if row is not None else self._zeros
+
+    def adjacency_for(self, symbols: Iterable[str]) -> list[Sequence[int]]:
+        """Per-symbol adjacency rows, aligned with *symbols*' order —
+        the pre-resolved table the evaluation kernels run against."""
+        return [self.rows_for(symbol) for symbol in symbols]
+
+    def relation(self, label: str) -> frozenset:
+        """The binary relation ``r(D)`` for a (possibly inverse) label,
+        materialized once per snapshot and memoized."""
+        cached = self._relations.get(label)
+        if cached is None:
+            rows = self.rows_for(label)
+            nodes = self.nodes
+            cached = frozenset(
+                (nodes[source], nodes[target])
+                for source in range(self.num_nodes)
+                for target in bits(rows[source])
+            )
+            self._relations[label] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSnapshot(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"labels={len(self.labels)})"
+        )
+
+
+# --- evaluation kernels -----------------------------------------------------------
+
+
+def reach_all_sources(
+    nfa: IndexedNFA,
+    adjacency: Sequence[Sequence[int]],
+    num_nodes: int,
+    meter=None,
+) -> tuple[list[int], int]:
+    """Multi-source product BFS: per-target bitsets of answering sources.
+
+    Args:
+        nfa: the compiled query automaton.
+        adjacency: ``adjacency[symbol_id][node_id]`` — successor bitsets
+            (inverse letters pre-resolved; see
+            :meth:`GraphSnapshot.adjacency_for`).
+        num_nodes: graph size.
+        meter: optional :class:`repro.budget.BudgetMeter`, charged one
+            ``"configs"`` unit per frontier entry.
+
+    Returns:
+        ``(answers, configs)`` where ``answers[target_id]`` is the
+        bitset of source ids ``x`` with a conforming semipath
+        ``x -> target``, and ``configs`` counts frontier entries
+        processed (the work measure the ``eval-bfs`` span reports).
+
+    Instead of one scalar BFS per source (the object-state baseline),
+    every configuration ``(state, node)`` carries the bitset of sources
+    that reach it; frontier entries propagate only *newly added* source
+    bits, so each (state, node, source) triple is expanded at most once
+    and the inner loop is word-parallel over sources.
+    """
+    num_states = nfa.num_states
+    num_symbols = len(nfa.symbols)
+    # reach[state][node] = bitset of sources reaching (node, state).
+    reach = [[0] * num_nodes for _ in range(num_states)]
+    queue: deque[tuple[int, int, int]] = deque()
+    for state in bits(nfa.initial):
+        row = reach[state]
+        for node in range(num_nodes):
+            row[node] = 1 << node
+            queue.append((state, node, 1 << node))
+    configs = 0
+    if meter is not None:
+        meter.charge("configs", len(queue))
+    while queue:
+        state, node, added = queue.popleft()
+        configs += 1
+        if meter is not None:
+            meter.poll()
+        for row in range(num_symbols):
+            next_states = nfa.delta[row][state]
+            if not next_states:
+                continue
+            neighbors = adjacency[row][node]
+            if not neighbors:
+                continue
+            for next_state in bits(next_states):
+                reach_row = reach[next_state]
+                for neighbor in bits(neighbors):
+                    fresh = added & ~reach_row[neighbor]
+                    if fresh:
+                        reach_row[neighbor] |= fresh
+                        queue.append((next_state, neighbor, fresh))
+                        if meter is not None:
+                            meter.charge("configs")
+    answers = [0] * num_nodes
+    for state in bits(nfa.final):
+        row = reach[state]
+        for node in range(num_nodes):
+            answers[node] |= row[node]
+    return answers, configs
+
+
+def reach_from_source(
+    nfa: IndexedNFA,
+    adjacency: Sequence[Sequence[int]],
+    num_nodes: int,
+    source: int,
+    meter=None,
+) -> int:
+    """Single-source product BFS: bitset of nodes reachable from *source*
+    along words of the language (the ``targets``/``matches`` kernel)."""
+    node_masks = [0] * num_nodes
+    node_masks[source] = nfa.initial
+    queue: deque[tuple[int, int]] = deque()
+    if nfa.initial:
+        queue.append((source, nfa.initial))
+    num_symbols = len(nfa.symbols)
+    while queue:
+        node, added = queue.popleft()
+        if meter is not None:
+            meter.poll()
+        for row in range(num_symbols):
+            next_states = nfa.successor_mask(added, row)
+            if not next_states:
+                continue
+            for neighbor in bits(adjacency[row][node]):
+                fresh = next_states & ~node_masks[neighbor]
+                if fresh:
+                    node_masks[neighbor] |= fresh
+                    queue.append((neighbor, fresh))
+                    if meter is not None:
+                        meter.charge("configs")
+    final = nfa.final
+    found = 0
+    for node in range(num_nodes):
+        if node_masks[node] & final:
+            found |= 1 << node
+    return found
+
+
+def witness_path(
+    nfa: IndexedNFA,
+    adjacency: Sequence[Sequence[int]],
+    num_nodes: int,
+    source: int,
+    target: int,
+    meter=None,
+) -> list[tuple[int, int]] | None:
+    """A shortest conforming semipath ``source -> target``, or None.
+
+    Returns the step list ``[(symbol_id, node_id), ...]`` (the start
+    node is *source* itself), extracted by parent backtracking over the
+    BFS configuration graph — the same scheme the antichain containment
+    kernel uses, so witnesses are shortest by construction and the
+    search shares the compiled context with answering.
+    """
+    num_symbols = len(nfa.symbols)
+    initial = [(source, state) for state in bits(nfa.initial)]
+    parents: dict[tuple[int, int], tuple[tuple[int, int], int] | None] = {
+        config: None for config in initial
+    }
+    hit = next(
+        (
+            config
+            for config in initial
+            if config[0] == target and nfa.is_final(config[1])
+        ),
+        None,
+    )
+    queue = deque(initial)
+    if meter is not None:
+        meter.charge("configs", len(initial))
+    while queue and hit is None:
+        config = queue.popleft()
+        node, state = config
+        if meter is not None:
+            meter.poll()
+        for row in range(num_symbols):
+            next_states = nfa.delta[row][state]
+            if not next_states:
+                continue
+            for neighbor in bits(adjacency[row][node]):
+                for next_state in bits(next_states):
+                    next_config = (neighbor, next_state)
+                    if next_config in parents:
+                        continue
+                    parents[next_config] = (config, row)
+                    if meter is not None:
+                        meter.charge("configs")
+                    if neighbor == target and nfa.is_final(next_state):
+                        hit = next_config
+                        break
+                    queue.append(next_config)
+                if hit is not None:
+                    break
+            if hit is not None:
+                break
+    if hit is None:
+        return None
+    steps: list[tuple[int, int]] = []
+    cursor = hit
+    while parents[cursor] is not None:
+        previous, row = parents[cursor]  # type: ignore[misc]
+        steps.append((row, cursor[0]))
+        cursor = previous
+    steps.reverse()
+    return steps

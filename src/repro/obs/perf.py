@@ -539,6 +539,125 @@ def _exp_antichain(suite: str) -> dict[str, Any]:
     }
 
 
+@_experiment("evaluation-engine", "snapshot set-at-a-time evaluation vs baselines")
+def _exp_evaluation(suite: str) -> dict[str, Any]:
+    import random
+
+    from ..automata.indexed import use_indexed_kernels
+    from ..automata.regex import random_regex
+    from ..cache import clear_caches
+    from ..crpq.evaluation import evaluate_uc2rpq
+    from ..crpq.syntax import C2RPQ
+    from ..graphdb.generators import random_graph
+    from ..rpq.rpq import TwoRPQ
+
+    alphabet = ("a", "b")
+    n_queries = 8 if suite == "smoke" else 20
+    rng = random.Random(17)
+    queries = [
+        TwoRPQ(random_regex(rng, alphabet, 3, allow_inverse=True))
+        for _ in range(n_queries)
+    ]
+    db = random_graph(14, 40, alphabet, seed=23)
+
+    # Hard gate 1: differential answer agreement — the snapshot engine
+    # and the object-state baseline must produce identical answer sets
+    # on every seeded query (sizes recorded so drift is visible).
+    agreements = disagreements = 0
+    answer_sizes: list[int] = []
+    for query in queries:
+        clear_caches()
+        with use_indexed_kernels(True):
+            fast = query.evaluate(db)
+        with use_indexed_kernels(False):
+            slow = query.evaluate(db)
+        if fast == slow:
+            agreements += 1
+        else:
+            disagreements += 1
+        answer_sizes.append(len(fast))
+
+    # Hard gate 2: snapshot invalidation — a cached result must never
+    # survive a database mutation (the acceptance-criteria mutation test).
+    mutable = random_graph(10, 20, alphabet, seed=29)
+    probe = TwoRPQ.parse("a+")
+    clear_caches()
+    with use_indexed_kernels(True):
+        before = probe.evaluate(mutable)
+        missing = next(
+            (source, target)
+            for source in mutable.nodes_in_order()
+            for target in mutable.nodes_in_order()
+            if (source, target) not in before
+        )
+        mutable.add_edge(missing[0], "a", missing[1])
+        after = probe.evaluate(mutable)
+    mutation_series = {
+        "before_size": len(before),
+        "after_size": len(after),
+        "stale_served": after == before,
+        "new_pair_answered": missing in after,
+    }
+
+    # Timed: the repeated-query workload (same queries re-evaluated
+    # against an unchanged database).  The "sequential" arm clears the
+    # evaluation caches between calls, reproducing the pre-snapshot
+    # cost structure (recompile adjacency + re-run BFS per call).
+    def repeated_snapshot() -> None:
+        clear_caches()
+        with use_indexed_kernels(True):
+            for _ in range(3):
+                for query in queries:
+                    query.evaluate(db)
+
+    def repeated_sequential() -> None:
+        with use_indexed_kernels(True):
+            for _ in range(3):
+                for query in queries:
+                    clear_caches()
+                    query.evaluate(db)
+
+    # Timed: the multi-atom CRPQ workload — distinct regular atoms
+    # anchored on the head, the shape benchmark A9 gates at >= 5x.
+    crpq = C2RPQ.from_strings(
+        "x,y",
+        [
+            ("(a|b)* a (a|b)*", "x", "y"),
+            ("a (b a-)+", "x", "y"),
+            ("b- (a|b)+ a", "x", "z"),
+            ("(a b)+ b-", "z", "y"),
+        ],
+    )
+
+    def multi_atom_snapshot() -> None:
+        clear_caches()
+        with use_indexed_kernels(True):
+            for _ in range(5):
+                evaluate_uc2rpq(crpq, db)
+
+    def multi_atom_sequential() -> None:
+        with use_indexed_kernels(True):
+            for _ in range(5):
+                clear_caches()
+                evaluate_uc2rpq(crpq, db)
+
+    return {
+        "exact": {
+            "queries": len(queries),
+            "agreements": agreements,
+            "disagreements": disagreements,
+            "answer_sizes": answer_sizes,
+            "mutation": mutation_series,
+        },
+        "timed": {
+            "repeated-query-snapshot": repeated_snapshot,
+            "repeated-query-sequential": repeated_sequential,
+            "multi-atom-crpq-snapshot": multi_atom_snapshot,
+            "multi-atom-crpq-sequential": multi_atom_sequential,
+        },
+    }
+
+
 # --- the run harness ------------------------------------------------------------
 
 

@@ -47,7 +47,7 @@ class Span:
     """One timed stage: a node of the trace tree.
 
     Attributes:
-        name: stage name (see the span taxonomy in DESIGN.md §7).
+        name: stage name (see the span taxonomy in DESIGN.md §8).
         tags: free-form labels fixed at creation or via :meth:`annotate`.
         counters: accumulated numeric facts (:meth:`count`).
         events: point-in-time occurrences with their offset from the

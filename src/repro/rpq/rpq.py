@@ -6,31 +6,45 @@ path spelling a word of the language.  A 2RPQ additionally uses inverse
 letters ``r-`` and is evaluated over *semipaths* — navigations that may
 traverse edges backwards.
 
-Evaluation is the classical product construction: BFS over
-``(node, automaton state)`` configurations, one search per source node.
-This is polynomial in ``|D| * |A|`` (the combined complexity of RPQ
-evaluation), and it is shared by both classes because the graph
-database's ``successors`` method already interprets inverse letters.
+Evaluation is a product construction over ``(node, automaton state)``
+configurations.  With the indexed kernels enabled it runs **set-at-a-
+time** against a compiled :class:`repro.graphdb.snapshot.GraphSnapshot`:
+the automaton and the per-symbol adjacency are compiled once per
+database revision (cached on ``(query canonical form, snapshot
+fingerprint)`` — see :mod:`repro.cache`), and a single multi-source
+frontier BFS answers the query for every source simultaneously.  The
+object-state per-source BFS remains below as the ablation baseline
+(benchmark A9 measures the gap).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator
 
-from ..automata.alphabet import base_symbol, is_inverse
+from ..automata.alphabet import base_symbol
 from ..automata.dfa import reduce_nfa
-from ..automata.indexed import (
-    IndexedNFA,
-    bits,
-    graph_product_targets,
-    indexed_kernels_enabled,
-)
+from ..automata.indexed import IndexedNFA, bits, indexed_kernels_enabled
 from ..automata.nfa import NFA, Word
-from ..automata.regex import Regex, parse_regex
-from ..cache import regex_nfa_cache
+from ..cache import (
+    eval_context_cache,
+    evaluation_cache,
+    nfa_cache_key,
+    regex_nfa_cache,
+)
 from ..graphdb.database import GraphDatabase, Node
+from ..graphdb.snapshot import (
+    GraphSnapshot,
+    reach_all_sources,
+    reach_from_source,
+    witness_path,
+)
+from ..obs.metrics import counter
+from ..obs.trace import maybe_span
+from ..automata.regex import Regex, parse_regex
+
+_EVAL_BFS_RUNS = counter("evaluation.bfs_runs")
+_EVAL_QUERIES = counter("evaluation.queries")
 
 
 def _compiled(regex: Regex) -> NFA:
@@ -38,40 +52,67 @@ def _compiled(regex: Regex) -> NFA:
     return regex_nfa_cache.get_or_compute(regex, lambda: reduce_nfa(regex.to_nfa()))
 
 
-def _graph_context(
-    nfa: NFA, db: GraphDatabase
-) -> tuple[IndexedNFA, tuple[Node, ...], dict[Node, int], list[list[list[int]]]]:
-    """Compile the query automaton and the graph for the bitset BFS kernel.
+class _EvalContext:
+    """One compiled (automaton, snapshot) pair: the unit evaluation caches.
 
-    The adjacency table pre-resolves inverse letters through the
-    database's backward index: ``adjacency[symbol_id][node_id]`` lists
-    the node ids one navigation step away.  Built once per evaluation
-    and shared across all source nodes.
+    Immutable after construction, so it is shared freely across all
+    sources, atoms, and repeated queries against the same revision.
     """
-    compiled = IndexedNFA.from_nfa(nfa)
-    nodes = tuple(sorted(db.nodes, key=repr))
-    node_index = {node: i for i, node in enumerate(nodes)}
-    adjacency = [
-        [
-            [node_index[neighbor] for neighbor in db.successors(node, symbol)]
-            for node in nodes
-        ]
-        for symbol in compiled.symbols
-    ]
-    return compiled, nodes, node_index, adjacency
+
+    __slots__ = ("compiled", "snapshot", "adjacency")
+
+    def __init__(self, compiled: IndexedNFA, snapshot: GraphSnapshot) -> None:
+        self.compiled = compiled
+        self.snapshot = snapshot
+        self.adjacency = snapshot.adjacency_for(compiled.symbols)
 
 
-def evaluate_nfa_on_graph(nfa: NFA, db: GraphDatabase) -> frozenset[tuple[Node, Node]]:
+def _graph_context(nfa: NFA, db: GraphDatabase, tracer=None) -> _EvalContext:
+    """The compiled evaluation context for (nfa, db), cached per revision.
+
+    The snapshot pre-resolves inverse letters through the backward
+    index; the context aligns its bitset rows with the automaton's
+    symbol order.  Node ids are the snapshot's stable insertion-order
+    ids (never ``sorted(key=repr)``, which is run-to-run
+    nondeterministic for default-``repr`` node objects).
+    """
+    snapshot = db.snapshot(tracer=tracer)
+    key = ("ctx", nfa_cache_key(nfa), snapshot.fingerprint)
+    return eval_context_cache.get_or_compute(
+        key, lambda: _EvalContext(IndexedNFA.from_nfa(nfa), snapshot)
+    )
+
+
+def evaluate_nfa_on_graph(
+    nfa: NFA, db: GraphDatabase, tracer=None, meter=None
+) -> frozenset[tuple[Node, Node]]:
     """All pairs (x, y) connected by a semipath spelling a word of L(nfa)."""
+    _EVAL_QUERIES.inc()
     if indexed_kernels_enabled():
-        compiled, nodes, _, adjacency = _graph_context(nfa, db)
-        return frozenset(
-            (source, nodes[target])
-            for i, source in enumerate(nodes)
-            for target in bits(
-                graph_product_targets(compiled, adjacency, len(nodes), i)
+        context = _graph_context(nfa, db, tracer=tracer)
+        key = ("pairs", nfa_cache_key(nfa), context.snapshot.fingerprint)
+
+        def compute() -> frozenset[tuple[Node, Node]]:
+            nodes = context.snapshot.nodes
+            with maybe_span(
+                tracer,
+                "eval-bfs",
+                mode="all-sources",
+                nodes=len(nodes),
+                states=context.compiled.num_states,
+            ) as span:
+                answers, configs = reach_all_sources(
+                    context.compiled, context.adjacency, len(nodes), meter=meter
+                )
+                span.count("configs", configs)
+            _EVAL_BFS_RUNS.inc()
+            return frozenset(
+                (nodes[source], nodes[target])
+                for target in range(len(nodes))
+                for source in bits(answers[target])
             )
-        )
+
+        return evaluation_cache.get_or_compute(key, compute)
     answers: set[tuple[Node, Node]] = set()
     for source in db.nodes:
         for target in targets_from(nfa, db, source):
@@ -79,15 +120,33 @@ def evaluate_nfa_on_graph(nfa: NFA, db: GraphDatabase) -> frozenset[tuple[Node, 
     return frozenset(answers)
 
 
-def targets_from(nfa: NFA, db: GraphDatabase, source: Node) -> frozenset[Node]:
+def targets_from(
+    nfa: NFA, db: GraphDatabase, source: Node, tracer=None, meter=None
+) -> frozenset[Node]:
     """Nodes reachable from *source* along words of L(nfa) (product BFS)."""
     if source not in db.nodes:
         return frozenset()
     if indexed_kernels_enabled():
-        compiled, nodes, node_index, adjacency = _graph_context(nfa, db)
-        mask = graph_product_targets(
-            compiled, adjacency, len(nodes), node_index[source]
+        context = _graph_context(nfa, db, tracer=tracer)
+        nodes = context.snapshot.nodes
+        cached = evaluation_cache.peek(
+            ("pairs", nfa_cache_key(nfa), context.snapshot.fingerprint)
         )
+        if cached is not None:
+            # An all-pairs result is already materialized for this
+            # snapshot: slice it instead of re-running any BFS.
+            return frozenset(y for x, y in cached if x == source)
+        with maybe_span(
+            tracer, "eval-bfs", mode="single-source", nodes=len(nodes)
+        ):
+            mask = reach_from_source(
+                context.compiled,
+                context.adjacency,
+                len(nodes),
+                context.snapshot.node_index[source],
+                meter=meter,
+            )
+        _EVAL_BFS_RUNS.inc()
         return frozenset(nodes[i] for i in bits(mask))
     start = {(source, state) for state in nfa.initial}
     seen = set(start)
@@ -131,18 +190,24 @@ class TwoRPQ:
         """The underlying database relations the query mentions."""
         return frozenset(base_symbol(symbol) for symbol in self.regex.symbols())
 
-    def evaluate(self, db: GraphDatabase) -> frozenset[tuple[Node, Node]]:
+    def evaluate(
+        self, db: GraphDatabase, tracer=None, meter=None
+    ) -> frozenset[tuple[Node, Node]]:
         """The answer set Q(D) (pairs connected by a conforming semipath)."""
-        return evaluate_nfa_on_graph(self.nfa, db)
+        return evaluate_nfa_on_graph(self.nfa, db, tracer=tracer, meter=meter)
 
-    def matches(self, db: GraphDatabase, source: Node, target: Node) -> bool:
-        return target in self.targets(db, source)
+    def matches(
+        self, db: GraphDatabase, source: Node, target: Node, tracer=None, meter=None
+    ) -> bool:
+        return target in self.targets(db, source, tracer=tracer, meter=meter)
 
-    def targets(self, db: GraphDatabase, source: Node) -> frozenset[Node]:
-        return targets_from(self.nfa, db, source)
+    def targets(
+        self, db: GraphDatabase, source: Node, tracer=None, meter=None
+    ) -> frozenset[Node]:
+        return targets_from(self.nfa, db, source, tracer=tracer, meter=meter)
 
     def witness_semipath(
-        self, db: GraphDatabase, source: Node, target: Node
+        self, db: GraphDatabase, source: Node, target: Node, tracer=None, meter=None
     ) -> tuple | None:
         """A concrete semipath ``(y0, p1, y1, ..., pn, yn)`` or None.
 
@@ -150,9 +215,36 @@ class TwoRPQ:
         query (its label word is in L(Q)) and is shortest among
         conforming semipaths — the explanation facility for query
         answers ("why is this pair in the result?").
+
+        With the indexed kernels enabled this runs against the same
+        compiled snapshot context as ``targets``/``matches`` (shortest
+        by BFS parent backtracking); the object-state search below is
+        the ablation baseline.
         """
-        if source not in db.nodes:
+        if source not in db.nodes or target not in db.nodes:
             return None
+        if indexed_kernels_enabled():
+            context = _graph_context(self.nfa, db, tracer=tracer)
+            snapshot = context.snapshot
+            with maybe_span(
+                tracer, "eval-bfs", mode="witness", nodes=snapshot.num_nodes
+            ):
+                steps = witness_path(
+                    context.compiled,
+                    context.adjacency,
+                    snapshot.num_nodes,
+                    snapshot.node_index[source],
+                    snapshot.node_index[target],
+                    meter=meter,
+                )
+            if steps is None:
+                return None
+            symbols = context.compiled.symbols
+            path: list = [source]
+            for symbol_id, node_id in steps:
+                path.append(symbols[symbol_id])
+                path.append(snapshot.nodes[node_id])
+            return tuple(path)
         nfa = self.nfa
         start = [(source, state) for state in nfa.initial]
         parents: dict[tuple, tuple | None] = {config: None for config in start}

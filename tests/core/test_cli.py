@@ -80,6 +80,22 @@ class TestCommands:
         )
         assert "a\tc" in capsys.readouterr().out
 
+    def test_evaluate_stats_reports_engine_activity(self, graph_file, capsys):
+        assert (
+            main(["evaluate", "rpq:knows+", "--database", graph_file, "--stats"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "a\tc" in captured.out
+        assert "# evaluation stats" in captured.err
+        assert "evaluation.snapshot_builds" in captured.err
+        assert "cache evaluation:" in captured.err
+        assert "eval-bfs" in captured.err
+
+    def test_evaluate_without_stats_is_quiet(self, graph_file, capsys):
+        assert main(["evaluate", "rpq:knows+", "--database", graph_file]) == 0
+        assert "evaluation stats" not in capsys.readouterr().err
+
     def test_contain_holds_exit_zero(self, capsys):
         assert main(["contain", "rpq:a a", "rpq:a+"]) == 0
         assert "HOLDS" in capsys.readouterr().out

@@ -33,6 +33,86 @@ class TestEdgeList:
         assert io.from_edge_list("") == GraphDatabase()
 
 
+class _NamedNode:
+    """Default object.__repr__ (address-based) but a stable str() form."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __str__(self):
+        return self.name
+
+
+class TestEdgeListUnserializableNames:
+    """Regression: names the format cannot carry must be rejected loudly,
+    never silently written and re-parsed as garbage (ISSUE 7 satellite)."""
+
+    @pytest.mark.parametrize("bad", ["a b", "a\tb", "has#hash", "", " "])
+    def test_rejects_bad_node_names(self, bad):
+        db = GraphDatabase.from_edges([(bad, "r", "c")])
+        with pytest.raises(ValueError, match="JSON"):
+            io.to_edge_list(db)
+
+    @pytest.mark.parametrize("bad", ["two words", "la#bel"])
+    def test_rejects_bad_labels(self, bad):
+        db = GraphDatabase.from_edges([("a", bad, "c")])
+        with pytest.raises(ValueError, match="JSON"):
+            io.to_edge_list(db)
+
+    def test_rejects_bad_isolated_node(self):
+        db = GraphDatabase.from_edges([], nodes=["lone ly"])
+        with pytest.raises(ValueError, match="JSON"):
+            io.to_edge_list(db)
+
+    def test_json_carries_what_edge_list_cannot(self):
+        db = GraphDatabase.from_edges([("a b", "r", "c#d")], nodes=["  "])
+        assert io.from_json(io.to_json(db)) == db
+
+    def test_good_names_roundtrip_unchanged(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")], nodes=["lonely"])
+        assert io.from_edge_list(io.to_edge_list(db)) == db
+
+
+class TestInsertionOrderDeterminism:
+    """Regression: serialization order must not depend on repr()/id()."""
+
+    def test_edge_list_order_is_insertion_order(self):
+        db = GraphDatabase()
+        db.add_edge("z", "r", "y")
+        db.add_edge("a", "r", "b")
+        db.add_node("m")
+        assert io.to_edge_list(db) == "z r y\na r b\nm\n"
+
+    def test_json_order_is_insertion_order(self):
+        db = GraphDatabase()
+        db.add_node("z")
+        db.add_node("a")
+        assert io.to_json(db).index('"z"') < io.to_json(db).index('"a"')
+
+    def test_repr_unstable_nodes_serialize_deterministically(self):
+        """Nodes with default __repr__ used to sort by memory address."""
+
+        def build():
+            db = GraphDatabase()
+            nodes = [_NamedNode(f"n{i}") for i in range(6)]
+            for i in range(5):
+                db.add_edge(nodes[i], "r", nodes[i + 1])
+            return db
+
+        assert io.to_edge_list(build()) == io.to_edge_list(build())
+        first = io.to_edge_list(build()).splitlines()
+        assert first[0] == "n0 r n1"
+
+    def test_json_repr_unstable_construction_is_deterministic(self):
+        def build():
+            db = GraphDatabase()
+            for i in (3, 1, 2):
+                db.add_edge(f"s{i}", "r", f"t{i}")
+            return db
+
+        assert io.to_json(build()) == io.to_json(build())
+
+
 class TestJSON:
     def test_roundtrip_string_nodes(self):
         db = GraphDatabase.from_edges([("a", "r", "b")], nodes=["x"])

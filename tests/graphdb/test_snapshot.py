@@ -1,0 +1,176 @@
+"""Tests for compiled graph snapshots (ISSUE 7 tentpole).
+
+Covers the snapshot lifecycle (stable insertion-order ids, fingerprint
+stability, invalidation on mutation), the adjacency/relation compilers,
+and the contract that evaluation caches keyed on a fingerprint can never
+serve answers for a database that has since changed (the mutation test
+of the acceptance criteria).
+"""
+
+import pytest
+
+from repro.automata.indexed import use_indexed_kernels
+from repro.cache import clear_caches, use_caching
+from repro.graphdb import GraphSnapshot
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.generators import path_graph, random_graph
+from repro.rpq.rpq import RPQ, TwoRPQ
+
+
+class _Opaque:
+    """A node with default object.__repr__ (memory-address repr)."""
+
+    def __str__(self):  # pragma: no cover - never serialized here
+        return "opaque"
+
+
+class TestNodeIds:
+    def test_insertion_order_ids(self):
+        db = GraphDatabase()
+        db.add_edge("z", "r", "a")
+        db.add_node("m")
+        snap = db.snapshot()
+        assert snap.nodes == ("z", "a", "m")
+        assert snap.node_index == {"z": 0, "a": 1, "m": 2}
+
+    def test_repr_unstable_nodes_get_stable_ids(self):
+        """Ids depend on insertion order, never on memory addresses."""
+        first, second = _Opaque(), _Opaque()
+        db = GraphDatabase()
+        db.add_edge(first, "r", second)
+        snap = db.snapshot()
+        assert snap.node_index[first] == 0
+        assert snap.node_index[second] == 1
+
+    def test_nodes_in_order_matches_snapshot(self):
+        db = random_graph(12, 30, ("a", "b"), seed=3)
+        assert db.snapshot().nodes == db.nodes_in_order()
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        """The same construction sequence yields the same fingerprint."""
+        make = lambda: GraphDatabase.from_edges(
+            [("a", "r", "b"), ("b", "s", "c")], nodes=["d"]
+        )
+        assert make().snapshot().fingerprint == make().snapshot().fingerprint
+
+    def test_changes_on_new_edge(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        before = db.snapshot().fingerprint
+        db.add_edge("b", "r", "a")
+        assert db.snapshot().fingerprint != before
+
+    def test_changes_on_new_node(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        before = db.snapshot().fingerprint
+        db.add_node("c")
+        assert db.snapshot().fingerprint != before
+
+    def test_duplicate_edge_keeps_revision_and_snapshot(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        snap = db.snapshot()
+        revision = db.revision
+        db.add_edge("a", "r", "b")  # already present: not a mutation
+        assert db.revision == revision
+        assert db.snapshot() is snap
+
+    def test_mutation_rebuilds_snapshot(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        snap = db.snapshot()
+        db.add_edge("a", "r", "c")
+        assert db.snapshot() is not snap
+        assert db.revision > 0
+
+
+class TestAdjacency:
+    def test_forward_and_backward_rows(self):
+        db = GraphDatabase.from_edges([("a", "r", "b"), ("c", "r", "b")])
+        snap = db.snapshot()
+        a, b, c = (snap.node_index[n] for n in "abc")
+        forward = snap.rows_for("r")
+        backward = snap.rows_for("r-")
+        assert forward[a] == 1 << b
+        assert backward[b] == (1 << a) | (1 << c)
+
+    def test_unknown_label_is_empty(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        snap = db.snapshot()
+        assert all(row == 0 for row in snap.rows_for("ghost"))
+        assert all(row == 0 for row in snap.rows_for("ghost-"))
+
+    def test_relation_matches_database(self):
+        db = random_graph(10, 25, ("a", "b"), seed=7)
+        snap = db.snapshot()
+        for label in ("a", "b", "a-", "b-"):
+            assert snap.relation(label) == db.relation(label)
+
+
+class TestEvaluationAgainstBaseline:
+    @pytest.mark.parametrize("regex", ["a+", "a b", "(a|b)* a", "a- b", "(a b-)+"])
+    def test_kernels_agree_with_object_state(self, regex):
+        db = random_graph(9, 22, ("a", "b"), seed=11)
+        query = TwoRPQ.parse(regex)
+        clear_caches()
+        with use_indexed_kernels(True):
+            fast = query.evaluate(db)
+        with use_indexed_kernels(False):
+            slow = query.evaluate(db)
+        assert fast == slow
+
+    def test_targets_and_matches_agree(self):
+        db = random_graph(8, 20, ("a", "b"), seed=5)
+        query = TwoRPQ.parse("a (b|a-)*")
+        clear_caches()
+        for source in db.nodes_in_order():
+            with use_indexed_kernels(True):
+                fast = query.targets(db, source)
+            with use_indexed_kernels(False):
+                slow = query.targets(db, source)
+            assert fast == slow
+
+
+class TestStaleCacheNeverServed:
+    """The acceptance-criteria mutation test: a cached evaluation result
+    must become unreachable the moment the database changes."""
+
+    def test_mutation_invalidates_evaluation(self):
+        query = RPQ.parse("r+")
+        db = path_graph(3, "r")
+        clear_caches()
+        with use_caching(True), use_indexed_kernels(True):
+            before = query.evaluate(db)
+            assert (0, 3) in before and (3, 0) not in before
+            db.add_edge(3, "r", 0)  # close the cycle
+            after = query.evaluate(db)
+            assert (3, 0) in after
+
+    def test_mutation_invalidates_targets_and_witness(self):
+        query = TwoRPQ.parse("r r")
+        db = path_graph(2, "r")
+        clear_caches()
+        with use_caching(True), use_indexed_kernels(True):
+            assert query.targets(db, 0) == {2}
+            assert query.witness_semipath(db, 1, 3) is None
+            db.add_edge(2, "r", 3)
+            assert query.targets(db, 1) == {3}
+            assert query.witness_semipath(db, 1, 3) == (1, "r", 2, "r", 3)
+
+    def test_two_databases_do_not_cross_contaminate(self):
+        query = RPQ.parse("r")
+        one = GraphDatabase.from_edges([("a", "r", "b")])
+        two = GraphDatabase.from_edges([("x", "r", "y")])
+        clear_caches()
+        with use_caching(True), use_indexed_kernels(True):
+            assert query.evaluate(one) == {("a", "b")}
+            assert query.evaluate(two) == {("x", "y")}
+
+
+class TestSnapshotExport:
+    def test_reexported_from_package(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        assert isinstance(db.snapshot(), GraphSnapshot)
+
+    def test_repr_mentions_sizes(self):
+        db = GraphDatabase.from_edges([("a", "r", "b")])
+        assert "nodes=2" in repr(db.snapshot())

@@ -8,7 +8,11 @@ implemented independently and requires their answers to agree:
   translation (:mod:`repro.crpq.to_datalog`) run through the Datalog
   engine;
 - RQ algebra evaluation / containment vs its Datalog image
-  (:mod:`repro.rq.to_datalog`).
+  (:mod:`repro.rq.to_datalog`);
+- the snapshot-based set-at-a-time evaluation engine (ISSUE 7) vs the
+  object-state baseline vs sequential (uncached, per-call) CRPQ
+  instantiation, over random regexes/graphs including mixed-type and
+  non-string node names.
 
 All properties are derandomized (``derandomize=True``) so CI replays the
 exact same example sequence on every run: a red run is reproducible, and
@@ -21,8 +25,10 @@ import random
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.automata.indexed import use_indexed_kernels
 from repro.automata.regex import random_regex
-from repro.crpq.evaluation import evaluate_uc2rpq
+from repro.cache import clear_caches, use_caching
+from repro.crpq.evaluation import evaluate_uc2rpq, satisfies_uc2rpq
 from repro.crpq.containment import uc2rpq_contained
 from repro.crpq.syntax import C2RPQ
 from repro.crpq.to_datalog import uc2rpq_to_datalog
@@ -193,3 +199,72 @@ def test_rq_refutation_separates_the_datalog_translations(seed):
     instance = graph_to_instance(db)
     assert head in evaluate(rq_to_datalog(q1), instance)
     assert head not in evaluate(rq_to_datalog(q2), instance)
+
+
+# -- snapshot engine vs object-state baseline vs sequential instantiation ----
+
+
+def _mixed_node_graph(db_seed: int):
+    """A random graph whose nodes mix ints, strings, and tuples — the
+    node-name shapes canonical databases and user data actually use."""
+    base = random_graph(6, 14, ALPHABET, seed=db_seed)
+    rename = {}
+    for index, node in enumerate(base.nodes_in_order()):
+        kind = index % 3
+        rename[node] = node if kind == 0 else (
+            f"n{node}" if kind == 1 else ("t", node)
+        )
+    return base.renamed(rename)
+
+
+@SETTINGS
+@given(st.integers(0, 10**9), st.integers(0, 10**6))
+def test_snapshot_evaluation_agrees_with_object_state(seed, db_seed):
+    """Set-at-a-time snapshot BFS == per-source object-state BFS."""
+    rng = random.Random(seed)
+    query = TwoRPQ(random_regex(rng, ALPHABET, 3, allow_inverse=True))
+    db = _mixed_node_graph(db_seed)
+    clear_caches()
+    with use_indexed_kernels(True):
+        fast = query.evaluate(db)
+    with use_indexed_kernels(False):
+        slow = query.evaluate(db)
+    assert fast == slow, (query, db_seed)
+
+
+@SETTINGS
+@given(st.integers(0, 10**9), st.integers(0, 10**6))
+def test_crpq_cached_instantiation_agrees_with_sequential(seed, db_seed):
+    """Per-snapshot cached atom instantiation == sequential re-materialize.
+
+    Three arms: snapshot engine with caches, snapshot engine with caching
+    disabled (sequential instantiation), and the object-state baseline.
+    """
+    query = _c2rpq(seed)
+    db = _mixed_node_graph(db_seed)
+    clear_caches()
+    with use_indexed_kernels(True), use_caching(True):
+        cached = evaluate_uc2rpq(query, db)
+        again = evaluate_uc2rpq(query, db)  # second call exercises hits
+    with use_indexed_kernels(True), use_caching(False):
+        sequential = evaluate_uc2rpq(query, db)
+    with use_indexed_kernels(False), use_caching(False):
+        baseline = evaluate_uc2rpq(query, db)
+    assert cached == again == sequential == baseline, (query, db_seed)
+
+
+@SETTINGS
+@given(st.integers(0, 10**9), st.integers(0, 10**6))
+def test_crpq_membership_agrees_across_arms(seed, db_seed):
+    """satisfies_uc2rpq (the containment hot loop) agrees on every head."""
+    query = _c2rpq(seed)
+    db = _mixed_node_graph(db_seed)
+    nodes = db.nodes_in_order()[:4]
+    heads = [(x, y) for x in nodes for y in nodes][:8]
+    clear_caches()
+    for head in heads:
+        with use_indexed_kernels(True), use_caching(True):
+            cached = satisfies_uc2rpq(query, db, head)
+        with use_indexed_kernels(False), use_caching(False):
+            baseline = satisfies_uc2rpq(query, db, head)
+        assert cached == baseline, (query, head, db_seed)
