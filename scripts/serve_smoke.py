@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""End-to-end serving smoke: launch, replay, snapshot metrics, drain.
+
+The CI serving job runs this against a real ``repro serve`` subprocess:
+
+1. start the server on a free port and parse the announce line;
+2. replay the checked-in batch workload over TCP and require every
+   frame answered in order with no shed responses;
+3. fetch the ``metrics`` control verb and write the snapshot to
+   ``serve_metrics.json`` (uploaded as a CI artifact);
+4. SIGTERM the server and require a clean drain: exit code 0 and the
+   ``# drained`` summary on stderr.
+
+Exits non-zero on any violation.  Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--workload PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_WORKLOAD = REPO / "benchmarks" / "workloads" / "batch_smoke.ndjson"
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 floor
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workload", default=str(DEFAULT_WORKLOAD), help="NDJSON workload"
+    )
+    parser.add_argument(
+        "--out", default="serve_metrics.json", help="metrics snapshot path"
+    )
+    args = parser.parse_args()
+
+    lines = [
+        line
+        for line in pathlib.Path(args.workload).read_text().splitlines()
+        if line.strip()
+    ]
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", str(REPO / "src"))
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--workers", "4", "--queue-limit", "256",
+        ],
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    assert process.stderr is not None
+    try:
+        announce = process.stderr.readline()
+        if not announce.startswith("# serving on "):
+            fail(f"bad announce line: {announce!r}")
+        port = int(announce.split()[3].rsplit(":", 1)[1])
+        print(f"serve_smoke: server up on port {port}")
+
+        responses: list[dict] = []
+        with socket.create_connection(("127.0.0.1", port), 10) as sock:
+            sock.settimeout(120)
+            payload = "".join(line + "\n" for line in lines)
+            payload += '{"op": "metrics", "id": "snapshot"}\n'
+            sock.sendall(payload.encode())
+            sock.shutdown(socket.SHUT_WR)
+            with sock.makefile("r", encoding="utf-8") as stream:
+                for line in stream:
+                    responses.append(json.loads(line))
+
+        if len(responses) != len(lines) + 1:
+            fail(f"{len(responses)} responses for {len(lines) + 1} frames")
+        if [r["index"] for r in responses] != list(range(len(responses))):
+            fail("responses out of input order")
+        answered = responses[:-1]
+        shed = [r for r in answered if r.get("method") == "serve-admission"]
+        if shed:
+            fail(f"{len(shed)} frames shed on an idle server")
+        errored = [r for r in answered if r["verdict"] == "error"]
+        if errored:
+            fail(f"workload frames errored: {errored[:2]}")
+        print(
+            f"serve_smoke: {len(answered)} frames answered in order, 0 shed"
+        )
+
+        snapshot = responses[-1]
+        if snapshot.get("op") != "metrics" or "metrics" not in snapshot:
+            fail(f"metrics verb returned {snapshot!r}")
+        served = snapshot["metrics"].get("serve.responses", {}).get("value", 0)
+        if served < len(lines):
+            fail(f"serve.responses={served} < {len(lines)} frames")
+        pathlib.Path(args.out).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"serve_smoke: metrics snapshot written to {args.out}")
+
+        process.send_signal(signal.SIGTERM)
+        try:
+            code = process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("server did not drain within 30s of SIGTERM")
+        stderr_rest = process.stderr.read()
+        if code != 0:
+            fail(f"drain exit code {code}; stderr: {stderr_rest!r}")
+        if "# drained:" not in stderr_rest:
+            fail(f"no drain summary on stderr: {stderr_rest!r}")
+        print(f"serve_smoke: clean drain ({stderr_rest.strip().splitlines()[-1]})")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

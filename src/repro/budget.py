@@ -46,7 +46,7 @@ import contextlib
 import gc
 import threading
 import time
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Any, Iterator, Mapping
 
 from .report import ContainmentResult, Verdict
@@ -166,6 +166,31 @@ class Budget:
             if values[name] is None:
                 values[name] = value
         return Budget(**values)
+
+    def tightened(self, deadline_ms: float | None) -> "Budget":
+        """A copy whose deadline is the tighter of ours and *deadline_ms*.
+
+        The serving layer's deadline-inheritance rule (DESIGN.md
+        "Serving architecture"): a wire request inherits the server's
+        default budget — counters, escalation policy, and all — and may
+        only *tighten* the wall-clock deadline, never extend it past
+        what the operator configured.  ``None`` inherits unchanged; a
+        request deadline tighter than the server's (or a server with no
+        deadline at all) adopts the request's.
+
+        Raises ValueError on a non-positive deadline — a wire request
+        asking for 0 ms is a protocol error to surface, not a budget to
+        run.
+        """
+        if deadline_ms is None:
+            return self
+        if deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0, not {deadline_ms!r}"
+            )
+        if self.deadline_ms is not None:
+            deadline_ms = min(self.deadline_ms, deadline_ms)
+        return replace(self, deadline_ms=deadline_ms)
 
     def limit(self, resource: str) -> float | int | None:
         """The configured limit for *resource* (None = unbounded)."""

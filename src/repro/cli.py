@@ -33,37 +33,20 @@ from typing import Any
 from .core.classify import classify, describe_tower
 from .core.engine import check_containment
 from .core.witness import holds_on
-from .datalog.parser import parse_program
 from .graphdb import io as graph_io
 from .graphdb.database import GraphDatabase
 from .relational import io as relational_io
 from .rpq.rpq import RPQ, TwoRPQ
-from .rq.parser import parse_rq
-
-
-def _read_spec(spec: str) -> str:
-    if spec.startswith("@"):
-        return pathlib.Path(spec[1:]).read_text()
-    return spec
 
 
 def parse_query(argument: str) -> Any:
-    """Parse a ``kind:spec`` query argument."""
-    kind, _, spec = argument.partition(":")
-    if not spec:
-        raise SystemExit(
-            f"query {argument!r} must look like kind:spec "
-            "(kinds: rpq, rq, datalog)"
-        )
-    text = _read_spec(spec)
-    if kind == "rpq":
-        query = TwoRPQ.parse(text)
-        return RPQ(query.regex) if query.is_one_way() else query
-    if kind == "rq":
-        return parse_rq(text)
-    if kind == "datalog":
-        return parse_program(text)
-    raise SystemExit(f"unknown query kind {kind!r} (use rpq, rq, or datalog)")
+    """Parse a ``kind:spec`` query argument (wire grammar; exits on error)."""
+    from .serve.protocol import ProtocolError, parse_query_spec
+
+    try:
+        return parse_query_spec(argument)
+    except ProtocolError as error:
+        raise SystemExit(str(error)) from None
 
 
 def load_database(path: str):
@@ -197,7 +180,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     from .budget import Budget
     from .core.batch import BatchItem, check_containment_many
-    from .core.batch import _error_result  # the same failure-isolation shape
+    from .serve.protocol import parse_workload, response_payload
 
     budget = None
     if args.auto_budget:
@@ -212,31 +195,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.kernel is not None:
         options["kernel"] = args.kernel
 
-    # Parse the workload, isolating malformed lines exactly like item
-    # failures: a bad line yields an ERROR result line, not an abort.
-    pairs: list[tuple[Any, Any]] = []
-    pair_ids: dict[int, Any] = {}          # submitted-pair position -> id
-    parse_failures: dict[int, BatchItem] = {}  # input line -> ERROR item
-    line_ids: list[Any] = []               # input line -> id (output order)
+    # Parse the workload on the shared wire-protocol path: malformed
+    # lines are isolated exactly like item failures — a bad line yields
+    # an ERROR result line at its input position, not an abort.
     text = pathlib.Path(args.workload).read_text()
-    lines = [line for line in text.splitlines() if line.strip()]
-    for line_no, line in enumerate(lines):
-        try:
-            record = json.loads(line)
-            if not isinstance(record, dict):
-                raise ValueError("workload line must be a JSON object")
-            left = parse_query(record["left"])
-            right = parse_query(record["right"])
-        except (SystemExit, Exception) as exc:  # parse_query raises SystemExit
-            error = exc if isinstance(exc, Exception) else RuntimeError(str(exc))
-            parse_failures[line_no] = BatchItem(
-                line_no, _error_result(line_no, error), 0.0, None
-            )
-            line_ids.append(None)
-            continue
-        pair_ids[len(pairs)] = record.get("id", line_no)
-        line_ids.append(record.get("id", line_no))
-        pairs.append((left, right))
+    parsed = parse_workload(text)
+    pairs = [(request.left, request.right) for request in parsed.requests]
+    pair_ids = {
+        position: request.id
+        for position, request in enumerate(parsed.requests)
+    }
 
     batch = check_containment_many(
         pairs,
@@ -251,31 +219,57 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # Re-interleave parse failures at their original line positions.
     merged: list[tuple[Any, BatchItem]] = []
     run_iter = iter(batch.items)
-    for line_no in range(len(lines)):
-        if line_no in parse_failures:
-            merged.append((line_no, parse_failures[line_no]))
+    for line_no in range(parsed.count):
+        if line_no in parsed.failures:
+            merged.append((None, parsed.failures[line_no]))
         else:
             item = next(run_iter)
             merged.append((pair_ids[item.index], item))
 
     out_lines = []
     for line_no, (identifier, item) in enumerate(merged):
-        payload = {"id": identifier, **item.to_dict(), "index": line_no}
+        payload = response_payload(identifier, item, index=line_no)
         if args.trace and "trace" in dict(item.result.details):
             payload["trace"] = dict(item.result.details)["trace"]
         out_lines.append(json.dumps(payload, sort_keys=True))
-    output = "\n".join(out_lines) + "\n"
+    # An empty workload is an empty result — no stray blank line.
+    output = "\n".join(out_lines) + "\n" if out_lines else ""
     if args.out is not None:
         pathlib.Path(args.out).write_text(output)
         print(f"# results written to {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(output)
     summary = batch.describe()
-    if parse_failures:
-        summary += f"; {len(parse_failures)} line(s) failed to parse"
+    if parsed.failures:
+        summary += f"; {len(parsed.failures)} line(s) failed to parse"
     print(f"# {summary}", file=sys.stderr)
-    had_errors = bool(batch.errors) or bool(parse_failures)
+    had_errors = bool(batch.errors) or bool(parsed.failures)
     return 1 if had_errors else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .core.batch import DEFAULT_WORKERS
+    from .serve.server import ContainmentServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers if args.workers is not None else DEFAULT_WORKERS,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline_ms,
+        auto_budget=args.auto_budget,
+        drain_grace_ms=args.drain_grace_ms,
+        kernel=args.kernel,
+        max_expansions=args.max_expansions,
+    )
+    server = ContainmentServer(config)
+    if args.pipe:
+        asyncio.run(server.serve_pipe())
+    else:
+        asyncio.run(server.serve_tcp())
+    return 0
 
 
 def _latest_run(path: str | None) -> pathlib.Path:
@@ -498,6 +492,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach each item's span tree to its result line",
     )
     batch_p.set_defaults(func=_cmd_batch)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="long-lived NDJSON containment service (TCP or stdin/stdout) "
+        "with admission control, load shedding, and graceful drain",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="TCP listen host (default local)"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=7407,
+        help="TCP listen port (0 picks a free port, announced on stderr; "
+        "default 7407)",
+    )
+    serve_p.add_argument(
+        "--pipe", action="store_true",
+        help="serve one NDJSON stream on stdin/stdout instead of TCP",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool width (default: core count, capped at 8)",
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission capacity: max requests admitted but unfinished; "
+        "beyond it requests shed with reason queue_full (default 64)",
+    )
+    serve_p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request wall-clock deadline; frames may only "
+        "tighten it (requests shed or degrade INCONCLUSIVE on exhaustion)",
+    )
+    serve_p.add_argument(
+        "--auto-budget", action="store_true",
+        help="run checks under staged escalation (see `contain --auto-budget`)",
+    )
+    serve_p.add_argument(
+        "--drain-grace-ms", type=float, default=5000.0,
+        help="after SIGTERM/SIGINT, how long connections may keep sending "
+        "(each frame shed) before the server closes them (default 5000)",
+    )
+    serve_p.add_argument(
+        "--kernel", choices=("subset", "antichain", "auto"), default=None,
+        help="default language-inclusion kernel (see `contain --kernel`)",
+    )
+    serve_p.add_argument(
+        "--max-expansions", type=int, default=None,
+        help="default budget for expansion-based procedures",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
 
     bench_p = sub.add_parser(
         "bench",

@@ -76,7 +76,9 @@ from .engine import _OPTION_UNIVERSE, check_containment
 __all__ = [
     "BatchItem",
     "BatchResult",
+    "ContainmentExecutor",
     "check_containment_many",
+    "error_result",
     "DEFAULT_WORKERS",
     "BACKENDS",
 ]
@@ -134,6 +136,8 @@ class BatchItem:
             out["budget"] = details["budget"]
         if "kernel" in details:
             out["kernel"] = details["kernel"]
+        if "admission" in details:
+            out["admission"] = details["admission"]
         return out
 
 
@@ -165,12 +169,24 @@ class BatchResult:
         )
 
     @property
-    def utilization(self) -> float:
-        """Fraction of the pool's worker-time spent inside checks."""
+    def worker_utilization(self) -> float:
+        """Fraction of the pool's worker-time spent inside checks.
+
+        Always a finite value in ``[0, 1]``: zero-item and instant
+        batches (``wall_ms`` can be 0.0 on coarse clocks even when work
+        ran) report 0.0 rather than dividing by zero, and measurement
+        jitter that puts the summed per-item time above the pool's
+        worker-seconds is clamped to 1.0.
+        """
         if not self.items or self.wall_ms <= 0 or self.workers <= 0:
             return 0.0
-        busy = sum(item.wall_ms for item in self.items)
-        return min(1.0, busy / (self.workers * self.wall_ms))
+        busy = sum(max(0.0, item.wall_ms) for item in self.items)
+        return min(1.0, max(0.0, busy / (self.workers * self.wall_ms)))
+
+    @property
+    def utilization(self) -> float:
+        """Alias for :attr:`worker_utilization` (historical name)."""
+        return self.worker_utilization
 
     def counts(self) -> dict[str, int]:
         """Verdict histogram, e.g. ``{"holds": 12, "refuted": 8}``."""
@@ -188,11 +204,11 @@ class BatchResult:
         return (
             f"{len(self.items)} items in {self.wall_ms:.1f} ms "
             f"({self.backend} x{self.workers}, "
-            f"utilization {self.utilization:.0%}): {counts}"
+            f"utilization {self.worker_utilization:.0%}): {counts}"
         )
 
 
-def _error_result(
+def error_result(
     index: int, exc: BaseException, kernel: str = "auto"
 ) -> ContainmentResult:
     """Failure isolation: the structured ERROR verdict for one item."""
@@ -235,23 +251,66 @@ def _degraded_result(
     )
 
 
-def _run_one(
+def _expired_start_result(
+    late_ms: float, start_deadline_ms: float, kernel: str = "auto"
+) -> ContainmentResult:
+    """Default degraded verdict for an item whose start deadline passed.
+
+    Same honest-accounting shape as the pool-deadline degradation; the
+    serving layer substitutes its own factory to add admission details.
+    """
+    return ContainmentResult(
+        Verdict.INCONCLUSIVE,
+        "start-deadline",
+        details={
+            "budget": {
+                "exhausted": "start_deadline",
+                "spent": round(late_ms, 3),
+                "limit": round(start_deadline_ms, 3),
+                "spend": {},
+            },
+            "cache": "bypass",
+            "kernel": {"requested": kernel, "selected": None},
+        },
+    )
+
+
+def _run_one_item(
     index: int,
     q1: Any,
     q2: Any,
-    budget: Budget | None,
+    budget: Budget | str | None,
     trace: bool,
     options: dict[str, Any],
-) -> tuple[int, ContainmentResult, float, str]:
+    start_deadline: float | None = None,
+    expired_result: Any = None,
+) -> BatchItem:
     """One worker-side check: isolate failures, label the worker.
 
     Module-level (not a closure) so the process backend can pickle it.
     Each traced item gets its *own* Tracer — the tracer contract is one
     tracer per check, which is what keeps concurrent span trees from
     interleaving.
+
+    ``start_deadline`` is an absolute ``time.monotonic`` instant: if the
+    pool dequeues the item after it, the check never starts and the item
+    degrades via ``expired_result(late_ms)`` (default: an
+    ``INCONCLUSIVE`` with method ``"start-deadline"``).  This is the
+    admission-control hook of the serving layer — queue wait counts
+    against a request's deadline even though the engine's own
+    ``BudgetMeter`` clock only starts when the check does.
     """
-    worker = f"pid:{os.getpid()}/{threading.current_thread().name}"
     start = time.monotonic()
+    if start_deadline is not None and start > start_deadline:
+        late_ms = (start - start_deadline) * 1000.0
+        if expired_result is not None:
+            result = expired_result(late_ms)
+        else:
+            result = _expired_start_result(
+                late_ms, start_deadline, kernel=options.get("kernel", "auto")
+            )
+        return BatchItem(index, result, 0.0, None)
+    worker = f"pid:{os.getpid()}/{threading.current_thread().name}"
     try:
         if trace:
             result = check_containment(
@@ -260,9 +319,136 @@ def _run_one(
         else:
             result = check_containment(q1, q2, budget=budget, **options)
     except Exception as exc:
-        result = _error_result(index, exc, kernel=options.get("kernel", "auto"))
+        result = error_result(index, exc, kernel=options.get("kernel", "auto"))
     wall_ms = (time.monotonic() - start) * 1000.0
-    return index, result, wall_ms, worker
+    return BatchItem(index, result, wall_ms, worker)
+
+
+def _validate_pool_args(
+    workers: int, backend: str, options: dict[str, Any]
+) -> None:
+    """Eager caller-error checks shared by the executor and the batch."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; use one of {BACKENDS}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, not {workers}")
+    unknown = sorted(set(options) - _OPTION_UNIVERSE)
+    if unknown:
+        # Fail fast in the caller's frame, exactly as the sequential
+        # loop would on its first item — a typo is not an item failure.
+        raise TypeError(
+            f"unknown option(s) {', '.join(map(repr, unknown))}; "
+            f"valid options are {', '.join(sorted(_OPTION_UNIVERSE))}"
+        )
+    if "kernel" in options:
+        # Same fail-fast contract: a bad kernel value is a caller typo,
+        # not a per-item failure to isolate as an ERROR verdict.
+        resolve_kernel(options["kernel"])
+
+
+class ContainmentExecutor:
+    """A persistent worker pool with the batch layer's per-item semantics.
+
+    The reusable single-pair submission path: where
+    :func:`check_containment_many` spins a pool up and down around one
+    batch, a ``ContainmentExecutor`` stays alive across many
+    independent submissions — the serving layer (:mod:`repro.serve`)
+    keeps one for the whole process and feeds it one wire request at a
+    time.  Every :meth:`submit` returns a
+    :class:`concurrent.futures.Future` resolving to a
+    :class:`BatchItem` with exactly the batch contract: failures are
+    isolated as ``ERROR`` verdicts (including submit-time failures,
+    e.g. an unpicklable query on the process backend), each traced item
+    owns its tracer, and budgets bound items cooperatively.
+
+    Caller errors (bad backend/workers, unknown options, bad kernel)
+    still raise eagerly from the constructor, never per item.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        backend: str = "thread",
+        **options: Any,
+    ) -> None:
+        _validate_pool_args(workers, backend, options)
+        self.workers = workers
+        self.backend = backend
+        self._options = dict(options)
+        if backend == "process":
+            self._pool: concurrent.futures.Executor = (
+                concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+            )
+        else:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="batch-worker"
+            )
+
+    def submit(
+        self,
+        q1: Any,
+        q2: Any,
+        *,
+        index: int = 0,
+        budget: Budget | str | None = None,
+        trace: bool = False,
+        start_deadline: float | None = None,
+        expired_result: Any = None,
+        options: dict[str, Any] | None = None,
+    ) -> "concurrent.futures.Future[BatchItem]":
+        """Submit one pair; the future resolves to its :class:`BatchItem`.
+
+        ``start_deadline`` / ``expired_result`` are the admission hook
+        of :func:`_run_one_item` (thread backend only for a callable
+        ``expired_result`` — the process backend would need it
+        picklable).  ``options`` overrides the executor's defaults for
+        this submission only (same option universe, validated eagerly —
+        wire-level validation is the caller's job, so a raise here is a
+        caller bug, not an item failure).  A submit-time exception
+        comes back as an already-resolved future holding the item's
+        ``ERROR`` verdict, so callers never need a second error path.
+        """
+        merged = dict(self._options)
+        if options:
+            _validate_pool_args(self.workers, self.backend, dict(options))
+            merged.update(options)
+        try:
+            return self._pool.submit(
+                _run_one_item,
+                index,
+                q1,
+                q2,
+                budget,
+                trace,
+                merged,
+                start_deadline,
+                expired_result,
+            )
+        except Exception as exc:  # e.g. unpicklable query, pool shut down
+            future: concurrent.futures.Future[BatchItem] = (
+                concurrent.futures.Future()
+            )
+            future.set_result(
+                BatchItem(
+                    index,
+                    error_result(
+                        index, exc, kernel=merged.get("kernel", "auto")
+                    ),
+                    0.0,
+                    None,
+                )
+            )
+            return future
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    def __enter__(self) -> "ContainmentExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(wait=True, cancel_futures=True)
 
 
 def check_containment_many(
@@ -298,92 +484,61 @@ def check_containment_many(
         A :class:`BatchResult` with one :class:`BatchItem` per input
         pair, in input order.
     """
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; use one of {BACKENDS}")
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, not {workers}")
+    _validate_pool_args(workers, backend, options)
     if pool_deadline_ms is not None and pool_deadline_ms < 0:
         raise ValueError("pool_deadline_ms must be >= 0")
-    unknown = sorted(set(options) - _OPTION_UNIVERSE)
-    if unknown:
-        # Fail fast in the caller's frame, exactly as the sequential
-        # loop would on its first item — a typo is not an item failure.
-        raise TypeError(
-            f"unknown option(s) {', '.join(map(repr, unknown))}; "
-            f"valid options are {', '.join(sorted(_OPTION_UNIVERSE))}"
-        )
-    if "kernel" in options:
-        # Same fail-fast contract: a bad kernel value is a caller typo,
-        # not a per-item failure to isolate as an ERROR verdict.
-        resolve_kernel(options["kernel"])
     items = list(pairs)
     start = time.monotonic()
-    if not items:
-        return BatchResult(items=(), wall_ms=0.0, workers=workers, backend=backend)
-
-    if backend == "process":
-        executor: concurrent.futures.Executor = (
-            concurrent.futures.ProcessPoolExecutor(max_workers=workers)
-        )
-    else:
-        executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="batch-worker"
-        )
-
     slots: list[BatchItem | None] = [None] * len(items)
-    try:
-        futures: dict[concurrent.futures.Future, int] = {}
-        for index, (q1, q2) in enumerate(items):
-            try:
-                future = executor.submit(
-                    _run_one, index, q1, q2, budget, trace, dict(options)
-                )
-            except Exception as exc:  # e.g. unpicklable query at submit
-                slots[index] = BatchItem(
-                    index,
-                    _error_result(index, exc, kernel=options.get("kernel", "auto")),
-                    0.0,
-                    None,
-                )
-                continue
-            futures[future] = index
-        if pool_deadline_ms is not None:
-            remaining = pool_deadline_ms / 1000.0 - (time.monotonic() - start)
-            concurrent.futures.wait(futures, timeout=max(0.0, remaining))
+    if items:
+        with ContainmentExecutor(
+            workers=workers, backend=backend, **options
+        ) as executor:
+            futures: dict["concurrent.futures.Future[BatchItem]", int] = {
+                executor.submit(
+                    q1, q2, index=index, budget=budget, trace=trace
+                ): index
+                for index, (q1, q2) in enumerate(items)
+            }
+            if pool_deadline_ms is not None:
+                remaining = pool_deadline_ms / 1000.0 - (time.monotonic() - start)
+                concurrent.futures.wait(futures, timeout=max(0.0, remaining))
+                for future, index in futures.items():
+                    if future.cancel():
+                        # Never started: degrade, with honest accounting.
+                        elapsed_ms = (time.monotonic() - start) * 1000.0
+                        slots[index] = BatchItem(
+                            index,
+                            _degraded_result(
+                                pool_deadline_ms,
+                                elapsed_ms,
+                                kernel=options.get("kernel", "auto"),
+                            ),
+                            0.0,
+                            None,
+                        )
             for future, index in futures.items():
-                if future.cancel():
-                    # Never started: degrade, with honest accounting.
-                    elapsed_ms = (time.monotonic() - start) * 1000.0
+                if slots[index] is not None:
+                    continue  # degraded above
+                try:
+                    slots[index] = future.result()
+                except Exception as exc:
+                    # Worker-side infrastructure failure the in-worker
+                    # isolation could not catch (e.g. a result that fails
+                    # to pickle back, or a crashed worker process).
                     slots[index] = BatchItem(
                         index,
-                        _degraded_result(
-                            pool_deadline_ms,
-                            elapsed_ms,
-                            kernel=options.get("kernel", "auto"),
+                        error_result(
+                            index, exc, kernel=options.get("kernel", "auto")
                         ),
                         0.0,
                         None,
                     )
-        for future, index in futures.items():
-            if slots[index] is not None:
-                continue  # degraded above
-            try:
-                item_index, result, wall_ms, worker = future.result()
-            except Exception as exc:
-                # Worker-side infrastructure failure the in-worker
-                # isolation could not catch (e.g. a result that fails
-                # to pickle back, or a crashed worker process).
-                slots[index] = BatchItem(
-                    index,
-                    _error_result(index, exc, kernel=options.get("kernel", "auto")),
-                    0.0,
-                    None,
-                )
-                continue
-            slots[index] = BatchItem(item_index, result, wall_ms, worker)
-    finally:
-        executor.shutdown(wait=True, cancel_futures=True)
 
+    # One exit path for loaded, degraded, and zero-item batches alike:
+    # wall_ms is always the measured elapsed time (a zero-item batch is
+    # an *instant* batch, not an unmeasured one) and the batch metrics
+    # are recorded uniformly, so utilization gauges never go stale.
     wall_ms = (time.monotonic() - start) * 1000.0
     batch = BatchResult(
         items=tuple(slot for slot in slots if slot is not None),
@@ -398,7 +553,7 @@ def check_containment_many(
     )
     _BATCH_WALL_MS.observe(wall_ms)
     _BATCH_WORKERS.set(workers)
-    _BATCH_UTILIZATION.set(round(batch.utilization, 4))
+    _BATCH_UTILIZATION.set(round(batch.worker_utilization, 4))
     return batch
 
 

@@ -226,12 +226,20 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(name, lambda: Histogram(name, buckets), "histogram")
 
-    def snapshot(self) -> dict[str, dict[str, Any]]:
-        """Machine-readable dump of every instrument, name-sorted."""
+    def snapshot(self, prefix: str | None = None) -> dict[str, dict[str, Any]]:
+        """Machine-readable dump of every instrument, name-sorted.
+
+        ``prefix`` restricts the dump to instruments whose name starts
+        with it (e.g. ``"serve."`` for the serving layer's ``metrics``
+        control verb) — filtering happens here, under the registry
+        lock, so callers never iterate a mutating table.
+        """
         with self._lock:
             instruments = dict(self._instruments)
         return {
-            name: instruments[name].snapshot() for name in sorted(instruments)
+            name: instruments[name].snapshot()
+            for name in sorted(instruments)
+            if prefix is None or name.startswith(prefix)
         }
 
     def reset(self) -> None:
@@ -261,9 +269,9 @@ def histogram(name: str, buckets: Iterable[float] = DEFAULT_BUCKETS_MS) -> Histo
     return REGISTRY.histogram(name, buckets)
 
 
-def metrics_snapshot() -> dict[str, dict[str, Any]]:
+def metrics_snapshot(prefix: str | None = None) -> dict[str, dict[str, Any]]:
     """Snapshot of the default registry (akin to ``cache_stats()``)."""
-    return REGISTRY.snapshot()
+    return REGISTRY.snapshot(prefix)
 
 
 def reset_metrics() -> None:

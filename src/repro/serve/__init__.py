@@ -1,0 +1,37 @@
+"""The serving layer: a long-lived front door for containment checks.
+
+Composes the worker-pool batch substrate (:mod:`repro.core.batch`), the
+resource governor (:mod:`repro.budget`), and the metrics registry
+(:mod:`repro.obs.metrics`) into an asyncio NDJSON service
+(``repro serve``) with bounded-queue admission control, load shedding,
+and graceful drain.  See DESIGN.md "Serving architecture".
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, shed_result
+from .protocol import (
+    ContainRequest,
+    ControlRequest,
+    ProtocolError,
+    encode_frame,
+    parse_frame,
+    parse_query_spec,
+    parse_workload,
+    response_payload,
+)
+from .server import ContainmentServer, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ContainRequest",
+    "ContainmentServer",
+    "ControlRequest",
+    "ProtocolError",
+    "ServeConfig",
+    "encode_frame",
+    "parse_frame",
+    "parse_query_spec",
+    "parse_workload",
+    "response_payload",
+    "shed_result",
+]

@@ -1,0 +1,248 @@
+"""Wire protocol for the serving layer: NDJSON frames in, NDJSON out.
+
+One JSON object per line, in both directions.  The same frame grammar
+is the ``repro batch`` workload format, so a workload file can be
+replayed against a live server byte-for-byte — this module is the one
+place the grammar is parsed (the CLI's ``parse_query`` delegates here).
+
+Request frames::
+
+    {"id": "p1", "left": "rpq:a a", "right": "rpq:a+"}
+    {"id": "p2", "left": "rpq:a+", "right": "rpq:a a",
+     "deadline_ms": 500, "kernel": "antichain", "max_expansions": 64}
+    {"op": "health"}
+    {"op": "metrics"}
+
+- ``left`` / ``right`` use the ``kind:spec`` query syntax (kinds
+  ``rpq``, ``rq``, ``datalog``; a spec starting with ``@`` reads the
+  named file).  ``id`` is optional and echoed back verbatim (the frame
+  index is the fallback identity).
+- ``deadline_ms`` is the per-request wall-clock deadline the server
+  inherits into the check's :class:`repro.budget.Budget` (it can only
+  *tighten* the server default, never extend it).
+- ``kernel`` / ``max_expansions`` are per-request engine options,
+  validated here so a bad value is an error *response*, not a dropped
+  connection.
+- ``op`` selects a control verb (``health`` / ``metrics``); absent or
+  ``"contain"`` means a containment request.
+
+Response frames mirror ``repro batch`` result lines: ``id``, ``index``
+(input position), ``verdict``, ``method``, ``holds``, ``bound``,
+``wall_ms``, ``worker``, plus ``error`` / ``budget`` / ``kernel`` /
+``admission`` details when present.
+
+Malformed frames are *isolated*: parsing surfaces a
+:class:`ProtocolError` (or the underlying parse exception), and callers
+convert it into an error response re-interleaved at the frame's input
+position — mirroring ``repro batch`` semantics, where a bad workload
+line yields an ERROR result line, never an abort.  Input order is
+always preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Mapping
+
+from ..automata.antichain import resolve_kernel
+from ..core.batch import BatchItem, error_result
+from ..datalog.parser import parse_program
+from ..rpq.rpq import RPQ, TwoRPQ
+from ..rq.parser import parse_rq
+
+__all__ = [
+    "CONTROL_VERBS",
+    "ContainRequest",
+    "ControlRequest",
+    "ProtocolError",
+    "WorkloadParse",
+    "encode_frame",
+    "error_item",
+    "parse_frame",
+    "parse_query_spec",
+    "parse_workload",
+    "response_payload",
+]
+
+#: Control verbs a server answers without touching the worker pool.
+CONTROL_VERBS = ("health", "metrics")
+
+
+class ProtocolError(ValueError):
+    """A malformed wire frame or workload line (isolated, never fatal)."""
+
+
+def parse_query_spec(argument: str) -> Any:
+    """Parse a ``kind:spec`` query argument (kinds: rpq, rq, datalog).
+
+    A spec starting with ``@`` reads the named file.  Structural
+    problems (missing/unknown kind) raise :class:`ProtocolError`;
+    query-syntax errors propagate as the underlying parser's exception
+    so error responses report the real type.
+    """
+    kind, _, spec = argument.partition(":")
+    if not spec:
+        raise ProtocolError(
+            f"query {argument!r} must look like kind:spec "
+            "(kinds: rpq, rq, datalog)"
+        )
+    text = pathlib.Path(spec[1:]).read_text() if spec.startswith("@") else spec
+    if kind == "rpq":
+        query = TwoRPQ.parse(text)
+        return RPQ(query.regex) if query.is_one_way() else query
+    if kind == "rq":
+        return parse_rq(text)
+    if kind == "datalog":
+        return parse_program(text)
+    raise ProtocolError(f"unknown query kind {kind!r} (use rpq, rq, or datalog)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ContainRequest:
+    """One parsed containment frame.
+
+    Attributes:
+        index: position of the frame in its input stream.
+        id: the caller's identifier (frame index when absent).
+        left / right: the parsed query objects.
+        deadline_ms: per-request wall-clock deadline, or None.
+        options: validated per-request engine options
+            (``kernel`` / ``max_expansions`` only).
+    """
+
+    index: int
+    id: Any
+    left: Any
+    right: Any
+    deadline_ms: float | None = None
+    options: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlRequest:
+    """A ``health`` / ``metrics`` control frame."""
+
+    index: int
+    id: Any
+    verb: str
+
+
+def parse_frame(line: str, index: int = 0) -> ContainRequest | ControlRequest:
+    """Parse one NDJSON frame into a request object.
+
+    Raises :class:`ProtocolError` for structural problems and lets
+    query-parser exceptions propagate; callers isolate both as error
+    responses at this frame's input position.
+    """
+    try:
+        record = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(record, dict):
+        raise ProtocolError("frame must be a JSON object")
+    identifier = record.get("id", index)
+    verb = record.get("op", "contain")
+    if verb in CONTROL_VERBS:
+        return ControlRequest(index=index, id=identifier, verb=verb)
+    if verb != "contain":
+        raise ProtocolError(
+            f"unknown op {verb!r} (use contain, {', or '.join(CONTROL_VERBS)})"
+        )
+    for key in ("left", "right"):
+        if key not in record:
+            raise ProtocolError(f"contain frame is missing {key!r}")
+        if not isinstance(record[key], str):
+            raise ProtocolError(f"{key!r} must be a kind:spec string")
+    deadline_ms = record.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or isinstance(
+            deadline_ms, bool
+        ) or deadline_ms <= 0:
+            raise ProtocolError("deadline_ms must be a positive number")
+        deadline_ms = float(deadline_ms)
+    options: dict[str, Any] = {}
+    if record.get("kernel") is not None:
+        kernel = record["kernel"]
+        try:
+            resolve_kernel(kernel)
+        except Exception as exc:
+            raise ProtocolError(str(exc)) from None
+        options["kernel"] = kernel
+    if record.get("max_expansions") is not None:
+        max_expansions = record["max_expansions"]
+        if not isinstance(max_expansions, int) or isinstance(
+            max_expansions, bool
+        ) or max_expansions < 1:
+            raise ProtocolError("max_expansions must be a positive integer")
+        options["max_expansions"] = max_expansions
+    return ContainRequest(
+        index=index,
+        id=identifier,
+        left=parse_query_spec(record["left"]),
+        right=parse_query_spec(record["right"]),
+        deadline_ms=deadline_ms,
+        options=options,
+    )
+
+
+def error_item(index: int, exc: BaseException) -> BatchItem:
+    """The isolated ERROR item for a frame that failed to parse."""
+    return BatchItem(index, error_result(index, exc), 0.0, None)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadParse:
+    """A parsed NDJSON workload: requests plus isolated parse failures.
+
+    ``requests[k].index`` and the keys of ``failures`` partition
+    ``range(count)`` — every non-blank input line is accounted for at
+    its original position, in order.
+    """
+
+    requests: tuple[ContainRequest, ...]
+    failures: dict[int, BatchItem]
+    count: int
+
+
+def parse_workload(text: str) -> WorkloadParse:
+    """Parse a whole NDJSON workload, isolating malformed lines.
+
+    The shared parsing path of ``repro batch`` and the soak clients: a
+    bad line becomes an ERROR :class:`BatchItem` keyed by its line
+    position (blank lines skipped), never an abort; control verbs are
+    rejected per line (a workload is containment requests only).
+    """
+    requests: list[ContainRequest] = []
+    failures: dict[int, BatchItem] = {}
+    lines = [line for line in text.splitlines() if line.strip()]
+    for line_no, line in enumerate(lines):
+        try:
+            frame = parse_frame(line, line_no)
+            if isinstance(frame, ControlRequest):
+                raise ProtocolError(
+                    f"control verb {frame.verb!r} is not a workload line"
+                )
+        except Exception as exc:
+            failures[line_no] = error_item(line_no, exc)
+            continue
+        requests.append(frame)
+    return WorkloadParse(
+        requests=tuple(requests), failures=failures, count=len(lines)
+    )
+
+
+def response_payload(
+    identifier: Any, item: BatchItem, *, index: int | None = None
+) -> dict[str, Any]:
+    """The NDJSON response object for one item (``repro batch`` shape)."""
+    payload: dict[str, Any] = {"id": identifier, **item.to_dict()}
+    if index is not None:
+        payload["index"] = index
+    return payload
+
+
+def encode_frame(payload: Mapping[str, Any]) -> str:
+    """Serialize one response frame (sorted keys, trailing newline)."""
+    return json.dumps(dict(payload), sort_keys=True, default=str) + "\n"

@@ -1,0 +1,544 @@
+"""The asyncio containment service behind ``repro serve``.
+
+A long-lived front door for the containment engine: NDJSON request
+frames arrive over TCP connections (or stdin in ``--pipe`` mode), pass
+admission control (:mod:`repro.serve.admission`), run on a persistent
+:class:`repro.core.batch.ContainmentExecutor` worker pool with
+per-request :class:`repro.budget.Budget` deadlines, and come back as
+NDJSON response frames **in input order per connection**.
+
+The serving contract (DESIGN.md "Serving architecture"):
+
+- **Every accepted frame is answered.**  Malformed frames become error
+  responses; overload and deadlines shed with degraded responses
+  carrying ``details["admission"]``; a connection is never reset with
+  work outstanding.
+- **Deadlines are two-stage.**  A request's effective deadline (its
+  own ``deadline_ms``, tightened against the server default) bounds
+  *both* stages independently: the request must start within it (else
+  admission sheds it at dequeue) and, once started, the same deadline
+  is inherited into the check's Budget, which the engine enforces
+  cooperatively.  End-to-end latency is therefore bounded by roughly
+  twice the deadline.
+- **Graceful drain.**  SIGTERM/SIGINT stops the listener, sheds every
+  frame that arrives afterwards (reason ``draining``), finishes work
+  already admitted (bounded by the per-request budgets), flushes all
+  responses, and exits 0.  Connections still open when the drain grace
+  period expires are closed after a final flush.
+
+Backend: the pool is the **thread** backend by construction — workers
+share the process-wide result/NFA caches, so a hot pair answered for
+one client is a cache hit for every other, which is the serving win
+that matters; see DESIGN.md for the process-backend tradeoff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import io
+import os
+import signal
+import stat
+import sys
+import time
+from typing import Any
+
+from ..budget import Budget
+from ..cache import cache_stats
+from ..core.batch import DEFAULT_WORKERS, BatchItem, ContainmentExecutor
+from ..obs.metrics import counter as _metric_counter, gauge as _metric_gauge, \
+    histogram as _metric_histogram, metrics_snapshot
+from . import protocol
+from .admission import AdmissionController, AdmissionPolicy, shed_result
+
+__all__ = ["ServeConfig", "ContainmentServer"]
+
+_REQUESTS = _metric_counter("serve.requests")
+_RESPONSES = _metric_counter("serve.responses")
+_CONNECTIONS = _metric_counter("serve.connections")
+_PROTOCOL_ERRORS = _metric_counter("serve.protocol_errors")
+_SHED = _metric_counter("serve.shed")
+_SHED_BY = {
+    reason: _metric_counter(f"serve.shed.{reason}")
+    for reason in ("queue_full", "deadline", "draining")
+}
+_QUEUE_DEPTH = _metric_gauge("serve.queue_depth")
+_LATENCY_MS = _metric_histogram("serve.latency_ms")
+_QUEUED_MS = _metric_histogram("serve.queued_ms")
+_UTILIZATION = _metric_gauge("serve.worker_utilization")
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Operator configuration for one server process.
+
+    Attributes:
+        host / port: TCP listen address (port 0 picks a free port,
+            announced on stderr).
+        workers: worker-pool width (thread backend).
+        queue_limit: admission capacity — max requests admitted but not
+            yet finished; the ``queue_full`` shed threshold.
+        deadline_ms: default per-request wall-clock deadline (frames
+            may only tighten it).  None = no default deadline.
+        auto_budget: run checks under staged escalation
+            (``Budget.auto``) instead of a plain deadline budget.
+        drain_grace_ms: after drain starts, how long connections may
+            keep sending frames (each shed immediately) before the
+            server stops reading and closes them.
+        kernel / max_expansions: default engine options (frames may
+            override per request).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = DEFAULT_WORKERS
+    queue_limit: int = 64
+    deadline_ms: float | None = None
+    auto_budget: bool = False
+    drain_grace_ms: float = 5000.0
+    kernel: str | None = None
+    max_expansions: int | None = None
+
+
+def _pipe_watchable(stream: Any) -> bool:
+    """Whether the event loop can watch *stream* (pipe/socket/tty).
+
+    Selector loops cannot register regular files (or file-less buffers
+    like BytesIO) — those take the thread-reader path instead.
+    """
+    try:
+        mode = os.fstat(stream.fileno()).st_mode
+    except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
+        return False
+    return stat.S_ISFIFO(mode) or stat.S_ISSOCK(mode) or stat.S_ISCHR(mode)
+
+
+class _ThreadLineReader:
+    """Readline adapter for pipe-mode stdin that epoll cannot watch.
+
+    ``connect_read_pipe`` fails when stdin is a regular file (selector
+    event loops cannot register them); regular files never block
+    indefinitely, so reading them on the default thread executor is
+    safe — a pipe or tty keeps the cancellable StreamReader path.
+    """
+
+    def __init__(self, stream: Any) -> None:
+        self._stream = stream
+
+    async def readline(self) -> bytes:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._stream.readline)
+
+
+class _PipeWriter:
+    """The StreamWriter-shaped adapter for ``--pipe`` mode stdout."""
+
+    def __init__(self, stream: Any = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout.buffer
+
+    def write(self, data: bytes) -> None:
+        self._stream.write(data)
+
+    async def drain(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        with contextlib.suppress(ValueError):
+            self._stream.flush()
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+class ContainmentServer:
+    """One serving process; see the module docstring for the contract."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        options: dict[str, Any] = {}
+        if config.kernel is not None:
+            options["kernel"] = config.kernel
+        if config.max_expansions is not None:
+            options["max_expansions"] = config.max_expansions
+        # Constructing the executor validates workers/options eagerly —
+        # a bad server config fails at startup, never per request.
+        self._executor = ContainmentExecutor(
+            workers=config.workers, backend="thread", **options
+        )
+        self._admission = AdmissionController(
+            AdmissionPolicy(
+                capacity=config.queue_limit,
+                default_deadline_ms=config.deadline_ms,
+            )
+        )
+        if config.auto_budget:
+            self._base_budget: Budget | None = Budget.auto(
+                deadline_ms=config.deadline_ms
+            ) if config.deadline_ms is not None else Budget.auto()
+        elif config.deadline_ms is not None:
+            self._base_budget = Budget(deadline_ms=config.deadline_ms)
+        else:
+            self._base_budget = None
+        self._draining = asyncio.Event()
+        self._drain_deadline: float | None = None
+        self._started = time.monotonic()
+        self._busy_ms = 0.0
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._frames_answered = 0
+
+    # ----------------------------------------------------------------- drain
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def initiate_drain(self) -> None:
+        """Begin graceful drain (idempotent; the SIGTERM/SIGINT handler).
+
+        Stops the listener so no new connection is accepted; frames on
+        existing connections are shed from now on; the grace clock for
+        closing lingering connections starts ticking.
+        """
+        if self._draining.is_set():
+            return
+        self._drain_deadline = (
+            time.monotonic() + self.config.drain_grace_ms / 1000.0
+        )
+        self._draining.set()
+        if self._server is not None:
+            self._server.close()
+
+    def _grace_remaining(self) -> float:
+        if self._drain_deadline is None:
+            return self.config.drain_grace_ms / 1000.0
+        return max(0.0, self._drain_deadline - time.monotonic())
+
+    # ------------------------------------------------------------- dispatch
+
+    def _request_kernel(self, options: dict[str, Any] | None = None) -> str:
+        merged = options or {}
+        return merged.get("kernel", self.config.kernel or "auto")
+
+    def _shed_payload(
+        self,
+        frame_index: int,
+        identifier: Any,
+        reason: str,
+        *,
+        waited_ms: float = 0.0,
+        deadline_ms: float | None = None,
+        kernel: str = "auto",
+    ) -> dict[str, Any]:
+        """Build (and count) one shed response payload."""
+        _SHED.inc()
+        _SHED_BY[reason].inc()
+        result = shed_result(
+            reason,
+            queue_depth=self._admission.pending,
+            queue_limit=self.config.queue_limit,
+            waited_ms=waited_ms,
+            deadline_ms=deadline_ms,
+            kernel=kernel,
+        )
+        item = BatchItem(frame_index, result, 0.0, None)
+        return protocol.response_payload(identifier, item, index=frame_index)
+
+    def _dispatch(self, line: str, index: int) -> Any:
+        """Turn one input frame into a payload dict or a coroutine.
+
+        Synchronous outcomes (protocol errors, control verbs, admission
+        sheds) return the payload immediately; admitted containment
+        requests return a coroutine resolving to the payload once the
+        worker pool answers.  Either way the frame is *answered* — this
+        function never raises.
+        """
+        _REQUESTS.inc()
+        try:
+            frame = protocol.parse_frame(line, index)
+        except Exception as exc:
+            _PROTOCOL_ERRORS.inc()
+            _RESPONSES.inc()
+            # id is null for unparseable frames, as in `repro batch`.
+            item = protocol.error_item(index, exc)
+            return protocol.response_payload(None, item, index=index)
+        if isinstance(frame, protocol.ControlRequest):
+            control_frame = frame
+
+            async def control() -> dict[str, Any]:
+                # Built when its turn in the response queue comes, so a
+                # health/metrics frame sent after a batch of requests
+                # observes the state *after* those responses — in-order
+                # writing makes control verbs read-your-writes barriers.
+                _RESPONSES.inc()
+                return self._control_payload(control_frame)
+
+            return control()
+        kernel = self._request_kernel(dict(frame.options))
+        reason = self._admission.try_admit(draining=self.draining)
+        if reason is not None:
+            _RESPONSES.inc()
+            _QUEUE_DEPTH.set(self._admission.pending)
+            return self._shed_payload(
+                frame.index,
+                frame.id,
+                reason,
+                deadline_ms=self._admission.effective_deadline_ms(
+                    frame.deadline_ms
+                ),
+                kernel=kernel,
+            )
+        _QUEUE_DEPTH.set(self._admission.pending)
+        admitted_at = time.monotonic()
+        deadline_ms = self._admission.effective_deadline_ms(frame.deadline_ms)
+        start_deadline = (
+            admitted_at + deadline_ms / 1000.0 if deadline_ms is not None else None
+        )
+        budget: Budget | None = self._base_budget
+        if frame.deadline_ms is not None:
+            budget = (budget or Budget()).tightened(frame.deadline_ms)
+
+        def expired(late_ms: float, _deadline_ms=deadline_ms, _kernel=kernel):
+            # Runs on a worker thread at dequeue: the request's start
+            # deadline passed while it sat in the queue, so it is shed,
+            # not run.  Only builds the result object — metrics are
+            # counted back on the event loop in _finish.
+            return shed_result(
+                "deadline",
+                queue_depth=self._admission.pending,
+                queue_limit=self.config.queue_limit,
+                waited_ms=(_deadline_ms or 0.0) + late_ms,
+                deadline_ms=_deadline_ms,
+                kernel=_kernel,
+            )
+
+        future = self._executor.submit(
+            frame.left,
+            frame.right,
+            index=frame.index,
+            budget=budget,
+            start_deadline=start_deadline,
+            expired_result=expired,
+            options=dict(frame.options) or None,
+        )
+        return self._finish(frame, future, admitted_at)
+
+    async def _finish(
+        self,
+        frame: protocol.ContainRequest,
+        future: Any,
+        admitted_at: float,
+    ) -> dict[str, Any]:
+        """Await one admitted request's worker future; account for it."""
+        try:
+            item: BatchItem = await asyncio.wrap_future(future)
+        finally:
+            self._admission.release()
+            _QUEUE_DEPTH.set(self._admission.pending)
+        latency_ms = (time.monotonic() - admitted_at) * 1000.0
+        _LATENCY_MS.observe(latency_ms)
+        _QUEUED_MS.observe(max(0.0, latency_ms - item.wall_ms))
+        _RESPONSES.inc()
+        self._frames_answered += 1
+        if item.result.method == "serve-admission":
+            _SHED.inc()
+            _SHED_BY["deadline"].inc()
+        self._busy_ms += item.wall_ms
+        uptime_ms = (time.monotonic() - self._started) * 1000.0
+        if uptime_ms > 0:
+            _UTILIZATION.set(
+                round(
+                    min(1.0, self._busy_ms / (self.config.workers * uptime_ms)), 4
+                )
+            )
+        return protocol.response_payload(frame.id, item, index=frame.index)
+
+    def _control_payload(self, frame: protocol.ControlRequest) -> dict[str, Any]:
+        uptime_ms = round((time.monotonic() - self._started) * 1000.0, 3)
+        if frame.verb == "health":
+            return {
+                "op": "health",
+                "id": frame.id,
+                "index": frame.index,
+                "status": "draining" if self.draining else "ok",
+                "queue_depth": self._admission.pending,
+                "queue_limit": self.config.queue_limit,
+                "workers": self.config.workers,
+                "shed_total": self._admission.shed_total,
+                "admitted_total": self._admission.admitted_total,
+                "uptime_ms": uptime_ms,
+            }
+        return {
+            "op": "metrics",
+            "id": frame.id,
+            "index": frame.index,
+            "uptime_ms": uptime_ms,
+            "metrics": metrics_snapshot(),
+            "cache": cache_stats(),
+        }
+
+    # ---------------------------------------------------------- connections
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> bytes | None:
+        """One line from the peer; None means stop (EOF or grace over).
+
+        Before drain, wake on *either* a line or the drain event so an
+        idle connection starts its grace clock the moment drain begins;
+        after drain, reads are bounded by the remaining grace.
+        """
+        if not self.draining:
+            read_task = asyncio.ensure_future(reader.readline())
+            drain_task = asyncio.ensure_future(self._draining.wait())
+            try:
+                done, _ = await asyncio.wait(
+                    {read_task, drain_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                drain_task.cancel()
+            if read_task in done:
+                return read_task.result()
+            # Drain began while blocked: fall through to a bounded read.
+            try:
+                return await asyncio.wait_for(read_task, self._grace_remaining())
+            except asyncio.TimeoutError:
+                return None
+        remaining = self._grace_remaining()
+        if remaining <= 0:
+            return None
+        try:
+            return await asyncio.wait_for(reader.readline(), remaining)
+        except asyncio.TimeoutError:
+            return None
+
+    async def _write_responses(
+        self, queue: "asyncio.Queue[Any]", writer: Any
+    ) -> None:
+        """Flush response payloads in input order (one writer per peer)."""
+        while True:
+            entry = await queue.get()
+            if entry is None:
+                return
+            try:
+                payload = await entry if asyncio.iscoroutine(entry) else entry
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # A response coroutine failing is a server bug, but the
+                # frame still gets an answer rather than a silent gap.
+                payload = protocol.response_payload(
+                    None, protocol.error_item(-1, exc)
+                )
+            writer.write(protocol.encode_frame(payload).encode("utf-8"))
+            await writer.drain()
+
+    async def _handle_stream(
+        self, reader: asyncio.StreamReader, writer: Any
+    ) -> None:
+        """One connection: read frames, answer each, in input order."""
+        _CONNECTIONS.inc()
+        responses: asyncio.Queue[Any] = asyncio.Queue()
+        writer_task = asyncio.ensure_future(
+            self._write_responses(responses, writer)
+        )
+        index = 0
+        try:
+            while True:
+                line = await self._read_frame(reader)
+                if not line:  # EOF, or drain grace expired
+                    break
+                text = line.decode("utf-8", errors="replace")
+                if not text.strip():
+                    continue
+                await responses.put(self._dispatch(text, index))
+                index += 1
+        finally:
+            # Always flush what was accepted, even on a reader error:
+            # the sentinel lands after every queued response.
+            await responses.put(None)
+            with contextlib.suppress(Exception):
+                await writer_task
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Synchronous accept callback: the handler task is registered
+        # *before* control returns to the loop, so a drain beginning in
+        # the same tick still waits for this connection.
+        task = asyncio.ensure_future(self._handle_stream(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    # --------------------------------------------------------------- modes
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, self.initiate_drain)
+
+    async def _shutdown(self) -> None:
+        """Wait for open connections (bounded by grace), stop the pool."""
+        if self._connections:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*self._connections, return_exceptions=True),
+                    self._grace_remaining() + 1.0,
+                )
+        for task in list(self._connections):
+            task.cancel()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    async def serve_tcp(self) -> None:
+        """Listen on the configured address until drained."""
+        self._install_signal_handlers()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        port = self._server.sockets[0].getsockname()[1]
+        print(
+            f"# serving on {self.config.host}:{port} "
+            f"({self.config.workers} workers, "
+            f"queue limit {self.config.queue_limit})",
+            file=sys.stderr,
+            flush=True,
+        )
+        if self.draining:  # drained before the listener was up
+            self._server.close()
+        try:
+            await self._draining.wait()
+        finally:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            await self._shutdown()
+            print(
+                f"# drained: {self._frames_answered} containment frames "
+                f"answered, {self._admission.shed_total} shed",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    async def serve_pipe(self, stdin: Any = None, stdout: Any = None) -> None:
+        """One-shot pipe mode: stdin frames in, stdout frames out."""
+        self._install_signal_handlers()
+        loop = asyncio.get_running_loop()
+        stream = stdin if stdin is not None else sys.stdin
+        reader: Any
+        if _pipe_watchable(stream):
+            reader = asyncio.StreamReader()
+            await loop.connect_read_pipe(
+                lambda: asyncio.StreamReaderProtocol(reader), stream
+            )
+        else:
+            reader = _ThreadLineReader(getattr(stream, "buffer", stream))
+        writer = _PipeWriter(stdout)
+        try:
+            await self._handle_stream(reader, writer)
+        finally:
+            self._executor.shutdown(wait=True, cancel_futures=True)

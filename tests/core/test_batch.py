@@ -25,17 +25,20 @@ import random
 import threading
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.automata.regex import parse_regex, random_regex
 from repro.budget import Budget
 from repro.cache import cache_stats, clear_caches, containment_cache
 from repro.core.batch import (
+    BatchItem,
     BatchResult,
+    ContainmentExecutor,
     check_containment_many,
     sequential_baseline,
 )
 from repro.obs.metrics import REGISTRY, reset_metrics
-from repro.report import Verdict
+from repro.report import ContainmentResult, Verdict
 from repro.rpq.rpq import RPQ
 
 pytestmark = pytest.mark.timeout(120)
@@ -373,3 +376,166 @@ class TestSingleFlight:
         # Every caller sees the leader's exception; errors are not cached.
         assert failures == ["compute exploded"] * 3
         assert len(cache) == 0
+
+
+class TestUtilizationAccounting:
+    """worker_utilization / wall_ms stay finite and in [0, 1] for every
+    batch shape, including the zero-item and instant degenerate cases
+    that used to divide by zero (satellite fix)."""
+
+    def make_batch(self, item_walls, wall_ms, workers):
+        items = tuple(
+            BatchItem(i, ContainmentResult(Verdict.HOLDS, "stub"), w, "w")
+            for i, w in enumerate(item_walls)
+        )
+        return BatchResult(items, wall_ms, workers, "thread")
+
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    @given(
+        item_walls=st.lists(
+            st.floats(min_value=-1.0, max_value=1e5, allow_nan=False),
+            max_size=16,
+        ),
+        wall_ms=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        workers=st.integers(min_value=1, max_value=32),
+    )
+    def test_always_finite_and_clamped(self, item_walls, wall_ms, workers):
+        batch = self.make_batch(item_walls, wall_ms, workers)
+        utilization = batch.worker_utilization
+        assert 0.0 <= utilization <= 1.0
+        assert utilization == batch.utilization  # historical alias
+        batch.describe()  # formats without raising for every shape
+
+    def test_zero_item_batch_reports_zero(self):
+        batch = self.make_batch([], 0.0, 4)
+        assert batch.worker_utilization == 0.0
+        assert "0 items" in batch.describe()
+
+    def test_instant_batch_reports_zero_not_nan(self):
+        # Coarse clocks can measure wall_ms == 0 even when items ran.
+        batch = self.make_batch([1.0, 2.0], 0.0, 2)
+        assert batch.worker_utilization == 0.0
+
+    def test_jitter_above_one_clamps(self):
+        # Summed per-item time above workers*wall (measurement skew).
+        batch = self.make_batch([100.0, 100.0], 10.0, 2)
+        assert batch.worker_utilization == 1.0
+
+    def test_empty_batch_records_wall_and_gauges(self):
+        batch = check_containment_many([], workers=3)
+        assert len(batch) == 0
+        assert batch.wall_ms >= 0.0
+        assert batch.worker_utilization == 0.0
+        # The common exit path still runs: pool facts + metrics land.
+        assert (batch.workers, batch.backend) == (3, "thread")
+        assert REGISTRY.gauge("batch.workers").value == 3
+        assert 0.0 <= REGISTRY.gauge("batch.worker_utilization").value <= 1.0
+
+
+class TestContainmentExecutor:
+    """The persistent single-pair submission path under the serve layer."""
+
+    def pair(self, left="a a", right="a+"):
+        return RPQ(parse_regex(left)), RPQ(parse_regex(right))
+
+    def test_submit_resolves_to_batch_item(self):
+        with ContainmentExecutor(workers=2) as executor:
+            q1, q2 = self.pair()
+            item = executor.submit(q1, q2, index=7).result(timeout=60)
+            assert item.index == 7
+            assert item.result.verdict is Verdict.HOLDS
+            assert item.wall_ms >= 0.0
+            assert item.worker and "batch-worker" in item.worker
+
+    def test_matches_sequential_baseline_across_submissions(self):
+        pairs = e1_workload()[:10]
+        expected = [r.verdict for r in sequential_baseline(pairs)]
+        with ContainmentExecutor(workers=4) as executor:
+            futures = [
+                executor.submit(q1, q2, index=i)
+                for i, (q1, q2) in enumerate(pairs)
+            ]
+            verdicts = [f.result(timeout=120).result.verdict for f in futures]
+        assert verdicts == expected
+
+    def test_worker_exception_is_isolated(self):
+        with ContainmentExecutor(workers=1) as executor:
+            item = executor.submit(object(), object(), index=3).result(timeout=60)
+            assert item.result.verdict is Verdict.ERROR
+            assert item.result.details["error"]["index"] == 3
+
+    def test_submit_after_shutdown_is_an_error_item_not_a_raise(self):
+        executor = ContainmentExecutor(workers=1)
+        executor.shutdown(wait=True)
+        q1, q2 = self.pair()
+        item = executor.submit(q1, q2, index=5).result(timeout=60)
+        assert item.result.verdict is Verdict.ERROR
+        assert item.index == 5
+
+    def test_expired_start_deadline_sheds_instead_of_running(self):
+        import time as _time
+
+        with ContainmentExecutor(workers=1) as executor:
+            q1, q2 = self.pair()
+            item = executor.submit(
+                q1, q2, start_deadline=_time.monotonic() - 1.0
+            ).result(timeout=60)
+            assert item.result.verdict is Verdict.INCONCLUSIVE
+            assert item.result.method == "start-deadline"
+            assert item.result.details["budget"]["exhausted"] == "start_deadline"
+            assert item.worker is None and item.wall_ms == 0.0
+
+    def test_expired_result_factory_overrides_default(self):
+        import time as _time
+
+        marker = ContainmentResult(
+            Verdict.INCONCLUSIVE, "custom-shed", details={"admission": {}}
+        )
+        with ContainmentExecutor(workers=1) as executor:
+            q1, q2 = self.pair()
+            item = executor.submit(
+                q1,
+                q2,
+                start_deadline=_time.monotonic() - 1.0,
+                expired_result=lambda late_ms: marker,
+            ).result(timeout=60)
+            assert item.result is marker
+
+    def test_per_call_options_override_defaults(self):
+        with ContainmentExecutor(workers=1, kernel="antichain") as executor:
+            q1, q2 = self.pair()
+            item = executor.submit(
+                q1, q2, options={"kernel": "subset"}
+            ).result(timeout=60)
+            assert item.result.details["kernel"]["requested"] == "subset"
+            # And the executor default still applies when not overridden.
+            item = executor.submit(q1, q2).result(timeout=60)
+            assert item.result.details["kernel"]["requested"] == "antichain"
+
+    def test_bad_per_call_option_raises_eagerly(self):
+        with ContainmentExecutor(workers=1) as executor:
+            q1, q2 = self.pair()
+            with pytest.raises(TypeError):
+                executor.submit(q1, q2, options={"no_such_option": 1})
+            with pytest.raises(ValueError):
+                executor.submit(q1, q2, options={"kernel": "warp"})
+
+    def test_constructor_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            ContainmentExecutor(workers=0)
+        with pytest.raises(ValueError):
+            ContainmentExecutor(backend="fiber")
+        with pytest.raises(TypeError):
+            ContainmentExecutor(bogus_option=1)
+
+    def test_budget_deadline_bounds_submission(self):
+        q1, q2 = self.pair("(a|b)*", "(a b|b a)*")
+        with ContainmentExecutor(workers=1) as executor:
+            item = executor.submit(
+                q1, q2, budget=Budget(deadline_ms=1e9)
+            ).result(timeout=120)
+            assert item.result.verdict in (
+                Verdict.HOLDS,
+                Verdict.REFUTED,
+                Verdict.INCONCLUSIVE,
+            )

@@ -309,3 +309,62 @@ class TestBenchCommands:
         bare.write_text(json.dumps(document))
         assert main(["bench", "profile", str(bare)]) == 1
         assert "no profile" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    """`repro batch` on NDJSON workloads (shared serve-protocol path)."""
+
+    def run_batch(self, tmp_path, text, *extra):
+        workload = tmp_path / "w.ndjson"
+        workload.write_text(text)
+        return main(["batch", str(workload), "--workers", "2", *extra])
+
+    def test_workload_round_trip(self, tmp_path, capsys):
+        import json
+
+        text = (
+            '{"id": "p1", "left": "rpq:a a", "right": "rpq:a+"}\n'
+            '{"id": "p2", "left": "rpq:a+", "right": "rpq:a a"}\n'
+        )
+        assert self.run_batch(tmp_path, text) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(l) for l in captured.out.splitlines()]
+        assert [l["id"] for l in lines] == ["p1", "p2"]
+        assert [l["verdict"] for l in lines] == ["holds", "refuted"]
+        assert "2 items" in captured.err
+
+    def test_empty_workload_is_empty_result_exit_zero(self, tmp_path, capsys):
+        """Regression: an empty NDJSON file used to crash the batch
+        path; it must produce an empty result and exit 0."""
+        assert self.run_batch(tmp_path, "") == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""  # no stray blank line
+        assert "0 items" in captured.err
+
+    def test_blank_lines_only_workload_is_empty(self, tmp_path, capsys):
+        assert self.run_batch(tmp_path, "\n   \n\t\n") == 0
+        assert capsys.readouterr().out == ""
+
+    def test_malformed_line_is_isolated_error_line(self, tmp_path, capsys):
+        import json
+
+        text = (
+            '{"id": "ok", "left": "rpq:a a", "right": "rpq:a+"}\n'
+            "not json\n"
+        )
+        assert self.run_batch(tmp_path, text) == 1
+        captured = capsys.readouterr()
+        lines = [json.loads(l) for l in captured.out.splitlines()]
+        assert [l["index"] for l in lines] == [0, 1]
+        assert lines[0]["verdict"] == "holds"
+        assert lines[1]["verdict"] == "error"
+        assert lines[1]["id"] is None
+        assert "1 line(s) failed to parse" in captured.err
+
+    def test_empty_workload_to_output_file(self, tmp_path, capsys):
+        workload = tmp_path / "w.ndjson"
+        workload.write_text("")
+        out = tmp_path / "results.ndjson"
+        assert main(["batch", str(workload), "--out", str(out)]) == 0
+        assert out.read_text() == ""
+        capsys.readouterr()

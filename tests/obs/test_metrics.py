@@ -118,6 +118,21 @@ class TestRegistry:
         assert list(snap) == ["alpha", "zebra"]
         assert snap["alpha"] == {"type": "gauge", "value": 3}
 
+    def test_snapshot_prefix_filters_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(2)
+        registry.gauge("serve.queue_depth").set(1)
+        registry.counter("engine.checks").inc()
+        snap = registry.snapshot(prefix="serve.")
+        assert list(snap) == ["serve.queue_depth", "serve.requests"]
+        assert registry.snapshot(prefix="nothing.") == {}
+        # No prefix keeps the full registry view.
+        assert set(registry.snapshot()) == {
+            "serve.requests",
+            "serve.queue_depth",
+            "engine.checks",
+        }
+
     def test_reset_zeroes_in_place(self):
         """Hoisted handles must survive a reset — the hot-path contract."""
         registry = MetricsRegistry()

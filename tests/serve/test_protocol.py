@@ -1,0 +1,209 @@
+"""Property tests for the serving wire protocol.
+
+The protocol contract under test (mirroring ``repro batch`` semantics):
+
+- request/response NDJSON frames round-trip on randomized payloads;
+- malformed frames are *isolated* — each becomes an error response at
+  its own input position, never an abort and never a shifted neighbour;
+- input order is always preserved: the parsed requests' indices plus
+  the failure positions partition the input line range exactly.
+
+All properties are derandomized so CI replays the same corpus.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import BatchItem
+from repro.report import Verdict
+from repro.serve import protocol
+
+SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+#: Valid kind:spec strings drawn by the generators (parse quickly).
+VALID_SPECS = (
+    "rpq:a a",
+    "rpq:a+",
+    "rpq:(a b)*",
+    "rpq:a|b",
+    "rpq:p p- p",
+    "rq:ans(x, y) :- [e+](x, y).",
+    "datalog:q(x,y) :- e(x,y).",
+)
+
+#: Frames that must fail parse_frame outright.
+MALFORMED_FRAMES = (
+    "not json at all",
+    "[1, 2, 3]",
+    '"just a string"',
+    "{}",
+    '{"left": "rpq:a"}',
+    '{"left": "rpq:a", "right": 17}',
+    '{"left": "nosuchkind:a", "right": "rpq:a"}',
+    '{"left": "rpq:((", "right": "rpq:a"}',
+    '{"left": "rpq:a", "right": "rpq:a", "op": "explode"}',
+    '{"left": "rpq:a", "right": "rpq:a", "deadline_ms": -5}',
+    '{"left": "rpq:a", "right": "rpq:a", "deadline_ms": true}',
+    '{"left": "rpq:a", "right": "rpq:a", "kernel": "warp"}',
+    '{"left": "rpq:a", "right": "rpq:a", "max_expansions": 0}',
+)
+
+#: Lines that must each be isolated as a *workload* parse failure —
+#: the malformed frames plus control verbs, which are valid frames but
+#: not workload lines.
+MALFORMED_LINES = MALFORMED_FRAMES + ('{"op": "health"}', '{"op": "metrics"}')
+
+identifiers = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=24),
+    st.none(),
+    st.booleans(),
+)
+
+valid_records = st.fixed_dictionaries(
+    {"left": st.sampled_from(VALID_SPECS), "right": st.sampled_from(VALID_SPECS)},
+    optional={
+        "id": identifiers,
+        "deadline_ms": st.floats(min_value=1.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+        "kernel": st.sampled_from(("subset", "antichain", "auto")),
+        "max_expansions": st.integers(min_value=1, max_value=512),
+        "unknown_extra": st.integers(),  # unknown keys are ignored
+    },
+)
+
+#: A workload line paired with whether it must parse.
+lines = st.one_of(
+    valid_records.map(lambda r: (json.dumps(r), True)),
+    st.sampled_from(MALFORMED_LINES).map(lambda l: (l, False)),
+)
+
+
+class TestFrameParsing:
+    @SETTINGS
+    @given(record=valid_records, index=st.integers(min_value=0, max_value=10**6))
+    def test_valid_frame_parses_with_identity_preserved(self, record, index):
+        frame = protocol.parse_frame(json.dumps(record), index)
+        assert isinstance(frame, protocol.ContainRequest)
+        assert frame.index == index
+        assert frame.id == record.get("id", index)
+        if "deadline_ms" in record:
+            assert frame.deadline_ms == pytest.approx(record["deadline_ms"])
+        else:
+            assert frame.deadline_ms is None
+        for key in ("kernel", "max_expansions"):
+            assert frame.options.get(key) == record.get(key)
+        assert "unknown_extra" not in frame.options
+
+    @SETTINGS
+    @given(line=st.sampled_from(MALFORMED_FRAMES))
+    def test_malformed_frame_raises_isolatable_error(self, line):
+        with pytest.raises(Exception):
+            protocol.parse_frame(line, 0)
+
+    def test_control_verbs_parse(self):
+        for verb in protocol.CONTROL_VERBS:
+            frame = protocol.parse_frame(json.dumps({"op": verb, "id": "x"}), 7)
+            assert isinstance(frame, protocol.ControlRequest)
+            assert (frame.verb, frame.id, frame.index) == (verb, "x", 7)
+
+
+class TestWorkloadOrderPreservation:
+    @SETTINGS
+    @given(workload=st.lists(lines, max_size=12))
+    def test_positions_partition_the_input(self, workload):
+        """Requests + failures cover every line at its input position."""
+        text = "\n".join(line for line, _ in workload) + "\n"
+        parsed = protocol.parse_workload(text)
+        assert parsed.count == len(workload)
+        request_positions = [request.index for request in parsed.requests]
+        failure_positions = sorted(parsed.failures)
+        assert sorted(request_positions + failure_positions) == list(
+            range(len(workload))
+        )
+        # Order preserved: requests come back in input order, and each
+        # position's validity matches what was generated for it.
+        assert request_positions == sorted(request_positions)
+        for position, (_, ok) in enumerate(workload):
+            assert (position in parsed.failures) == (not ok)
+
+    @SETTINGS
+    @given(workload=st.lists(lines, max_size=12), blanks=st.data())
+    def test_blank_lines_are_skipped_not_counted(self, workload, blanks):
+        padded: list[str] = []
+        for line, _ in workload:
+            if blanks.draw(st.booleans()):
+                padded.append(blanks.draw(st.sampled_from(["", "   ", "\t"])))
+            padded.append(line)
+        parsed = protocol.parse_workload("\n".join(padded) + "\n")
+        assert parsed.count == len(workload)
+
+    @SETTINGS
+    @given(workload=st.lists(lines, max_size=12))
+    def test_failures_are_error_items_with_traceback(self, workload):
+        text = "\n".join(line for line, _ in workload) + "\n"
+        parsed = protocol.parse_workload(text)
+        for position, item in parsed.failures.items():
+            assert isinstance(item, BatchItem)
+            assert item.index == position
+            assert item.result.verdict is Verdict.ERROR
+            error = item.result.details["error"]
+            assert error["type"] and error["message"] is not None
+
+
+class TestResponseRoundTrip:
+    @SETTINGS
+    @given(
+        identifier=identifiers,
+        index=st.integers(min_value=0, max_value=10**6),
+        payload_extra=st.dictionaries(
+            st.text(min_size=1, max_size=10),
+            st.one_of(identifiers, st.floats(allow_nan=False, allow_infinity=False)),
+            max_size=4,
+        ),
+    )
+    def test_encode_decode_round_trips(self, identifier, index, payload_extra):
+        item = protocol.error_item(index, ValueError("boom"))
+        payload = protocol.response_payload(identifier, item, index=index)
+        payload.update(payload_extra)
+        line = protocol.encode_frame(payload)
+        assert line.endswith("\n") and "\n" not in line[:-1]
+        decoded = json.loads(line)
+        assert decoded == json.loads(json.dumps(payload, default=str))
+        assert decoded["id"] == identifier
+        assert decoded["index"] == index
+        assert decoded["verdict"] == "error"
+
+    def test_response_payload_carries_admission_details(self):
+        from repro.serve.admission import shed_result
+
+        result = shed_result(
+            "queue_full", queue_depth=9, queue_limit=8, waited_ms=1.5
+        )
+        payload = protocol.response_payload(
+            "r1", BatchItem(4, result, 0.0, None), index=4
+        )
+        assert payload["admission"]["shed"] == "queue_full"
+        assert payload["admission"]["spend"]["queued_ms"] == 1.5
+        decoded = json.loads(protocol.encode_frame(payload))
+        assert decoded["admission"]["queue_limit"] == 8
+
+
+class TestSharedWithBatch:
+    """The workload parser is the one `repro batch` runs on."""
+
+    def test_smoke_workload_parses_fully(self):
+        text = open("benchmarks/workloads/batch_smoke.ndjson").read()
+        parsed = protocol.parse_workload(text)
+        assert len(parsed.requests) == 20
+        assert not parsed.failures
+
+    def test_query_spec_errors_are_protocol_errors(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_query_spec("rpq")  # no spec at all
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_query_spec("klingon:a b")

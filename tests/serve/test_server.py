@@ -1,0 +1,290 @@
+"""In-process tests for the asyncio containment server.
+
+Each test runs a real :class:`ContainmentServer` on a loopback socket
+inside ``asyncio.run`` (no subprocess — the soak suite covers that) and
+drives it with an in-process client, so the admission/shed paths can be
+forced deterministically by blocking the worker pool on an event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import io
+import json
+import threading
+
+import pytest
+
+from repro.report import ContainmentResult, Verdict
+from repro.serve.server import ContainmentServer, ServeConfig
+
+HOLDS_FRAME = '{"id": "p1", "left": "rpq:a a", "right": "rpq:a+"}'
+REFUTED_FRAME = '{"id": "p2", "left": "rpq:a+", "right": "rpq:a a"}'
+
+
+@contextlib.asynccontextmanager
+async def running_server(**overrides):
+    config = ServeConfig(port=0, workers=overrides.pop("workers", 2), **overrides)
+    server = ContainmentServer(config)
+    task = asyncio.create_task(server.serve_tcp())
+    try:
+        for _ in range(500):
+            if server._server is not None and server._server.sockets:
+                break
+            await asyncio.sleep(0.01)
+        else:
+            raise RuntimeError("server never started listening")
+        port = server._server.sockets[0].getsockname()[1]
+        yield server, port
+    finally:
+        server.initiate_drain()
+        await asyncio.wait_for(task, 15)
+
+
+async def roundtrip(port: int, lines: list[str]) -> list[dict]:
+    """Send frames, half-close, and collect every response in order."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(("".join(line + "\n" for line in lines)).encode())
+    await writer.drain()
+    writer.write_eof()
+    responses = []
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        responses.append(json.loads(line))
+    writer.close()
+    with contextlib.suppress(Exception):
+        await writer.wait_closed()
+    return responses
+
+
+def blocking_check(gate: threading.Event):
+    """A check_containment stand-in that parks workers on *gate*."""
+
+    def check(q1, q2, **kwargs):
+        gate.wait(timeout=30)
+        return ContainmentResult(Verdict.HOLDS, "stub")
+
+    return check
+
+
+class TestControlVerbs:
+    def test_health_reports_queue_state(self):
+        async def run():
+            async with running_server(queue_limit=5, workers=2) as (server, port):
+                [resp] = await roundtrip(port, ['{"op": "health", "id": "h"}'])
+                assert resp["op"] == "health"
+                assert resp["id"] == "h"
+                assert resp["status"] == "ok"
+                assert resp["queue_depth"] == 0
+                assert resp["queue_limit"] == 5
+                assert resp["workers"] == 2
+                assert resp["uptime_ms"] >= 0
+
+        asyncio.run(run())
+
+    def test_metrics_exposes_serve_instruments_and_cache(self):
+        async def run():
+            async with running_server() as (server, port):
+                first, second = await roundtrip(
+                    port, [HOLDS_FRAME, '{"op": "metrics"}']
+                )
+                assert first["verdict"] == "holds"
+                metrics = second["metrics"]
+                for name in (
+                    "serve.requests",
+                    "serve.responses",
+                    "serve.connections",
+                    "serve.shed",
+                    "serve.queue_depth",
+                    "serve.latency_ms",
+                    "serve.worker_utilization",
+                ):
+                    assert name in metrics, name
+                assert metrics["serve.requests"]["value"] >= 2
+                assert "containment" in second["cache"]
+
+        asyncio.run(run())
+
+
+class TestOrderingAndIsolation:
+    def test_mixed_frames_answered_in_input_order(self):
+        async def run():
+            async with running_server() as (server, port):
+                responses = await roundtrip(
+                    port,
+                    [
+                        HOLDS_FRAME,
+                        "definitely not json",
+                        REFUTED_FRAME,
+                        '{"left": "rpq:((", "right": "rpq:a"}',
+                    ],
+                )
+                assert [r["index"] for r in responses] == [0, 1, 2, 3]
+                assert responses[0]["id"] == "p1"
+                assert responses[0]["verdict"] == "holds"
+                assert responses[0]["holds"] is True
+                # Malformed frames: isolated error, id null (batch rule).
+                assert responses[1]["id"] is None
+                assert responses[1]["verdict"] == "error"
+                assert responses[1]["error"]["type"]
+                assert responses[2]["id"] == "p2"
+                assert responses[2]["verdict"] == "refuted"
+                assert responses[3]["verdict"] == "error"
+
+        asyncio.run(run())
+
+    def test_concurrent_connections_each_keep_their_order(self):
+        async def run():
+            async with running_server(workers=4) as (server, port):
+                batches = await asyncio.gather(
+                    *(
+                        roundtrip(port, [HOLDS_FRAME, REFUTED_FRAME])
+                        for _ in range(4)
+                    )
+                )
+                for responses in batches:
+                    assert [r["verdict"] for r in responses] == [
+                        "holds",
+                        "refuted",
+                    ]
+
+        asyncio.run(run())
+
+
+class TestLoadShedding:
+    def test_queue_full_sheds_with_admission_details(self, monkeypatch):
+        gate = threading.Event()
+        monkeypatch.setattr(
+            "repro.core.batch.check_containment", blocking_check(gate)
+        )
+
+        async def run():
+            async with running_server(workers=1, queue_limit=1) as (server, port):
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(
+                    ("".join([HOLDS_FRAME + "\n"] * 3)).encode()
+                )
+                await writer.drain()
+                writer.write_eof()
+                # The first frame holds the only admission slot on a
+                # blocked worker; the next two must shed at the door.
+                for _ in range(500):
+                    if server._admission.shed_total >= 2:
+                        break
+                    await asyncio.sleep(0.01)
+                gate.set()
+                responses = []
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    responses.append(json.loads(line))
+                writer.close()
+                assert len(responses) == 3
+                assert responses[0]["verdict"] == "holds"
+                for shed in responses[1:]:
+                    assert shed["verdict"] == "inconclusive"
+                    assert shed["method"] == "serve-admission"
+                    assert shed["admission"]["shed"] == "queue_full"
+                    assert shed["admission"]["queue_limit"] == 1
+                    assert "queued_ms" in shed["admission"]["spend"]
+                    assert shed["budget"]["exhausted"] == "admission:queue_full"
+
+        asyncio.run(run())
+
+    def test_start_deadline_sheds_queued_request(self, monkeypatch):
+        gate = threading.Event()
+        monkeypatch.setattr(
+            "repro.core.batch.check_containment", blocking_check(gate)
+        )
+
+        async def run():
+            async with running_server(workers=1, queue_limit=8) as (server, port):
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                deadline_frame = json.dumps(
+                    {
+                        "id": "late",
+                        "left": "rpq:a a",
+                        "right": "rpq:a+",
+                        "deadline_ms": 50,
+                    }
+                )
+                writer.write((HOLDS_FRAME + "\n" + deadline_frame + "\n").encode())
+                await writer.drain()
+                writer.write_eof()
+                # Both admitted; the second sits queued past its 50 ms
+                # start deadline while the only worker is parked.
+                for _ in range(500):
+                    if server._admission.pending >= 2:
+                        break
+                    await asyncio.sleep(0.01)
+                await asyncio.sleep(0.1)
+                gate.set()
+                responses = []
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    responses.append(json.loads(line))
+                writer.close()
+                assert [r["id"] for r in responses] == ["p1", "late"]
+                assert responses[0]["verdict"] == "holds"
+                late = responses[1]
+                assert late["verdict"] == "inconclusive"
+                assert late["method"] == "serve-admission"
+                assert late["admission"]["shed"] == "deadline"
+                assert late["admission"]["deadline_ms"] == 50
+                assert late["admission"]["spend"]["queued_ms"] >= 50
+
+        asyncio.run(run())
+
+
+class TestDrain:
+    def test_drain_sheds_new_frames_but_answers_them(self):
+        async def run():
+            async with running_server() as (server, port):
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write((HOLDS_FRAME + "\n").encode())
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                assert first["verdict"] == "holds"
+                server.initiate_drain()
+                writer.write((REFUTED_FRAME + "\n").encode())
+                writer.write(('{"op": "health"}' + "\n").encode())
+                await writer.drain()
+                writer.write_eof()
+                shed = json.loads(await reader.readline())
+                assert shed["verdict"] == "inconclusive"
+                assert shed["admission"]["shed"] == "draining"
+                health = json.loads(await reader.readline())
+                assert health["status"] == "draining"
+                assert await reader.readline() == b""
+                writer.close()
+                # New connections are refused once the listener closed.
+                with pytest.raises(OSError):
+                    await asyncio.open_connection("127.0.0.1", port)
+
+        asyncio.run(run())
+
+
+class TestPipeMode:
+    def test_pipe_mode_answers_workload_on_stdout(self):
+        stdin = io.BytesIO(
+            (HOLDS_FRAME + "\n" + "garbage\n" + REFUTED_FRAME + "\n").encode()
+        )
+        stdout = io.BytesIO()
+
+        async def run():
+            server = ContainmentServer(ServeConfig(workers=2))
+            await server.serve_pipe(stdin=stdin, stdout=stdout)
+
+        asyncio.run(run())
+        lines = stdout.getvalue().decode().splitlines()
+        responses = [json.loads(line) for line in lines]
+        assert [r["index"] for r in responses] == [0, 1, 2]
+        assert responses[0]["verdict"] == "holds"
+        assert responses[1]["verdict"] == "error"
+        assert responses[2]["verdict"] == "refuted"

@@ -1,0 +1,201 @@
+"""Concurrency soak tests: real clients against a live server process.
+
+The smoke variants run in CI (``-m "not slow"``, a few seconds total);
+the ``slow``-marked soak scales the same scenario up.  Invariants under
+load (the ISSUE acceptance criteria):
+
+- every client's verdicts agree with :func:`sequential_baseline` run
+  in-process over the same workload — concurrency never changes
+  answers;
+- zero connection resets — overload degrades via shed responses, never
+  via dropped sockets;
+- SIGTERM mid-burst drains gracefully: every frame the clients managed
+  to send is answered (or shed with ``details['admission']``), and the
+  server exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.batch import sequential_baseline
+from repro.serve import protocol
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+WORKLOAD = REPO / "benchmarks" / "workloads" / "batch_smoke.ndjson"
+
+
+def start_server(*extra_args: str) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro serve`` on a free port; return (process, port)."""
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    assert process.stderr is not None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if line.startswith("# serving on "):
+            return process, int(line.split()[3].rsplit(":", 1)[1])
+        if not line and process.poll() is not None:
+            break
+    process.kill()
+    raise RuntimeError("server never announced its port")
+
+
+def stop_server(process: subprocess.Popen) -> int:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+    if process.stderr is not None:
+        process.stderr.close()
+    return process.returncode
+
+
+class Client(threading.Thread):
+    """One soak client: replay a workload, collect every response line."""
+
+    def __init__(self, port: int, lines: list[str]):
+        super().__init__(daemon=True)
+        self.port = port
+        self.lines = lines
+        self.responses: list[dict] = []
+        self.reset: Exception | None = None
+
+    def run(self) -> None:
+        try:
+            with socket.create_connection(("127.0.0.1", self.port), 10) as sock:
+                sock.settimeout(60)
+                sock.sendall(
+                    "".join(line + "\n" for line in self.lines).encode()
+                )
+                sock.shutdown(socket.SHUT_WR)
+                with sock.makefile("r", encoding="utf-8") as stream:
+                    for line in stream:
+                        self.responses.append(json.loads(line))
+        except OSError as exc:  # connection reset / refused / timeout
+            self.reset = exc
+
+
+def run_soak(clients: int, repetitions: int) -> None:
+    """The soak scenario shared by the smoke and slow variants."""
+    workload_text = WORKLOAD.read_text()
+    lines = [
+        line for line in workload_text.splitlines() if line.strip()
+    ] * repetitions
+    parsed = protocol.parse_workload(workload_text)
+    assert not parsed.failures
+    oracle = sequential_baseline(
+        [(request.left, request.right) for request in parsed.requests]
+    )
+    expected = [result.verdict.value for result in oracle] * repetitions
+
+    process, port = start_server("--workers", "4", "--queue-limit", "512")
+    try:
+        fleet = [Client(port, lines) for _ in range(clients)]
+        for client in fleet:
+            client.start()
+        for client in fleet:
+            client.join(timeout=120)
+            assert not client.is_alive(), "client hung"
+        for client in fleet:
+            assert client.reset is None, f"connection reset: {client.reset}"
+            assert len(client.responses) == len(lines)
+            # Responses come back in input order with verdicts agreeing
+            # with the sequential oracle — and with capacity for the
+            # whole fleet, nothing was shed.
+            assert [r["index"] for r in client.responses] == list(
+                range(len(lines))
+            )
+            assert [r["verdict"] for r in client.responses] == expected
+            assert all(
+                r["method"] != "serve-admission" for r in client.responses
+            )
+    finally:
+        assert stop_server(process) == 0
+
+
+def test_soak_smoke_four_concurrent_clients():
+    run_soak(clients=4, repetitions=1)
+
+
+@pytest.mark.slow
+def test_soak_eight_clients_replaying_three_times():
+    run_soak(clients=8, repetitions=3)
+
+
+def test_sigterm_mid_burst_answers_or_sheds_every_frame():
+    """Drain contract: SIGTERM mid-burst loses no accepted frame."""
+    lines = [
+        line for line in WORKLOAD.read_text().splitlines() if line.strip()
+    ]
+    process, port = start_server(
+        "--workers", "2", "--queue-limit", "64", "--drain-grace-ms", "10000"
+    )
+    responses: list[dict] = []
+    sent = 0
+    with socket.create_connection(("127.0.0.1", port), 10) as sock:
+        sock.settimeout(60)
+        stream_in = sock.makefile("rb")
+        # Health round-trip first: proves the server *accepted* this
+        # connection (a connection still in the kernel backlog when
+        # SIGTERM closes the listener was never accepted work).
+        sock.sendall(b'{"op": "health"}\n')
+        sent += 1
+        responses.append(json.loads(stream_in.readline()))
+        assert responses[0]["status"] == "ok"
+        # First half of the burst, then SIGTERM, then the rest: the
+        # post-signal frames must still be answered (likely shed).
+        for line in lines[:10]:
+            sock.sendall((line + "\n").encode())
+            sent += 1
+        process.send_signal(signal.SIGTERM)
+        for line in lines[10:]:
+            sock.sendall((line + "\n").encode())
+            sent += 1
+        sock.shutdown(socket.SHUT_WR)
+        for line in stream_in:
+            responses.append(json.loads(line))
+        stream_in.close()
+    # The mid-burst SIGTERM already initiated drain — the process must
+    # now exit 0 on its own, without another signal.
+    try:
+        assert process.wait(timeout=30) == 0
+    finally:
+        stop_server(process)
+    assert len(responses) == sent, "a frame went unanswered across drain"
+    assert [r["index"] for r in responses] == list(range(sent))
+    for response in responses[1:]:
+        if response["method"] == "serve-admission":
+            assert response["admission"]["shed"] in ("draining", "queue_full")
+            assert "spend" in response["admission"]
+        else:
+            assert response["verdict"] in ("holds", "refuted")
+
+
+def test_slow_marker_is_registered():
+    """The CI smoke filter (-m 'not slow') must never warn-and-run-all."""
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "--markers"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert "slow" in result.stdout
