@@ -40,11 +40,15 @@ from .rpq.rpq import RPQ, TwoRPQ
 
 
 def parse_query(argument: str) -> Any:
-    """Parse a ``kind:spec`` query argument (wire grammar; exits on error)."""
+    """Parse a ``kind:spec`` query argument (wire grammar; exits on error).
+
+    CLI arguments are operator-supplied, so ``@`` file specs are
+    allowed here — the server rejects them on the wire.
+    """
     from .serve.protocol import ProtocolError, parse_query_spec
 
     try:
-        return parse_query_spec(argument)
+        return parse_query_spec(argument, allow_files=True)
     except ProtocolError as error:
         raise SystemExit(str(error)) from None
 

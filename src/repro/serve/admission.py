@@ -22,8 +22,9 @@ reasons:
 
 The controller itself is deliberately small: an admitted-but-unfinished
 counter against a capacity, mutated only from the event-loop thread
-(admit on dispatch, release when the response future resolves), so it
-needs no lock.  The shed verdicts reuse the engine's honest-accounting
+(admit on dispatch, release when the response future resolves, deadline
+sheds recorded via :meth:`AdmissionController.record_shed` at the same
+point), so it needs no lock.  The shed verdicts reuse the engine's honest-accounting
 shape — ``details["budget"]`` records ``admission:<reason>`` as the
 exhausted resource alongside the admission block — so downstream
 tooling that reads batch results reads shed responses unchanged.
@@ -105,6 +106,17 @@ class AdmissionController:
         if self.pending <= 0:
             raise RuntimeError("release() without a matching admission")
         self.pending -= 1
+
+    def record_shed(self) -> None:
+        """Count a shed decided outside :meth:`try_admit`.
+
+        Dequeue-deadline sheds are detected on a worker thread but
+        *recorded* here, from the event loop when the response future
+        resolves — keeping every mutation single-threaded and the
+        ``shed_total`` surfaced by the health verb consistent with the
+        ``serve.shed`` metrics.
+        """
+        self.shed_total += 1
 
     def effective_deadline_ms(self, requested: float | None) -> float | None:
         """The deadline a request runs under: its own, or the default.

@@ -14,9 +14,13 @@ Request frames::
     {"op": "metrics"}
 
 - ``left`` / ``right`` use the ``kind:spec`` query syntax (kinds
-  ``rpq``, ``rq``, ``datalog``; a spec starting with ``@`` reads the
-  named file).  ``id`` is optional and echoed back verbatim (the frame
-  index is the fallback identity).
+  ``rpq``, ``rq``, ``datalog``).  A spec starting with ``@`` reads the
+  named file, but **only** where the spec is operator-supplied — CLI
+  arguments and workload files (``allow_files=True``).  Frames the
+  server parses off a connection always reject ``@`` specs with a
+  :class:`ProtocolError`: a remote peer must never be able to make the
+  server read its own filesystem.  ``id`` is optional and echoed back
+  verbatim (the frame index is the fallback identity).
 - ``deadline_ms`` is the per-request wall-clock deadline the server
   inherits into the check's :class:`repro.budget.Budget` (it can only
   *tighten* the server default, never extend it).
@@ -74,19 +78,30 @@ class ProtocolError(ValueError):
     """A malformed wire frame or workload line (isolated, never fatal)."""
 
 
-def parse_query_spec(argument: str) -> Any:
+def parse_query_spec(argument: str, *, allow_files: bool = False) -> Any:
     """Parse a ``kind:spec`` query argument (kinds: rpq, rq, datalog).
 
-    A spec starting with ``@`` reads the named file.  Structural
-    problems (missing/unknown kind) raise :class:`ProtocolError`;
-    query-syntax errors propagate as the underlying parser's exception
-    so error responses report the real type.
+    A spec starting with ``@`` reads the named file — but only when
+    *allow_files* is set, i.e. when the spec is operator-supplied (a
+    CLI argument or a workload-file line).  The secure-by-default
+    ``False`` is what the server uses for frames off a connection, so
+    no remote peer can direct the process at its own filesystem.
+
+    Structural problems (missing/unknown kind, a rejected ``@`` spec)
+    raise :class:`ProtocolError`; query-syntax errors propagate as the
+    underlying parser's exception so error responses report the real
+    type.
     """
     kind, _, spec = argument.partition(":")
     if not spec:
         raise ProtocolError(
             f"query {argument!r} must look like kind:spec "
             "(kinds: rpq, rq, datalog)"
+        )
+    if spec.startswith("@") and not allow_files:
+        raise ProtocolError(
+            "file specs (@path) are only accepted from the CLI and "
+            "workload files, not over the wire"
         )
     text = pathlib.Path(spec[1:]).read_text() if spec.startswith("@") else spec
     if kind == "rpq":
@@ -129,8 +144,14 @@ class ControlRequest:
     verb: str
 
 
-def parse_frame(line: str, index: int = 0) -> ContainRequest | ControlRequest:
+def parse_frame(
+    line: str, index: int = 0, *, allow_files: bool = False
+) -> ContainRequest | ControlRequest:
     """Parse one NDJSON frame into a request object.
+
+    *allow_files* gates ``@`` file specs exactly as in
+    :func:`parse_query_spec`: leave it ``False`` (the default) for
+    frames read off a connection.
 
     Raises :class:`ProtocolError` for structural problems and lets
     query-parser exceptions propagate; callers isolate both as error
@@ -180,8 +201,8 @@ def parse_frame(line: str, index: int = 0) -> ContainRequest | ControlRequest:
     return ContainRequest(
         index=index,
         id=identifier,
-        left=parse_query_spec(record["left"]),
-        right=parse_query_spec(record["right"]),
+        left=parse_query_spec(record["left"], allow_files=allow_files),
+        right=parse_query_spec(record["right"], allow_files=allow_files),
         deadline_ms=deadline_ms,
         options=options,
     )
@@ -206,20 +227,22 @@ class WorkloadParse:
     count: int
 
 
-def parse_workload(text: str) -> WorkloadParse:
+def parse_workload(text: str, *, allow_files: bool = True) -> WorkloadParse:
     """Parse a whole NDJSON workload, isolating malformed lines.
 
     The shared parsing path of ``repro batch`` and the soak clients: a
     bad line becomes an ERROR :class:`BatchItem` keyed by its line
     position (blank lines skipped), never an abort; control verbs are
     rejected per line (a workload is containment requests only).
+    Workload files are operator-supplied, so ``@`` file specs default
+    to allowed here (unlike wire frames; see :func:`parse_query_spec`).
     """
     requests: list[ContainRequest] = []
     failures: dict[int, BatchItem] = {}
     lines = [line for line in text.splitlines() if line.strip()]
     for line_no, line in enumerate(lines):
         try:
-            frame = parse_frame(line, line_no)
+            frame = parse_frame(line, line_no, allow_files=allow_files)
             if isinstance(frame, ControlRequest):
                 raise ProtocolError(
                     f"control verb {frame.verb!r} is not a workload line"

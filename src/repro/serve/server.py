@@ -247,17 +247,23 @@ class ContainmentServer:
         return protocol.response_payload(identifier, item, index=frame_index)
 
     def _dispatch(self, line: str, index: int) -> Any:
-        """Turn one input frame into a payload dict or a coroutine.
+        """Turn one input frame into a payload dict, coroutine, or task.
 
         Synchronous outcomes (protocol errors, control verbs, admission
         sheds) return the payload immediately; admitted containment
-        requests return a coroutine resolving to the payload once the
-        worker pool answers.  Either way the frame is *answered* — this
-        function never raises.
+        requests return the :meth:`_finish` *task* resolving to the
+        payload once the worker pool answers — a task, not a bare
+        coroutine, so the admission slot is released (and latency
+        observed) the moment the check completes, independent of when
+        the in-order writer gets to it or whether the peer is still
+        reading.  Either way the frame is *answered* — this function
+        never raises.
         """
         _REQUESTS.inc()
         try:
-            frame = protocol.parse_frame(line, index)
+            # allow_files stays False: '@' file specs are CLI/workload
+            # conveniences, never readable by a remote peer.
+            frame = protocol.parse_frame(line, index, allow_files=False)
         except Exception as exc:
             _PROTOCOL_ERRORS.inc()
             _RESPONSES.inc()
@@ -299,15 +305,24 @@ class ContainmentServer:
         budget: Budget | None = self._base_budget
         if frame.deadline_ms is not None:
             budget = (budget or Budget()).tightened(frame.deadline_ms)
+        # Snapshot the queue depth on the event loop now: the expired
+        # callback runs on a worker thread, and the controller's state
+        # is event-loop-only by contract.
+        depth_at_submit = self._admission.pending
 
-        def expired(late_ms: float, _deadline_ms=deadline_ms, _kernel=kernel):
+        def expired(
+            late_ms: float,
+            _deadline_ms=deadline_ms,
+            _kernel=kernel,
+            _depth=depth_at_submit,
+        ):
             # Runs on a worker thread at dequeue: the request's start
             # deadline passed while it sat in the queue, so it is shed,
             # not run.  Only builds the result object — metrics are
             # counted back on the event loop in _finish.
             return shed_result(
                 "deadline",
-                queue_depth=self._admission.pending,
+                queue_depth=_depth,
                 queue_limit=self.config.queue_limit,
                 waited_ms=(_deadline_ms or 0.0) + late_ms,
                 deadline_ms=_deadline_ms,
@@ -323,7 +338,7 @@ class ContainmentServer:
             expired_result=expired,
             options=dict(frame.options) or None,
         )
-        return self._finish(frame, future, admitted_at)
+        return asyncio.ensure_future(self._finish(frame, future, admitted_at))
 
     async def _finish(
         self,
@@ -331,7 +346,13 @@ class ContainmentServer:
         future: Any,
         admitted_at: float,
     ) -> dict[str, Any]:
-        """Await one admitted request's worker future; account for it."""
+        """Await one admitted request's worker future; account for it.
+
+        Runs as its own task from the moment of dispatch (not when the
+        in-order writer reaches it), so the admission slot is always
+        released at completion — even if the peer disconnects and the
+        writer dies with responses still queued.
+        """
         try:
             item: BatchItem = await asyncio.wrap_future(future)
         finally:
@@ -343,6 +364,10 @@ class ContainmentServer:
         _RESPONSES.inc()
         self._frames_answered += 1
         if item.result.method == "serve-admission":
+            # A dequeue-deadline shed: counted here, on the event loop,
+            # both on the serve.* instruments and on the controller so
+            # health/drain totals agree with the metrics registry.
+            self._admission.record_shed()
             _SHED.inc()
             _SHED_BY["deadline"].inc()
         self._busy_ms += item.wall_ms
@@ -416,13 +441,24 @@ class ContainmentServer:
     async def _write_responses(
         self, queue: "asyncio.Queue[Any]", writer: Any
     ) -> None:
-        """Flush response payloads in input order (one writer per peer)."""
+        """Flush response payloads in input order (one writer per peer).
+
+        Entries are payload dicts (synchronous outcomes), control-verb
+        coroutines (evaluated here so they observe the state after every
+        prior response), or :meth:`_finish` tasks (already running; the
+        await only collects the payload — completion accounting does not
+        wait for this writer).
+        """
         while True:
             entry = await queue.get()
             if entry is None:
                 return
             try:
-                payload = await entry if asyncio.iscoroutine(entry) else entry
+                payload = (
+                    await entry
+                    if asyncio.iscoroutine(entry) or asyncio.isfuture(entry)
+                    else entry
+                )
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
@@ -454,12 +490,32 @@ class ContainmentServer:
                     continue
                 await responses.put(self._dispatch(text, index))
                 index += 1
+        except OSError:
+            # The peer vanished (connection reset/aborted mid-read).  A
+            # dead transport is a normal way for a connection to end,
+            # not a server error to propagate — the finally still runs
+            # every accepted frame's accounting.
+            pass
         finally:
             # Always flush what was accepted, even on a reader error:
             # the sentinel lands after every queued response.
             await responses.put(None)
             with contextlib.suppress(Exception):
                 await writer_task
+            # If the writer died early (peer disconnected mid-write),
+            # entries are still queued.  Await each leftover so every
+            # _finish task completes its accounting (slot release,
+            # metrics) and no control coroutine is left un-awaited —
+            # the payloads themselves have nowhere to go and are
+            # discarded.
+            while True:
+                try:
+                    entry = responses.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if asyncio.iscoroutine(entry) or asyncio.isfuture(entry):
+                    with contextlib.suppress(Exception):
+                        await entry
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()

@@ -207,3 +207,38 @@ class TestSharedWithBatch:
             protocol.parse_query_spec("rpq")  # no spec at all
         with pytest.raises(protocol.ProtocolError):
             protocol.parse_query_spec("klingon:a b")
+
+
+class TestFileSpecGating:
+    """``@`` file specs are a local convenience, rejected on the wire."""
+
+    def test_wire_frames_reject_file_specs(self, tmp_path):
+        secret = tmp_path / "secret.txt"
+        secret.write_text("should never be read")
+        frame = json.dumps({"left": f"rpq:@{secret}", "right": "rpq:a+"})
+        with pytest.raises(protocol.ProtocolError, match="file specs"):
+            protocol.parse_frame(frame, 0)
+        with pytest.raises(protocol.ProtocolError, match="file specs"):
+            protocol.parse_query_spec(f"rpq:@{secret}")
+        # The gate fires before any filesystem access: a nonexistent
+        # path raises the same ProtocolError, not FileNotFoundError.
+        with pytest.raises(protocol.ProtocolError, match="file specs"):
+            protocol.parse_query_spec("rpq:@/no/such/file")
+
+    def test_operator_supplied_specs_may_read_files(self, tmp_path):
+        query = tmp_path / "q.rpq"
+        query.write_text("a a")
+        parsed = protocol.parse_query_spec(f"rpq:@{query}", allow_files=True)
+        assert parsed is not None
+        line = json.dumps({"left": f"rpq:@{query}", "right": "rpq:a+"})
+        workload = protocol.parse_workload(line + "\n")  # files on by default
+        assert not workload.failures
+        assert len(workload.requests) == 1
+
+    def test_workload_parsing_can_disallow_files(self, tmp_path):
+        query = tmp_path / "q.rpq"
+        query.write_text("a a")
+        line = json.dumps({"left": f"rpq:@{query}", "right": "rpq:a+"})
+        workload = protocol.parse_workload(line + "\n", allow_files=False)
+        assert not workload.requests
+        assert 0 in workload.failures  # isolated, not an abort

@@ -136,6 +136,24 @@ class TestOrderingAndIsolation:
 
         asyncio.run(run())
 
+    def test_file_specs_rejected_on_the_wire(self, tmp_path):
+        secret = tmp_path / "secret.txt"
+        secret.write_text("top secret contents")
+
+        async def run():
+            async with running_server() as (server, port):
+                frame = json.dumps(
+                    {"id": "f", "left": f"rpq:@{secret}", "right": "rpq:a+"}
+                )
+                [resp] = await roundtrip(port, [frame])
+                # An isolated error response — and nothing of the file
+                # leaks back over the connection.
+                assert resp["verdict"] == "error"
+                assert resp["error"]["type"] == "ProtocolError"
+                assert "top secret contents" not in json.dumps(resp)
+
+        asyncio.run(run())
+
     def test_concurrent_connections_each_keep_their_order(self):
         async def run():
             async with running_server(workers=4) as (server, port):
@@ -238,6 +256,75 @@ class TestLoadShedding:
                 assert late["admission"]["shed"] == "deadline"
                 assert late["admission"]["deadline_ms"] == 50
                 assert late["admission"]["spend"]["queued_ms"] >= 50
+                # Deadline sheds count on the controller too, so the
+                # health verb agrees with the serve.shed metrics.
+                assert server._admission.shed_total == 1
+
+        asyncio.run(run())
+
+
+class TestWriterFailure:
+    """A peer that stops reading must never wedge admission."""
+
+    def test_dead_writer_releases_every_admission_slot(self):
+        class FailingStdout:
+            """A peer that vanished: every write is a reset."""
+
+            def write(self, data):
+                raise ConnectionResetError("peer went away")
+
+            def flush(self):
+                pass
+
+        frames = (HOLDS_FRAME + "\n") * 3 + REFUTED_FRAME + "\n"
+        stdin = io.BytesIO(frames.encode())
+        server = ContainmentServer(ServeConfig(workers=2, queue_limit=8))
+
+        async def run():
+            await server.serve_pipe(stdin=stdin, stdout=FailingStdout())
+
+        asyncio.run(run())
+        # All four frames were admitted; although no response could be
+        # written, every _finish task still ran: slots released, frames
+        # accounted.  A leak here would wedge a shared server once
+        # pending hit queue_limit.
+        assert server._admission.admitted_total == 4
+        assert server._admission.pending == 0
+        assert server._frames_answered == 4
+
+    def test_peer_reset_ends_connection_cleanly(self):
+        import socket as socket_module
+        import struct
+
+        async def run():
+            async with running_server(workers=2) as (server, port):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write((HOLDS_FRAME + "\n").encode())
+                await writer.drain()
+                for _ in range(500):
+                    if server._connections:
+                        break
+                    await asyncio.sleep(0.01)
+                [conn_task] = server._connections
+                # SO_LINGER(1, 0) turns close() into a hard RST: the
+                # server's next read raises ConnectionResetError.
+                sock = writer.get_extra_info("socket")
+                sock.setsockopt(
+                    socket_module.SOL_SOCKET,
+                    socket_module.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                writer.close()
+                await asyncio.wait_for(
+                    asyncio.wait({conn_task}), timeout=10
+                )
+                # A vanished peer is a normal connection end: no
+                # exception escapes the handler task, and the admitted
+                # frame's slot was still released.
+                assert conn_task.exception() is None
+                assert server._admission.pending == 0
 
         asyncio.run(run())
 
