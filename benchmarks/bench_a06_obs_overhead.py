@@ -11,6 +11,9 @@ counters on the hot path.  This experiment measures what that costs:
    bound is judged against; pre-change numbers are in EXPERIMENTS.md.
 2. **Engine path** (``check_containment``): cold (caching off) and
    warm (cache hit) checks, trace off vs on.
+3. **Serving telemetry** (``Telemetry.observe``): the per-frame
+   accounting the server adds around every check — record build +
+   flight-recorder ring write, sampling disabled, no access log.
 
 Traced and untraced runs must produce identical answers — tracing is
 observation, never behavior.
@@ -23,6 +26,7 @@ from repro.automata.dfa import containment_counterexample
 from repro.cache import clear_caches, use_caching
 from repro.core.engine import check_containment
 from repro.automata.regex import random_regex
+from repro.obs.telemetry import Telemetry, TelemetryConfig, access_record
 from repro.obs.trace import Tracer
 from repro.rpq.rpq import RPQ
 
@@ -150,3 +154,59 @@ def test_a6_engine_trace_overhead(benchmark, report, once_benchmark):
         note="trace-off warm hits add two counter increments over the "
         "pre-change path; traces are never cached",
     )
+
+
+def test_a6_serving_telemetry_overhead(benchmark, report, once_benchmark):
+    """check loop bare vs with per-frame ``Telemetry.observe``."""
+    pairs = _pairs(count=4, depth=6, seed=29)
+    telemetry = Telemetry(TelemetryConfig(sample_rate=0.0, access_log=None))
+
+    def bare():
+        for q1, q2 in pairs:
+            check_containment(q1, q2)
+
+    def observed():
+        for index, (q1, q2) in enumerate(pairs):
+            telemetry.sample()
+            start = time.perf_counter()
+            item = check_containment(q1, q2)
+            exec_ms = (time.perf_counter() - start) * 1000
+            telemetry.observe(
+                access_record(
+                    request_id=f"bench-{index:06d}",
+                    op="contain",
+                    index=index,
+                    exec_ms=exec_ms,
+                    total_ms=exec_ms,
+                )
+            )
+
+    def run():
+        clear_caches()
+        for q1, q2 in pairs:  # warm the result cache for both arms
+            check_containment(q1, q2)
+        bare(), observed()  # warm-up passes
+        off = _best_of(5, bare)
+        on = _best_of(5, observed)
+        ratio = on / off
+        return [[
+            len(pairs),
+            f"{off:.3f}",
+            f"{on:.3f}",
+            f"{(ratio - 1) * 100:+.1f}%",
+        ]], ratio
+
+    rows, ratio = once_benchmark(benchmark, run)
+    report(
+        "A6",
+        "serving telemetry ablation (warm checks, sampling off, no "
+        "access log)",
+        ["pairs", "ms bare", "ms observed", "telemetry overhead"],
+        rows,
+        note="observed arm pays record build + flight-ring append per "
+        "frame; the access log and live tracing stay pay-for-use",
+    )
+    # Warm cache hits are microseconds, so the relative bar is loose:
+    # the accounting must stay the same order of magnitude as the
+    # check itself on shared CI hardware.
+    assert ratio < 10

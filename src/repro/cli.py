@@ -267,12 +267,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_grace_ms=args.drain_grace_ms,
         kernel=args.kernel,
         max_expansions=args.max_expansions,
+        access_log=args.access_log,
+        slow_ms=args.slow_ms,
+        trace_sample_rate=args.trace_sample_rate,
+        flight_recorder_size=args.flight_recorder_size,
+        flight_dump=args.flight_dump,
+        prom_port=args.prom_port,
     )
     server = ContainmentServer(config)
     if args.pipe:
         asyncio.run(server.serve_pipe())
     else:
         asyncio.run(server.serve_tcp())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.metrics import metrics_snapshot
+    from .obs.promtext import render_prometheus
+    from .serve.monitor import fetch_metrics, parse_addr
+
+    if args.addr is not None:
+        host, port = parse_addr(args.addr)
+        try:
+            payload = fetch_metrics(host, port, timeout=args.timeout)
+        except OSError as error:
+            raise SystemExit(f"cannot reach {host}:{port}: {error}") from None
+        snapshot = payload.get("metrics", {})
+    else:
+        snapshot = metrics_snapshot()
+    if args.prom:
+        sys.stdout.write(render_prometheus(snapshot))
+    else:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .serve.monitor import fetch_metrics, parse_addr, render_top
+
+    host, port = parse_addr(args.addr)
+    try:
+        previous = fetch_metrics(host, port, timeout=args.timeout)
+    except OSError as error:
+        raise SystemExit(f"cannot reach {host}:{port}: {error}") from None
+    for _ in range(args.count):
+        _time.sleep(args.interval)
+        try:
+            current = fetch_metrics(host, port, timeout=args.timeout)
+        except OSError as error:
+            print(f"# lost {host}:{port}: {error}", file=sys.stderr)
+            return 1
+        print(render_top(previous, current, addr=f"{host}:{port}"), flush=True)
+        previous = current
     return 0
 
 
@@ -545,7 +596,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-expansions", type=int, default=None,
         help="default budget for expansion-based procedures",
     )
+    serve_p.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one NDJSON access record per served frame to PATH "
+        "(written off the event loop; full-queue records are dropped "
+        "and counted, never block serving)",
+    )
+    serve_p.add_argument(
+        "--slow-ms", type=float, default=250.0,
+        help="flight-recorder slow threshold: requests at or above it "
+        "retain their span trees for the debug verb (default 250)",
+    )
+    serve_p.add_argument(
+        "--trace-sample-rate", type=float, default=0.0,
+        help="fraction of containment requests traced live ([0, 1]; "
+        "deterministic 1-in-round(1/rate) stride; default 0 = off); "
+        "sampled traces feed the hotspot profile of the metrics verb",
+    )
+    serve_p.add_argument(
+        "--flight-recorder-size", type=int, default=256,
+        help="ring-buffer capacity of the flight recorder (default 256)",
+    )
+    serve_p.add_argument(
+        "--flight-dump", default=None, metavar="PATH",
+        help="dump the flight recorder as JSON to PATH on drain/SIGTERM",
+    )
+    serve_p.add_argument(
+        "--prom-port", type=int, default=None,
+        help="also listen on this TCP port, answering every HTTP request "
+        "with the Prometheus text exposition of the metrics registry "
+        "(0 picks a free port, announced on stderr)",
+    )
     serve_p.set_defaults(func=_cmd_serve)
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="dump the metrics registry (local process, or a live "
+        "server's via --addr) as JSON or Prometheus text",
+    )
+    metrics_p.add_argument(
+        "--addr", default=None, metavar="HOST:PORT",
+        help="fetch the snapshot from a live server's metrics verb "
+        "instead of the local (empty) registry",
+    )
+    metrics_p.add_argument(
+        "--prom", action="store_true",
+        help="render the Prometheus text exposition instead of JSON",
+    )
+    metrics_p.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="connect/read timeout in seconds (default 5)",
+    )
+    metrics_p.set_defaults(func=_cmd_metrics)
+
+    top_p = sub.add_parser(
+        "top",
+        help="poll a live server's metrics verb and print request/shed "
+        "rates, latency quantiles, and queue depth per interval",
+    )
+    top_p.add_argument("addr", help="server address as HOST:PORT")
+    top_p.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    top_p.add_argument(
+        "--count", type=int, default=1000000,
+        help="number of refreshes before exiting (default: practically "
+        "forever; use a small count for scripting)",
+    )
+    top_p.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="connect/read timeout in seconds (default 5)",
+    )
+    top_p.set_defaults(func=_cmd_top)
 
     bench_p = sub.add_parser(
         "bench",

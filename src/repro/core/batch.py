@@ -111,12 +111,15 @@ class BatchItem:
             (0.0 for items the pool deadline degraded before starting).
         worker: label of the worker that ran the item (thread name or
             ``pid:<n>``), or ``None`` for degraded items.
+        request_id: request-scoped telemetry identity (the serving
+            layer assigns or propagates one; plain batches leave None).
     """
 
     index: int
     result: ContainmentResult
     wall_ms: float
     worker: str | None
+    request_id: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready summary — the NDJSON result-line payload."""
@@ -129,6 +132,8 @@ class BatchItem:
             "wall_ms": round(self.wall_ms, 3),
             "worker": self.worker,
         }
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
         details = dict(self.result.details)
         if "error" in details:
             out["error"] = details["error"]
@@ -284,6 +289,7 @@ def _run_one_item(
     options: dict[str, Any],
     start_deadline: float | None = None,
     expired_result: Any = None,
+    request_id: str | None = None,
 ) -> BatchItem:
     """One worker-side check: isolate failures, label the worker.
 
@@ -309,7 +315,7 @@ def _run_one_item(
             result = _expired_start_result(
                 late_ms, start_deadline, kernel=options.get("kernel", "auto")
             )
-        return BatchItem(index, result, 0.0, None)
+        return BatchItem(index, result, 0.0, None, request_id)
     worker = f"pid:{os.getpid()}/{threading.current_thread().name}"
     try:
         if trace:
@@ -321,7 +327,7 @@ def _run_one_item(
     except Exception as exc:
         result = error_result(index, exc, kernel=options.get("kernel", "auto"))
     wall_ms = (time.monotonic() - start) * 1000.0
-    return BatchItem(index, result, wall_ms, worker)
+    return BatchItem(index, result, wall_ms, worker, request_id)
 
 
 def _validate_pool_args(
@@ -395,6 +401,7 @@ class ContainmentExecutor:
         trace: bool = False,
         start_deadline: float | None = None,
         expired_result: Any = None,
+        request_id: str | None = None,
         options: dict[str, Any] | None = None,
     ) -> "concurrent.futures.Future[BatchItem]":
         """Submit one pair; the future resolves to its :class:`BatchItem`.
@@ -402,7 +409,9 @@ class ContainmentExecutor:
         ``start_deadline`` / ``expired_result`` are the admission hook
         of :func:`_run_one_item` (thread backend only for a callable
         ``expired_result`` — the process backend would need it
-        picklable).  ``options`` overrides the executor's defaults for
+        picklable).  ``request_id`` is carried through verbatim onto
+        the resulting :class:`BatchItem` (including submit-time error
+        items) so the serving layer's telemetry can correlate it.  ``options`` overrides the executor's defaults for
         this submission only (same option universe, validated eagerly —
         wire-level validation is the caller's job, so a raise here is a
         caller bug, not an item failure).  A submit-time exception
@@ -424,6 +433,7 @@ class ContainmentExecutor:
                 merged,
                 start_deadline,
                 expired_result,
+                request_id,
             )
         except Exception as exc:  # e.g. unpicklable query, pool shut down
             future: concurrent.futures.Future[BatchItem] = (
@@ -437,6 +447,7 @@ class ContainmentExecutor:
                     ),
                     0.0,
                     None,
+                    request_id,
                 )
             )
             return future

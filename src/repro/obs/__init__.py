@@ -20,6 +20,15 @@ package makes them inspectable:
 - :mod:`repro.obs.perf` — the performance observatory: structured
   bench runs (``BENCH_<runid>.json``) and the run-over-run regression
   detector (exact series bit-for-bit, timing series MAD-gated).
+- :mod:`repro.obs.telemetry` — operational telemetry for the serving
+  layer: the request-scoped NDJSON access log (bounded, non-blocking
+  writer), the flight recorder (ring buffer with span-tree retention
+  for slow/shed/error requests), and deterministic trace sampling.
+- :mod:`repro.obs.promtext` — Prometheus text exposition of any
+  metrics snapshot (``repro serve --prom-port`` / ``repro metrics
+  --prom``).
+- :mod:`repro.obs.env` — the shared environment fingerprint reported
+  by bench runs and the serving layer's ``health`` verb.
 
 Entry points: ``check_containment(q1, q2, trace=True)`` returns the
 span tree in ``details["trace"]`` (CLI: ``contain --trace`` /
@@ -48,13 +57,24 @@ from .export import (
     trace_to_ndjson,
 )
 from .profile import SpanProfile, aggregate_traces, render_profile
+from .env import environment_fingerprint
 from .perf import (
     compare_runs,
-    environment_fingerprint,
     render_comparison,
     run_suite,
     validate_run,
     write_run,
+)
+from .promtext import http_exposition, render_prometheus
+from .telemetry import (
+    ACCESS_LOG_SCHEMA,
+    AccessLogWriter,
+    FlightRecorder,
+    Sampler,
+    Telemetry,
+    TelemetryConfig,
+    access_record,
+    validate_access_record,
 )
 
 __all__ = [
@@ -88,4 +108,14 @@ __all__ = [
     "run_suite",
     "validate_run",
     "write_run",
+    "http_exposition",
+    "render_prometheus",
+    "ACCESS_LOG_SCHEMA",
+    "AccessLogWriter",
+    "FlightRecorder",
+    "Sampler",
+    "Telemetry",
+    "TelemetryConfig",
+    "access_record",
+    "validate_access_record",
 ]

@@ -1,0 +1,41 @@
+"""The environment fingerprint: where a run (or a server) happened.
+
+One tiny module so every telemetry surface — bench run documents
+(:mod:`repro.obs.perf`), the serving layer's ``health`` verb, access
+logs — reports the *same* fingerprint instead of re-deriving its own
+variant: python version/implementation, platform, machine, and the
+short git commit (None outside a checkout).  Operators correlate a
+metrics dump with a code version by comparing these fields, so the
+shape must not drift between producers.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from typing import Any
+
+__all__ = ["environment_fingerprint"]
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Where this run happened: python / platform / commit."""
+    try:
+        commit = (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "commit": commit,
+    }

@@ -12,7 +12,9 @@ Three consumers, three shapes:
   assertions and spreadsheet-style diffing; sibling spans with the same
   name are disambiguated by position (``name#2``).
 - **tree text** (:func:`render_trace`): the ``--trace`` renderer —
-  box-drawing tree with per-span duration, tags, counters, and events.
+  box-drawing tree with per-span duration (plus self-time — duration
+  minus children, clamped at 0 — for spans with children), tags,
+  counters, and events.
 
 All trace exporters accept either a :class:`repro.obs.trace.Span` or
 the ``to_dict()`` form of one (which is what ``details["trace"]``
@@ -175,12 +177,29 @@ def _format_extras(node: dict[str, Any]) -> str:
     return f"  [{', '.join(parts)}]" if parts else ""
 
 
+def _self_ms(node: dict[str, Any]) -> float:
+    """Span time not covered by children (clamped at 0 — clock jitter
+    can make children sum past their parent)."""
+    duration = node.get("duration_ms", 0.0) or 0.0
+    children = sum(
+        child.get("duration_ms", 0.0) or 0.0
+        for child in node.get("children", ())
+    )
+    return max(0.0, duration - children)
+
+
 def _render_lines(
     node: dict[str, Any], indent: str, is_last: bool, is_root: bool
 ) -> Iterator[str]:
     connector = "" if is_root else ("└─ " if is_last else "├─ ")
     duration = node.get("duration_ms", 0.0)
-    yield f"{indent}{connector}{node['name']}  {duration:.2f} ms{_format_extras(node)}"
+    self_part = (
+        f" (self {_self_ms(node):.2f} ms)" if node.get("children") else ""
+    )
+    yield (
+        f"{indent}{connector}{node['name']}  {duration:.2f} ms"
+        f"{self_part}{_format_extras(node)}"
+    )
     child_indent = indent if is_root else indent + ("   " if is_last else "│  ")
     for event in node.get("events", ()):
         extras = {

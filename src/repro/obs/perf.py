@@ -39,13 +39,15 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import platform
 import statistics
-import subprocess
 import sys
 import time
 from typing import Any, Callable
 
+# Re-exported here for backwards compatibility: the fingerprint now
+# lives in repro.obs.env so the serving layer's health verb and the
+# bench harness report the identical shape.
+from .env import environment_fingerprint
 from .metrics import metrics_snapshot, reset_metrics
 from .profile import SpanProfile
 
@@ -659,29 +661,6 @@ def _exp_evaluation(suite: str) -> dict[str, Any]:
 
 
 # --- the run harness ------------------------------------------------------------
-
-
-def environment_fingerprint() -> dict[str, Any]:
-    """Where this run happened: python / platform / commit."""
-    try:
-        commit = (
-            subprocess.run(
-                ["git", "rev-parse", "--short", "HEAD"],
-                capture_output=True,
-                text=True,
-                timeout=5,
-            ).stdout.strip()
-            or None
-        )
-    except (OSError, subprocess.SubprocessError):
-        commit = None
-    return {
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "commit": commit,
-    }
 
 
 def _new_run_id() -> str:

@@ -1,0 +1,124 @@
+"""Prometheus text exposition of the metrics registry.
+
+Scrape-based monitoring wants the process's instruments in the
+Prometheus text format (`text/plain; version=0.0.4`): one `# TYPE`
+header per metric family, counters and gauges as single samples,
+histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+`_count`.  :class:`repro.obs.metrics.Histogram` already stores
+cumulative fixed-boundary buckets, so the mapping is direct — no
+re-binning, snapshots taken here aggregate across processes exactly as
+Prometheus expects.
+
+Two consumers:
+
+- ``repro serve --prom-port N`` exposes a minimal HTTP endpoint
+  answering every request with :func:`http_exposition` (the server
+  side lives in :mod:`repro.serve.server`; this module renders bytes);
+- ``repro metrics --prom`` renders a snapshot — the local registry's,
+  or one fetched from a live server's ``metrics`` verb.
+
+Metric names sanitize dots to underscores (``serve.latency_ms`` →
+``serve_latency_ms``); the original name is kept in a ``# HELP`` line
+so dashboards can map back.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+__all__ = [
+    "CONTENT_TYPE",
+    "metric_name",
+    "render_prometheus",
+    "http_exposition",
+]
+
+#: The exposition-format content type Prometheus scrapers expect.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """Sanitize an instrument name into a valid Prometheus metric name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _format_value(value: Any) -> str:
+    """Prometheus sample value: integers bare, floats with repr precision."""
+    if value is None:
+        return "0"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Mapping[str, Any]] | None = None,
+) -> str:
+    """Render a metrics snapshot in the Prometheus text format.
+
+    *snapshot* is the :func:`repro.obs.metrics.metrics_snapshot` shape
+    (``{name: {"type": ..., ...}}``); None snapshots the default
+    registry.  Families render name-sorted, so equal snapshots expose
+    byte-identical bodies.
+    """
+    if snapshot is None:
+        from .metrics import metrics_snapshot
+
+        snapshot = metrics_snapshot()
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        family = metric_name(name)
+        lines.append(f"# HELP {family} {name}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {family} {kind}")
+            lines.append(f"{family} {_format_value(data.get('value', 0))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {family} histogram")
+            buckets = data.get("buckets", {})
+            for upper, cumulative in buckets.items():
+                lines.append(
+                    f'{family}_bucket{{le="{upper}"}} '
+                    f"{_format_value(cumulative)}"
+                )
+            if "+Inf" not in buckets:
+                lines.append(
+                    f'{family}_bucket{{le="+Inf"}} '
+                    f"{_format_value(data.get('count', 0))}"
+                )
+            lines.append(f"{family}_sum {_format_value(data.get('sum', 0.0))}")
+            lines.append(f"{family}_count {_format_value(data.get('count', 0))}")
+        else:
+            # Unknown instrument kinds expose as untyped gauges rather
+            # than silently vanishing from the scrape.
+            lines.append(f"# TYPE {family} untyped")
+            lines.append(f"{family} {_format_value(data.get('value', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def http_exposition(
+    snapshot: Mapping[str, Mapping[str, Any]] | None = None,
+) -> bytes:
+    """A complete HTTP/1.0 response carrying the exposition body.
+
+    Enough HTTP for a Prometheus scrape (status line, content type,
+    length, connection close) without pulling in an HTTP framework —
+    the serving layer writes these bytes and closes the socket.
+    """
+    body = render_prometheus(snapshot).encode("utf-8")
+    head = (
+        "HTTP/1.0 200 OK\r\n"
+        f"Content-Type: {CONTENT_TYPE}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body

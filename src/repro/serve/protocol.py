@@ -10,8 +10,11 @@ Request frames::
     {"id": "p1", "left": "rpq:a a", "right": "rpq:a+"}
     {"id": "p2", "left": "rpq:a+", "right": "rpq:a a",
      "deadline_ms": 500, "kernel": "antichain", "max_expansions": 64}
+    {"id": "p3", "left": "rpq:a", "right": "rpq:a+",
+     "request_id": "trace-me-0007"}
     {"op": "health"}
     {"op": "metrics"}
+    {"op": "debug", "last": 20}
 
 - ``left`` / ``right`` use the ``kind:spec`` query syntax (kinds
   ``rpq``, ``rq``, ``datalog``).  A spec starting with ``@`` reads the
@@ -27,13 +30,21 @@ Request frames::
 - ``kernel`` / ``max_expansions`` are per-request engine options,
   validated here so a bad value is an error *response*, not a dropped
   connection.
-- ``op`` selects a control verb (``health`` / ``metrics``); absent or
-  ``"contain"`` means a containment request.
+- ``request_id`` is the request-scoped telemetry identity: if a client
+  supplies one it is propagated verbatim into the access log, flight
+  recorder, and response payload; otherwise the server assigns a unique
+  one.  It is distinct from ``id`` (the caller's correlation key, which
+  need not be unique).
+- ``op`` selects a control verb (``health`` / ``metrics`` /
+  ``debug``); absent or ``"contain"`` means a containment request.
+  ``debug`` returns the flight recorder's entries (optionally only the
+  newest ``last``).
 
 Response frames mirror ``repro batch`` result lines: ``id``, ``index``
 (input position), ``verdict``, ``method``, ``holds``, ``bound``,
 ``wall_ms``, ``worker``, plus ``error`` / ``budget`` / ``kernel`` /
-``admission`` details when present.
+``admission`` details when present, and ``request_id`` (server-assigned
+or propagated) when the frame was served by a telemetry-aware server.
 
 Malformed frames are *isolated*: parsing surfaces a
 :class:`ProtocolError` (or the underlying parse exception), and callers
@@ -58,6 +69,7 @@ from ..rq.parser import parse_rq
 
 __all__ = [
     "CONTROL_VERBS",
+    "SERVE_SCHEMA",
     "ContainRequest",
     "ControlRequest",
     "ProtocolError",
@@ -71,7 +83,11 @@ __all__ = [
 ]
 
 #: Control verbs a server answers without touching the worker pool.
-CONTROL_VERBS = ("health", "metrics")
+CONTROL_VERBS = ("health", "metrics", "debug")
+
+#: Wire/workload grammar version, reported by the ``health`` verb so
+#: operators can correlate dumps with the protocol a server speaks.
+SERVE_SCHEMA = "repro-serve/1"
 
 
 class ProtocolError(ValueError):
@@ -125,6 +141,8 @@ class ContainRequest:
         deadline_ms: per-request wall-clock deadline, or None.
         options: validated per-request engine options
             (``kernel`` / ``max_expansions`` only).
+        request_id: client-supplied telemetry identity (None = the
+            server assigns one).
     """
 
     index: int
@@ -133,15 +151,22 @@ class ContainRequest:
     right: Any
     deadline_ms: float | None = None
     options: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    request_id: str | None = None
 
 
 @dataclasses.dataclass(frozen=True)
 class ControlRequest:
-    """A ``health`` / ``metrics`` control frame."""
+    """A ``health`` / ``metrics`` / ``debug`` control frame.
+
+    ``last`` bounds how many flight-recorder entries a ``debug`` frame
+    asks for (None = all retained); other verbs ignore it.
+    """
 
     index: int
     id: Any
     verb: str
+    last: int | None = None
+    request_id: str | None = None
 
 
 def parse_frame(
@@ -164,9 +189,25 @@ def parse_frame(
     if not isinstance(record, dict):
         raise ProtocolError("frame must be a JSON object")
     identifier = record.get("id", index)
+    request_id = record.get("request_id")
+    if request_id is not None:
+        if not isinstance(request_id, str) or not request_id:
+            raise ProtocolError("request_id must be a non-empty string")
+        if len(request_id) > 128:
+            raise ProtocolError("request_id must be at most 128 characters")
     verb = record.get("op", "contain")
     if verb in CONTROL_VERBS:
-        return ControlRequest(index=index, id=identifier, verb=verb)
+        last = record.get("last")
+        if last is not None:
+            if not isinstance(last, int) or isinstance(last, bool) or last < 1:
+                raise ProtocolError("last must be a positive integer")
+        return ControlRequest(
+            index=index,
+            id=identifier,
+            verb=verb,
+            last=last,
+            request_id=request_id,
+        )
     if verb != "contain":
         raise ProtocolError(
             f"unknown op {verb!r} (use contain, {', or '.join(CONTROL_VERBS)})"
@@ -205,12 +246,15 @@ def parse_frame(
         right=parse_query_spec(record["right"], allow_files=allow_files),
         deadline_ms=deadline_ms,
         options=options,
+        request_id=request_id,
     )
 
 
-def error_item(index: int, exc: BaseException) -> BatchItem:
+def error_item(
+    index: int, exc: BaseException, request_id: str | None = None
+) -> BatchItem:
     """The isolated ERROR item for a frame that failed to parse."""
-    return BatchItem(index, error_result(index, exc), 0.0, None)
+    return BatchItem(index, error_result(index, exc), 0.0, None, request_id)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -30,6 +30,16 @@ Backend: the pool is the **thread** backend by construction — workers
 share the process-wide result/NFA caches, so a hot pair answered for
 one client is a cache hit for every other, which is the serving win
 that matters; see DESIGN.md for the process-backend tradeoff.
+
+Telemetry (DESIGN.md "Operational telemetry"): every served frame —
+answered, shed, or malformed — carries a ``request_id`` (client-supplied
+or server-assigned) and produces one access record routed through
+:class:`repro.obs.telemetry.Telemetry` to the optional NDJSON access
+log, the flight recorder behind the ``debug`` verb (dumped to
+``--flight-dump`` on drain), and — for the ``--trace-sample-rate``
+sampled fraction — the hotspot profile the ``metrics`` verb exposes.
+``--prom-port`` adds a minimal HTTP endpoint serving the Prometheus
+text exposition of the metrics registry.
 """
 
 from __future__ import annotations
@@ -48,8 +58,11 @@ from typing import Any
 from ..budget import Budget
 from ..cache import cache_stats
 from ..core.batch import DEFAULT_WORKERS, BatchItem, ContainmentExecutor
+from ..obs.env import environment_fingerprint
 from ..obs.metrics import counter as _metric_counter, gauge as _metric_gauge, \
     histogram as _metric_histogram, metrics_snapshot
+from ..obs.promtext import http_exposition
+from ..obs.telemetry import Telemetry, TelemetryConfig, access_record
 from . import protocol
 from .admission import AdmissionController, AdmissionPolicy, shed_result
 
@@ -89,6 +102,20 @@ class ServeConfig:
             server stops reading and closes them.
         kernel / max_expansions: default engine options (frames may
             override per request).
+        access_log: NDJSON access-log path (None = no access log);
+            one record per served frame, written off the event loop.
+        slow_ms: flight-recorder slow threshold — requests at or above
+            it retain their span trees for the ``debug`` verb.
+        trace_sample_rate: fraction of containment requests traced
+            live ([0, 1]; 0 = tracing off), feeding the hotspot
+            profile the ``metrics`` verb exposes.
+        flight_recorder_size: ring-buffer capacity of the flight
+            recorder.
+        flight_dump: file path the flight recorder dumps to on
+            drain/SIGTERM (None = no dump).
+        prom_port: TCP port answering every HTTP request with the
+            Prometheus text exposition (None = no endpoint; 0 picks a
+            free port, announced on stderr).
     """
 
     host: str = "127.0.0.1"
@@ -100,6 +127,12 @@ class ServeConfig:
     drain_grace_ms: float = 5000.0
     kernel: str | None = None
     max_expansions: int | None = None
+    access_log: str | None = None
+    slow_ms: float = 250.0
+    trace_sample_rate: float = 0.0
+    flight_recorder_size: int = 256
+    flight_dump: str | None = None
+    prom_port: int | None = None
 
 
 def _pipe_watchable(stream: Any) -> bool:
@@ -186,8 +219,23 @@ class ContainmentServer:
         self._started = time.monotonic()
         self._busy_ms = 0.0
         self._server: asyncio.AbstractServer | None = None
+        self._prom_server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._connections: set[asyncio.Task] = set()
         self._frames_answered = 0
+        self._telemetry = Telemetry(
+            TelemetryConfig(
+                access_log=config.access_log,
+                slow_ms=config.slow_ms,
+                sample_rate=config.trace_sample_rate,
+                flight_capacity=config.flight_recorder_size,
+            )
+        )
+        # Cached at startup: the fingerprint shells out to git once,
+        # which must never happen per health probe.
+        self._environment = environment_fingerprint()
+        self._request_seq = 0
+        self._rid_prefix = f"r{os.getpid():x}"
 
     # ----------------------------------------------------------------- drain
 
@@ -222,17 +270,30 @@ class ContainmentServer:
         merged = options or {}
         return merged.get("kernel", self.config.kernel or "auto")
 
+    def _next_request_id(self, supplied: str | None = None) -> str:
+        """Propagate the client's request_id or assign a fresh one.
+
+        Server-assigned ids are ``r<pid>-<seq>``: unique within the
+        process, and the pid prefix keeps them unique across the
+        restarts an access log typically spans.
+        """
+        if supplied is not None:
+            return supplied
+        self._request_seq += 1
+        return f"{self._rid_prefix}-{self._request_seq:06d}"
+
     def _shed_payload(
         self,
         frame_index: int,
         identifier: Any,
         reason: str,
         *,
+        request_id: str,
         waited_ms: float = 0.0,
         deadline_ms: float | None = None,
         kernel: str = "auto",
     ) -> dict[str, Any]:
-        """Build (and count) one shed response payload."""
+        """Build (and count, and log) one shed response payload."""
         _SHED.inc()
         _SHED_BY[reason].inc()
         result = shed_result(
@@ -243,7 +304,19 @@ class ContainmentServer:
             deadline_ms=deadline_ms,
             kernel=kernel,
         )
-        item = BatchItem(frame_index, result, 0.0, None)
+        item = BatchItem(frame_index, result, 0.0, None, request_id)
+        self._telemetry.observe(
+            access_record(
+                request_id=request_id,
+                op="contain",
+                index=frame_index,
+                client_id=identifier,
+                item=item,
+                shed=reason,
+                queued_ms=waited_ms,
+                total_ms=waited_ms,
+            )
+        )
         return protocol.response_payload(identifier, item, index=frame_index)
 
     def _dispatch(self, line: str, index: int) -> Any:
@@ -267,9 +340,19 @@ class ContainmentServer:
         except Exception as exc:
             _PROTOCOL_ERRORS.inc()
             _RESPONSES.inc()
-            # id is null for unparseable frames, as in `repro batch`.
-            item = protocol.error_item(index, exc)
+            # id is null for unparseable frames, as in `repro batch`;
+            # the request_id is server-assigned — nothing in a frame
+            # that failed to parse is trusted, its own request_id
+            # included.
+            request_id = self._next_request_id()
+            item = protocol.error_item(index, exc, request_id)
+            self._telemetry.observe(
+                access_record(
+                    request_id=request_id, op="invalid", index=index, item=item
+                )
+            )
             return protocol.response_payload(None, item, index=index)
+        request_id = self._next_request_id(frame.request_id)
         if isinstance(frame, protocol.ControlRequest):
             control_frame = frame
 
@@ -279,7 +362,20 @@ class ContainmentServer:
                 # observes the state *after* those responses — in-order
                 # writing makes control verbs read-your-writes barriers.
                 _RESPONSES.inc()
-                return self._control_payload(control_frame)
+                started = time.monotonic()
+                payload = self._control_payload(control_frame, request_id)
+                exec_ms = (time.monotonic() - started) * 1000.0
+                self._telemetry.observe(
+                    access_record(
+                        request_id=request_id,
+                        op=control_frame.verb,
+                        index=control_frame.index,
+                        client_id=control_frame.id,
+                        exec_ms=exec_ms,
+                        total_ms=exec_ms,
+                    )
+                )
+                return payload
 
             return control()
         kernel = self._request_kernel(dict(frame.options))
@@ -291,6 +387,7 @@ class ContainmentServer:
                 frame.index,
                 frame.id,
                 reason,
+                request_id=request_id,
                 deadline_ms=self._admission.effective_deadline_ms(
                     frame.deadline_ms
                 ),
@@ -329,22 +426,29 @@ class ContainmentServer:
                 kernel=_kernel,
             )
 
+        sampled = self._telemetry.sample()
         future = self._executor.submit(
             frame.left,
             frame.right,
             index=frame.index,
             budget=budget,
+            trace=sampled,
             start_deadline=start_deadline,
             expired_result=expired,
+            request_id=request_id,
             options=dict(frame.options) or None,
         )
-        return asyncio.ensure_future(self._finish(frame, future, admitted_at))
+        return asyncio.ensure_future(
+            self._finish(frame, future, admitted_at, sampled=sampled)
+        )
 
     async def _finish(
         self,
         frame: protocol.ContainRequest,
         future: Any,
         admitted_at: float,
+        *,
+        sampled: bool = False,
     ) -> dict[str, Any]:
         """Await one admitted request's worker future; account for it.
 
@@ -363,6 +467,7 @@ class ContainmentServer:
         _QUEUED_MS.observe(max(0.0, latency_ms - item.wall_ms))
         _RESPONSES.inc()
         self._frames_answered += 1
+        shed: str | None = None
         if item.result.method == "serve-admission":
             # A dequeue-deadline shed: counted here, on the event loop,
             # both on the serve.* instruments and on the controller so
@@ -370,6 +475,7 @@ class ContainmentServer:
             self._admission.record_shed()
             _SHED.inc()
             _SHED_BY["deadline"].inc()
+            shed = "deadline"
         self._busy_ms += item.wall_ms
         uptime_ms = (time.monotonic() - self._started) * 1000.0
         if uptime_ms > 0:
@@ -378,30 +484,63 @@ class ContainmentServer:
                     min(1.0, self._busy_ms / (self.config.workers * uptime_ms)), 4
                 )
             )
+        trace = item.result.details.get("trace") if sampled else None
+        self._telemetry.observe(
+            access_record(
+                request_id=item.request_id or "unassigned",
+                op="contain",
+                index=frame.index,
+                client_id=frame.id,
+                item=item,
+                shed=shed,
+                queued_ms=max(0.0, latency_ms - item.wall_ms),
+                exec_ms=item.wall_ms,
+                total_ms=latency_ms,
+                sampled=sampled,
+            ),
+            trace if isinstance(trace, dict) else None,
+        )
         return protocol.response_payload(frame.id, item, index=frame.index)
 
-    def _control_payload(self, frame: protocol.ControlRequest) -> dict[str, Any]:
+    def _control_payload(
+        self, frame: protocol.ControlRequest, request_id: str
+    ) -> dict[str, Any]:
         uptime_ms = round((time.monotonic() - self._started) * 1000.0, 3)
         if frame.verb == "health":
             return {
                 "op": "health",
                 "id": frame.id,
                 "index": frame.index,
+                "request_id": request_id,
                 "status": "draining" if self.draining else "ok",
+                "schema": protocol.SERVE_SCHEMA,
                 "queue_depth": self._admission.pending,
                 "queue_limit": self.config.queue_limit,
                 "workers": self.config.workers,
                 "shed_total": self._admission.shed_total,
                 "admitted_total": self._admission.admitted_total,
                 "uptime_ms": uptime_ms,
+                "environment": self._environment,
+            }
+        if frame.verb == "debug":
+            return {
+                "op": "debug",
+                "id": frame.id,
+                "index": frame.index,
+                "request_id": request_id,
+                "uptime_ms": uptime_ms,
+                "flight": self._telemetry.recorder.dump(frame.last),
             }
         return {
             "op": "metrics",
             "id": frame.id,
             "index": frame.index,
+            "request_id": request_id,
             "uptime_ms": uptime_ms,
             "metrics": metrics_snapshot(),
             "cache": cache_stats(),
+            "telemetry": self._telemetry.stats(),
+            "profile": self._telemetry.profile_snapshot(),
         }
 
     # ---------------------------------------------------------- connections
@@ -530,6 +669,41 @@ class ContainmentServer:
         self._connections.add(task)
         task.add_done_callback(self._connections.discard)
 
+    # ------------------------------------------------------------ telemetry
+
+    async def _serve_prom(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one Prometheus scrape: any HTTP request, one exposition.
+
+        Minimal by design — read whatever request line arrives (bounded,
+        ignored), write the full HTTP/1.0 response, close.  A scraper
+        needs nothing more, and the endpoint shares the process's
+        metrics registry with the ``metrics`` verb.
+        """
+        try:
+            with contextlib.suppress(Exception):
+                await asyncio.wait_for(reader.readline(), 5.0)
+            writer.write(http_exposition())
+            await writer.drain()
+        except (OSError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _finalize_telemetry(self) -> None:
+        """Drain-time telemetry teardown: flight dump, then log flush."""
+        if self.config.flight_dump is not None:
+            with contextlib.suppress(OSError):
+                path = self._telemetry.recorder.dump_to_file(
+                    self.config.flight_dump
+                )
+                print(f"# flight recorder dumped to {path}",
+                      file=sys.stderr, flush=True)
+        self._telemetry.close()
+
     # --------------------------------------------------------------- modes
 
     def _install_signal_handlers(self) -> None:
@@ -552,10 +726,21 @@ class ContainmentServer:
 
     async def serve_tcp(self) -> None:
         """Listen on the configured address until drained."""
+        self._loop = asyncio.get_running_loop()
         self._install_signal_handlers()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
+        if self.config.prom_port is not None:
+            self._prom_server = await asyncio.start_server(
+                self._serve_prom, self.config.host, self.config.prom_port
+            )
+            prom_port = self._prom_server.sockets[0].getsockname()[1]
+            print(
+                f"# metrics on http://{self.config.host}:{prom_port}/metrics",
+                file=sys.stderr,
+                flush=True,
+            )
         port = self._server.sockets[0].getsockname()[1]
         print(
             f"# serving on {self.config.host}:{port} "
@@ -572,7 +757,12 @@ class ContainmentServer:
             self._server.close()
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
+            if self._prom_server is not None:
+                self._prom_server.close()
+                with contextlib.suppress(Exception):
+                    await self._prom_server.wait_closed()
             await self._shutdown()
+            self._finalize_telemetry()
             print(
                 f"# drained: {self._frames_answered} containment frames "
                 f"answered, {self._admission.shed_total} shed",
@@ -582,8 +772,9 @@ class ContainmentServer:
 
     async def serve_pipe(self, stdin: Any = None, stdout: Any = None) -> None:
         """One-shot pipe mode: stdin frames in, stdout frames out."""
+        self._loop = asyncio.get_running_loop()
         self._install_signal_handlers()
-        loop = asyncio.get_running_loop()
+        loop = self._loop
         stream = stdin if stdin is not None else sys.stdin
         reader: Any
         if _pipe_watchable(stream):
@@ -598,3 +789,4 @@ class ContainmentServer:
             await self._handle_stream(reader, writer)
         finally:
             self._executor.shutdown(wait=True, cancel_futures=True)
+            self._finalize_telemetry()

@@ -1,5 +1,10 @@
 """Tests for the command-line interface."""
 
+import contextlib
+import json
+import threading
+import time
+
 import pytest
 
 from repro.cli import load_database, main, parse_query
@@ -368,3 +373,87 @@ class TestBatchCommand:
         assert main(["batch", str(workload), "--out", str(out)]) == 0
         assert out.read_text() == ""
         capsys.readouterr()
+
+
+@contextlib.contextmanager
+def _live_server():
+    """A real TCP server on a background thread for client commands."""
+    import asyncio
+
+    from repro.serve.server import ContainmentServer, ServeConfig
+
+    server = ContainmentServer(ServeConfig(port=0, workers=2))
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve_tcp()), daemon=True
+    )
+    thread.start()
+    try:
+        for _ in range(500):
+            if server._server is not None and server._server.sockets:
+                break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError("server never started listening")
+        yield server, server._server.sockets[0].getsockname()[1]
+    finally:
+        server._loop.call_soon_threadsafe(server.initiate_drain)
+        thread.join(timeout=15)
+
+
+class TestMetricsCommand:
+    def test_local_snapshot_is_json(self, capsys):
+        assert main(["metrics"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert isinstance(snapshot, dict)
+
+    def test_local_prom_rendering(self, capsys):
+        from repro.core.engine import check_containment  # noqa: F401
+
+        assert main(["metrics", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE engine_checks counter" in out
+
+    def test_addr_fetches_a_live_server(self, capsys):
+        with _live_server() as (server, port):
+            assert main(["metrics", "--addr", f"127.0.0.1:{port}"]) == 0
+            snapshot = json.loads(capsys.readouterr().out)
+            assert "serve.requests" in snapshot
+            assert (
+                main(["metrics", "--addr", f"127.0.0.1:{port}", "--prom"])
+                == 0
+            )
+            assert "serve_requests" in capsys.readouterr().out
+
+    def test_unreachable_addr_exits_with_message(self, capsys):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["metrics", "--addr", "127.0.0.1:1", "--timeout", "0.2"])
+
+
+class TestTopCommand:
+    def test_polls_and_renders_deltas(self, capsys):
+        with _live_server() as (server, port):
+            assert (
+                main(
+                    [
+                        "top",
+                        f"127.0.0.1:{port}",
+                        "--interval",
+                        "0.05",
+                        "--count",
+                        "2",
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        refreshes = [
+            line for line in out.splitlines() if line.startswith("127.0.0.1:")
+        ]
+        assert len(refreshes) == 2
+        for line in refreshes:
+            assert "req/s=" in line
+            assert "shed/s=" in line
+
+    def test_unreachable_server_exits_with_message(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["top", "127.0.0.1:1", "--timeout", "0.2", "--count", "1"])

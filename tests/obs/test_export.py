@@ -114,6 +114,47 @@ class TestRender:
         tracer = _sample_tracer()
         assert render_trace(tracer.to_dict()) == render_trace(tracer.root)
 
+    def test_self_time_is_duration_minus_children(self):
+        # A synthetic nested fixture with exact durations: the parent's
+        # self time is its duration minus the children's sum, the
+        # grandparent's likewise, and leaves show no self column.
+        tree = {
+            "name": "root",
+            "duration_ms": 10.0,
+            "children": [
+                {
+                    "name": "mid",
+                    "duration_ms": 6.0,
+                    "children": [
+                        {"name": "leaf-a", "duration_ms": 2.5, "children": []},
+                        {"name": "leaf-b", "duration_ms": 1.5, "children": []},
+                    ],
+                },
+                {"name": "leaf-c", "duration_ms": 1.0, "children": []},
+            ],
+        }
+        lines = render_trace(tree).splitlines()
+        assert lines[0] == "root  10.00 ms (self 3.00 ms)"
+        [mid] = [line for line in lines if "mid" in line]
+        assert "6.00 ms (self 2.00 ms)" in mid
+        for leaf in ("leaf-a", "leaf-b", "leaf-c"):
+            [line] = [line for line in lines if leaf in line]
+            assert "self" not in line
+
+    def test_self_time_clamps_at_zero_when_children_overrun(self):
+        # Clock jitter can make children sum past their parent; the
+        # rendered self time clamps at 0 rather than going negative.
+        tree = {
+            "name": "root",
+            "duration_ms": 1.0,
+            "children": [
+                {"name": "child", "duration_ms": 1.4, "children": []},
+            ],
+        }
+        first = render_trace(tree).splitlines()[0]
+        assert "(self 0.00 ms)" in first
+        assert "-" not in first
+
 
 class TestMetricsNdjson:
     def _sample_snapshot(self):

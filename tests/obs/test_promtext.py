@@ -1,0 +1,116 @@
+"""Prometheus exposition: name sanitization, family rendering, and the
+minimal HTTP response."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import (
+    CONTENT_TYPE,
+    http_exposition,
+    metric_name,
+    render_prometheus,
+)
+
+# One exposition line: comment, blank, or `name{labels} value`.
+_EXPOSITION_LINE = re.compile(
+    r"^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? -?[0-9.e+-]+(inf)?)$"
+)
+
+
+def _sample_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc(7)
+    registry.gauge("serve.queue_depth").set(3)
+    histogram = registry.histogram("serve.latency_ms", buckets=(1.0, 10.0))
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    histogram.observe(50.0)
+    return registry.snapshot()
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("serve.latency_ms") == "serve_latency_ms"
+
+    def test_invalid_characters_sanitize(self):
+        assert metric_name("a-b c") == "a_b_c"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert metric_name("7up").startswith("_")
+
+
+class TestRender:
+    def test_counter_and_gauge_families(self):
+        text = render_prometheus(_sample_snapshot())
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_requests 7" in text
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_queue_depth 3" in text
+        # HELP lines map the sanitized family back to the dotted name.
+        assert "# HELP serve_requests serve.requests" in text
+
+    def test_histogram_buckets_sum_count(self):
+        lines = render_prometheus(_sample_snapshot()).splitlines()
+        assert 'serve_latency_ms_bucket{le="1.0"} 1' in lines
+        assert 'serve_latency_ms_bucket{le="10.0"} 2' in lines
+        assert 'serve_latency_ms_bucket{le="+Inf"} 3' in lines
+        assert "serve_latency_ms_count 3" in lines
+        assert any(line.startswith("serve_latency_ms_sum ") for line in lines)
+
+    def test_every_line_matches_the_exposition_grammar(self):
+        for line in render_prometheus(_sample_snapshot()).splitlines():
+            assert _EXPOSITION_LINE.match(line), line
+
+    def test_families_are_name_sorted_and_deterministic(self):
+        snapshot = _sample_snapshot()
+        text = render_prometheus(snapshot)
+        assert text == render_prometheus(snapshot)
+        families = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert families == sorted(families)
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+    def test_unknown_kinds_render_untyped(self):
+        text = render_prometheus({"weird.thing": {"type": "mystery", "value": 2}})
+        assert "# TYPE weird_thing untyped" in text
+        assert "weird_thing 2" in text
+
+    def test_null_values_render_as_zero(self):
+        text = render_prometheus({"g": {"type": "gauge", "value": None}})
+        assert "g 0" in text.splitlines()
+
+    def test_histogram_without_overflow_bucket_synthesizes_inf(self):
+        snapshot = {
+            "h": {
+                "type": "histogram",
+                "count": 3,
+                "sum": 4.5,
+                "buckets": {"1.0": 2},
+            }
+        }
+        lines = render_prometheus(snapshot).splitlines()
+        assert 'h_bucket{le="+Inf"} 3' in lines
+
+    def test_default_snapshot_is_the_process_registry(self):
+        from repro.core.engine import check_containment  # noqa: F401
+
+        assert "engine_checks" in render_prometheus()
+
+
+class TestHttpExposition:
+    def test_response_headers_and_body_length_agree(self):
+        payload = http_exposition(_sample_snapshot())
+        head, _, body = payload.partition(b"\r\n\r\n")
+        lines = head.decode("ascii").split("\r\n")
+        assert lines[0] == "HTTP/1.0 200 OK"
+        assert f"Content-Type: {CONTENT_TYPE}" in lines
+        assert f"Content-Length: {len(body)}" in lines
+        assert "Connection: close" in lines
+        assert body.decode("utf-8") == render_prometheus(_sample_snapshot())

@@ -1,0 +1,224 @@
+"""The ``repro top`` client: snapshot deltas, quantile estimates, and a
+live metrics-verb round-trip against an in-process server."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.monitor import (
+    delta_quantile_ms,
+    fetch_control,
+    fetch_metrics,
+    parse_addr,
+    render_top,
+    top_deltas,
+)
+
+
+def _payload(uptime_ms, **metrics):
+    return {"op": "metrics", "uptime_ms": uptime_ms, "metrics": metrics}
+
+
+def _counter(value):
+    return {"type": "counter", "value": value}
+
+
+def _gauge(value):
+    return {"type": "gauge", "value": value}
+
+
+def _histogram(observations, boundaries=(1.0, 10.0, 100.0)):
+    cumulative = {}
+    running = 0
+    for boundary in boundaries:
+        running = sum(1 for obs in observations if obs <= boundary)
+        cumulative[repr(boundary)] = running
+    cumulative["+Inf"] = len(observations)
+    return {
+        "type": "histogram",
+        "count": len(observations),
+        "sum": sum(observations),
+        "buckets": cumulative,
+    }
+
+
+class TestParseAddr:
+    def test_host_port(self):
+        assert parse_addr("10.1.2.3:9000") == ("10.1.2.3", 9000)
+
+    def test_bare_host_uses_default_port(self):
+        assert parse_addr("example.test") == ("example.test", 7407)
+
+    def test_bare_port(self):
+        assert parse_addr(":9000") == ("127.0.0.1", 9000)
+
+    def test_garbage_port_rejected(self):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_addr("host:notaport")
+
+
+class TestDeltas:
+    def test_rates_come_from_counter_deltas_over_server_uptime(self):
+        prev = _payload(
+            10_000.0,
+            **{
+                "serve.requests": _counter(100),
+                "serve.responses": _counter(100),
+                "serve.shed": _counter(4),
+                "serve.shed.queue_full": _counter(4),
+            },
+        )
+        cur = _payload(
+            12_000.0,
+            **{
+                "serve.requests": _counter(150),
+                "serve.responses": _counter(148),
+                "serve.shed": _counter(10),
+                "serve.shed.queue_full": _counter(8),
+                "serve.shed.deadline": _counter(2),
+                "serve.queue_depth": _gauge(3),
+                "serve.worker_utilization": _gauge(0.5),
+            },
+        )
+        deltas = top_deltas(prev, cur)
+        assert deltas["dt_s"] == 2.0
+        assert deltas["requests_per_s"] == 25.0
+        assert deltas["responses_per_s"] == 24.0
+        assert deltas["shed_per_s"] == 3.0
+        assert deltas["shed_by"] == {
+            "queue_full": 2.0,
+            "deadline": 1.0,
+            "draining": 0.0,
+        }
+        assert deltas["queue_depth"] == 3
+        assert deltas["worker_utilization"] == 0.5
+
+    def test_non_positive_uptime_delta_yields_zero_rates(self):
+        payload = _payload(5_000.0, **{"serve.requests": _counter(10)})
+        restarted = _payload(100.0, **{"serve.requests": _counter(90)})
+        deltas = top_deltas(payload, restarted)
+        assert deltas["dt_s"] == 0.0
+        assert deltas["requests_per_s"] == 0.0
+
+    def test_quantiles_come_from_bucket_deltas(self):
+        # Window observations: 8 fast (≤1ms), 2 slow (≤100ms): p50 lands
+        # in the 1ms bucket, p95 in the 100ms bucket.
+        prev = _payload(
+            0.0, **{"serve.latency_ms": _histogram([0.5] * 10)}
+        )
+        cur = _payload(
+            1_000.0,
+            **{
+                "serve.latency_ms": _histogram(
+                    [0.5] * 10 + [0.5] * 8 + [50.0] * 2
+                )
+            },
+        )
+        assert delta_quantile_ms(
+            prev["metrics"], cur["metrics"], "serve.latency_ms", 0.5
+        ) == 1.0
+        assert delta_quantile_ms(
+            prev["metrics"], cur["metrics"], "serve.latency_ms", 0.95
+        ) == 100.0
+
+    def test_empty_window_quantile_is_none(self):
+        payload = _payload(0.0, **{"serve.latency_ms": _histogram([1.0])})
+        assert (
+            delta_quantile_ms(
+                payload["metrics"], payload["metrics"], "serve.latency_ms", 0.5
+            )
+            is None
+        )
+
+    def test_rank_in_the_overflow_bucket_reports_largest_finite_bound(self):
+        prev = _payload(0.0, **{"serve.latency_ms": _histogram([])})
+        cur = _payload(
+            1_000.0, **{"serve.latency_ms": _histogram([500.0, 900.0])}
+        )
+        assert delta_quantile_ms(
+            prev["metrics"], cur["metrics"], "serve.latency_ms", 0.95
+        ) == 100.0
+
+    def test_missing_instruments_render_as_zeroes(self):
+        deltas = top_deltas(_payload(0.0), _payload(1_000.0))
+        assert deltas["requests_per_s"] == 0.0
+        assert deltas["latency_p50_ms"] is None
+
+    def test_render_top_is_two_plain_lines(self):
+        prev = _payload(0.0, **{"serve.requests": _counter(0)})
+        cur = _payload(
+            2_000.0,
+            **{
+                "serve.requests": _counter(10),
+                "serve.queue_depth": _gauge(1),
+                "serve.worker_utilization": _gauge(0.25),
+            },
+        )
+        text = render_top(prev, cur, addr="127.0.0.1:7407")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("127.0.0.1:7407 dt=2s req/s=5")
+        assert "util=25%" in lines[1]
+        assert "p50~-" in lines[1]  # no latency observations this window
+
+
+class _LiveServer:
+    """A real server on a background thread for blocking-client tests."""
+
+    def __enter__(self):
+        import asyncio
+
+        from repro.serve.server import ContainmentServer, ServeConfig
+
+        self.server = ContainmentServer(ServeConfig(port=0, workers=2))
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.server.serve_tcp()), daemon=True
+        )
+        self.thread.start()
+        for _ in range(500):
+            if self.server._server is not None and self.server._server.sockets:
+                break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError("server never started listening")
+        self.port = self.server._server.sockets[0].getsockname()[1]
+        return self
+
+    def __exit__(self, *exc_info):
+        self.server._loop.call_soon_threadsafe(self.server.initiate_drain)
+        self.thread.join(timeout=15)
+
+
+class TestLiveFetch:
+    def test_fetch_metrics_round_trip_and_rates(self):
+        with _LiveServer() as live:
+            before = fetch_metrics("127.0.0.1", live.port)
+            assert before["op"] == "metrics"
+            with socket.create_connection(("127.0.0.1", live.port)) as conn:
+                conn.sendall(
+                    b'{"id": "p1", "left": "rpq:a a", "right": "rpq:a+"}\n'
+                )
+                with conn.makefile("r") as stream:
+                    response = json.loads(stream.readline())
+            assert response["verdict"] == "holds"
+            after = fetch_metrics("127.0.0.1", live.port)
+            deltas = top_deltas(before, after)
+            window = (
+                after["metrics"]["serve.requests"]["value"]
+                - before["metrics"]["serve.requests"]["value"]
+            )
+            assert window >= 1
+            assert deltas["dt_s"] > 0
+            text = render_top(before, after, addr=f"127.0.0.1:{live.port}")
+            assert f"127.0.0.1:{live.port}" in text
+
+    def test_fetch_control_debug(self):
+        with _LiveServer() as live:
+            payload = fetch_control("127.0.0.1", live.port, "debug", last=5)
+            assert payload["op"] == "debug"
+            assert payload["flight"]["schema"] == "repro-flight/1"

@@ -110,6 +110,44 @@ class TestFrameParsing:
             frame = protocol.parse_frame(json.dumps({"op": verb, "id": "x"}), 7)
             assert isinstance(frame, protocol.ControlRequest)
             assert (frame.verb, frame.id, frame.index) == (verb, "x", 7)
+            assert frame.last is None
+            assert frame.request_id is None
+
+    def test_debug_verb_accepts_last(self):
+        frame = protocol.parse_frame('{"op": "debug", "last": 20}', 0)
+        assert isinstance(frame, protocol.ControlRequest)
+        assert frame.verb == "debug"
+        assert frame.last == 20
+
+    @pytest.mark.parametrize("last", [0, -1, 1.5, True, "five"])
+    def test_bad_last_rejected(self, last):
+        with pytest.raises(protocol.ProtocolError, match="last"):
+            protocol.parse_frame(json.dumps({"op": "debug", "last": last}), 0)
+
+    def test_request_id_propagates_on_contain_and_control(self):
+        contain = protocol.parse_frame(
+            '{"left": "rpq:a", "right": "rpq:a+", "request_id": "trace-7"}', 0
+        )
+        assert contain.request_id == "trace-7"
+        control = protocol.parse_frame(
+            '{"op": "health", "request_id": "probe-1"}', 0
+        )
+        assert control.request_id == "probe-1"
+
+    @pytest.mark.parametrize(
+        "request_id", ["", 7, True, {"nested": 1}, "x" * 129]
+    )
+    def test_bad_request_id_rejected(self, request_id):
+        record = {"left": "rpq:a", "right": "rpq:a+", "request_id": request_id}
+        with pytest.raises(protocol.ProtocolError, match="request_id"):
+            protocol.parse_frame(json.dumps(record), 0)
+
+    def test_error_item_carries_request_id(self):
+        item = protocol.error_item(3, ValueError("boom"), "rid-9")
+        assert item.request_id == "rid-9"
+        assert item.to_dict()["request_id"] == "rid-9"
+        plain = protocol.error_item(3, ValueError("boom"))
+        assert "request_id" not in plain.to_dict()
 
 
 class TestWorkloadOrderPreservation:

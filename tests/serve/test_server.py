@@ -12,10 +12,14 @@ import asyncio
 import contextlib
 import io
 import json
+import os
+import signal
 import threading
 
 import pytest
 
+from repro.obs.metrics import metrics_snapshot
+from repro.obs.telemetry import validate_access_record
 from repro.report import ContainmentResult, Verdict
 from repro.serve.server import ContainmentServer, ServeConfig
 
@@ -353,6 +357,351 @@ class TestDrain:
                 # New connections are refused once the listener closed.
                 with pytest.raises(OSError):
                     await asyncio.open_connection("127.0.0.1", port)
+
+        asyncio.run(run())
+
+
+class TestRequestIds:
+    def test_server_assigns_unique_ids_and_echoes_client_ones(self):
+        async def run():
+            async with running_server() as (server, port):
+                client_frame = json.dumps(
+                    {
+                        "id": "p9",
+                        "left": "rpq:a a",
+                        "right": "rpq:a+",
+                        "request_id": "trace-me-0007",
+                    }
+                )
+                responses = await roundtrip(
+                    port,
+                    [HOLDS_FRAME, REFUTED_FRAME, "garbage", client_frame],
+                )
+                ids = [r["request_id"] for r in responses]
+                assert len(set(ids)) == 4
+                # Server-assigned ids are r<pid-hex>-<seq>; the
+                # client-supplied one comes back verbatim.
+                for rid in ids[:3]:
+                    assert rid.startswith("r")
+                    assert "-" in rid
+                assert ids[3] == "trace-me-0007"
+
+        asyncio.run(run())
+
+    def test_control_payloads_carry_request_ids(self):
+        async def run():
+            async with running_server() as (server, port):
+                health, metrics, debug = await roundtrip(
+                    port,
+                    [
+                        '{"op": "health"}',
+                        '{"op": "metrics", "request_id": "probe-2"}',
+                        '{"op": "debug"}',
+                    ],
+                )
+                assert health["request_id"]
+                assert metrics["request_id"] == "probe-2"
+                assert debug["request_id"]
+
+        asyncio.run(run())
+
+
+class TestTelemetry:
+    def test_access_log_covers_every_frame_exactly_once(self, tmp_path):
+        log_path = tmp_path / "access.ndjson"
+
+        async def run():
+            async with running_server(access_log=str(log_path)) as (
+                server,
+                port,
+            ):
+                await roundtrip(
+                    port,
+                    [
+                        HOLDS_FRAME,
+                        "garbage",
+                        REFUTED_FRAME,
+                        '{"op": "health"}',
+                        '{"op": "metrics"}',
+                        '{"op": "debug"}',
+                    ],
+                )
+
+        asyncio.run(run())
+        # Drain closed the writer, so the log is complete on disk.
+        records = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert len(records) == 6
+        for record in records:
+            assert validate_access_record(record) == [], record
+        ids = [r["request_id"] for r in records]
+        assert len(set(ids)) == 6
+        by_op: dict[str, int] = {}
+        for record in records:
+            by_op[record["op"]] = by_op.get(record["op"], 0) + 1
+        assert by_op == {
+            "contain": 2,
+            "invalid": 1,
+            "health": 1,
+            "metrics": 1,
+            "debug": 1,
+        }
+        contain = [r for r in records if r["op"] == "contain"]
+        assert {r["verdict"] for r in contain} == {"holds", "refuted"}
+        for record in contain:
+            assert record["shed"] is None
+            assert record["total_ms"] >= record["exec_ms"] >= 0
+
+    def test_sheds_land_in_the_access_log_with_reasons(
+        self, tmp_path, monkeypatch
+    ):
+        gate = threading.Event()
+        monkeypatch.setattr(
+            "repro.core.batch.check_containment", blocking_check(gate)
+        )
+        log_path = tmp_path / "access.ndjson"
+
+        async def run():
+            async with running_server(
+                workers=1, queue_limit=1, access_log=str(log_path)
+            ) as (server, port):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(("".join([HOLDS_FRAME + "\n"] * 3)).encode())
+                await writer.drain()
+                writer.write_eof()
+                for _ in range(500):
+                    if server._admission.shed_total >= 2:
+                        break
+                    await asyncio.sleep(0.01)
+                gate.set()
+                while await reader.readline():
+                    pass
+                writer.close()
+
+        asyncio.run(run())
+        records = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        assert len(records) == 3
+        sheds = [r for r in records if r["shed"] is not None]
+        assert len(sheds) == 2
+        for record in sheds:
+            assert record["shed"] == "queue_full"
+            assert record["verdict"] == "inconclusive"
+
+    def test_debug_verb_returns_flight_entries_for_slow_and_shed(self):
+        async def run():
+            # slow_ms=0: every request counts as slow, so sampled
+            # traces are retained and the debug verb must show them.
+            async with running_server(
+                slow_ms=0.0, trace_sample_rate=1.0
+            ) as (server, port):
+                responses = await roundtrip(
+                    port,
+                    [HOLDS_FRAME, REFUTED_FRAME, '{"op": "debug", "last": 10}'],
+                )
+                contain, debug = responses[:2], responses[2]
+                flight = debug["flight"]
+                assert flight["schema"] == "repro-flight/1"
+                assert flight["recorded_total"] == 2
+                entries = flight["entries"]
+                assert [e["request_id"] for e in entries] == [
+                    r["request_id"] for r in contain
+                ]
+                for entry in entries:
+                    assert entry["trace"]["name"]
+
+        asyncio.run(run())
+
+    def test_debug_last_bounds_the_entries(self):
+        async def run():
+            async with running_server() as (server, port):
+                responses = await roundtrip(
+                    port,
+                    [HOLDS_FRAME] * 4 + ['{"op": "debug", "last": 2}'],
+                )
+                entries = responses[-1]["flight"]["entries"]
+                assert len(entries) == 2
+                assert [e["request_id"] for e in entries] == [
+                    r["request_id"] for r in responses[2:4]
+                ]
+
+        asyncio.run(run())
+
+    def test_sampling_feeds_the_metrics_verb_profile(self):
+        async def run():
+            async with running_server(trace_sample_rate=1.0) as (
+                server,
+                port,
+            ):
+                responses = await roundtrip(
+                    port, [HOLDS_FRAME, REFUTED_FRAME, '{"op": "metrics"}']
+                )
+                payload = responses[-1]
+                assert payload["telemetry"]["sample_rate"] == 1.0
+                assert payload["telemetry"]["sampled"] == 2
+                recorder = payload["telemetry"]["flight_recorder"]
+                assert recorder["recorded_total"] == 2
+                profile = payload["profile"]
+                assert profile["traces"] == 2
+                assert any(
+                    entry["path"].startswith("check-containment")
+                    for entry in profile["entries"]
+                )
+
+        asyncio.run(run())
+
+    def test_unsampled_requests_carry_no_trace(self):
+        async def run():
+            async with running_server(trace_sample_rate=0.0) as (
+                server,
+                port,
+            ):
+                await roundtrip(port, [HOLDS_FRAME])
+                [entry] = server._telemetry.recorder.entries()
+                assert "trace" not in entry
+                assert server._telemetry.profile_snapshot()["traces"] == 0
+
+        asyncio.run(run())
+
+    def test_health_reports_schema_and_environment(self):
+        async def run():
+            async with running_server() as (server, port):
+                [resp] = await roundtrip(port, ['{"op": "health"}'])
+                assert resp["schema"] == "repro-serve/1"
+                environment = resp["environment"]
+                assert environment["python"]
+                assert environment["platform"]
+                assert "commit" in environment
+
+        asyncio.run(run())
+
+    def test_dequeue_shed_records_queued_ms_and_deadline_counter(
+        self, monkeypatch
+    ):
+        gate = threading.Event()
+        monkeypatch.setattr(
+            "repro.core.batch.check_containment", blocking_check(gate)
+        )
+
+        async def run():
+            before = metrics_snapshot()
+            async with running_server(workers=1, queue_limit=8) as (
+                server,
+                port,
+            ):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                deadline_frame = json.dumps(
+                    {
+                        "id": "late",
+                        "left": "rpq:a a",
+                        "right": "rpq:a+",
+                        "deadline_ms": 50,
+                    }
+                )
+                writer.write(
+                    (HOLDS_FRAME + "\n" + deadline_frame + "\n").encode()
+                )
+                await writer.drain()
+                writer.write_eof()
+                for _ in range(500):
+                    if server._admission.pending >= 2:
+                        break
+                    await asyncio.sleep(0.01)
+                await asyncio.sleep(0.1)
+                gate.set()
+                while await reader.readline():
+                    pass
+                writer.close()
+                after = metrics_snapshot()
+                # The dequeue-shed request still contributes its full
+                # queue wait to serve.queued_ms (its wall_ms is 0), and
+                # the shed reason lands on the suffixed counter.
+                queued_before = before.get("serve.queued_ms", {})
+                queued_after = after["serve.queued_ms"]
+                assert (
+                    queued_after["count"] - queued_before.get("count", 0) == 2
+                )
+                assert (
+                    queued_after["sum"] - queued_before.get("sum", 0.0) >= 50
+                )
+                shed_deadline = after["serve.shed.deadline"]["value"] - (
+                    before.get("serve.shed.deadline", {}).get("value", 0)
+                )
+                assert shed_deadline == 1
+                # The access record for the shed request mirrors it.
+                shed_records = [
+                    entry
+                    for entry in server._telemetry.recorder.entries()
+                    if entry["shed"] == "deadline"
+                ]
+                assert len(shed_records) == 1
+                assert shed_records[0]["queued_ms"] >= 50
+                assert shed_records[0]["exec_ms"] == 0
+
+        asyncio.run(run())
+
+    def test_sigterm_drains_and_dumps_the_flight_recorder(self, tmp_path):
+        dump_path = tmp_path / "flight.json"
+
+        async def run():
+            config = ServeConfig(
+                port=0, workers=2, flight_dump=str(dump_path)
+            )
+            server = ContainmentServer(config)
+            task = asyncio.create_task(server.serve_tcp())
+            for _ in range(500):
+                if server._server is not None and server._server.sockets:
+                    break
+                await asyncio.sleep(0.01)
+            port = server._server.sockets[0].getsockname()[1]
+            responses = await roundtrip(port, [HOLDS_FRAME, REFUTED_FRAME])
+            assert [r["verdict"] for r in responses] == ["holds", "refuted"]
+            # A real SIGTERM: the loop's signal handler initiates the
+            # drain, and the drain path writes the dump.
+            os.kill(os.getpid(), signal.SIGTERM)
+            await asyncio.wait_for(task, 15)
+
+        asyncio.run(run())
+        dump = json.loads(dump_path.read_text())
+        assert dump["schema"] == "repro-flight/1"
+        assert dump["recorded_total"] == 2
+        assert len(dump["entries"]) == 2
+        verdicts = {entry["verdict"] for entry in dump["entries"]}
+        assert verdicts == {"holds", "refuted"}
+
+
+class TestPrometheusEndpoint:
+    def test_scrape_returns_exposition_with_serve_metrics(self):
+        async def run():
+            async with running_server(prom_port=0) as (server, port):
+                await roundtrip(port, [HOLDS_FRAME])
+                prom_port = (
+                    server._prom_server.sockets[0].getsockname()[1]
+                )
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", prom_port
+                )
+                writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                payload = await reader.read()
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+                head, _, body = payload.partition(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.0 200 OK")
+                assert b"text/plain; version=0.0.4" in head
+                text = body.decode("utf-8")
+                assert "# TYPE serve_requests counter" in text
+                assert "# TYPE serve_latency_ms histogram" in text
+                assert 'serve_latency_ms_bucket{le="+Inf"}' in text
+                assert "serve_latency_ms_count" in text
 
         asyncio.run(run())
 
