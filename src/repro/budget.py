@@ -106,6 +106,16 @@ class BudgetExhausted(RuntimeError):
 class Budget:
     """An immutable resource-limit specification (all fields optional).
 
+    Picklability is part of the contract: a ``Budget`` is a frozen
+    dataclass of scalars, so it crosses the process boundary intact —
+    the batch layer's ``backend="process"`` pools and ``repro serve
+    --backend process`` pickle per-request budgets into worker
+    processes, where each check builds its own :class:`BudgetMeter`
+    (the meter, holding a running clock, never crosses; only the spec
+    does).  ``deadline_ms`` is a *duration*: the meter's clock starts
+    when the check starts in the worker, so a budget serialized before
+    dispatch means the same thing after the hop.
+
     Attributes:
         deadline_ms: wall-clock budget for the whole check, in
             milliseconds (checked cooperatively at loop heads).

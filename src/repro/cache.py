@@ -280,6 +280,30 @@ def clear_caches(reset_stats: bool = True) -> None:
         cache.clear(reset_stats=reset_stats)
 
 
+def merge_stats_delta(deltas: Mapping[str, Mapping[str, int]]) -> None:
+    """Fold another process's hit/miss/eviction increments into this
+    process's cache counters.
+
+    The cache half of worker telemetry repatriation (the metrics half
+    is :func:`repro.obs.metrics.merge_snapshot_delta`): a process-pool
+    worker diffs :func:`cache_stats` around one item and the parent
+    merges the counter deltas here, so ``cache_stats()`` in the parent
+    reports the work that actually happened.  Only the counters merge —
+    ``size`` stays local, because the *entries* live in the worker
+    process and never cross the boundary.  Unknown cache names are
+    ignored (all caches are module-level, so the names always exist in
+    a same-version parent; a skew just loses telemetry, never breaks).
+    """
+    for name, delta in deltas.items():
+        cache = _REGISTRY.get(name)
+        if cache is None:
+            continue
+        with cache._lock:
+            cache.stats.hits += int(delta.get("hits", 0))
+            cache.stats.misses += int(delta.get("misses", 0))
+            cache.stats.evictions += int(delta.get("evictions", 0))
+
+
 # --- the package's shared caches --------------------------------------------------
 
 #: regex AST -> reduced NFA (the Thompson construction + reduce_nfa).

@@ -261,6 +261,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers if args.workers is not None else DEFAULT_WORKERS,
+        backend=args.backend,
         queue_limit=args.queue_limit,
         deadline_ms=args.deadline_ms,
         auto_budget=args.auto_budget,
@@ -568,6 +569,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--workers", type=int, default=None,
         help="worker-pool width (default: core count, capped at 8)",
+    )
+    serve_p.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="worker-pool substrate: thread (default; shares the hot "
+        "caches across requests) or process (multi-core, crash-isolated: "
+        "workers warm-start, a crashing check yields an isolated error "
+        "response while the pool rebuilds, and worker metrics/cache "
+        "stats are repatriated to the metrics verb)",
     )
     serve_p.add_argument(
         "--queue-limit", type=int, default=64,

@@ -45,21 +45,47 @@ Backends:
   builds.
 - ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`.
   True parallelism on multi-core machines; queries and results cross
-  the process boundary by pickling, and each worker process has its
-  *own* caches and metrics (child-side counters are not merged back —
-  the parent still records the batch-level metrics below).
+  the process boundary by pickling.  The process backend is
+  first-class (DESIGN.md "Concurrency architecture"):
+
+  - **Warm start.** Every worker runs a pool initializer that imports
+    the tower dispatch path and seeds the regex→NFA / determinize /
+    containment caches with tiny checks, so the first real item never
+    pays cold-compile latency.
+  - **Crash isolation.** A worker that dies mid-item (segfault,
+    ``os._exit``) breaks the pool for *every* in-flight future; the
+    executor quarantines the casualties — each is retried exactly once,
+    serially, against a rebuilt pool, so innocent items recompute and
+    only the poison item resolves to an ``ERROR`` verdict with the
+    crash under ``details["error"]``.  The pool is rebuilt
+    (``batch.pool_rebuilds`` counts it) and subsequent submits
+    succeed: a crashing check never aborts a batch or takes down
+    ``repro serve``.
+  - **Telemetry repatriation.** Each item carries a delta snapshot of
+    the worker's metrics registry and cache counters
+    (:attr:`BatchItem.telemetry`); the parent merges it exactly once
+    at completion, so ``repro top``, the ``metrics`` verb, and
+    post-batch snapshots report true figures instead of zeros.
+  - **Picklable hooks.** The ``expired_result`` admission hook crosses
+    the boundary when it pickles — the serving layer uses a frozen
+    dataclass spec (:class:`repro.serve.admission.DeadlineShedSpec`),
+    so ``start_deadline`` sheds identically on both backends.  Plain
+    callables (closures, lambdas) remain fine on the thread backend.
 
 Batch metrics (parent process): ``batch.items`` (counter),
 ``batch.wall_ms`` (histogram), ``batch.workers`` and
 ``batch.worker_utilization`` (gauges; utilization is the mean fraction
-of the pool's worker-seconds spent inside checks).
+of the pool's worker-seconds spent inside checks), and
+``batch.pool_rebuilds`` (counter; broken process pools replaced).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import multiprocessing
 import os
+import queue as _queue
 import threading
 import time
 import traceback
@@ -69,6 +95,11 @@ from ..automata.antichain import resolve_kernel
 from ..budget import Budget
 from ..obs.metrics import counter as _metric_counter, gauge as _metric_gauge, \
     histogram as _metric_histogram
+from ..obs.telemetry import (
+    merge_worker_telemetry,
+    worker_telemetry_baseline,
+    worker_telemetry_delta,
+)
 from ..obs.trace import Tracer
 from ..report import ContainmentResult, Verdict
 from .engine import _OPTION_UNIVERSE, check_containment
@@ -97,6 +128,12 @@ _BATCH_DEGRADED = _metric_counter("batch.degraded")
 _BATCH_WALL_MS = _metric_histogram("batch.wall_ms")
 _BATCH_WORKERS = _metric_gauge("batch.workers")
 _BATCH_UTILIZATION = _metric_gauge("batch.worker_utilization")
+_BATCH_POOL_REBUILDS = _metric_counter("batch.pool_rebuilds")
+
+#: Attempts per item on the process backend: the original submission
+#: plus one quarantined retry after a pool break.  An item that breaks
+#: the pool twice is the poison and resolves to ``ERROR``.
+_MAX_ATTEMPTS = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -113,6 +150,13 @@ class BatchItem:
             ``pid:<n>``), or ``None`` for degraded items.
         request_id: request-scoped telemetry identity (the serving
             layer assigns or propagates one; plain batches leave None).
+        telemetry: repatriated worker-side accounting — the delta of
+            the worker process's metrics registry and cache counters
+            over exactly this item (process backend only; the thread
+            backend mutates the parent registry directly and leaves
+            None).  The executor merges it into the parent exactly
+            once at completion; it stays on the item afterwards for
+            inspection but is *not* part of the NDJSON wire payload.
     """
 
     index: int
@@ -120,6 +164,7 @@ class BatchItem:
     wall_ms: float
     worker: str | None
     request_id: str | None = None
+    telemetry: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready summary — the NDJSON result-line payload."""
@@ -280,6 +325,34 @@ def _expired_start_result(
     )
 
 
+def _warm_start(options: dict[str, Any]) -> None:
+    """Process-pool initializer: pay the cold-start cost at spin-up.
+
+    Runs once in every worker process before it accepts items.  Two
+    jobs, both best-effort: importing :func:`check_containment`'s
+    dispatch path pulls every tower module into the worker (the
+    fork-server preloads this module, so under ``forkserver`` the
+    import is inherited and under ``spawn`` front-loaded here), and a
+    pair of tiny checks seeds the regex→NFA,
+    determinize, and containment caches so the first real item starts
+    against warm compilation machinery.  The warm pair is deliberately
+    obscure (``a b a b`` vs ``(a b)*``) so it cannot collide with a
+    real workload's cache keys and skew repatriated stats.  Failures
+    are swallowed: warm start is an optimization, and a worker that
+    cannot warm still isolates real item failures normally.
+    """
+    from ..automata.regex import parse_regex
+    from ..rpq.rpq import RPQ
+
+    try:
+        q1 = RPQ(parse_regex("a b a b"))
+        q2 = RPQ(parse_regex("(a b)*"))
+        check_containment(q1, q2, **options)
+        check_containment(q2, q1, **options)
+    except Exception:
+        pass
+
+
 def _run_one_item(
     index: int,
     q1: Any,
@@ -290,6 +363,7 @@ def _run_one_item(
     start_deadline: float | None = None,
     expired_result: Any = None,
     request_id: str | None = None,
+    collect_telemetry: bool = False,
 ) -> BatchItem:
     """One worker-side check: isolate failures, label the worker.
 
@@ -305,6 +379,16 @@ def _run_one_item(
     admission-control hook of the serving layer — queue wait counts
     against a request's deadline even though the engine's own
     ``BudgetMeter`` clock only starts when the check does.
+
+    ``expired_result`` may be any ``(late_ms) -> ContainmentResult``
+    callable on the thread backend; on the process backend it must
+    pickle (the serving layer's spec is a frozen dataclass —
+    :class:`repro.serve.admission.DeadlineShedSpec`).
+
+    ``collect_telemetry`` (process backend) brackets the check with a
+    metrics/cache baseline-and-delta pair so the parent can repatriate
+    this worker's accounting; the thread backend shares the parent
+    registry and skips it.
     """
     start = time.monotonic()
     if start_deadline is not None and start > start_deadline:
@@ -317,6 +401,7 @@ def _run_one_item(
             )
         return BatchItem(index, result, 0.0, None, request_id)
     worker = f"pid:{os.getpid()}/{threading.current_thread().name}"
+    baseline = worker_telemetry_baseline() if collect_telemetry else None
     try:
         if trace:
             result = check_containment(
@@ -327,7 +412,10 @@ def _run_one_item(
     except Exception as exc:
         result = error_result(index, exc, kernel=options.get("kernel", "auto"))
     wall_ms = (time.monotonic() - start) * 1000.0
-    return BatchItem(index, result, wall_ms, worker, request_id)
+    telemetry = (
+        worker_telemetry_delta(baseline) if baseline is not None else None
+    )
+    return BatchItem(index, result, wall_ms, worker, request_id, telemetry)
 
 
 def _validate_pool_args(
@@ -352,6 +440,30 @@ def _validate_pool_args(
         resolve_kernel(options["kernel"])
 
 
+class _ItemFuture(concurrent.futures.Future):
+    """The future :meth:`ContainmentExecutor.submit` hands back.
+
+    A thin outer future decoupled from any one pool future, so the
+    executor can replace the pool (crash recovery) without invalidating
+    what callers hold.  ``cancel()`` delegates to the live inner
+    future: it succeeds only when the underlying item never started,
+    preserving the pool-deadline contract ("only unstarted items
+    degrade") across rebuilds.  An item queued for a quarantined retry
+    counts as started (its original pool future is already done), so it
+    is not cancellable.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.inner: concurrent.futures.Future | None = None
+
+    def cancel(self) -> bool:  # noqa: D102 — contract in class docstring
+        inner = self.inner
+        if inner is not None and not inner.cancel():
+            return False
+        return super().cancel()
+
+
 class ContainmentExecutor:
     """A persistent worker pool with the batch layer's per-item semantics.
 
@@ -366,6 +478,15 @@ class ContainmentExecutor:
     isolated as ``ERROR`` verdicts (including submit-time failures,
     e.g. an unpicklable query on the process backend), each traced item
     owns its tracer, and budgets bound items cooperatively.
+
+    On the process backend the executor is additionally the
+    crash-isolation and telemetry boundary (module docstring): worker
+    processes warm-start via a pool initializer, a broken pool is
+    rebuilt and its casualties retried in quarantine (serially, one at
+    a time, so a repeat offender is unambiguously the poison and only
+    *it* resolves to ``ERROR``), and each completed item's repatriated
+    worker telemetry is merged into the parent registry exactly once,
+    here.
 
     Caller errors (bad backend/workers, unknown options, bad kernel)
     still raise eagerly from the constructor, never per item.
@@ -382,14 +503,52 @@ class ContainmentExecutor:
         self.workers = workers
         self.backend = backend
         self._options = dict(options)
-        if backend == "process":
-            self._pool: concurrent.futures.Executor = (
-                concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._closed = False
+        self._retry_queue: _queue.SimpleQueue | None = None
+        self._retry_thread: threading.Thread | None = None
+        self._pool = self._make_pool()
+
+    @staticmethod
+    def _process_context() -> Any:
+        """The multiprocessing context for worker pools: never ``fork``.
+
+        A forked worker inherits every open file descriptor — including
+        a live server's accepted connection sockets, so the peer never
+        sees EOF while a worker holds the duplicate — and forking a
+        multi-threaded parent (the asyncio server, the retry thread) can
+        deadlock the child.  ``forkserver`` forks from a clean helper
+        process instead (preloaded with this module so worker start-up
+        does not pay the full import), falling back to ``spawn`` where
+        the fork server is unavailable.
+        """
+        if "forkserver" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("forkserver")
+            try:
+                context.set_forkserver_preload(["repro.core.batch"])
+            except Exception:  # pragma: no cover - preload is best-effort
+                pass
+            return context
+        return multiprocessing.get_context("spawn")
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        if self.backend == "process":
+            # Mutable instrumentation objects (``stats=``) bypass the
+            # caches anyway and may not pickle; keep them out of the
+            # initializer arguments.
+            warm_options = {
+                k: v for k, v in self._options.items() if k != "stats"
+            }
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._process_context(),
+                initializer=_warm_start,
+                initargs=(warm_options,),
             )
-        else:
-            self._pool = concurrent.futures.ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="batch-worker"
-            )
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="batch-worker"
+        )
 
     def submit(
         self,
@@ -407,53 +566,205 @@ class ContainmentExecutor:
         """Submit one pair; the future resolves to its :class:`BatchItem`.
 
         ``start_deadline`` / ``expired_result`` are the admission hook
-        of :func:`_run_one_item` (thread backend only for a callable
-        ``expired_result`` — the process backend would need it
-        picklable).  ``request_id`` is carried through verbatim onto
-        the resulting :class:`BatchItem` (including submit-time error
-        items) so the serving layer's telemetry can correlate it.  ``options`` overrides the executor's defaults for
-        this submission only (same option universe, validated eagerly —
-        wire-level validation is the caller's job, so a raise here is a
-        caller bug, not an item failure).  A submit-time exception
-        comes back as an already-resolved future holding the item's
-        ``ERROR`` verdict, so callers never need a second error path.
+        of :func:`_run_one_item`; on the process backend
+        ``expired_result`` must pickle (a frozen-dataclass spec like
+        :class:`repro.serve.admission.DeadlineShedSpec` — plain
+        callables remain fine on the thread backend).  ``request_id``
+        is carried through verbatim onto the resulting
+        :class:`BatchItem` (including submit-time error items) so the
+        serving layer's telemetry can correlate it.  ``options``
+        overrides the executor's defaults for this submission only
+        (same option universe, validated eagerly — wire-level
+        validation is the caller's job, so a raise here is a caller
+        bug, not an item failure).  A submit-time exception comes back
+        as an already-resolved future holding the item's ``ERROR``
+        verdict, so callers never need a second error path; a worker
+        crash mid-item likewise resolves (after one quarantined retry)
+        instead of raising.
         """
         merged = dict(self._options)
         if options:
             _validate_pool_args(self.workers, self.backend, dict(options))
             merged.update(options)
+        args = (
+            index,
+            q1,
+            q2,
+            budget,
+            trace,
+            merged,
+            start_deadline,
+            expired_result,
+            request_id,
+            self.backend == "process",
+        )
+        outer = _ItemFuture()
+        self._dispatch(args, outer, attempt=1)
+        return outer
+
+    # --- dispatch / recovery internals -----------------------------------
+
+    def _dispatch(self, args: tuple, outer: _ItemFuture, attempt: int) -> None:
+        """Submit *args* to the current pool, wiring completion to *outer*."""
+        with self._lock:
+            pool = self._pool
+            generation = self._generation
         try:
-            return self._pool.submit(
-                _run_one_item,
-                index,
-                q1,
-                q2,
-                budget,
-                trace,
-                merged,
-                start_deadline,
-                expired_result,
-                request_id,
-            )
-        except Exception as exc:  # e.g. unpicklable query, pool shut down
-            future: concurrent.futures.Future[BatchItem] = (
-                concurrent.futures.Future()
-            )
-            future.set_result(
-                BatchItem(
-                    index,
-                    error_result(
-                        index, exc, kernel=merged.get("kernel", "auto")
-                    ),
-                    0.0,
-                    None,
-                    request_id,
+            inner = pool.submit(_run_one_item, *args)
+        except concurrent.futures.BrokenExecutor as exc:
+            # The pool broke between submissions (a previous item's
+            # worker died).  Rebuild once and resubmit; a second break
+            # resolves to an isolated ERROR rather than looping.
+            if attempt >= _MAX_ATTEMPTS or self._closed:
+                self._resolve_error(outer, args, exc)
+                return
+            self._rebuild(generation)
+            self._dispatch(args, outer, attempt + 1)
+            return
+        except Exception as exc:  # e.g. pool shut down
+            self._resolve_error(outer, args, exc)
+            return
+        outer.inner = inner
+        inner.add_done_callback(
+            lambda f: self._on_done(f, args, outer, attempt, generation)
+        )
+
+    def _on_done(
+        self,
+        inner: concurrent.futures.Future,
+        args: tuple,
+        outer: _ItemFuture,
+        attempt: int,
+        generation: int,
+    ) -> None:
+        """Completion fan-in (runs on the pool's management/worker thread).
+
+        Must never block: a broken-pool casualty is handed to the retry
+        thread instead of being retried here.
+        """
+        if inner.cancelled():
+            if not outer.cancelled():
+                outer.cancel()
+            return
+        exc = inner.exception()
+        if exc is None:
+            self._resolve_item(outer, inner.result())
+            return
+        if (
+            isinstance(exc, concurrent.futures.BrokenExecutor)
+            and attempt < _MAX_ATTEMPTS
+            and not self._closed
+        ):
+            # This future is a casualty of *some* worker crash — maybe
+            # its own item, maybe an innocent bystander's.  Rebuild the
+            # pool and quarantine-retry to find out.
+            self._rebuild(generation)
+            self._enqueue_retry(args, outer, attempt + 1)
+            return
+        self._resolve_error(outer, args, exc)
+
+    def _rebuild(self, broken_generation: int) -> None:
+        """Replace the broken pool (once per break, however many see it)."""
+        with self._lock:
+            if self._closed or self._generation != broken_generation:
+                return
+            broken = self._pool
+            self._generation += 1
+            self._pool = self._make_pool()
+        _BATCH_POOL_REBUILDS.inc()
+        broken.shutdown(wait=False)
+
+    def _enqueue_retry(self, args: tuple, outer: _ItemFuture, attempt: int) -> None:
+        with self._lock:
+            if self._retry_thread is None:
+                self._retry_queue = _queue.SimpleQueue()
+                self._retry_thread = threading.Thread(
+                    target=self._retry_loop,
+                    name="batch-quarantine-retry",
+                    daemon=True,
                 )
-            )
-            return future
+                self._retry_thread.start()
+            retry_queue = self._retry_queue
+        assert retry_queue is not None
+        retry_queue.put((args, outer, attempt))
+
+    def _retry_loop(self) -> None:
+        assert self._retry_queue is not None
+        while True:
+            entry = self._retry_queue.get()
+            if entry is None:
+                return
+            self._retry_one(*entry)
+
+    def _retry_one(self, args: tuple, outer: _ItemFuture, attempt: int) -> None:
+        """Quarantined re-run: one retry in flight at a time.
+
+        Serialization is the blame mechanism — if the pool breaks again
+        while a quarantined item runs alone, that item *is* the poison
+        and resolves to ``ERROR``; innocent casualties of someone
+        else's crash recompute successfully.
+        """
+        with self._lock:
+            pool = self._pool
+            generation = self._generation
+        try:
+            inner = pool.submit(_run_one_item, *args)
+        except Exception as exc:
+            self._resolve_error(outer, args, exc)
+            return
+        outer.inner = inner
+        try:
+            item = inner.result()
+        except concurrent.futures.BrokenExecutor as exc:
+            # Crashed again, alone in the pool: this item is the poison.
+            self._rebuild(generation)
+            self._resolve_error(outer, args, exc)
+        except concurrent.futures.CancelledError as exc:
+            # Shutdown cancelled the retry under us; still answer.
+            self._resolve_error(outer, args, exc)
+        except Exception as exc:
+            self._resolve_error(outer, args, exc)
+        else:
+            self._resolve_item(outer, item)
+
+    def _resolve_item(self, outer: _ItemFuture, item: BatchItem) -> None:
+        if item.telemetry is not None:
+            # The single merge point for repatriated worker telemetry:
+            # every completion path funnels through here exactly once.
+            merge_worker_telemetry(item.telemetry)
+        if not outer.cancelled():
+            try:
+                outer.set_result(item)
+            except concurrent.futures.InvalidStateError:
+                pass
+
+    def _resolve_error(
+        self, outer: _ItemFuture, args: tuple, exc: BaseException
+    ) -> None:
+        index, request_id = args[0], args[8]
+        kernel = args[5].get("kernel", "auto")
+        item = BatchItem(
+            index, error_result(index, exc, kernel=kernel), 0.0, None, request_id
+        )
+        if not outer.cancelled():
+            try:
+                outer.set_result(item)
+            except concurrent.futures.InvalidStateError:
+                pass
 
     def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
-        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+        with self._lock:
+            self._closed = True
+            retry_queue = self._retry_queue
+            retry_thread = self._retry_thread
+            pool = self._pool
+        if retry_queue is not None:
+            retry_queue.put(None)
+        pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+        if retry_thread is not None and wait:
+            # Bounded: by now the pool has drained, so any in-flight
+            # quarantined retry has already resolved its item.
+            retry_thread.join(timeout=10.0)
 
     def __enter__(self) -> "ContainmentExecutor":
         return self

@@ -44,6 +44,8 @@ __all__ = [
     "histogram",
     "metrics_snapshot",
     "reset_metrics",
+    "snapshot_delta",
+    "merge_snapshot_delta",
 ]
 
 #: Default histogram boundaries, tuned for check latencies in ms
@@ -195,6 +197,53 @@ class Histogram:
                 "buckets": cumulative,
             }
 
+    def merge_delta(
+        self,
+        count: int,
+        total: float,
+        minimum: float | None = None,
+        maximum: float | None = None,
+        buckets: dict[str, int] | None = None,
+    ) -> None:
+        """Fold another process's observation window into this histogram.
+
+        ``buckets`` uses the snapshot wire shape — *cumulative* counts
+        keyed by ``repr(boundary)`` plus a ``"+Inf"`` catch-all — which
+        is exactly what subtracting two :meth:`snapshot` payloads
+        yields (cumulative deltas are still cumulative).  A boundary
+        this histogram does not have lands in the covering bucket, so
+        merging never loses observations even across boundary drift.
+        ``minimum``/``maximum`` are folded with min/max; a worker that
+        reports lifetime bounds can only widen the range, never shrink
+        it.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += total
+            if minimum is not None and (self.min is None or minimum < self.min):
+                self.min = minimum
+            if maximum is not None and (self.max is None or maximum > self.max):
+                self.max = maximum
+            if not buckets:
+                # No bucket detail: everything lands in the catch-all.
+                self.bucket_counts[-1] += count
+                return
+            running = 0
+            for key in sorted(
+                buckets, key=lambda k: float("inf") if k == "+Inf" else float(k)
+            ):
+                increment = buckets[key] - running
+                running = buckets[key]
+                if increment <= 0:
+                    continue
+                if key == "+Inf":
+                    index = len(self.boundaries)
+                else:
+                    index = bisect.bisect_left(self.boundaries, float(key))
+                self.bucket_counts[index] += increment
+
 
 class MetricsRegistry:
     """A named collection of instruments (one per process by default)."""
@@ -277,3 +326,80 @@ def metrics_snapshot(prefix: str | None = None) -> dict[str, dict[str, Any]]:
 def reset_metrics() -> None:
     """Zero the default registry in place (tests/benchmarks)."""
     REGISTRY.reset()
+
+
+def snapshot_delta(
+    before: dict[str, dict[str, Any]], after: dict[str, dict[str, Any]]
+) -> dict[str, dict[str, Any]]:
+    """The numeric difference between two :func:`metrics_snapshot` dumps.
+
+    The worker side of telemetry repatriation (DESIGN.md "Concurrency
+    architecture"): a process-pool worker snapshots its registry before
+    and after one item and ships the delta back with the result, so the
+    parent can :func:`merge_snapshot_delta` it and report true figures.
+
+    - **Counters** carry the value increment (zero increments are
+      dropped — the common case is a handful of touched instruments).
+    - **Histograms** carry the window's ``count``/``sum`` plus the
+      cumulative-bucket deltas (still cumulative, still mergeable by
+      addition) and the worker's ``min``/``max`` as range bounds.
+    - **Gauges** are skipped: they are point-in-time values of *that*
+      process (queue depths, pool sizes) and adding them across
+      processes would be nonsense.
+
+    Both payloads must come from the same process; instruments present
+    only in ``before`` (impossible without a reset) are ignored.
+    """
+    delta: dict[str, dict[str, Any]] = {}
+    for name, cur in after.items():
+        kind = cur.get("type")
+        prev = before.get(name, {})
+        if kind == "counter":
+            increment = cur.get("value", 0) - prev.get("value", 0)
+            if increment > 0:
+                delta[name] = {"type": "counter", "value": increment}
+        elif kind == "histogram":
+            count = cur.get("count", 0) - prev.get("count", 0)
+            if count <= 0:
+                continue
+            prev_buckets = prev.get("buckets", {})
+            buckets = {
+                key: value - prev_buckets.get(key, 0)
+                for key, value in cur.get("buckets", {}).items()
+            }
+            delta[name] = {
+                "type": "histogram",
+                "count": count,
+                "sum": round(cur.get("sum", 0.0) - prev.get("sum", 0.0), 6),
+                "min": cur.get("min"),
+                "max": cur.get("max"),
+                "buckets": {k: v for k, v in buckets.items() if v},
+            }
+    return delta
+
+
+def merge_snapshot_delta(
+    delta: dict[str, dict[str, Any]], registry: MetricsRegistry | None = None
+) -> None:
+    """Fold a :func:`snapshot_delta` payload into a registry (default:
+    the process registry).
+
+    Instruments are get-or-created, so a worker-only metric still shows
+    up in the parent; a name that exists with a mismatched kind raises
+    (the registry's usual contract) rather than silently misfiling.
+    """
+    target = REGISTRY if registry is None else registry
+    for name, data in delta.items():
+        kind = data.get("type")
+        if kind == "counter":
+            increment = data.get("value", 0)
+            if increment > 0:
+                target.counter(name).inc(increment)
+        elif kind == "histogram":
+            target.histogram(name).merge_delta(
+                int(data.get("count", 0)),
+                float(data.get("sum", 0.0)),
+                data.get("min"),
+                data.get("max"),
+                data.get("buckets"),
+            )

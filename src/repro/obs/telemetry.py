@@ -44,7 +44,13 @@ import time
 from collections import deque
 from typing import Any
 
-from .metrics import counter as _metric_counter
+from ..cache import cache_stats, merge_stats_delta
+from .metrics import (
+    counter as _metric_counter,
+    merge_snapshot_delta,
+    metrics_snapshot,
+    snapshot_delta,
+)
 from .profile import SpanProfile
 
 __all__ = [
@@ -58,6 +64,9 @@ __all__ = [
     "TelemetryConfig",
     "access_record",
     "validate_access_record",
+    "worker_telemetry_baseline",
+    "worker_telemetry_delta",
+    "merge_worker_telemetry",
 ]
 
 #: Schema tag stamped into every access-log record.
@@ -449,3 +458,56 @@ class Telemetry:
         """Flush and stop the access-log writer (idempotent)."""
         if self.log is not None:
             self.log.close()
+
+
+# --- worker telemetry repatriation ----------------------------------------------
+#
+# The process backend's metrics/cache counters move in the *worker*
+# processes, invisible to the parent's registry — without repatriation,
+# `repro top`, the `metrics` verb, and post-batch snapshots report zeros
+# whenever `backend="process"`.  The contract (DESIGN.md "Concurrency
+# architecture"): the worker brackets each item with a baseline/delta
+# pair, the delta rides home on the item (plain dicts, pickle-friendly),
+# and the parent merges it exactly once at future-completion time.
+
+
+def worker_telemetry_baseline() -> dict[str, Any]:
+    """Worker-side pre-item snapshot: metrics registry plus cache stats.
+
+    Taken *after* any warm-start activity, at item start, so initializer
+    checks never leak into per-item deltas.
+    """
+    return {"metrics": metrics_snapshot(), "cache": cache_stats()}
+
+
+def worker_telemetry_delta(baseline: dict[str, Any]) -> dict[str, Any] | None:
+    """What one item moved: the diff against its pre-item baseline.
+
+    Returns ``None`` when the item touched nothing (e.g. a shed that
+    never reached the engine), so idle items cost zero bytes on the
+    wire.
+    """
+    metrics_part = snapshot_delta(baseline.get("metrics", {}), metrics_snapshot())
+    cache_part: dict[str, dict[str, int]] = {}
+    before_cache = baseline.get("cache", {})
+    for name, cur in cache_stats().items():
+        prev = before_cache.get(name, {})
+        moved = {
+            key: cur.get(key, 0) - prev.get(key, 0)
+            for key in ("hits", "misses", "evictions")
+        }
+        moved = {key: value for key, value in moved.items() if value}
+        if moved:
+            cache_part[name] = moved
+    if not metrics_part and not cache_part:
+        return None
+    return {"metrics": metrics_part, "cache": cache_part}
+
+
+def merge_worker_telemetry(delta: dict[str, Any] | None) -> None:
+    """Parent-side fold of one repatriated item delta (idempotent on
+    ``None``; the caller guarantees each delta merges exactly once)."""
+    if not delta:
+        return
+    merge_snapshot_delta(delta.get("metrics") or {})
+    merge_stats_delta(delta.get("cache") or {})

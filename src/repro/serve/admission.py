@@ -41,6 +41,7 @@ __all__ = [
     "SHED_REASONS",
     "AdmissionController",
     "AdmissionPolicy",
+    "DeadlineShedSpec",
     "shed_result",
 ]
 
@@ -129,6 +130,38 @@ class AdmissionController:
         if self.policy.default_deadline_ms is None:
             return requested
         return min(requested, self.policy.default_deadline_ms)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlineShedSpec:
+    """Picklable start-deadline degradation hook for the worker pool.
+
+    The batch layer's ``expired_result`` contract is a callable
+    ``(late_ms) -> ContainmentResult`` that fires at worker dequeue
+    when a request missed its start deadline.  A closure satisfies it
+    on the thread backend but cannot cross the process boundary; this
+    frozen dataclass pickles by class reference plus fields, so the
+    serving layer sheds identically on ``backend="thread"`` and
+    ``backend="process"``.  Fields capture the queue state at dispatch
+    time (the state that *admitted* the request — by dequeue time the
+    event loop's live numbers are out of reach of a worker process
+    anyway).
+    """
+
+    queue_depth: int
+    queue_limit: int
+    deadline_ms: float | None = None
+    kernel: str = "auto"
+
+    def __call__(self, late_ms: float) -> ContainmentResult:
+        return shed_result(
+            "deadline",
+            queue_depth=self.queue_depth,
+            queue_limit=self.queue_limit,
+            waited_ms=(self.deadline_ms or 0.0) + late_ms,
+            deadline_ms=self.deadline_ms,
+            kernel=self.kernel,
+        )
 
 
 def shed_result(

@@ -158,6 +158,9 @@ def top_deltas(
 
     return {
         "dt_s": round(max(0.0, dt_s), 3),
+        # Which pool substrate the server runs (None on pre-backend
+        # servers, whose metrics payloads lack the key).
+        "backend": cur_payload.get("backend"),
         "requests_per_s": round(rate("serve.requests"), 2),
         "responses_per_s": round(rate("serve.responses"), 2),
         "shed_per_s": round(rate("serve.shed"), 2),
@@ -190,8 +193,9 @@ def render_top(
     shed_cols = " ".join(
         f"{reason}={deltas['shed_by'][reason]:g}" for reason in SHED_REASONS
     )
+    backend = f"[{deltas['backend']}] " if deltas.get("backend") else ""
     header = (
-        f"{addr + ' ' if addr else ''}dt={deltas['dt_s']:g}s "
+        f"{addr + ' ' if addr else ''}{backend}dt={deltas['dt_s']:g}s "
         f"req/s={deltas['requests_per_s']:g} "
         f"resp/s={deltas['responses_per_s']:g} "
         f"shed/s={deltas['shed_per_s']:g} ({shed_cols}) "

@@ -26,10 +26,19 @@ The serving contract (DESIGN.md "Serving architecture"):
   responses, and exits 0.  Connections still open when the drain grace
   period expires are closed after a final flush.
 
-Backend: the pool is the **thread** backend by construction — workers
-share the process-wide result/NFA caches, so a hot pair answered for
-one client is a cache hit for every other, which is the serving win
-that matters; see DESIGN.md for the process-backend tradeoff.
+Backend: ``--backend`` selects the pool substrate.  The default
+``thread`` backend shares the process-wide result/NFA caches, so a hot
+pair answered for one client is a cache hit for every other; the
+``process`` backend trades per-request cache sharing for true
+multi-core parallelism and crash isolation — workers warm-start
+(caches pre-seeded at spin-up), a worker crash resolves to an isolated
+``ERROR`` response while the pool rebuilds underneath the running
+server, per-request deadline sheds use the picklable
+:class:`~repro.serve.admission.DeadlineShedSpec`, and worker-side
+metrics/cache deltas are repatriated so the ``metrics`` verb and
+``repro top`` report true figures.  The health verb names the active
+backend; drain semantics are identical (shutdown waits on process
+workers).  See DESIGN.md for the tradeoff.
 
 Telemetry (DESIGN.md "Operational telemetry"): every served frame —
 answered, shed, or malformed — carries a ``request_id`` (client-supplied
@@ -64,7 +73,12 @@ from ..obs.metrics import counter as _metric_counter, gauge as _metric_gauge, \
 from ..obs.promtext import http_exposition
 from ..obs.telemetry import Telemetry, TelemetryConfig, access_record
 from . import protocol
-from .admission import AdmissionController, AdmissionPolicy, shed_result
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    DeadlineShedSpec,
+    shed_result,
+)
 
 __all__ = ["ServeConfig", "ContainmentServer"]
 
@@ -90,7 +104,10 @@ class ServeConfig:
     Attributes:
         host / port: TCP listen address (port 0 picks a free port,
             announced on stderr).
-        workers: worker-pool width (thread backend).
+        workers: worker-pool width.
+        backend: pool substrate, ``"thread"`` (default; shared caches)
+            or ``"process"`` (multi-core, crash-isolated; see module
+            docstring).
         queue_limit: admission capacity — max requests admitted but not
             yet finished; the ``queue_full`` shed threshold.
         deadline_ms: default per-request wall-clock deadline (frames
@@ -121,6 +138,7 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0
     workers: int = DEFAULT_WORKERS
+    backend: str = "thread"
     queue_limit: int = 64
     deadline_ms: float | None = None
     auto_budget: bool = False
@@ -195,10 +213,11 @@ class ContainmentServer:
             options["kernel"] = config.kernel
         if config.max_expansions is not None:
             options["max_expansions"] = config.max_expansions
-        # Constructing the executor validates workers/options eagerly —
-        # a bad server config fails at startup, never per request.
+        # Constructing the executor validates workers/backend/options
+        # eagerly — a bad server config fails at startup, never per
+        # request.
         self._executor = ContainmentExecutor(
-            workers=config.workers, backend="thread", **options
+            workers=config.workers, backend=config.backend, **options
         )
         self._admission = AdmissionController(
             AdmissionPolicy(
@@ -402,29 +421,19 @@ class ContainmentServer:
         budget: Budget | None = self._base_budget
         if frame.deadline_ms is not None:
             budget = (budget or Budget()).tightened(frame.deadline_ms)
-        # Snapshot the queue depth on the event loop now: the expired
-        # callback runs on a worker thread, and the controller's state
-        # is event-loop-only by contract.
-        depth_at_submit = self._admission.pending
-
-        def expired(
-            late_ms: float,
-            _deadline_ms=deadline_ms,
-            _kernel=kernel,
-            _depth=depth_at_submit,
-        ):
-            # Runs on a worker thread at dequeue: the request's start
-            # deadline passed while it sat in the queue, so it is shed,
-            # not run.  Only builds the result object — metrics are
-            # counted back on the event loop in _finish.
-            return shed_result(
-                "deadline",
-                queue_depth=_depth,
-                queue_limit=self.config.queue_limit,
-                waited_ms=(_deadline_ms or 0.0) + late_ms,
-                deadline_ms=_deadline_ms,
-                kernel=_kernel,
-            )
+        # Snapshot the queue depth on the event loop now: the spec
+        # fires in a worker (a thread here, a separate *process* on
+        # backend="process"), and the controller's state is
+        # event-loop-only by contract.  The frozen dataclass pickles,
+        # so deadline sheds are backend-agnostic; it only builds the
+        # result object — metrics are counted back on the event loop
+        # in _finish.
+        expired = DeadlineShedSpec(
+            queue_depth=self._admission.pending,
+            queue_limit=self.config.queue_limit,
+            deadline_ms=deadline_ms,
+            kernel=kernel,
+        )
 
         sampled = self._telemetry.sample()
         future = self._executor.submit(
@@ -517,6 +526,7 @@ class ContainmentServer:
                 "queue_depth": self._admission.pending,
                 "queue_limit": self.config.queue_limit,
                 "workers": self.config.workers,
+                "backend": self.config.backend,
                 "shed_total": self._admission.shed_total,
                 "admitted_total": self._admission.admitted_total,
                 "uptime_ms": uptime_ms,
@@ -537,6 +547,7 @@ class ContainmentServer:
             "index": frame.index,
             "request_id": request_id,
             "uptime_ms": uptime_ms,
+            "backend": self.config.backend,
             "metrics": metrics_snapshot(),
             "cache": cache_stats(),
             "telemetry": self._telemetry.stats(),
@@ -744,7 +755,7 @@ class ContainmentServer:
         port = self._server.sockets[0].getsockname()[1]
         print(
             f"# serving on {self.config.host}:{port} "
-            f"({self.config.workers} workers, "
+            f"({self.config.workers} {self.config.backend} workers, "
             f"queue limit {self.config.queue_limit})",
             file=sys.stderr,
             flush=True,

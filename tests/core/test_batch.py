@@ -539,3 +539,145 @@ class TestContainmentExecutor:
                 Verdict.REFUTED,
                 Verdict.INCONCLUSIVE,
             )
+
+
+def _trace_shape(trace: dict) -> dict:
+    """A trace tree reduced to its structure: keys, event names, children.
+
+    Timings differ across runs; the *shape* of the span tree must not
+    differ across backends for the same pair under the same cache state.
+    """
+    return {
+        "name": trace.get("name"),
+        "keys": sorted(trace),
+        "events": [event["name"] for event in trace.get("events", [])],
+        "children": [_trace_shape(child) for child in trace.get("children", [])],
+    }
+
+
+class TestProcessBackend:
+    """The process pool as a first-class substrate: picklable shed
+    hooks, trace round-trips, crash isolation, telemetry repatriation."""
+
+    def pair(self, left="a a", right="a+"):
+        return RPQ(parse_regex(left)), RPQ(parse_regex(right))
+
+    def test_expired_start_deadline_sheds_on_process_backend(self):
+        # Regression: the default expired_result path used to be a
+        # thread-only contract; a queue-expired item on the process
+        # backend must degrade identically, not crash on pickling.
+        import time as _time
+
+        with ContainmentExecutor(workers=1, backend="process") as executor:
+            q1, q2 = self.pair()
+            item = executor.submit(
+                q1, q2, start_deadline=_time.monotonic() - 1.0
+            ).result(timeout=60)
+            assert item.result.verdict is Verdict.INCONCLUSIVE
+            assert item.result.method == "start-deadline"
+            assert item.result.details["budget"]["exhausted"] == "start_deadline"
+            assert item.worker is None and item.wall_ms == 0.0
+
+    def test_deadline_shed_spec_pickles_across_the_pool_boundary(self):
+        # The serving layer's shed hook is a frozen dataclass precisely
+        # so it crosses the process boundary; assert the worker-side
+        # invocation produces the serve-admission degraded shape.
+        import time as _time
+
+        from repro.serve.admission import DeadlineShedSpec
+
+        spec = DeadlineShedSpec(
+            queue_depth=3, queue_limit=64, deadline_ms=5.0, kernel="auto"
+        )
+        with ContainmentExecutor(workers=1, backend="process") as executor:
+            q1, q2 = self.pair()
+            item = executor.submit(
+                q1,
+                q2,
+                start_deadline=_time.monotonic() - 1.0,
+                expired_result=spec,
+            ).result(timeout=60)
+            assert item.result.method == "serve-admission"
+            admission = item.result.details["admission"]
+            assert admission["shed"] == "deadline"
+            assert admission["queue_depth"] == 3
+            assert item.result.details["budget"]["exhausted"] == "admission:deadline"
+
+    def test_trace_structure_identical_across_backends(self):
+        # Same pair, same cache state (cold both times — under fork a
+        # worker inherits the parent's caches, so the parent must be
+        # cleared before each arm or one arm traces a hit and the other
+        # a miss), so the span tree's *structure* must match exactly.
+        pair = self.pair("a b a", "(a|b)+")
+        shapes = {}
+        for backend in BACKENDS:
+            clear_caches()
+            batch = check_containment_many(
+                [pair], workers=1, backend=backend, trace=True
+            )
+            trace = dict(batch.items[0].result.details)["trace"]
+            assert trace["name"] == "check-containment"
+            shapes[backend] = _trace_shape(trace)
+        assert shapes["thread"] == shapes["process"]
+
+    def test_worker_crash_is_isolated_and_pool_recovers(self):
+        from repro.obs.perf import _PoisonPill
+
+        pairs = e1_workload()[:4]
+        expected = [r.verdict for r in sequential_baseline(pairs)]
+        crash_pairs = list(pairs)
+        crash_pairs.insert(2, (_PoisonPill(), _PoisonPill()))
+        clear_caches()
+        batch = check_containment_many(crash_pairs, workers=2, backend="process")
+
+        poison = batch.items[2].result
+        assert poison.verdict is Verdict.ERROR
+        assert "error" in poison.details
+        assert poison.details["error"]["index"] == 2
+        survivors = [
+            item.result.verdict
+            for index, item in enumerate(batch.items)
+            if index != 2
+        ]
+        assert survivors == expected
+        # The rebuild was counted — operators can see crashes happened.
+        assert REGISTRY.counter("batch.pool_rebuilds").value >= 1
+
+    def test_executor_accepts_submissions_after_a_crash(self):
+        from repro.obs.perf import _PoisonPill
+
+        with ContainmentExecutor(workers=1, backend="process") as executor:
+            crashed = executor.submit(
+                _PoisonPill(), _PoisonPill(), index=0
+            ).result(timeout=60)
+            assert crashed.result.verdict is Verdict.ERROR
+            q1, q2 = self.pair()
+            after = executor.submit(q1, q2, index=1).result(timeout=60)
+            assert after.result.verdict is Verdict.HOLDS
+
+    def test_worker_telemetry_repatriates_exactly(self):
+        # Worker processes mutate their own registries; the executor
+        # merges each item's delta exactly once, so the parent's
+        # counters read as if the work ran in-process.
+        pairs = e1_workload()
+        seen, distinct = set(), []
+        for q1, q2 in pairs:
+            key = (repr(q1), repr(q2))
+            if key not in seen:
+                seen.add(key)
+                distinct.append((q1, q2))
+        batch = check_containment_many(distinct, workers=2, backend="process")
+        assert all(item.telemetry is not None for item in batch.items)
+        assert REGISTRY.counter("engine.checks").value == len(distinct)
+        assert REGISTRY.histogram("engine.check_ms").count == len(distinct)
+        stats = cache_stats()["containment"]
+        assert stats["hits"] + stats["misses"] == len(distinct)
+
+    def test_thread_backend_items_carry_no_telemetry_delta(self):
+        # Thread workers share the parent registry: repatriating a
+        # delta would double-count, so none is collected.
+        batch = check_containment_many(
+            e1_workload()[:4], workers=2, backend="thread"
+        )
+        assert all(item.telemetry is None for item in batch.items)
+        assert REGISTRY.counter("engine.checks").value == 4

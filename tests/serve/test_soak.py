@@ -94,7 +94,7 @@ class Client(threading.Thread):
             self.reset = exc
 
 
-def run_soak(clients: int, repetitions: int) -> None:
+def run_soak(clients: int, repetitions: int, backend: str = "thread") -> None:
     """The soak scenario shared by the smoke and slow variants."""
     workload_text = WORKLOAD.read_text()
     lines = [
@@ -107,7 +107,9 @@ def run_soak(clients: int, repetitions: int) -> None:
     )
     expected = [result.verdict.value for result in oracle] * repetitions
 
-    process, port = start_server("--workers", "4", "--queue-limit", "512")
+    process, port = start_server(
+        "--workers", "4", "--queue-limit", "512", "--backend", backend
+    )
     try:
         fleet = [Client(port, lines) for _ in range(clients)]
         for client in fleet:
@@ -136,18 +138,32 @@ def test_soak_smoke_four_concurrent_clients():
     run_soak(clients=4, repetitions=1)
 
 
+def test_soak_smoke_process_backend():
+    # The same fleet against process workers: crash-isolated execution
+    # must be answer-for-answer identical to the thread pool.
+    run_soak(clients=4, repetitions=1, backend="process")
+
+
 @pytest.mark.slow
 def test_soak_eight_clients_replaying_three_times():
     run_soak(clients=8, repetitions=3)
 
 
-def test_sigterm_mid_burst_answers_or_sheds_every_frame():
-    """Drain contract: SIGTERM mid-burst loses no accepted frame."""
+@pytest.mark.slow
+def test_soak_process_backend_under_repetition():
+    run_soak(clients=4, repetitions=3, backend="process")
+
+
+@pytest.mark.parametrize("backend", ("thread", "process"))
+def test_sigterm_mid_burst_answers_or_sheds_every_frame(backend):
+    """Drain contract: SIGTERM mid-burst loses no accepted frame —
+    on either pool substrate (drain must wait on process workers too)."""
     lines = [
         line for line in WORKLOAD.read_text().splitlines() if line.strip()
     ]
     process, port = start_server(
-        "--workers", "2", "--queue-limit", "64", "--drain-grace-ms", "10000"
+        "--workers", "2", "--queue-limit", "64", "--drain-grace-ms", "10000",
+        "--backend", backend,
     )
     responses: list[dict] = []
     sent = 0
